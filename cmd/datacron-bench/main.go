@@ -1,0 +1,58 @@
+// datacron-bench runs the experiment suite E1–E10 (DESIGN.md §4) and prints
+// every result table; use it to regenerate the numbers in EXPERIMENTS.md.
+//
+//	datacron-bench            # full scale (minutes)
+//	datacron-bench -quick     # test scale (seconds)
+//	datacron-bench -only E3,E6
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"strings"
+	"time"
+
+	"github.com/datacron-project/datacron/internal/experiments"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("datacron-bench: ")
+	var (
+		quick = flag.Bool("quick", false, "run test-scale workloads")
+		only  = flag.String("only", "", "comma-separated experiment ids (e.g. E1,E6); empty = all")
+	)
+	flag.Parse()
+
+	want := map[string]bool{}
+	for _, id := range strings.Split(*only, ",") {
+		if id = strings.TrimSpace(strings.ToUpper(id)); id != "" {
+			want[id] = true
+		}
+	}
+
+	all := []struct {
+		id string
+		fn func(bool) *experiments.Table
+	}{
+		{"E1", experiments.E1Compression},
+		{"E2", experiments.E2StreamThroughput},
+		{"E3", experiments.E3Partitioning},
+		{"E4", experiments.E4ParallelQuery},
+		{"E5", experiments.E5LinkDiscovery},
+		{"E6", experiments.E6TrajForecast},
+		{"E7", experiments.E7EventRecognition},
+		{"E8", experiments.E8EventForecast},
+		{"E9", experiments.E9Hotspots},
+		{"E10", experiments.E10EndToEnd},
+	}
+	for _, e := range all {
+		if len(want) > 0 && !want[e.id] {
+			continue
+		}
+		start := time.Now()
+		tab := e.fn(*quick)
+		fmt.Printf("%s\n(%s in %v)\n\n", tab, e.id, time.Since(start).Round(time.Millisecond))
+	}
+}

@@ -1,0 +1,81 @@
+// datacron-query loads a generated wire dataset into the parallel RDF
+// store and runs ad-hoc stSPARQL-lite queries against it.
+//
+//	datacron-gen -domain maritime -out aegean
+//	datacron-query -wire aegean.wire -query 'SELECT ?v WHERE { ?v rdf:type dat:Vessel . } LIMIT 5'
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strconv"
+	"strings"
+
+	"github.com/datacron-project/datacron/internal/core"
+	"github.com/datacron-project/datacron/internal/model"
+	"github.com/datacron-project/datacron/internal/query"
+	"github.com/datacron-project/datacron/internal/synth"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("datacron-query: ")
+	var (
+		wirePath = flag.String("wire", "", "wire file from datacron-gen (\"<ts> <line>\" per row)")
+		domain   = flag.String("domain", "maritime", "maritime or aviation")
+		q        = flag.String("query", "", "stSPARQL-lite query; empty drops into a demo query")
+		shards   = flag.Int("shards", 4, "store shard count")
+	)
+	flag.Parse()
+	if *wirePath == "" {
+		log.Fatal("-wire is required (generate one with datacron-gen)")
+	}
+
+	dom := model.Maritime
+	if *domain == "aviation" {
+		dom = model.Aviation
+	}
+	p := core.New(core.Config{Domain: dom, Shards: *shards})
+
+	f, err := os.Open(*wirePath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	lines := 0
+	for sc.Scan() {
+		row := sc.Text()
+		sp := strings.IndexByte(row, ' ')
+		if sp < 0 {
+			continue
+		}
+		ts, err := strconv.ParseInt(row[:sp], 10, 64)
+		if err != nil {
+			log.Fatalf("bad timestamp on line %d: %v", lines+1, err)
+		}
+		if _, err := p.IngestLine(synth.TimedLine{TS: ts, Line: row[sp+1:]}); err != nil {
+			log.Fatalf("line %d: %v", lines+1, err)
+		}
+		lines++
+	}
+	if err := sc.Err(); err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("ingested %d lines: %s", lines, p.Report())
+
+	src := *q
+	if src == "" {
+		src = `SELECT ?v ?name WHERE { ?v rdf:type dat:Vessel . ?v dat:name ?name . } LIMIT 10`
+		log.Printf("no -query given; running demo: %s", src)
+	}
+	res, err := p.Engine.Execute(src)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(query.FormatTable(res))
+}

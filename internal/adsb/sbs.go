@@ -1,0 +1,217 @@
+// Package adsb implements the SBS-1 "BaseStation" CSV format used by ADS-B
+// receivers, which is the aviation data source of the datAcron pipeline.
+// Only the three message types the pipeline consumes are modelled:
+//
+//	MSG,1 — ES identification (callsign)
+//	MSG,3 — ES airborne position (altitude, latitude, longitude)
+//	MSG,4 — ES airborne velocity (ground speed, track, vertical rate)
+//
+// Units follow the wire format: altitude feet, speed knots, vertical rate
+// feet/minute. Conversion to SI happens in the transformation layer.
+package adsb
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// MsgType identifies the SBS transmission type.
+type MsgType int
+
+// Supported SBS transmission types.
+const (
+	MsgIdent    MsgType = 1
+	MsgPosition MsgType = 3
+	MsgVelocity MsgType = 4
+)
+
+// Message is one SBS-1 record. Fields that are absent on the wire are NaN
+// (floats) or empty strings.
+type Message struct {
+	Type      MsgType
+	HexIdent  string    // ICAO 24-bit address, upper-case hex
+	Generated time.Time // date/time message generated (UTC)
+	Callsign  string    // MSG,1
+	AltitudeFt float64  // MSG,3
+	Lat       float64   // MSG,3
+	Lon       float64   // MSG,3
+	SpeedKn   float64   // MSG,4 ground speed
+	TrackDeg  float64   // MSG,4
+	VertRateFpm float64 // MSG,4
+	OnGround  bool
+}
+
+// sbsTimeFormat is the date/time layout used by BaseStation output.
+const (
+	sbsDateFormat = "2006/01/02"
+	sbsTimeFormat = "15:04:05.000"
+)
+
+// Format renders m as one SBS-1 CSV line (without trailing newline).
+func Format(m Message) string {
+	date := m.Generated.UTC().Format(sbsDateFormat)
+	tim := m.Generated.UTC().Format(sbsTimeFormat)
+	ground := "0"
+	if m.OnGround {
+		ground = "-1"
+	}
+	f := func(v float64, prec int) string {
+		if math.IsNaN(v) {
+			return ""
+		}
+		return strconv.FormatFloat(v, 'f', prec, 64)
+	}
+	callsign := ""
+	alt, lat, lon, spd, trk, vr := "", "", "", "", "", ""
+	switch m.Type {
+	case MsgIdent:
+		callsign = m.Callsign
+	case MsgPosition:
+		alt = f(m.AltitudeFt, 0)
+		lat = f(m.Lat, 5)
+		lon = f(m.Lon, 5)
+	case MsgVelocity:
+		spd = f(m.SpeedKn, 1)
+		trk = f(m.TrackDeg, 1)
+		vr = f(m.VertRateFpm, 0)
+	}
+	// MSG,type,session,aircraft,hex,flight,dateGen,timeGen,dateLog,timeLog,
+	// callsign,alt,speed,track,lat,lon,vrate,squawk,alert,emerg,spi,ground
+	return strings.Join([]string{
+		"MSG", strconv.Itoa(int(m.Type)), "1", "1", m.HexIdent, "1",
+		date, tim, date, tim,
+		callsign, alt, spd, trk, lat, lon, vr, "", "0", "0", "0", ground,
+	}, ",")
+}
+
+// Parse decodes one SBS-1 CSV line.
+func Parse(line string) (Message, error) {
+	var m Message
+	line = strings.TrimRight(line, "\r\n")
+	fields := strings.Split(line, ",")
+	if len(fields) < 22 {
+		return m, fmt.Errorf("adsb: expected 22 fields, got %d", len(fields))
+	}
+	if fields[0] != "MSG" {
+		return m, fmt.Errorf("adsb: unsupported record %q", fields[0])
+	}
+	tt, err := strconv.Atoi(fields[1])
+	if err != nil {
+		return m, fmt.Errorf("adsb: bad transmission type: %w", err)
+	}
+	m.Type = MsgType(tt)
+	switch m.Type {
+	case MsgIdent, MsgPosition, MsgVelocity:
+	default:
+		return m, fmt.Errorf("adsb: unsupported transmission type %d", tt)
+	}
+	m.HexIdent = strings.ToUpper(fields[4])
+	if m.HexIdent == "" {
+		return m, fmt.Errorf("adsb: missing hex ident")
+	}
+	m.Generated, err = time.Parse(sbsDateFormat+" "+sbsTimeFormat, fields[6]+" "+fields[7])
+	if err != nil {
+		return m, fmt.Errorf("adsb: bad timestamp: %w", err)
+	}
+	m.Generated = m.Generated.UTC()
+	parseF := func(s string) (float64, error) {
+		if s == "" {
+			return math.NaN(), nil
+		}
+		return strconv.ParseFloat(s, 64)
+	}
+	m.Callsign = strings.TrimSpace(fields[10])
+	if m.AltitudeFt, err = parseF(fields[11]); err != nil {
+		return m, fmt.Errorf("adsb: bad altitude: %w", err)
+	}
+	if m.SpeedKn, err = parseF(fields[12]); err != nil {
+		return m, fmt.Errorf("adsb: bad speed: %w", err)
+	}
+	if m.TrackDeg, err = parseF(fields[13]); err != nil {
+		return m, fmt.Errorf("adsb: bad track: %w", err)
+	}
+	if m.Lat, err = parseF(fields[14]); err != nil {
+		return m, fmt.Errorf("adsb: bad lat: %w", err)
+	}
+	if m.Lon, err = parseF(fields[15]); err != nil {
+		return m, fmt.Errorf("adsb: bad lon: %w", err)
+	}
+	if m.VertRateFpm, err = parseF(fields[16]); err != nil {
+		return m, fmt.Errorf("adsb: bad vertical rate: %w", err)
+	}
+	m.OnGround = fields[21] == "-1" || fields[21] == "1"
+	if m.Type == MsgPosition {
+		if math.IsNaN(m.Lat) || math.IsNaN(m.Lon) {
+			return m, fmt.Errorf("adsb: MSG,3 without coordinates")
+		}
+		if m.Lat < -90 || m.Lat > 90 || m.Lon < -180 || m.Lon > 180 {
+			return m, fmt.Errorf("adsb: coordinates out of range (%f,%f)", m.Lat, m.Lon)
+		}
+	}
+	return m, nil
+}
+
+// Tracker fuses the three SBS message types per aircraft into complete state
+// snapshots: a MSG,3 position is emitted enriched with the latest known
+// callsign and velocity. This mirrors how real ADS-B pipelines join the
+// decoupled position/velocity/identity broadcasts.
+type Tracker struct {
+	state map[string]*trackState
+}
+
+type trackState struct {
+	callsign    string
+	speedKn     float64
+	trackDeg    float64
+	vertRateFpm float64
+	hasVel      bool
+}
+
+// Snapshot is a fused aircraft state produced on each position message.
+type Snapshot struct {
+	HexIdent    string
+	Callsign    string
+	Generated   time.Time
+	Lat, Lon    float64
+	AltitudeFt  float64
+	SpeedKn     float64 // NaN until a velocity message has been seen
+	TrackDeg    float64
+	VertRateFpm float64
+	OnGround    bool
+}
+
+// NewTracker returns an empty tracker.
+func NewTracker() *Tracker { return &Tracker{state: make(map[string]*trackState)} }
+
+// Push consumes one message; when it is a position message a fused snapshot
+// is returned with ok=true.
+func (t *Tracker) Push(m Message) (snap Snapshot, ok bool) {
+	st := t.state[m.HexIdent]
+	if st == nil {
+		st = &trackState{speedKn: math.NaN(), trackDeg: math.NaN(), vertRateFpm: math.NaN()}
+		t.state[m.HexIdent] = st
+	}
+	switch m.Type {
+	case MsgIdent:
+		st.callsign = m.Callsign
+	case MsgVelocity:
+		st.speedKn = m.SpeedKn
+		st.trackDeg = m.TrackDeg
+		st.vertRateFpm = m.VertRateFpm
+		st.hasVel = true
+	case MsgPosition:
+		return Snapshot{
+			HexIdent: m.HexIdent, Callsign: st.callsign, Generated: m.Generated,
+			Lat: m.Lat, Lon: m.Lon, AltitudeFt: m.AltitudeFt,
+			SpeedKn: st.speedKn, TrackDeg: st.trackDeg, VertRateFpm: st.vertRateFpm,
+			OnGround: m.OnGround,
+		}, true
+	}
+	return Snapshot{}, false
+}
+
+// Known returns the number of aircraft the tracker has seen.
+func (t *Tracker) Known() int { return len(t.state) }

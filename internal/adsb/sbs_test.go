@@ -1,0 +1,164 @@
+package adsb
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+var t0 = time.Date(2017, 3, 21, 10, 30, 0, 0, time.UTC)
+
+func TestFormatParsePosition(t *testing.T) {
+	orig := Message{
+		Type: MsgPosition, HexIdent: "4891B6", Generated: t0,
+		AltitudeFt: 35000, Lat: 38.12345, Lon: 23.94321,
+		SpeedKn: math.NaN(), TrackDeg: math.NaN(), VertRateFpm: math.NaN(),
+	}
+	line := Format(orig)
+	got, err := Parse(line)
+	if err != nil {
+		t.Fatalf("Parse(%q): %v", line, err)
+	}
+	if got.Type != MsgPosition || got.HexIdent != "4891B6" {
+		t.Errorf("identity: %+v", got)
+	}
+	if !got.Generated.Equal(t0) {
+		t.Errorf("time = %v, want %v", got.Generated, t0)
+	}
+	if math.Abs(got.Lat-orig.Lat) > 1e-5 || math.Abs(got.Lon-orig.Lon) > 1e-5 {
+		t.Errorf("coords: %f,%f", got.Lat, got.Lon)
+	}
+	if got.AltitudeFt != 35000 {
+		t.Errorf("altitude = %f", got.AltitudeFt)
+	}
+	if !math.IsNaN(got.SpeedKn) {
+		t.Error("speed should be NaN on MSG,3")
+	}
+}
+
+func TestFormatParseVelocity(t *testing.T) {
+	orig := Message{
+		Type: MsgVelocity, HexIdent: "ABC123", Generated: t0,
+		SpeedKn: 447.5, TrackDeg: 271.3, VertRateFpm: -1200,
+		AltitudeFt: math.NaN(), Lat: math.NaN(), Lon: math.NaN(),
+	}
+	got, err := Parse(Format(orig))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.SpeedKn != 447.5 || got.TrackDeg != 271.3 || got.VertRateFpm != -1200 {
+		t.Errorf("velocity fields: %+v", got)
+	}
+	if !math.IsNaN(got.Lat) {
+		t.Error("lat should be NaN on MSG,4")
+	}
+}
+
+func TestFormatParseIdent(t *testing.T) {
+	orig := Message{Type: MsgIdent, HexIdent: "4891B6", Generated: t0, Callsign: "AEE702",
+		AltitudeFt: math.NaN(), Lat: math.NaN(), Lon: math.NaN(),
+		SpeedKn: math.NaN(), TrackDeg: math.NaN(), VertRateFpm: math.NaN()}
+	got, err := Parse(Format(orig))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Callsign != "AEE702" {
+		t.Errorf("callsign = %q", got.Callsign)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	tests := []struct {
+		name string
+		line string
+	}{
+		{"empty", ""},
+		{"short", "MSG,3,1,1"},
+		{"not msg", strings.Replace(Format(Message{Type: MsgPosition, HexIdent: "A", Generated: t0, Lat: 1, Lon: 1, AltitudeFt: 1}), "MSG", "SEL", 1)},
+		{"bad type", "XXX,9" + strings.Repeat(",", 20)},
+		{"unsupported type", "MSG,8,1,1,ABC,1,2017/03/21,10:00:00.000,2017/03/21,10:00:00.000,,,,,,,,,0,0,0,0"},
+		{"no hex", "MSG,3,1,1,,1,2017/03/21,10:00:00.000,2017/03/21,10:00:00.000,,100,,,38.0,23.0,,,0,0,0,0"},
+		{"bad time", "MSG,3,1,1,ABC,1,17-03-21,10:00:00,x,y,,100,,,38.0,23.0,,,0,0,0,0"},
+		{"msg3 no coords", "MSG,3,1,1,ABC,1,2017/03/21,10:00:00.000,2017/03/21,10:00:00.000,,100,,,,,,,0,0,0,0"},
+		{"lat out of range", "MSG,3,1,1,ABC,1,2017/03/21,10:00:00.000,2017/03/21,10:00:00.000,,100,,,99.0,23.0,,,0,0,0,0"},
+		{"bad alt", "MSG,3,1,1,ABC,1,2017/03/21,10:00:00.000,2017/03/21,10:00:00.000,,x,,,38.0,23.0,,,0,0,0,0"},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := Parse(tc.line); err == nil {
+				t.Errorf("expected error for %q", tc.line)
+			}
+		})
+	}
+}
+
+func TestRoundTripQuick(t *testing.T) {
+	f := func(latSeed, lonSeed int16, altSeed uint16) bool {
+		orig := Message{
+			Type: MsgPosition, HexIdent: "4891B6",
+			Generated:  t0.Add(time.Duration(altSeed) * time.Millisecond),
+			Lat:        float64(latSeed) / 400,
+			Lon:        float64(lonSeed) / 200,
+			AltitudeFt: float64(altSeed),
+			SpeedKn:    math.NaN(), TrackDeg: math.NaN(), VertRateFpm: math.NaN(),
+		}
+		got, err := Parse(Format(orig))
+		if err != nil {
+			return false
+		}
+		return math.Abs(got.Lat-orig.Lat) <= 1e-5 &&
+			math.Abs(got.Lon-orig.Lon) <= 1e-5 &&
+			got.AltitudeFt == orig.AltitudeFt
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTrackerFusion(t *testing.T) {
+	tr := NewTracker()
+	// Position before any velocity: NaN speed.
+	snap, ok := tr.Push(Message{Type: MsgPosition, HexIdent: "A1", Generated: t0, Lat: 38, Lon: 23, AltitudeFt: 10000})
+	if !ok {
+		t.Fatal("position must emit snapshot")
+	}
+	if !math.IsNaN(snap.SpeedKn) || snap.Callsign != "" {
+		t.Errorf("early snapshot should be sparse: %+v", snap)
+	}
+	// Ident and velocity arrive.
+	if _, ok := tr.Push(Message{Type: MsgIdent, HexIdent: "A1", Callsign: "AEE702"}); ok {
+		t.Error("ident must not emit")
+	}
+	if _, ok := tr.Push(Message{Type: MsgVelocity, HexIdent: "A1", SpeedKn: 430, TrackDeg: 90, VertRateFpm: 0}); ok {
+		t.Error("velocity must not emit")
+	}
+	snap, ok = tr.Push(Message{Type: MsgPosition, HexIdent: "A1", Generated: t0.Add(time.Second), Lat: 38.01, Lon: 23.02, AltitudeFt: 10100})
+	if !ok {
+		t.Fatal("second position must emit")
+	}
+	if snap.Callsign != "AEE702" || snap.SpeedKn != 430 || snap.TrackDeg != 90 {
+		t.Errorf("fusion failed: %+v", snap)
+	}
+	// Separate aircraft do not share state.
+	snap, _ = tr.Push(Message{Type: MsgPosition, HexIdent: "B2", Generated: t0, Lat: 39, Lon: 24, AltitudeFt: 20000})
+	if snap.Callsign != "" || !math.IsNaN(snap.SpeedKn) {
+		t.Errorf("cross-aircraft leak: %+v", snap)
+	}
+	if tr.Known() != 2 {
+		t.Errorf("Known = %d", tr.Known())
+	}
+}
+
+func TestOnGroundFlag(t *testing.T) {
+	m := Message{Type: MsgPosition, HexIdent: "A", Generated: t0, Lat: 1, Lon: 1, AltitudeFt: 0, OnGround: true,
+		SpeedKn: math.NaN(), TrackDeg: math.NaN(), VertRateFpm: math.NaN()}
+	got, err := Parse(Format(m))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.OnGround {
+		t.Error("OnGround lost in round trip")
+	}
+}

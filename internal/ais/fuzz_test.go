@@ -1,0 +1,87 @@
+package ais
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// The sentence parser and assembler must never panic, whatever arrives on
+// the wire.
+func TestParseSentenceNeverPanics(t *testing.T) {
+	f := func(line string) bool {
+		defer func() {
+			if r := recover(); r != nil {
+				t.Fatalf("ParseSentence(%q) panicked: %v", line, r)
+			}
+		}()
+		_, _ = ParseSentence(line)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAssemblerNeverPanics(t *testing.T) {
+	asm := NewAssembler()
+	f := func(line string) bool {
+		defer func() {
+			if r := recover(); r != nil {
+				t.Fatalf("Push(%q) panicked: %v", line, r)
+			}
+		}()
+		_, _ = asm.Push(line)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+	// Near-miss inputs: valid sentences with single-byte corruption.
+	orig := PositionReport{MsgType: 1, MMSI: 237000001, Lon: 23.5, Lat: 37.5, SOG: 10, COG: 90, Heading: 90, Second: 30}
+	payload, fill, err := orig.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	line := ToSentences(payload, fill, 0, "A")[0]
+	for i := 0; i < len(line); i++ {
+		for _, b := range []byte{0x00, 0xFF, ' ', ',', '*'} {
+			mutated := []byte(line)
+			mutated[i] = b
+			func() {
+				defer func() {
+					if r := recover(); r != nil {
+						t.Fatalf("mutated line %q panicked: %v", mutated, r)
+					}
+				}()
+				if r, err := NewAssembler().Push(string(mutated)); err == nil && r != nil {
+					_, _ = Decode(r)
+				}
+			}()
+		}
+	}
+}
+
+func TestDecodeNeverPanicsOnRandomPayloads(t *testing.T) {
+	f := func(payload []byte, fill uint8) bool {
+		// Restrict to the armored alphabet so NewBitReader accepts it and
+		// Decode sees arbitrary bit patterns.
+		armored := make([]byte, len(payload))
+		for i, b := range payload {
+			armored[i] = armorChar(b % 64)
+		}
+		defer func() {
+			if r := recover(); r != nil {
+				t.Fatalf("Decode(%q) panicked: %v", armored, r)
+			}
+		}()
+		r, err := NewBitReader(string(armored), int(fill%6))
+		if err != nil {
+			return true
+		}
+		_, _ = Decode(r)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,383 @@
+package ais
+
+import (
+	"fmt"
+	"math"
+)
+
+// Message type identifiers handled by this package.
+const (
+	TypePositionA    = 1  // Class A position report (also 2, 3)
+	TypeStaticVoyage = 5  // static and voyage related data
+	TypePositionB    = 18 // Class B position report
+	TypeStaticB      = 24 // Class B static data report (parts A and B)
+)
+
+// Sentinel field values defined by ITU-R M.1371.
+const (
+	lonNotAvailable = 181 * 600000 // 0x6791AC0
+	latNotAvailable = 91 * 600000
+	sogNotAvailable = 1023
+	cogNotAvailable = 3600
+	hdgNotAvailable = 511
+)
+
+// PositionReport is a Class A (types 1/2/3) or Class B (type 18) position
+// report. Coordinates are degrees; Speed is knots; Course/Heading degrees.
+type PositionReport struct {
+	MsgType   int
+	MMSI      uint32
+	NavStatus uint8   // Class A only (0 under way, 1 at anchor, 5 moored, 7 fishing, 15 undefined)
+	Lon       float64 // degrees east
+	Lat       float64 // degrees north
+	SOG       float64 // knots; NaN when unavailable
+	COG       float64 // degrees; NaN when unavailable
+	Heading   float64 // degrees; NaN when unavailable
+	Second    int     // UTC second of the minute 0..59 (60 = unavailable)
+}
+
+// Encode serialises the report into an armored payload.
+func (m PositionReport) Encode() (payload string, fillBits int, err error) {
+	if m.MsgType != TypePositionA && m.MsgType != 2 && m.MsgType != 3 && m.MsgType != TypePositionB {
+		return "", 0, fmt.Errorf("ais: unsupported position message type %d", m.MsgType)
+	}
+	if m.Lon < -180 || m.Lon > 180 || m.Lat < -90 || m.Lat > 90 {
+		return "", 0, fmt.Errorf("ais: coordinates out of range (%f,%f)", m.Lon, m.Lat)
+	}
+	var b BitBuffer
+	b.AppendUint(uint64(m.MsgType), 6)
+	b.AppendUint(0, 2) // repeat indicator
+	b.AppendUint(uint64(m.MMSI), 30)
+	sog := sogNotAvailable
+	if !math.IsNaN(m.SOG) {
+		sog = int(math.Round(m.SOG * 10))
+		if sog > 1022 {
+			sog = 1022
+		}
+		if sog < 0 {
+			sog = 0
+		}
+	}
+	cog := cogNotAvailable
+	if !math.IsNaN(m.COG) {
+		cog = int(math.Round(m.COG*10)) % 3600
+		if cog < 0 {
+			cog += 3600
+		}
+	}
+	hdg := hdgNotAvailable
+	if !math.IsNaN(m.Heading) {
+		hdg = int(math.Round(m.Heading)) % 360
+		if hdg < 0 {
+			hdg += 360
+		}
+	}
+	lon := int64(math.Round(m.Lon * 600000))
+	lat := int64(math.Round(m.Lat * 600000))
+	sec := m.Second
+	if sec < 0 || sec > 60 {
+		sec = 60
+	}
+	if m.MsgType == TypePositionB {
+		b.AppendUint(0, 8) // regional reserved
+		b.AppendUint(uint64(sog), 10)
+		b.AppendBool(false) // position accuracy
+		b.AppendInt(lon, 28)
+		b.AppendInt(lat, 27)
+		b.AppendUint(uint64(cog), 12)
+		b.AppendUint(uint64(hdg), 9)
+		b.AppendUint(uint64(sec), 6)
+		b.AppendUint(0, 2)  // regional reserved
+		b.AppendBool(true)  // CS unit
+		b.AppendBool(false) // display flag
+		b.AppendBool(false) // DSC flag
+		b.AppendBool(true)  // band flag
+		b.AppendBool(true)  // message 22 flag
+		b.AppendBool(false) // assigned
+		b.AppendBool(false) // RAIM
+		b.AppendUint(0, 20) // radio status
+	} else {
+		b.AppendUint(uint64(m.NavStatus), 4)
+		b.AppendInt(0, 8) // rate of turn: not available would be -128; 0 = not turning
+		b.AppendUint(uint64(sog), 10)
+		b.AppendBool(false) // position accuracy
+		b.AppendInt(lon, 28)
+		b.AppendInt(lat, 27)
+		b.AppendUint(uint64(cog), 12)
+		b.AppendUint(uint64(hdg), 9)
+		b.AppendUint(uint64(sec), 6)
+		b.AppendUint(0, 2)  // maneuver indicator
+		b.AppendUint(0, 3)  // spare
+		b.AppendBool(false) // RAIM
+		b.AppendUint(0, 19) // radio status
+	}
+	payload, fillBits = b.Armor()
+	return payload, fillBits, nil
+}
+
+// decodePositionA decodes a type 1/2/3 payload after the message type field
+// has been peeked (r positioned at bit 0).
+func decodePositionA(r *BitReader) (PositionReport, error) {
+	var m PositionReport
+	m.MsgType = int(r.Uint(6))
+	r.Uint(2) // repeat
+	m.MMSI = uint32(r.Uint(30))
+	m.NavStatus = uint8(r.Uint(4))
+	r.Int(8) // rate of turn
+	m.SOG = decodeSOG(int(r.Uint(10)))
+	r.Bool() // accuracy
+	m.Lon = float64(r.Int(28)) / 600000
+	m.Lat = float64(r.Int(27)) / 600000
+	m.COG = decodeCOG(int(r.Uint(12)))
+	m.Heading = decodeHeading(int(r.Uint(9)))
+	m.Second = int(r.Uint(6))
+	return m, r.Err()
+}
+
+// decodePositionB decodes a type 18 payload.
+func decodePositionB(r *BitReader) (PositionReport, error) {
+	var m PositionReport
+	m.MsgType = int(r.Uint(6))
+	r.Uint(2)  // repeat
+	m.MMSI = uint32(r.Uint(30))
+	r.Uint(8) // regional reserved
+	m.SOG = decodeSOG(int(r.Uint(10)))
+	r.Bool() // accuracy
+	m.Lon = float64(r.Int(28)) / 600000
+	m.Lat = float64(r.Int(27)) / 600000
+	m.COG = decodeCOG(int(r.Uint(12)))
+	m.Heading = decodeHeading(int(r.Uint(9)))
+	m.Second = int(r.Uint(6))
+	m.NavStatus = 15
+	return m, r.Err()
+}
+
+func decodeSOG(raw int) float64 {
+	if raw == sogNotAvailable {
+		return math.NaN()
+	}
+	return float64(raw) / 10
+}
+
+func decodeCOG(raw int) float64 {
+	if raw >= cogNotAvailable {
+		return math.NaN()
+	}
+	return float64(raw) / 10
+}
+
+func decodeHeading(raw int) float64 {
+	if raw == hdgNotAvailable {
+		return math.NaN()
+	}
+	return float64(raw)
+}
+
+// StaticVoyage is an AIS message 5: static and voyage-related data.
+type StaticVoyage struct {
+	MMSI        uint32
+	IMO         uint32
+	Callsign    string // ≤7 chars
+	Name        string // ≤20 chars
+	ShipType    uint8  // ITU ship type code (70 cargo, 80 tanker, 30 fishing…)
+	LengthM     int    // derived from bow+stern dimensions
+	Draught     float64
+	Destination string // ≤20 chars
+}
+
+// Encode serialises the message into an armored payload (spans two AIVDM
+// sentences).
+func (m StaticVoyage) Encode() (payload string, fillBits int, err error) {
+	var b BitBuffer
+	b.AppendUint(uint64(TypeStaticVoyage), 6)
+	b.AppendUint(0, 2) // repeat
+	b.AppendUint(uint64(m.MMSI), 30)
+	b.AppendUint(0, 2) // AIS version
+	b.AppendUint(uint64(m.IMO), 30)
+	b.AppendString(m.Callsign, 7)
+	b.AppendString(m.Name, 20)
+	b.AppendUint(uint64(m.ShipType), 8)
+	// Dimensions: put the whole length at the bow field (9 bits max 511).
+	bow := m.LengthM
+	if bow > 511 {
+		bow = 511
+	}
+	if bow < 0 {
+		bow = 0
+	}
+	b.AppendUint(uint64(bow), 9)
+	b.AppendUint(0, 9) // stern
+	b.AppendUint(0, 6) // port
+	b.AppendUint(0, 6) // starboard
+	b.AppendUint(1, 4) // EPFD: GPS
+	b.AppendUint(0, 4) // ETA month
+	b.AppendUint(0, 5) // ETA day
+	b.AppendUint(24, 5) // ETA hour (24 = n/a)
+	b.AppendUint(60, 6) // ETA minute (60 = n/a)
+	dr := int(math.Round(m.Draught * 10))
+	if dr < 0 {
+		dr = 0
+	}
+	if dr > 255 {
+		dr = 255
+	}
+	b.AppendUint(uint64(dr), 8)
+	b.AppendString(m.Destination, 20)
+	b.AppendBool(false) // DTE
+	b.AppendBool(false) // spare
+	payload, fillBits = b.Armor()
+	return payload, fillBits, nil
+}
+
+// decodeStaticVoyage decodes a type 5 payload.
+func decodeStaticVoyage(r *BitReader) (StaticVoyage, error) {
+	var m StaticVoyage
+	r.Uint(6) // type
+	r.Uint(2) // repeat
+	m.MMSI = uint32(r.Uint(30))
+	r.Uint(2) // version
+	m.IMO = uint32(r.Uint(30))
+	m.Callsign = r.String(7)
+	m.Name = r.String(20)
+	m.ShipType = uint8(r.Uint(8))
+	bow := int(r.Uint(9))
+	stern := int(r.Uint(9))
+	m.LengthM = bow + stern
+	r.Uint(6)  // port
+	r.Uint(6)  // starboard
+	r.Uint(4)  // EPFD
+	r.Uint(4)  // ETA month
+	r.Uint(5)  // ETA day
+	r.Uint(5)  // ETA hour
+	r.Uint(6)  // ETA minute
+	m.Draught = float64(r.Uint(8)) / 10
+	m.Destination = r.String(20)
+	return m, r.Err()
+}
+
+// StaticB is an AIS message 24: Class B static data. Part A carries the
+// name; part B carries callsign, ship type and dimensions.
+type StaticB struct {
+	MMSI     uint32
+	Part     uint8  // 0 = part A, 1 = part B
+	Name     string // part A
+	Callsign string // part B
+	ShipType uint8  // part B
+	LengthM  int    // part B
+}
+
+// Encode serialises the message into an armored payload.
+func (m StaticB) Encode() (payload string, fillBits int, err error) {
+	if m.Part > 1 {
+		return "", 0, fmt.Errorf("ais: message 24 part must be 0 or 1, got %d", m.Part)
+	}
+	var b BitBuffer
+	b.AppendUint(uint64(TypeStaticB), 6)
+	b.AppendUint(0, 2) // repeat
+	b.AppendUint(uint64(m.MMSI), 30)
+	b.AppendUint(uint64(m.Part), 2)
+	if m.Part == 0 {
+		b.AppendString(m.Name, 20)
+	} else {
+		b.AppendUint(uint64(m.ShipType), 8)
+		b.AppendString("0000000", 7) // vendor id
+		b.AppendString(m.Callsign, 7)
+		bow := m.LengthM
+		if bow > 511 {
+			bow = 511
+		}
+		if bow < 0 {
+			bow = 0
+		}
+		b.AppendUint(uint64(bow), 9)
+		b.AppendUint(0, 9) // stern
+		b.AppendUint(0, 6) // port
+		b.AppendUint(0, 6) // starboard
+		b.AppendUint(0, 6) // spare
+	}
+	payload, fillBits = b.Armor()
+	return payload, fillBits, nil
+}
+
+// decodeStaticB decodes a type 24 payload (either part).
+func decodeStaticB(r *BitReader) (StaticB, error) {
+	var m StaticB
+	r.Uint(6) // type
+	r.Uint(2) // repeat
+	m.MMSI = uint32(r.Uint(30))
+	m.Part = uint8(r.Uint(2))
+	if m.Part == 0 {
+		m.Name = r.String(20)
+		return m, r.Err()
+	}
+	m.ShipType = uint8(r.Uint(8))
+	r.String(7) // vendor id
+	m.Callsign = r.String(7)
+	bow := int(r.Uint(9))
+	stern := int(r.Uint(9))
+	m.LengthM = bow + stern
+	return m, r.Err()
+}
+
+// Decoded is the union of messages Decode can return: a PositionReport,
+// StaticVoyage or StaticB value.
+type Decoded interface{ aisMessage() }
+
+func (PositionReport) aisMessage() {}
+func (StaticVoyage) aisMessage()   {}
+func (StaticB) aisMessage()        {}
+
+// Decode dispatches a de-armored payload to the right message decoder.
+func Decode(r *BitReader) (Decoded, error) {
+	if r.Remaining() < 6 {
+		return nil, fmt.Errorf("ais: payload too short (%d bits)", r.Remaining())
+	}
+	// Peek the type without consuming: copy reader state.
+	peek := *r
+	msgType := int(peek.Uint(6))
+	switch msgType {
+	case 1, 2, 3:
+		m, err := decodePositionA(r)
+		if err != nil {
+			return nil, err
+		}
+		return m, nil
+	case TypeStaticVoyage:
+		m, err := decodeStaticVoyage(r)
+		if err != nil {
+			return nil, err
+		}
+		return m, nil
+	case TypePositionB:
+		m, err := decodePositionB(r)
+		if err != nil {
+			return nil, err
+		}
+		return m, nil
+	case TypeStaticB:
+		m, err := decodeStaticB(r)
+		if err != nil {
+			return nil, err
+		}
+		return m, nil
+	default:
+		return nil, fmt.Errorf("ais: unsupported message type %d", msgType)
+	}
+}
+
+// DecodeLine is a convenience for single-sentence messages: parse, de-armor
+// and decode in one call.
+func DecodeLine(line string) (Decoded, error) {
+	s, err := ParseSentence(line)
+	if err != nil {
+		return nil, err
+	}
+	if s.Total != 1 {
+		return nil, fmt.Errorf("ais: DecodeLine got fragment %d/%d; use Assembler", s.Num, s.Total)
+	}
+	r, err := NewBitReader(s.Payload, s.FillBits)
+	if err != nil {
+		return nil, err
+	}
+	return Decode(r)
+}

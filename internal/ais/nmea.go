@@ -1,0 +1,158 @@
+package ais
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// maxPayloadChars is the maximum number of payload characters per AIVDM
+// sentence (NMEA 0183 limits the sentence to 82 characters).
+const maxPayloadChars = 56
+
+// Sentence is one parsed AIVDM sentence.
+type Sentence struct {
+	Total    int    // total sentences in this message (1..9)
+	Num      int    // this sentence's index (1..Total)
+	SeqID    int    // sequential message id for multi-sentence messages (-1 if empty)
+	Channel  string // "A" or "B"
+	Payload  string // armored payload characters
+	FillBits int    // trailing fill bits in the last sentence
+}
+
+// Checksum returns the NMEA checksum of body (the text between '!'/'$' and
+// '*') as two upper-case hex digits.
+func Checksum(body string) string {
+	var cs byte
+	for i := 0; i < len(body); i++ {
+		cs ^= body[i]
+	}
+	return fmt.Sprintf("%02X", cs)
+}
+
+// FormatSentence renders s as a full AIVDM sentence with checksum.
+func FormatSentence(s Sentence) string {
+	seq := ""
+	if s.SeqID >= 0 {
+		seq = strconv.Itoa(s.SeqID)
+	}
+	body := fmt.Sprintf("AIVDM,%d,%d,%s,%s,%s,%d", s.Total, s.Num, seq, s.Channel, s.Payload, s.FillBits)
+	return "!" + body + "*" + Checksum(body)
+}
+
+// ParseSentence parses and checksum-verifies one AIVDM/AIVDO sentence.
+func ParseSentence(line string) (Sentence, error) {
+	var s Sentence
+	line = strings.TrimRight(line, "\r\n")
+	if len(line) < 2 || (line[0] != '!' && line[0] != '$') {
+		return s, fmt.Errorf("ais: not an NMEA sentence: %.20q", line)
+	}
+	star := strings.LastIndexByte(line, '*')
+	if star < 0 || star+3 > len(line) {
+		return s, fmt.Errorf("ais: missing checksum: %.40q", line)
+	}
+	body := line[1:star]
+	want := strings.ToUpper(line[star+1 : star+3])
+	if got := Checksum(body); got != want {
+		return s, fmt.Errorf("ais: checksum mismatch: got %s want %s", got, want)
+	}
+	fields := strings.Split(body, ",")
+	if len(fields) != 7 {
+		return s, fmt.Errorf("ais: expected 7 fields, got %d", len(fields))
+	}
+	if fields[0] != "AIVDM" && fields[0] != "AIVDO" {
+		return s, fmt.Errorf("ais: unsupported talker %q", fields[0])
+	}
+	var err error
+	if s.Total, err = strconv.Atoi(fields[1]); err != nil {
+		return s, fmt.Errorf("ais: bad total: %w", err)
+	}
+	if s.Num, err = strconv.Atoi(fields[2]); err != nil {
+		return s, fmt.Errorf("ais: bad sentence number: %w", err)
+	}
+	if fields[3] == "" {
+		s.SeqID = -1
+	} else if s.SeqID, err = strconv.Atoi(fields[3]); err != nil {
+		return s, fmt.Errorf("ais: bad sequence id: %w", err)
+	}
+	s.Channel = fields[4]
+	s.Payload = fields[5]
+	if s.FillBits, err = strconv.Atoi(fields[6]); err != nil {
+		return s, fmt.Errorf("ais: bad fill bits: %w", err)
+	}
+	if s.Total < 1 || s.Num < 1 || s.Num > s.Total {
+		return s, fmt.Errorf("ais: inconsistent fragmentation %d/%d", s.Num, s.Total)
+	}
+	return s, nil
+}
+
+// ToSentences splits an armored payload into one or more AIVDM sentences.
+// seqID is used only for multi-sentence messages.
+func ToSentences(payload string, fillBits, seqID int, channel string) []string {
+	n := (len(payload) + maxPayloadChars - 1) / maxPayloadChars
+	if n == 0 {
+		n = 1
+	}
+	out := make([]string, 0, n)
+	for i := 0; i < n; i++ {
+		lo := i * maxPayloadChars
+		hi := lo + maxPayloadChars
+		if hi > len(payload) {
+			hi = len(payload)
+		}
+		s := Sentence{Total: n, Num: i + 1, SeqID: -1, Channel: channel, Payload: payload[lo:hi]}
+		if n > 1 {
+			s.SeqID = seqID % 10
+		}
+		if i == n-1 {
+			s.FillBits = fillBits
+		}
+		out = append(out, FormatSentence(s))
+	}
+	return out
+}
+
+// Assembler reassembles multi-sentence AIVDM messages. It is not safe for
+// concurrent use; the stream engine gives each source its own assembler.
+type Assembler struct {
+	pending map[int][]Sentence // keyed by SeqID
+}
+
+// NewAssembler returns an empty assembler.
+func NewAssembler() *Assembler {
+	return &Assembler{pending: make(map[int][]Sentence)}
+}
+
+// Push parses one line and returns a complete de-armored payload reader when
+// the line completes a message, or (nil, nil) when more fragments are
+// pending. Fragments of abandoned messages are dropped when a new message
+// reuses their sequence id.
+func (a *Assembler) Push(line string) (*BitReader, error) {
+	s, err := ParseSentence(line)
+	if err != nil {
+		return nil, err
+	}
+	if s.Total == 1 {
+		return NewBitReader(s.Payload, s.FillBits)
+	}
+	key := s.SeqID
+	frags := a.pending[key]
+	if s.Num == 1 {
+		frags = frags[:0]
+	} else if len(frags) != s.Num-1 {
+		// Out-of-order or missing fragment: drop the partial message.
+		delete(a.pending, key)
+		return nil, fmt.Errorf("ais: fragment %d/%d arrived out of order", s.Num, s.Total)
+	}
+	frags = append(frags, s)
+	if s.Num < s.Total {
+		a.pending[key] = frags
+		return nil, nil
+	}
+	delete(a.pending, key)
+	var payload strings.Builder
+	for _, f := range frags {
+		payload.WriteString(f.Payload)
+	}
+	return NewBitReader(payload.String(), s.FillBits)
+}

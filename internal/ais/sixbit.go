@@ -1,0 +1,190 @@
+// Package ais implements the AIS (Automatic Identification System) wire
+// format used by the maritime data source: NMEA 0183 AIVDM sentence framing
+// with checksums and multi-sentence assembly, the six-bit payload armoring,
+// and bit-level codecs for the message types the datAcron pipeline consumes
+// (1/2/3 Class-A position reports, 5 static & voyage data, 18 Class-B
+// position reports).
+//
+// The synthetic world encodes its ground-truth movement through this package
+// and the ingestion pipeline decodes it again, so the downstream system sees
+// exactly the wire format a real AIS receiver would deliver, including its
+// quantisation artefacts (1/10000-minute coordinates, 0.1-knot speeds).
+package ais
+
+import (
+	"fmt"
+	"strings"
+)
+
+// sixBitChars is the AIS six-bit ASCII alphabet, indexed by value 0..63.
+// '@' (value 0) doubles as the padding/terminator character in text fields.
+const sixBitChars = "@ABCDEFGHIJKLMNOPQRSTUVWXYZ[\\]^_ !\"#$%&'()*+,-./0123456789:;<=>?"
+
+// BitBuffer accumulates an AIS payload bit by bit (MSB first), then armors
+// it into the printable payload characters used in AIVDM sentences.
+type BitBuffer struct {
+	bits []bool
+}
+
+// Len returns the number of bits written.
+func (b *BitBuffer) Len() int { return len(b.bits) }
+
+// AppendUint appends the low n bits of v, most significant bit first.
+func (b *BitBuffer) AppendUint(v uint64, n int) {
+	for i := n - 1; i >= 0; i-- {
+		b.bits = append(b.bits, v>>uint(i)&1 == 1)
+	}
+}
+
+// AppendInt appends v as an n-bit two's-complement integer.
+func (b *BitBuffer) AppendInt(v int64, n int) {
+	b.AppendUint(uint64(v)&((1<<uint(n))-1), n)
+}
+
+// AppendBool appends a single flag bit.
+func (b *BitBuffer) AppendBool(v bool) {
+	b.bits = append(b.bits, v)
+}
+
+// AppendString appends s as AIS six-bit text occupying exactly chars
+// characters (6*chars bits), padding with '@' and upper-casing. Characters
+// outside the six-bit alphabet are replaced by '?'.
+func (b *BitBuffer) AppendString(s string, chars int) {
+	s = strings.ToUpper(s)
+	for i := 0; i < chars; i++ {
+		var v uint64
+		if i < len(s) {
+			idx := strings.IndexByte(sixBitChars, s[i])
+			if idx < 0 {
+				idx = strings.IndexByte(sixBitChars, '?')
+			}
+			v = uint64(idx)
+		} // else '@' = 0 padding
+		b.AppendUint(v, 6)
+	}
+}
+
+// Armor returns the printable payload characters and the number of fill bits
+// that were added to reach a multiple of six.
+func (b *BitBuffer) Armor() (payload string, fillBits int) {
+	n := len(b.bits)
+	fillBits = (6 - n%6) % 6
+	var sb strings.Builder
+	sb.Grow((n + fillBits) / 6)
+	for i := 0; i < n; i += 6 {
+		var v byte
+		for j := 0; j < 6; j++ {
+			v <<= 1
+			if i+j < n && b.bits[i+j] {
+				v |= 1
+			}
+		}
+		sb.WriteByte(armorChar(v))
+	}
+	return sb.String(), fillBits
+}
+
+// armorChar maps a six-bit value 0..63 to its AIVDM payload character.
+func armorChar(v byte) byte {
+	if v < 40 {
+		return v + 48
+	}
+	return v + 56
+}
+
+// dearmorChar maps an AIVDM payload character back to its six-bit value.
+func dearmorChar(c byte) (byte, error) {
+	v := int(c) - 48
+	if v < 0 {
+		return 0, fmt.Errorf("ais: invalid payload character %q", c)
+	}
+	if v > 40 {
+		v -= 8
+	}
+	if v < 0 || v > 63 {
+		return 0, fmt.Errorf("ais: invalid payload character %q", c)
+	}
+	return byte(v), nil
+}
+
+// BitReader consumes a de-armored payload bit by bit.
+type BitReader struct {
+	bits []bool
+	pos  int
+	err  error
+}
+
+// NewBitReader de-armors an AIVDM payload into a reader. fillBits trailing
+// bits are discarded.
+func NewBitReader(payload string, fillBits int) (*BitReader, error) {
+	bits := make([]bool, 0, len(payload)*6)
+	for i := 0; i < len(payload); i++ {
+		v, err := dearmorChar(payload[i])
+		if err != nil {
+			return nil, err
+		}
+		for j := 5; j >= 0; j-- {
+			bits = append(bits, v>>uint(j)&1 == 1)
+		}
+	}
+	if fillBits < 0 || fillBits > 5 || fillBits > len(bits) {
+		return nil, fmt.Errorf("ais: invalid fill bits %d", fillBits)
+	}
+	return &BitReader{bits: bits[:len(bits)-fillBits]}, nil
+}
+
+// Remaining returns the number of unread bits.
+func (r *BitReader) Remaining() int { return len(r.bits) - r.pos }
+
+// Err returns the first out-of-bounds read error, if any.
+func (r *BitReader) Err() error { return r.err }
+
+// Uint reads an n-bit unsigned integer. After an out-of-range read it
+// records an error and returns 0; callers check Err once at the end.
+func (r *BitReader) Uint(n int) uint64 {
+	if r.err != nil {
+		return 0
+	}
+	if r.pos+n > len(r.bits) {
+		r.err = fmt.Errorf("ais: payload truncated at bit %d (want %d more)", r.pos, n)
+		return 0
+	}
+	var v uint64
+	for i := 0; i < n; i++ {
+		v <<= 1
+		if r.bits[r.pos+i] {
+			v |= 1
+		}
+	}
+	r.pos += n
+	return v
+}
+
+// Int reads an n-bit two's-complement signed integer.
+func (r *BitReader) Int(n int) int64 {
+	v := r.Uint(n)
+	if r.err != nil {
+		return 0
+	}
+	if v&(1<<uint(n-1)) != 0 { // sign bit set
+		return int64(v) - (1 << uint(n))
+	}
+	return int64(v)
+}
+
+// Bool reads a single flag bit.
+func (r *BitReader) Bool() bool { return r.Uint(1) == 1 }
+
+// String reads chars six-bit text characters, trimming trailing '@' padding
+// and surrounding spaces.
+func (r *BitReader) String(chars int) string {
+	var sb strings.Builder
+	for i := 0; i < chars; i++ {
+		v := r.Uint(6)
+		if r.err != nil {
+			return ""
+		}
+		sb.WriteByte(sixBitChars[v])
+	}
+	return strings.TrimRight(strings.TrimRight(sb.String(), "@"), " ")
+}

@@ -1,0 +1,47 @@
+package ais
+
+import "testing"
+
+func TestStaticBPartARoundTrip(t *testing.T) {
+	orig := StaticB{MMSI: 211234567, Part: 0, Name: "SMALL CRAFT 7"}
+	payload, fill, err := orig.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := DecodeLine(ToSentences(payload, fill, 0, "B")[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, ok := dec.(StaticB)
+	if !ok {
+		t.Fatalf("decoded %T", dec)
+	}
+	if got.MMSI != orig.MMSI || got.Part != 0 || got.Name != orig.Name {
+		t.Errorf("part A round trip: %+v", got)
+	}
+}
+
+func TestStaticBPartBRoundTrip(t *testing.T) {
+	orig := StaticB{MMSI: 211234567, Part: 1, Callsign: "DA1234", ShipType: 30, LengthM: 18}
+	payload, fill, err := orig.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := DecodeLine(ToSentences(payload, fill, 0, "B")[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := dec.(StaticB)
+	if got.Callsign != orig.Callsign || got.ShipType != orig.ShipType || got.LengthM != orig.LengthM {
+		t.Errorf("part B round trip: %+v", got)
+	}
+	if got.Name != "" {
+		t.Errorf("part B should carry no name, got %q", got.Name)
+	}
+}
+
+func TestStaticBValidation(t *testing.T) {
+	if _, _, err := (StaticB{Part: 2}).Encode(); err == nil {
+		t.Error("part 2 must error")
+	}
+}

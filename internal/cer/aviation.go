@@ -1,0 +1,112 @@
+package cer
+
+import (
+	"time"
+
+	"github.com/datacron-project/datacron/internal/geo"
+	"github.com/datacron-project/datacron/internal/model"
+)
+
+// Aviation patterns beyond HoldingPattern.
+
+// RapidDescentPattern: sustained high sink rate — a safety indicator.
+func RapidDescentPattern(minDur time.Duration) Pattern {
+	return Pattern{
+		Name: "rapidDescent",
+		Steps: []Step{{
+			Name:        "sinking",
+			Cond:        func(p model.Position) bool { return p.VertRateMS < -15 },
+			MinDuration: minDur,
+		}},
+		MaxGap: time.Minute,
+	}
+}
+
+// LevelBustPattern: an aircraft that was holding a level then climbs or
+// descends sharply without a phase transition.
+func LevelBustPattern() Pattern {
+	level := func(p model.Position) bool {
+		return p.VertRateMS > -1 && p.VertRateMS < 1 && p.Pt.Alt > 3000
+	}
+	burst := func(p model.Position) bool {
+		return (p.VertRateMS > 8 || p.VertRateMS < -8) && p.Pt.Alt > 3000
+	}
+	return Pattern{
+		Name: "levelBust",
+		Steps: []Step{
+			{Name: "level", Cond: level, MinDuration: 3 * time.Minute},
+			{Name: "burst", Cond: burst, MinDuration: 30 * time.Second},
+		},
+		Window: 30 * time.Minute,
+		MaxGap: time.Minute,
+	}
+}
+
+// ProximityConflictPattern: two airborne aircraft within the pairing
+// distance — the aviation analogue of "prediction of potential collision"
+// (§1). Runs over Pairer output with a 3D pairing distance.
+func ProximityConflictPattern(minDur time.Duration) Pattern {
+	return Pattern{
+		Name: "proximityConflict",
+		Steps: []Step{{
+			Name:        "converging",
+			Cond:        func(p model.Position) bool { return true }, // pairing is the condition
+			MinDuration: minDur,
+		}},
+		MaxGap: time.Minute,
+	}
+}
+
+// AviationSuite bundles the aviation recognizers plus conflict pairing.
+type AviationSuite struct {
+	Holding  *Recognizer
+	Descent  *Recognizer
+	Bust     *Recognizer
+	Conflict *Recognizer
+	Pairer   *Pairer
+}
+
+// NewAviationSuite builds the suite for a world box. conflictDistM is the
+// 3D separation below which two aircraft form a conflict pair (e.g. 5 NM
+// horizontal equivalence ≈ 9260 m).
+func NewAviationSuite(box geo.BBox, conflictDistM float64) *AviationSuite {
+	if conflictDistM <= 0 {
+		conflictDistM = geo.NauticalMiles(5)
+	}
+	pairer := NewPairer(box, conflictDistM)
+	return &AviationSuite{
+		Holding:  NewRecognizer(HoldingPattern(8 * time.Minute)),
+		Descent:  NewRecognizer(RapidDescentPattern(90 * time.Second)),
+		Bust:     NewRecognizer(LevelBustPattern()),
+		Conflict: NewRecognizer(ProximityConflictPattern(30 * time.Second)),
+		Pairer:   pairer,
+	}
+}
+
+// Process consumes one report and returns all aviation detections.
+func (s *AviationSuite) Process(p model.Position) []model.Event {
+	var out []model.Event
+	for _, rec := range []*Recognizer{s.Descent, s.Bust} {
+		for _, d := range rec.Process(p.EntityID, p) {
+			out = append(out, d.Event)
+		}
+	}
+	// Holding only matters near terminal areas: below ~5000 m.
+	if p.Pt.Alt < 5000 {
+		for _, d := range s.Holding.Process(p.EntityID, p) {
+			out = append(out, d.Event)
+		}
+	}
+	// Conflicts: only airborne pairs at comparable altitude; the 3D pair
+	// distance from the pairer already encodes vertical separation.
+	if p.Pt.Alt > 1000 {
+		for _, pe := range s.Pairer.Process(p) {
+			for _, d := range s.Conflict.Process(pe.Key, pe.AsPosition()) {
+				ev := d.Event
+				ev.Entity, ev.Other = pe.A, pe.B
+				out = append(out, ev)
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,126 @@
+package cer
+
+import (
+	"testing"
+	"time"
+
+	"github.com/datacron-project/datacron/internal/geo"
+	"github.com/datacron-project/datacron/internal/model"
+	"github.com/datacron-project/datacron/internal/synth"
+)
+
+// flightTrack builds aviation reports every stepS seconds with fixed
+// vertical rate and altitude progression.
+func flightTrack(id string, stepS int, startAlt float64, vr float64, n int) []model.Position {
+	out := make([]model.Position, n)
+	pt := geo.Pt3(24, 38, startAlt)
+	for i := 0; i < n; i++ {
+		out[i] = model.Position{
+			EntityID: id, Domain: model.Aviation, TS: int64(i*stepS) * 1000,
+			Pt: pt, SpeedMS: 220, CourseDeg: 90, VertRateMS: vr,
+		}
+		pt = geo.Destination(pt, 90, 220*float64(stepS))
+		pt.Alt += vr * float64(stepS)
+	}
+	return out
+}
+
+func TestRapidDescentPattern(t *testing.T) {
+	r := NewRecognizer(RapidDescentPattern(90 * time.Second))
+	var dets []Detection
+	for _, p := range flightTrack("A", 30, 10000, -20, 6) {
+		dets = append(dets, r.Process(p.EntityID, p)...)
+	}
+	if len(dets) != 1 {
+		t.Fatalf("rapid descent detections = %d", len(dets))
+	}
+	// A normal descent (−8 m/s) must not fire.
+	r2 := NewRecognizer(RapidDescentPattern(90 * time.Second))
+	for _, p := range flightTrack("B", 30, 10000, -8, 6) {
+		if got := r2.Process(p.EntityID, p); len(got) != 0 {
+			t.Fatalf("normal descent fired: %v", got)
+		}
+	}
+}
+
+func TestLevelBustPattern(t *testing.T) {
+	r := NewRecognizer(LevelBustPattern())
+	var pts []model.Position
+	pts = append(pts, flightTrack("A", 30, 9000, 0, 8)...) // level 3.5 min
+	burst := flightTrack("A", 30, 9000, 12, 3)             // sudden climb
+	for i := range burst {
+		burst[i].TS += pts[len(pts)-1].TS + 30000
+	}
+	pts = append(pts, burst...)
+	var dets []Detection
+	for _, p := range pts {
+		dets = append(dets, r.Process(p.EntityID, p)...)
+	}
+	if len(dets) != 1 {
+		t.Fatalf("level bust detections = %d", len(dets))
+	}
+}
+
+func TestAviationSuiteConflict(t *testing.T) {
+	box := geo.NewBBox(22, 33.5, 34.5, 42)
+	suite := NewAviationSuite(box, geo.NauticalMiles(5))
+	// Two aircraft converging at the same flight level.
+	a := flightTrack("AAA", 10, 10000, 0, 12)
+	b := flightTrack("BBB", 10, 10000, 0, 12)
+	for i := range b {
+		// B flies 2km north of A's path, same times.
+		b[i].Pt = geo.Destination(a[i].Pt, 0, 2000)
+	}
+	var evs []model.Event
+	for i := range a {
+		evs = append(evs, suite.Process(a[i])...)
+		evs = append(evs, suite.Process(b[i])...)
+	}
+	conflict := false
+	for _, ev := range evs {
+		if ev.Type == "proximityConflict" {
+			conflict = true
+			if ev.Entity != "AAA" || ev.Other != "BBB" {
+				t.Errorf("conflict pair = %s/%s", ev.Entity, ev.Other)
+			}
+		}
+	}
+	if !conflict {
+		t.Error("converging aircraft produced no conflict")
+	}
+	// Vertically separated aircraft (2000 ft ≈ 600m... use 3km) do not
+	// conflict even when horizontally close.
+	suite2 := NewAviationSuite(box, geo.NauticalMiles(5))
+	c := flightTrack("CCC", 10, 13500, 0, 12)
+	d := flightTrack("DDD", 10, 3000, 0, 12)
+	for i := range d {
+		d[i].Pt.Lon = c[i].Pt.Lon
+		d[i].Pt.Lat = c[i].Pt.Lat
+		d[i].Pt.Alt = 3000
+	}
+	for i := range c {
+		for _, ev := range append(suite2.Process(c[i]), suite2.Process(d[i])...) {
+			if ev.Type == "proximityConflict" {
+				t.Fatal("vertically separated aircraft conflicted")
+			}
+		}
+	}
+}
+
+func TestAviationSuiteOnSyntheticWorld(t *testing.T) {
+	sc := synth.GenAviation(synth.AviationConfig{Seed: 33, Flights: 25, Duration: 90 * time.Minute, HoldEpisodes: 1})
+	suite := NewAviationSuite(sc.Box, geo.NauticalMiles(3))
+	var holding []model.Event
+	for _, p := range sc.Positions {
+		for _, ev := range suite.Process(p) {
+			if ev.Type == "holding" {
+				holding = append(holding, ev)
+			}
+		}
+	}
+	// The scripted hold forces orbits near the airport below 5000 m at
+	// 230 kn — the holding recognizer must fire for at least one aircraft.
+	if len(holding) == 0 {
+		t.Error("scripted hold episode produced no holding detections")
+	}
+}

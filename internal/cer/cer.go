@@ -1,0 +1,241 @@
+// Package cer implements the complex event recognition component of the
+// datAcron architecture: "recognition and forecasting of complex events and
+// patterns due to the movement of entities (e.g. prediction of potential
+// collision ...)" (§1), under the millisecond operational latency the paper
+// demands (§4, measured in E7/E10).
+//
+// Patterns are sequences of condition steps, each optionally required to
+// hold for a minimum duration, with strict continuity (a non-matching
+// report breaks the run) and an optional overall window. This automaton
+// family covers the movement patterns of the maritime and aviation use
+// cases (loitering, rendezvous, area entry, go-fast, climb anomalies);
+// detectors.go instantiates them. Two-entity patterns (rendezvous,
+// potential collision) use the proximity pairing preprocessor in pair.go.
+package cer
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/datacron-project/datacron/internal/model"
+)
+
+// Cond is a predicate over one position report.
+type Cond func(p model.Position) bool
+
+// Step is one stage of a pattern.
+type Step struct {
+	// Name documents the step in traces.
+	Name string
+	// Cond must hold for every report while the step is active.
+	Cond Cond
+	// MinDuration is how long Cond must hold contiguously before the step
+	// is satisfied. Zero means a single matching report satisfies it.
+	MinDuration time.Duration
+}
+
+// Pattern is a complete recognisable pattern.
+type Pattern struct {
+	// Name becomes the emitted event type.
+	Name string
+	// Steps are matched in order with strict continuity.
+	Steps []Step
+	// Window bounds the total duration from first to last report; 0 = none.
+	Window time.Duration
+	// MaxGap breaks a run when consecutive reports of the key are further
+	// apart than this (transmitter silence must not extend a pattern).
+	// Default 5 minutes.
+	MaxGap time.Duration
+}
+
+// withDefaults fills defaults.
+func (p Pattern) withDefaults() Pattern {
+	if p.MaxGap <= 0 {
+		p.MaxGap = 5 * time.Minute
+	}
+	return p
+}
+
+// Detection is an emitted complex event.
+type Detection struct {
+	Event model.Event
+	// TriggerTS is the event-time of the report that completed the pattern
+	// (equals Event.DetectTS); wall-clock latency is measured by the
+	// harness around Process calls.
+	TriggerTS int64
+}
+
+// run is one partial match.
+type run struct {
+	stepIdx     int
+	startTS     int64
+	stepStartTS int64
+	lastTS      int64
+	emitted     bool
+	where       model.Position
+}
+
+// Recognizer matches one pattern over the keyed report stream. One
+// Recognizer instance serves many keys; it is not safe for concurrent use
+// (the stream engine partitions keys across instances).
+type Recognizer struct {
+	pat  Pattern
+	runs map[string][]run
+}
+
+// NewRecognizer returns a recognizer for the pattern.
+func NewRecognizer(pat Pattern) *Recognizer {
+	return &Recognizer{pat: pat.withDefaults(), runs: make(map[string][]run)}
+}
+
+// Pattern returns the pattern being recognised.
+func (r *Recognizer) Pattern() Pattern { return r.pat }
+
+// Process consumes one report for key (usually p.EntityID; pair keys for
+// two-entity patterns) and returns any completed detections.
+func (r *Recognizer) Process(key string, p model.Position) []Detection {
+	var out []Detection
+	runs := r.runs[key]
+	var next []run
+
+	extend := func(ru run) (run, bool, bool) {
+		// Returns (updated, keep, completed).
+		step := r.pat.Steps[ru.stepIdx]
+		gap := p.TS - ru.lastTS
+		if gap > r.pat.MaxGap.Milliseconds() || gap < 0 {
+			return ru, false, false
+		}
+		if r.pat.Window > 0 && p.TS-ru.startTS > r.pat.Window.Milliseconds() {
+			return ru, false, false
+		}
+		if step.Cond(p) {
+			ru.lastTS = p.TS
+			if r.satisfied(ru, p.TS) {
+				if ru.stepIdx == len(r.pat.Steps)-1 {
+					return ru, true, !ru.emitted
+				}
+			}
+			return ru, true, false
+		}
+		// Try advancing to the next step if the current one is satisfied.
+		if r.satisfied(ru, ru.lastTS) && ru.stepIdx < len(r.pat.Steps)-1 {
+			nextStep := r.pat.Steps[ru.stepIdx+1]
+			if nextStep.Cond(p) {
+				ru.stepIdx++
+				ru.stepStartTS = p.TS
+				ru.lastTS = p.TS
+				ru.emitted = false
+				if ru.stepIdx == len(r.pat.Steps)-1 && r.satisfied(ru, p.TS) {
+					return ru, true, true
+				}
+				return ru, true, false
+			}
+		}
+		return ru, false, false
+	}
+
+	for _, ru := range runs {
+		updated, keep, completed := extend(ru)
+		if !keep {
+			continue
+		}
+		if completed {
+			updated.emitted = true
+			out = append(out, r.detection(key, updated, p))
+		}
+		next = append(next, updated)
+	}
+	// Start a fresh run when the first step matches and no active run is
+	// already in step 0 (avoids one run per report during long conditions).
+	if r.pat.Steps[0].Cond(p) {
+		inStep0 := false
+		for _, ru := range next {
+			if ru.stepIdx == 0 {
+				inStep0 = true
+				break
+			}
+		}
+		if !inStep0 {
+			ru := run{startTS: p.TS, stepStartTS: p.TS, lastTS: p.TS, where: p}
+			if len(r.pat.Steps) == 1 && r.satisfied(ru, p.TS) {
+				ru.emitted = true
+				out = append(out, r.detection(key, ru, p))
+			}
+			next = append(next, ru)
+		}
+	}
+	if len(next) == 0 {
+		delete(r.runs, key)
+	} else {
+		r.runs[key] = next
+	}
+	return out
+}
+
+// satisfied reports whether the run's current step has met its duration at
+// time ts.
+func (r *Recognizer) satisfied(ru run, ts int64) bool {
+	min := r.pat.Steps[ru.stepIdx].MinDuration.Milliseconds()
+	return ts-ru.stepStartTS >= min
+}
+
+// detection builds the emitted event for a completed run.
+func (r *Recognizer) detection(key string, ru run, p model.Position) Detection {
+	ev := model.Event{
+		Type:     r.pat.Name,
+		Entity:   key,
+		StartTS:  ru.startTS,
+		EndTS:    p.TS,
+		Where:    p.Pt,
+		DetectTS: p.TS,
+	}
+	return Detection{Event: ev, TriggerTS: p.TS}
+}
+
+// ActiveRuns returns the number of live partial matches (for monitoring and
+// backpressure tests).
+func (r *Recognizer) ActiveRuns() int {
+	n := 0
+	for _, rs := range r.runs {
+		n += len(rs)
+	}
+	return n
+}
+
+// String implements fmt.Stringer.
+func (r *Recognizer) String() string {
+	return fmt.Sprintf("recognizer(%s, %d steps)", r.pat.Name, len(r.pat.Steps))
+}
+
+// GapDetector emits a "gap" event when a key's reports resume after a
+// silence longer than the threshold. It is timer-free: detection happens on
+// the first report after the silence, which is also when a streaming system
+// can first be sure the entity is back.
+type GapDetector struct {
+	Threshold time.Duration
+	last      map[string]model.Position
+}
+
+// NewGapDetector returns a detector with the given silence threshold.
+func NewGapDetector(threshold time.Duration) *GapDetector {
+	return &GapDetector{Threshold: threshold, last: make(map[string]model.Position)}
+}
+
+// Process consumes one report and possibly emits the gap that just ended.
+func (g *GapDetector) Process(p model.Position) []Detection {
+	lastP, seen := g.last[p.EntityID]
+	g.last[p.EntityID] = p
+	if !seen {
+		return nil
+	}
+	if p.TS-lastP.TS < g.Threshold.Milliseconds() {
+		return nil
+	}
+	return []Detection{{
+		Event: model.Event{
+			Type: "gap", Entity: p.EntityID,
+			StartTS: lastP.TS, EndTS: p.TS, Where: lastP.Pt, DetectTS: p.TS,
+		},
+		TriggerTS: p.TS,
+	}}
+}

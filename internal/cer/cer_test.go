@@ -1,0 +1,296 @@
+package cer
+
+import (
+	"testing"
+	"time"
+
+	"github.com/datacron-project/datacron/internal/geo"
+	"github.com/datacron-project/datacron/internal/model"
+	"github.com/datacron-project/datacron/internal/synth"
+)
+
+// track builds reports every stepS seconds with the given speeds (m/s).
+func track(id string, stepS int, speeds ...float64) []model.Position {
+	out := make([]model.Position, len(speeds))
+	pt := geo.Pt(24.5, 37.0)
+	for i, sp := range speeds {
+		out[i] = model.Position{EntityID: id, TS: int64(i*stepS) * 1000, Pt: pt, SpeedMS: sp, CourseDeg: 90}
+		pt = geo.Destination(pt, 90, sp*float64(stepS))
+	}
+	return out
+}
+
+func rep(v float64, n int) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = v
+	}
+	return out
+}
+
+func TestRecognizerSingleStepDuration(t *testing.T) {
+	pat := Pattern{
+		Name:  "loitering",
+		Steps: []Step{{Name: "slow", Cond: SpeedBelow(1), MinDuration: 5 * time.Minute}},
+	}
+	r := NewRecognizer(pat)
+	// 4 minutes slow: no detection.
+	var dets []Detection
+	for _, p := range track("V", 60, rep(0.5, 5)...) {
+		dets = append(dets, r.Process("V", p)...)
+	}
+	if len(dets) != 0 {
+		t.Fatalf("detected too early: %v", dets)
+	}
+	// Continue to 6 minutes: exactly one detection (no re-emission).
+	for _, p := range track("V", 60, rep(0.5, 12)...)[5:] {
+		dets = append(dets, r.Process("V", p)...)
+	}
+	if len(dets) != 1 {
+		t.Fatalf("detections = %d, want 1", len(dets))
+	}
+	if dets[0].Event.Type != "loitering" || dets[0].Event.Entity != "V" {
+		t.Errorf("event = %+v", dets[0].Event)
+	}
+	if got := dets[0].Event.StartTS; got != 0 {
+		t.Errorf("start = %d, want 0", got)
+	}
+}
+
+func TestRecognizerBreakResetsRun(t *testing.T) {
+	pat := Pattern{
+		Name:  "loitering",
+		Steps: []Step{{Cond: SpeedBelow(1), MinDuration: 5 * time.Minute}},
+	}
+	r := NewRecognizer(pat)
+	// 3 min slow, 1 fast (breaks), 4 min slow: no detection (neither run
+	// reaches 5 contiguous minutes).
+	speeds := append(append(rep(0.5, 4), 8), rep(0.5, 4)...)
+	var dets []Detection
+	for _, p := range track("V", 60, speeds...) {
+		dets = append(dets, r.Process("V", p)...)
+	}
+	if len(dets) != 0 {
+		t.Fatalf("broken run still detected: %v", dets)
+	}
+}
+
+func TestRecognizerMaxGapBreaksRun(t *testing.T) {
+	pat := Pattern{
+		Name:   "loitering",
+		Steps:  []Step{{Cond: SpeedBelow(1), MinDuration: 4 * time.Minute}},
+		MaxGap: 2 * time.Minute,
+	}
+	r := NewRecognizer(pat)
+	pts := track("V", 60, rep(0.5, 3)...)
+	var dets []Detection
+	for _, p := range pts {
+		dets = append(dets, r.Process("V", p)...)
+	}
+	// Silence of 10 minutes, then more slow reports: run must restart.
+	late := track("V", 60, rep(0.5, 3)...)
+	for i := range late {
+		late[i].TS += pts[len(pts)-1].TS + 10*60000
+	}
+	for _, p := range late {
+		dets = append(dets, r.Process("V", p)...)
+	}
+	if len(dets) != 0 {
+		t.Fatalf("gap-crossing run detected: %v", dets)
+	}
+}
+
+func TestRecognizerTwoStepSequence(t *testing.T) {
+	pat := GoFastPattern()
+	r := NewRecognizer(pat)
+	// Slow for 2 samples, then surge above 35kn for 3 minutes.
+	speeds := append(rep(geo.Knots(5), 2), rep(geo.Knots(40), 4)...)
+	var dets []Detection
+	for _, p := range track("V", 60, speeds...) {
+		dets = append(dets, r.Process("V", p)...)
+	}
+	if len(dets) != 1 {
+		t.Fatalf("goFast detections = %d, want 1", len(dets))
+	}
+	if dets[0].Event.Type != "goFast" {
+		t.Errorf("type = %s", dets[0].Event.Type)
+	}
+}
+
+func TestRecognizerWindowExpires(t *testing.T) {
+	// MinDuration exceeds the window: the pattern can never complete, no
+	// matter how long the condition holds (each restarted run also expires
+	// before reaching the duration).
+	pat := Pattern{
+		Name:   "quick",
+		Steps:  []Step{{Cond: SpeedBelow(1), MinDuration: 2 * time.Minute}},
+		Window: 90 * time.Second,
+	}
+	r := NewRecognizer(pat)
+	var dets []Detection
+	for _, p := range track("V", 30, rep(0.5, 20)...) {
+		dets = append(dets, r.Process("V", p)...)
+	}
+	if len(dets) != 0 {
+		t.Fatalf("window-expired run detected: %v", dets)
+	}
+	// Sanity: the same pattern without a window fires.
+	r2 := NewRecognizer(Pattern{
+		Name:  "quick",
+		Steps: []Step{{Cond: SpeedBelow(1), MinDuration: 2 * time.Minute}},
+	})
+	dets = nil
+	for _, p := range track("V", 30, rep(0.5, 20)...) {
+		dets = append(dets, r2.Process("V", p)...)
+	}
+	if len(dets) != 1 {
+		t.Fatalf("windowless control should fire once, got %d", len(dets))
+	}
+}
+
+func TestRecognizerPerKeyIsolation(t *testing.T) {
+	pat := Pattern{Name: "x", Steps: []Step{{Cond: SpeedBelow(1), MinDuration: 2 * time.Minute}}}
+	r := NewRecognizer(pat)
+	// Interleave two keys; each accumulates independently.
+	a := track("A", 60, rep(0.5, 4)...)
+	b := track("B", 60, rep(5, 4)...) // never slow
+	var dets []Detection
+	for i := range a {
+		dets = append(dets, r.Process("A", a[i])...)
+		dets = append(dets, r.Process("B", b[i])...)
+	}
+	if len(dets) != 1 || dets[0].Event.Entity != "A" {
+		t.Fatalf("per-key detections = %v", dets)
+	}
+}
+
+func TestAreaEntryPattern(t *testing.T) {
+	zone := geo.Rect(geo.NewBBox(24.6, 36.9, 25.0, 37.2))
+	r := NewRecognizer(AreaEntryPattern("Z", zone))
+	// Track heads east through the zone boundary.
+	pts := track("V", 60, rep(8, 30)...)
+	var dets []Detection
+	for _, p := range pts {
+		dets = append(dets, r.Process("V", p)...)
+	}
+	if len(dets) != 1 {
+		t.Fatalf("area entries = %d, want 1", len(dets))
+	}
+	if !zone.Contains(dets[0].Event.Where) {
+		t.Error("detection not inside zone")
+	}
+}
+
+func TestGapDetector(t *testing.T) {
+	g := NewGapDetector(10 * time.Minute)
+	p1 := model.Position{EntityID: "V", TS: 0, Pt: geo.Pt(24, 37)}
+	p2 := model.Position{EntityID: "V", TS: 20 * 60000, Pt: geo.Pt(24.1, 37)}
+	if dets := g.Process(p1); len(dets) != 0 {
+		t.Fatal("first report must not emit")
+	}
+	dets := g.Process(p2)
+	if len(dets) != 1 {
+		t.Fatalf("gap detections = %d", len(dets))
+	}
+	ev := dets[0].Event
+	if ev.StartTS != 0 || ev.EndTS != 20*60000 {
+		t.Errorf("gap interval = %d..%d", ev.StartTS, ev.EndTS)
+	}
+	// Normal cadence: no gap.
+	p3 := model.Position{EntityID: "V", TS: p2.TS + 60000, Pt: geo.Pt(24.2, 37)}
+	if dets := g.Process(p3); len(dets) != 0 {
+		t.Error("normal cadence flagged as gap")
+	}
+}
+
+func TestPairerFindsClosePairs(t *testing.T) {
+	box := geo.NewBBox(22, 34, 30, 42)
+	pr := NewPairer(box, 500)
+	a := model.Position{EntityID: "A", TS: 0, Pt: geo.Pt(24.5, 37), SpeedMS: 0.5}
+	b := model.Position{EntityID: "B", TS: 5000, Pt: geo.Destination(geo.Pt(24.5, 37), 90, 200), SpeedMS: 0.8}
+	c := model.Position{EntityID: "C", TS: 5000, Pt: geo.Destination(geo.Pt(24.5, 37), 90, 5000), SpeedMS: 4}
+	if evs := pr.Process(a); len(evs) != 0 {
+		t.Fatal("single entity paired")
+	}
+	evs := pr.Process(b)
+	if len(evs) != 1 {
+		t.Fatalf("pair events = %d, want 1", len(evs))
+	}
+	pe := evs[0]
+	if pe.A != "A" || pe.B != "B" || pe.Key != "A|B" {
+		t.Errorf("pair = %+v", pe)
+	}
+	if pe.DistM > 250 || pe.DistM < 150 {
+		t.Errorf("pair distance = %f", pe.DistM)
+	}
+	if pe.MaxSpeed != 0.8 {
+		t.Errorf("pair speed = %f", pe.MaxSpeed)
+	}
+	// C is far: no pair.
+	if evs := pr.Process(c); len(evs) != 0 {
+		t.Errorf("far entity paired: %v", evs)
+	}
+}
+
+func TestPairerStaleReportsIgnored(t *testing.T) {
+	box := geo.NewBBox(22, 34, 30, 42)
+	pr := NewPairer(box, 500)
+	a := model.Position{EntityID: "A", TS: 0, Pt: geo.Pt(24.5, 37)}
+	b := model.Position{EntityID: "B", TS: 10 * 60000, Pt: geo.Pt(24.5, 37)}
+	pr.Process(a)
+	if evs := pr.Process(b); len(evs) != 0 {
+		t.Errorf("stale pair emitted: %v", evs)
+	}
+}
+
+func TestMaritimeSuiteOnSyntheticWorld(t *testing.T) {
+	sc := synth.GenMaritime(synth.MaritimeConfig{
+		Seed: 17, Vessels: 16, Duration: 2 * time.Hour,
+		Rendezvous: 2, Loiterers: 2, GapProb: 0.001, OutlierProb: 1e-9,
+	})
+	suite := NewMaritimeSuite(sc.Box, sc.Areas)
+	var detected []model.Event
+	for _, p := range sc.Positions {
+		detected = append(detected, suite.Process(p)...)
+	}
+	// Scripted loitering events must be found.
+	truthLoiter := sc.EventsOfType("loitering")
+	p, r, _ := synth.ScoreDetections(truthLoiter, filterType(detected, "loitering"))
+	if r < 0.99 {
+		t.Errorf("loitering recall = %f", r)
+	}
+	if p < 0.5 {
+		t.Errorf("loitering precision = %f (detected %d)", p, len(filterType(detected, "loitering")))
+	}
+	// Scripted rendezvous must be found.
+	truthRv := sc.EventsOfType("rendezvous")
+	_, rr, _ := synth.ScoreDetections(truthRv, filterType(detected, "rendezvous"))
+	if rr < 0.99 {
+		t.Errorf("rendezvous recall = %f", rr)
+	}
+}
+
+func filterType(evs []model.Event, typ string) []model.Event {
+	var out []model.Event
+	for _, e := range evs {
+		if e.Type == typ {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+func TestActiveRunsBounded(t *testing.T) {
+	pat := Pattern{Name: "x", Steps: []Step{{Cond: SpeedBelow(1), MinDuration: time.Hour}}}
+	r := NewRecognizer(pat)
+	// A long slow track must keep a single run, not one per report.
+	for _, p := range track("V", 60, rep(0.5, 100)...) {
+		r.Process("V", p)
+	}
+	if n := r.ActiveRuns(); n != 1 {
+		t.Errorf("active runs = %d, want 1", n)
+	}
+	if r.String() == "" {
+		t.Error("empty String()")
+	}
+}

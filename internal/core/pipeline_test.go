@@ -1,0 +1,199 @@
+package core
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/datacron-project/datacron/internal/model"
+	"github.com/datacron-project/datacron/internal/synth"
+)
+
+func maritimeScenario(t testing.TB) *synth.Scenario {
+	t.Helper()
+	return synth.GenMaritime(synth.MaritimeConfig{
+		Seed: 77, Vessels: 14, Duration: 90 * time.Minute,
+		Rendezvous: 1, Loiterers: 2, GapProb: 0.0001, OutlierProb: 0.002,
+	})
+}
+
+func TestMaritimeEndToEnd(t *testing.T) {
+	sc := maritimeScenario(t)
+	p := New(Config{Domain: model.Maritime})
+	detected, err := p.RunScenario(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Stats.Decoded == 0 || p.Stats.Kept == 0 {
+		t.Fatalf("nothing flowed: %+v", p.Stats)
+	}
+	// Compression must actually compress realistic traffic.
+	if r := p.Stats.CompressionRatio(); r < 1.5 {
+		t.Errorf("compression ratio %.2f too low", r)
+	}
+	// Outliers exist in the stream; the gate must catch some.
+	if p.Stats.Gated == 0 {
+		t.Error("noise gate caught nothing despite injected outliers")
+	}
+	// Scripted loitering must be detected end-to-end (from the wire).
+	_, recall, _ := synth.ScoreDetections(sc.EventsOfType("loitering"), detected)
+	if recall < 0.99 {
+		t.Errorf("end-to-end loitering recall = %f", recall)
+	}
+	// The paper's ms requirement: per-report processing latency p99 under
+	// 50ms on any hardware this test runs on.
+	if p99 := p.Stats.Latency.Percentile(99); p99 > 50*time.Millisecond {
+		t.Errorf("p99 per-report latency %v exceeds 50ms", p99)
+	}
+	// The store answers queries over what was ingested.
+	res, err := p.Engine.Execute(`SELECT ?v WHERE { ?v rdf:type dat:Vessel . }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 14 {
+		t.Errorf("queried vessels = %d, want 14", len(res.Rows))
+	}
+	// Detected events landed in the store as RDF.
+	res, err = p.Engine.Execute(`SELECT ?e WHERE { ?e dat:eventType "loitering" . }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) == 0 {
+		t.Error("no loitering events in RDF store")
+	}
+	if !strings.Contains(p.Report(), "ratio=") {
+		t.Error("report malformed")
+	}
+}
+
+func TestAviationEndToEnd(t *testing.T) {
+	sc := synth.GenAviation(synth.AviationConfig{Seed: 5, Flights: 12, Duration: time.Hour})
+	p := New(Config{Domain: model.Aviation})
+	_, err := p.RunScenario(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Stats.Decoded == 0 {
+		t.Fatal("no SBS messages decoded")
+	}
+	if int(p.Stats.Decoded) != len(sc.Positions) {
+		t.Errorf("decoded %d, want %d fused positions", p.Stats.Decoded, len(sc.Positions))
+	}
+	// Aircraft queried back with altitude.
+	res, err := p.Engine.Execute(`SELECT ?n ?alt WHERE {
+		?n rdf:type dat:SemanticNode .
+		?n dat:altitude ?alt .
+		FILTER (?alt > 5000)
+	} LIMIT 5`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) == 0 {
+		t.Error("no high-altitude nodes stored")
+	}
+}
+
+func TestCompressionDisabledStoresEverything(t *testing.T) {
+	sc := synth.GenMaritime(synth.MaritimeConfig{Seed: 3, Vessels: 6, Duration: 20 * time.Minute, OutlierProb: 1e-12, GapProb: 1e-12})
+	p := New(Config{Domain: model.Maritime, DisableCompression: true})
+	if _, err := p.RunScenario(sc); err != nil {
+		t.Fatal(err)
+	}
+	if p.Stats.Suppressed != 0 {
+		t.Errorf("suppressed %d with compression disabled", p.Stats.Suppressed)
+	}
+	if p.Stats.Kept != p.Stats.Decoded-p.Stats.Gated {
+		t.Errorf("kept %d != decoded-gated %d", p.Stats.Kept, p.Stats.Decoded-p.Stats.Gated)
+	}
+}
+
+func TestIngestLineErrorsStrict(t *testing.T) {
+	p := New(Config{Domain: model.Maritime, StrictWire: true})
+	if _, err := p.IngestLine(synth.TimedLine{TS: 0, Line: "garbage"}); err == nil {
+		t.Error("garbage line must error in strict mode")
+	}
+	pa := New(Config{Domain: model.Aviation, StrictWire: true})
+	if _, err := pa.IngestLine(synth.TimedLine{TS: 0, Line: "MSG,bad"}); err == nil {
+		t.Error("garbage SBS line must error in strict mode")
+	}
+}
+
+func TestIngestLineLenientByDefault(t *testing.T) {
+	p := New(Config{Domain: model.Maritime})
+	if _, err := p.IngestLine(synth.TimedLine{TS: 0, Line: "garbage"}); err != nil {
+		t.Errorf("lenient mode must skip, got %v", err)
+	}
+	if p.Stats.BadLines != 1 {
+		t.Errorf("BadLines = %d", p.Stats.BadLines)
+	}
+}
+
+// Failure injection: a realistically dirty feed (corrupted checksums,
+// truncated sentences, binary noise) must neither stop the pipeline nor
+// ruin detection quality.
+func TestPipelineSurvivesCorruptedFeed(t *testing.T) {
+	sc := maritimeScenario(t)
+	p := New(Config{Domain: model.Maritime})
+	p.InstallAreas(sc.Areas)
+	p.InstallEntities(sc.Entities)
+	var detected []model.Event
+	var injected int64
+	for i, tl := range sc.WireTimed {
+		switch i % 97 {
+		case 13: // flip a payload byte (checksum failure)
+			b := []byte(tl.Line)
+			b[len(b)/2] ^= 0x5
+			tl.Line = string(b)
+			injected++
+		case 31: // truncate
+			tl.Line = tl.Line[:len(tl.Line)/2]
+			injected++
+		case 59: // binary garbage
+			tl.Line = "\x00\xff\x13garbage"
+			injected++
+		}
+		evs, err := p.IngestLine(tl)
+		if err != nil {
+			t.Fatalf("lenient pipeline returned error: %v", err)
+		}
+		detected = append(detected, evs...)
+	}
+	if p.Stats.BadLines < injected*9/10 {
+		t.Errorf("BadLines = %d, injected ≈ %d", p.Stats.BadLines, injected)
+	}
+	// Losing ~3% of reports must not lose the scripted loitering events.
+	_, recall, _ := synth.ScoreDetections(sc.EventsOfType("loitering"), detected)
+	if recall < 0.99 {
+		t.Errorf("recall on dirty feed = %f", recall)
+	}
+}
+
+func TestStaticMessagesLearnEntities(t *testing.T) {
+	sc := maritimeScenario(t)
+	p := New(Config{Domain: model.Maritime})
+	p.InstallAreas(sc.Areas)
+	// No InstallEntities: the pipeline must learn them from AIS msg 5.
+	for _, tl := range sc.WireTimed {
+		if _, err := p.IngestLine(tl); err != nil {
+			t.Fatal(err)
+		}
+	}
+	res, err := p.Engine.Execute(`SELECT ?v ?name WHERE { ?v rdf:type dat:Vessel . ?v dat:name ?name . }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 14 {
+		t.Errorf("learned vessels = %d, want 14", len(res.Rows))
+	}
+}
+
+func TestDensityAccumulates(t *testing.T) {
+	sc := maritimeScenario(t)
+	p := New(Config{Domain: model.Maritime})
+	if _, err := p.RunScenario(sc); err != nil {
+		t.Fatal(err)
+	}
+	if p.Density.Total() == 0 {
+		t.Error("density grid empty after ingestion")
+	}
+}

@@ -1,0 +1,177 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"github.com/datacron-project/datacron/internal/cer"
+	"github.com/datacron-project/datacron/internal/insitu"
+	"github.com/datacron-project/datacron/internal/model"
+	"github.com/datacron-project/datacron/internal/stream"
+	"github.com/datacron-project/datacron/internal/synth"
+)
+
+// e1Scenario builds the E1 world.
+func e1Scenario(quick bool) *synth.Scenario {
+	vessels, dur := 120, 3*time.Hour
+	if quick {
+		vessels, dur = 20, time.Hour
+	}
+	return synth.GenMaritime(synth.MaritimeConfig{
+		Seed: 101, Vessels: vessels, Duration: dur,
+		Rendezvous: 3, Loiterers: 3, GapProb: 1e-9, OutlierProb: 1e-9,
+	})
+}
+
+// E1Compression: "high rates of data compression without affecting the
+// quality of analytics" (§2). Sweeps the online threshold compressor and
+// compares against SQUISH and the offline DP/TD-TR references: compression
+// ratio, SED reconstruction error, and CER quality (loitering+rendezvous
+// F1) on the compressed stream.
+func E1Compression(quick bool) *Table {
+	sc := e1Scenario(quick)
+	byEntity := model.GroupByEntity(sc.Positions)
+	truth := append(sc.EventsOfType("loitering"), sc.EventsOfType("rendezvous")...)
+
+	t := &Table{
+		ID:     "E1",
+		Title:  `in-situ compression "without affecting the quality of analytics"`,
+		Header: []string{"compressor", "ratio", "meanSED(m)", "maxSED(m)", "CER-F1", "CER-recall"},
+		Notes:  "CER = loitering+rendezvous detection on the compressed stream vs scripted ground truth",
+	}
+
+	// Uncompressed baseline.
+	f1Base, recBase := cerQuality(sc, sc.Positions, truth)
+	t.AddRow("none", "1.0", "0.0", "0.0", f2(f1Base), f2(recBase))
+
+	// Online threshold compressor at several deviation thresholds. The
+	// heartbeat stays at 60s so pair analytics keep seeing both vessels.
+	for _, distM := range []float64{25, 50, 100, 200, 400} {
+		cfg := insitu.ThresholdConfig{DistM: distM, CourseDeg: 8, SpeedMS: 1, MaxGapMS: 60_000}
+		var kept []model.Position
+		filter := insitu.NewThresholdFilter(cfg)
+		for _, p := range sc.Positions {
+			if filter.Keep(p) {
+				kept = append(kept, p)
+			}
+		}
+		stats := compressionStats(byEntity, kept)
+		f1c, rec := cerQuality(sc, kept, truth)
+		t.AddRow(fmt.Sprintf("threshold(%gm)", distM),
+			f1(insitu.Ratio(len(sc.Positions), len(kept))),
+			f1(stats.MeanM), f0(stats.MaxM), f2(f1c), f2(rec))
+	}
+
+	// SQUISH with a per-trajectory budget of 10% of points.
+	var squishAll []model.Position
+	for _, tr := range byEntity {
+		cap := tr.Len() / 10
+		if cap < 8 {
+			cap = 8
+		}
+		squishAll = append(squishAll, insitu.CompressSQUISH(tr.Points, cap)...)
+	}
+	sortByTS(squishAll)
+	stats := compressionStats(byEntity, squishAll)
+	f1s, recS := cerQuality(sc, squishAll, truth)
+	t.AddRow("squish(10%)", f1(insitu.Ratio(len(sc.Positions), len(squishAll))),
+		f1(stats.MeanM), f0(stats.MaxM), f2(f1s), f2(recS))
+
+	// Offline references (cannot run in-situ; quality ceiling).
+	for _, alg := range []struct {
+		name string
+		fn   func([]model.Position, float64) []model.Position
+	}{
+		{"douglas-peucker(50m)", insitu.DouglasPeucker},
+		{"td-tr(50m)", insitu.TDTR},
+	} {
+		var all []model.Position
+		for _, tr := range byEntity {
+			all = append(all, alg.fn(tr.Points, 50)...)
+		}
+		sortByTS(all)
+		st := compressionStats(byEntity, all)
+		f1o, recO := cerQuality(sc, all, truth)
+		t.AddRow(alg.name, f1(insitu.Ratio(len(sc.Positions), len(all))),
+			f1(st.MeanM), f0(st.MaxM), f2(f1o), f2(recO))
+	}
+	return t
+}
+
+// compressionStats aggregates SED error per entity.
+func compressionStats(byEntity map[string]*model.Trajectory, kept []model.Position) insitu.ErrorStats {
+	keptBy := model.GroupByEntity(kept)
+	var stats []insitu.ErrorStats
+	for id, orig := range byEntity {
+		k := keptBy[id]
+		if k == nil {
+			continue
+		}
+		stats = append(stats, insitu.CompressionError(orig.Points, k.Points))
+	}
+	return insitu.Aggregate(stats)
+}
+
+// cerQuality runs the maritime CER suite over a position stream and scores
+// loitering+rendezvous against ground truth.
+func cerQuality(sc *synth.Scenario, positions []model.Position, truth []model.Event) (f1v, recall float64) {
+	suite := cer.NewMaritimeSuite(sc.Box, sc.Areas)
+	// Pair analytics need a wider pairing clock on compressed streams.
+	suite.Pairer.MaxDeltaT = 2 * time.Minute
+	var detected []model.Event
+	for _, p := range positions {
+		detected = append(detected, suite.Process(p)...)
+	}
+	_, recall, f1v = synth.ScoreDetections(truth, detected)
+	return f1v, recall
+}
+
+func sortByTS(ps []model.Position) {
+	sort.SliceStable(ps, func(i, j int) bool { return ps[i].TS < ps[j].TS })
+}
+
+// E2StreamThroughput: "primitive operators ... applied directly on the data
+// streams" at "extremely high rates" (§1,2). Pushes a position burst
+// through a gate→filter→window pipeline at increasing parallelism.
+func E2StreamThroughput(quick bool) *Table {
+	n := 1_000_000
+	if quick {
+		n = 100_000
+	}
+	// Synthesise a flat burst (the stream engine is under test, not the
+	// generator): k entities round-robin.
+	positions := make([]model.Position, n)
+	for i := range positions {
+		positions[i] = model.Position{
+			EntityID: fmt.Sprintf("V%03d", i%500),
+			TS:       int64(i/500) * 10_000,
+			SpeedMS:  float64(i%20) + 0.5,
+		}
+	}
+	t := &Table{
+		ID:     "E2",
+		Title:  "primitive stream operators at high rates",
+		Header: []string{"parallelism", "events", "elapsed", "events/s"},
+		Notes:  "pipeline: keyBy → speed filter → 5-min count windows (event time)",
+	}
+	for _, par := range []int{1, 2, 4} {
+		start := time.Now()
+		src := stream.FromSlice(positions,
+			func(p model.Position) int64 { return p.TS },
+			func(p model.Position) string { return p.EntityID },
+			0, 1000)
+		fast := stream.Filter(src, func(p model.Position) bool { return p.SpeedMS > 1 })
+		windows := stream.CountWindow(fast, par, (5 * time.Minute).Milliseconds())
+		count := 0
+		for range windows {
+			count++
+		}
+		elapsed := time.Since(start)
+		t.AddRow(fmt.Sprintf("%d", par), fmt.Sprintf("%d", n),
+			elapsed.Round(time.Millisecond).String(),
+			f0(float64(n)/elapsed.Seconds()))
+		_ = count
+	}
+	return t
+}

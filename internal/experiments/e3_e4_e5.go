@@ -1,0 +1,191 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/datacron-project/datacron/internal/geo"
+	"github.com/datacron-project/datacron/internal/interlink"
+	"github.com/datacron-project/datacron/internal/model"
+	"github.com/datacron-project/datacron/internal/partition"
+	"github.com/datacron-project/datacron/internal/query"
+	"github.com/datacron-project/datacron/internal/store"
+	"github.com/datacron-project/datacron/internal/synth"
+)
+
+var e3Box = geo.NewBBox(22.0, 34.5, 29.0, 41.2)
+
+// e3Positions synthesises the load for the store experiments.
+func e3Positions(quick bool) []model.Position {
+	vessels, dur := 200, 3*time.Hour
+	if quick {
+		vessels, dur = 40, time.Hour
+	}
+	sc := synth.GenMaritime(synth.MaritimeConfig{
+		Seed: 103, Vessels: vessels, Duration: dur, ReportEvery: 20 * time.Second,
+	})
+	return sc.Positions
+}
+
+// queryBoxes returns a deterministic set of small range-query boxes.
+func queryBoxes(n int) []geo.BBox {
+	out := make([]geo.BBox, 0, n)
+	for i := 0; i < n; i++ {
+		lon := 22.5 + float64(i%8)*0.75
+		lat := 35.0 + float64(i/8%7)*0.85
+		out = append(out, geo.NewBBox(lon, lat, lon+0.5, lat+0.5))
+	}
+	return out
+}
+
+// E3Partitioning: "sophisticated RDF partitioning algorithms" (§2). Loads
+// the same position graph under four partitioners and measures balance,
+// range-query latency, shards visited and pruning rate.
+func E3Partitioning(quick bool) *Table {
+	positions := e3Positions(quick)
+	shards := 8
+	parts := []partition.Partitioner{
+		partition.NewHash(shards),
+		partition.NewGrid(geo.NewGrid(e3Box, 32, 32), shards),
+		partition.NewHilbert(e3Box, 7, shards),
+		partition.NewTemporal(positions[0].TS, positions[len(positions)-1].TS+1, shards),
+	}
+	t := &Table{
+		ID:     "E3",
+		Title:  "RDF partitioning strategies (8 shards)",
+		Header: []string{"partitioner", "triples", "balance", "query-mean", "shards/query", "pruning"},
+		Notes:  "balance = max/mean shard load (1.0 perfect); 56 small box queries over full time",
+	}
+	boxes := queryBoxes(56)
+	for _, part := range parts {
+		s := store.NewSharded(part, e3Box)
+		s.LoadPositions(positions)
+		bf := partition.BalanceFactor(s.ShardLoads())
+		var totalDur time.Duration
+		var totalVisited int
+		for _, box := range boxes {
+			start := time.Now()
+			_, visited := s.RangeQuery(box, positions[0].TS, positions[len(positions)-1].TS)
+			totalDur += time.Since(start)
+			totalVisited += visited
+		}
+		meanVisited := float64(totalVisited) / float64(len(boxes))
+		t.AddRow(part.Name(), fmt.Sprintf("%d", s.Len()), f2(bf),
+			(totalDur / time.Duration(len(boxes))).Round(time.Microsecond).String(),
+			f1(meanVisited), f2(partition.PruningRate(totalVisited/len(boxes), shards)))
+	}
+	return t
+}
+
+// E4ParallelQuery: "parallel query processing techniques for
+// spatio-temporal query languages" (§2). Fixed store and query mix,
+// increasing worker counts.
+func E4ParallelQuery(quick bool) *Table {
+	positions := e3Positions(quick)
+	s := store.NewSharded(partition.NewHilbert(e3Box, 7, 8), e3Box)
+	s.LoadPositions(positions)
+	// Entities for the join leg.
+	for i := 0; i < 50; i++ {
+		s.AddEntity(model.Entity{ID: fmt.Sprintf("%09d", 237000001+i), Domain: model.Maritime, Name: fmt.Sprintf("AEGEAN CARGO %d", i+1), Type: "CARGO"})
+	}
+	mix := []*query.Query{
+		query.MustParse(`SELECT ?n WHERE {
+			?n rdf:type dat:SemanticNode .
+			?n dat:longitude ?lon . ?n dat:latitude ?lat .
+			FILTER st:within(?lon, ?lat, 23.5, 37.0, 25.5, 38.5)
+		}`),
+		query.MustParse(`SELECT ?n ?who WHERE {
+			?n dat:ofMovingObject ?who .
+			?n dat:speed ?s .
+			FILTER (?s > 7.5)
+		} LIMIT 2000`),
+		query.MustParse(`SELECT ?n WHERE {
+			?n dat:longitude ?lon . ?n dat:latitude ?lat .
+			FILTER st:dwithin(?lon, ?lat, 23.6, 37.9, 60000)
+		}`),
+	}
+	t := &Table{
+		ID:     "E4",
+		Title:  "parallel spatio-temporal query processing",
+		Header: []string{"workers", "mix-elapsed", "speedup"},
+		Notes:  "3-query mix (range, value join, dwithin) over the Hilbert-partitioned store",
+	}
+	var base time.Duration
+	for _, par := range []int{1, 2, 4, 8} {
+		eng := query.NewEngine(s)
+		eng.Parallelism = par
+		start := time.Now()
+		reps := 3
+		if quick {
+			reps = 2
+		}
+		for r := 0; r < reps; r++ {
+			for _, q := range mix {
+				if _, err := eng.Run(q); err != nil {
+					panic(err)
+				}
+			}
+		}
+		elapsed := time.Since(start)
+		if par == 1 {
+			base = elapsed
+		}
+		t.AddRow(fmt.Sprintf("%d", par), elapsed.Round(time.Millisecond).String(),
+			f2(float64(base)/float64(elapsed)))
+	}
+	return t
+}
+
+// E5LinkDiscovery: "link discovery techniques for automatically computing
+// associations" (§2). Identity links against a noisy registry, naive vs
+// token blocking, plus grid-blocked spatial enrichment.
+func E5LinkDiscovery(quick bool) *Table {
+	vessels := 800
+	if quick {
+		vessels = 150
+	}
+	sc := synth.GenMaritime(synth.MaritimeConfig{Seed: 105, Vessels: vessels, Duration: 10 * time.Minute})
+	reg := synth.GenRegistry(sc, 7, 0.5)
+	var a, b []interlink.NameRecord
+	truth := interlink.Truth{}
+	for _, e := range sc.Entities {
+		a = append(a, interlink.NameRecord{ID: e.ID, Name: e.Name, LengthM: e.LengthM})
+	}
+	for _, r := range reg {
+		b = append(b, interlink.NameRecord{ID: r.RegID, Name: r.Name, LengthM: r.LengthM})
+		truth[r.TruthID] = r.RegID
+	}
+	t := &Table{
+		ID:     "E5",
+		Title:  "link discovery: naive vs blocking",
+		Header: []string{"matcher", "pairs", "elapsed", "precision", "recall", "f1"},
+		Notes:  fmt.Sprintf("%d entities × %d registry records, 0.5 name noise", len(a), len(b)),
+	}
+	for _, m := range []struct {
+		name string
+		fn   func([]interlink.NameRecord, []interlink.NameRecord, interlink.MatchConfig) []interlink.Link
+	}{{"naive", interlink.MatchNaive}, {"token-blocked", interlink.MatchBlocked}} {
+		start := time.Now()
+		links := m.fn(a, b, interlink.MatchConfig{})
+		el := time.Since(start)
+		p, r, f := interlink.Score(links, truth)
+		t.AddRow(m.name, fmt.Sprintf("%d", len(links)), el.Round(time.Millisecond).String(), f2(p), f2(r), f2(f))
+	}
+	// Spatial enrichment: sample positions ↔ weather cells.
+	weather := synth.GenWeather(sc.Box, 16, 12, time.UnixMilli(sc.Positions[0].TS).UTC(), time.Hour)
+	var pos, wx []interlink.SpatialRecord
+	for i, p := range sc.Positions {
+		if i%20 == 0 {
+			pos = append(pos, interlink.SpatialRecord{ID: fmt.Sprintf("p%d", i), Pt: p.Pt, TS: p.TS})
+		}
+	}
+	for i, w := range weather {
+		wx = append(wx, interlink.SpatialRecord{ID: fmt.Sprintf("w%d", i), Pt: w.Center, TS: w.TS})
+	}
+	start := time.Now()
+	links := interlink.LinkSpatial(pos, wx, sc.Box, interlink.SpatialLinkConfig{MaxDistM: 60_000})
+	el := time.Since(start)
+	t.AddRow("spatial-grid", fmt.Sprintf("%d", len(links)), el.Round(time.Millisecond).String(),
+		"-", f2(float64(len(links))/float64(len(pos))), "-")
+	return t
+}

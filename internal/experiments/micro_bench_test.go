@@ -1,0 +1,126 @@
+package experiments
+
+// Component micro-benchmarks complementing the E1–E10 experiment harness:
+// per-operation costs of the hot paths every experiment exercises.
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"github.com/datacron-project/datacron/internal/ais"
+	"github.com/datacron-project/datacron/internal/cer"
+	"github.com/datacron-project/datacron/internal/geo"
+	"github.com/datacron-project/datacron/internal/insitu"
+	"github.com/datacron-project/datacron/internal/model"
+	"github.com/datacron-project/datacron/internal/partition"
+	"github.com/datacron-project/datacron/internal/query"
+	"github.com/datacron-project/datacron/internal/store"
+	"github.com/datacron-project/datacron/internal/synth"
+)
+
+func BenchmarkHaversine(b *testing.B) {
+	a := geo.Pt(23.6, 37.9)
+	c := geo.Pt(25.1, 35.3)
+	for i := 0; i < b.N; i++ {
+		_ = geo.Haversine(a, c)
+	}
+}
+
+func BenchmarkAISDecodePosition(b *testing.B) {
+	msg := ais.PositionReport{MsgType: 1, MMSI: 237000001, Lon: 23.5, Lat: 37.5, SOG: 12, COG: 90, Heading: 90, Second: 30}
+	payload, fill, err := msg.Encode()
+	if err != nil {
+		b.Fatal(err)
+	}
+	line := ais.ToSentences(payload, fill, 0, "A")[0]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ais.DecodeLine(line); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAISEncodePosition(b *testing.B) {
+	msg := ais.PositionReport{MsgType: 1, MMSI: 237000001, Lon: 23.5, Lat: 37.5, SOG: 12, COG: 90, Heading: 90, Second: 30}
+	for i := 0; i < b.N; i++ {
+		if _, _, err := msg.Encode(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkThresholdFilter(b *testing.B) {
+	f := insitu.NewThresholdFilter(insitu.DefaultThreshold())
+	pts := make([]model.Position, 1000)
+	pt := geo.Pt(23.5, 37.5)
+	for i := range pts {
+		pts[i] = model.Position{EntityID: "V", TS: int64(i) * 10000, Pt: pt, SpeedMS: 8, CourseDeg: 90}
+		pt = geo.Destination(pt, 90, 80)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f.Keep(pts[i%len(pts)])
+	}
+}
+
+func BenchmarkStoreInsertPosition(b *testing.B) {
+	s := store.NewSharded(partition.NewHilbert(e3Box, 7, 8), e3Box)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.AddPositionRecord(model.Position{
+			EntityID: fmt.Sprintf("V%d", i%500), TS: int64(i) * 1000,
+			Pt:      geo.Pt(22.5+float64(i%700)*0.005, 35.0+float64(i%600)*0.005),
+			SpeedMS: 8, CourseDeg: 90,
+		})
+	}
+}
+
+func BenchmarkRangeQuery(b *testing.B) {
+	s := store.NewSharded(partition.NewHilbert(e3Box, 7, 8), e3Box)
+	for i := 0; i < 50_000; i++ {
+		s.AddPositionRecord(model.Position{
+			EntityID: fmt.Sprintf("V%d", i%500), TS: int64(i) * 1000,
+			Pt:      geo.Pt(22.5+float64(i%700)*0.005, 35.0+float64(i%600)*0.005),
+			SpeedMS: 8, CourseDeg: 90,
+		})
+	}
+	box := geo.NewBBox(24, 36, 24.5, 36.5)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.RangeQuery(box, 0, 1<<60)
+	}
+}
+
+func BenchmarkQueryParse(b *testing.B) {
+	src := `SELECT ?n ?who WHERE {
+		?n rdf:type dat:SemanticNode .
+		?n dat:ofMovingObject ?who .
+		?n dat:longitude ?lon . ?n dat:latitude ?lat .
+		FILTER st:within(?lon, ?lat, 23.3, 37.5, 24.0, 38.0)
+		FILTER (?lon > 23.5)
+	} LIMIT 100`
+	for i := 0; i < b.N; i++ {
+		if _, err := query.Parse(src); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCERProcess(b *testing.B) {
+	sc := synth.GenMaritime(synth.MaritimeConfig{Seed: 5, Vessels: 50, Duration: 30 * time.Minute})
+	suite := cer.NewMaritimeSuite(sc.Box, sc.Areas)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		suite.Process(sc.Positions[i%len(sc.Positions)])
+	}
+}
+
+func BenchmarkHilbertAssign(b *testing.B) {
+	p := partition.NewHilbert(e3Box, 7, 8)
+	for i := 0; i < b.N; i++ {
+		p.Assign("k", geo.Pt(23.5+float64(i%100)*0.01, 37.5), int64(i))
+	}
+}

@@ -1,0 +1,337 @@
+package forecast
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"github.com/datacron-project/datacron/internal/geo"
+	"github.com/datacron-project/datacron/internal/model"
+	"github.com/datacron-project/datacron/internal/synth"
+)
+
+// straight builds a constant-velocity history heading east.
+func straight(n int, stepS int, speedMS float64) []model.Position {
+	out := make([]model.Position, n)
+	pt := geo.Pt(24, 37)
+	for i := range out {
+		out[i] = model.Position{EntityID: "V", TS: int64(i*stepS) * 1000, Pt: pt, SpeedMS: speedMS, CourseDeg: 90}
+		pt = geo.Destination(pt, 90, speedMS*float64(stepS))
+	}
+	return out
+}
+
+// turning builds a history turning at constant rate (deg/s).
+func turning(n int, stepS int, speedMS, turnRate float64) []model.Position {
+	out := make([]model.Position, n)
+	pt := geo.Pt(24, 37)
+	course := 90.0
+	for i := range out {
+		out[i] = model.Position{EntityID: "V", TS: int64(i*stepS) * 1000, Pt: pt, SpeedMS: speedMS, CourseDeg: course}
+		pt = geo.Destination(pt, course, speedMS*float64(stepS))
+		course += turnRate * float64(stepS)
+	}
+	return out
+}
+
+func TestDeadReckoningStraight(t *testing.T) {
+	hist := straight(10, 10, 8)
+	last := hist[len(hist)-1]
+	pred, ok := DeadReckoning{}.Predict(hist, last.TS+60000)
+	if !ok {
+		t.Fatal("predict failed")
+	}
+	want := geo.Destination(last.Pt, 90, 8*60)
+	if d := geo.Haversine(pred, want); d > 1 {
+		t.Errorf("drift %f m", d)
+	}
+	// Degenerate inputs.
+	if _, ok := (DeadReckoning{}).Predict(nil, 0); ok {
+		t.Error("empty history must fail")
+	}
+	if _, ok := (DeadReckoning{}).Predict(hist, last.TS-1000); ok {
+		t.Error("past target must fail")
+	}
+}
+
+func TestKinematicBeatsDeadReckoningOnTurn(t *testing.T) {
+	hist := turning(20, 10, 8, 1.0) // 1 deg/s turn
+	// Truth at +120s continues the turn.
+	futurePts := turning(33, 10, 8, 1.0)
+	actual := futurePts[32] // t=320s; history ends at 190s
+	target := actual.TS
+	dr, _ := DeadReckoning{}.Predict(hist, target)
+	kin, _ := Kinematic{}.Predict(hist, target)
+	drErr := geo.Haversine(dr, actual.Pt)
+	kinErr := geo.Haversine(kin, actual.Pt)
+	if kinErr >= drErr {
+		t.Errorf("kinematic %f m should beat dead reckoning %f m on a turn", kinErr, drErr)
+	}
+	if kinErr > 500 {
+		t.Errorf("kinematic error %f m too large on a clean constant turn", kinErr)
+	}
+}
+
+func TestKinematicFallsBackOnShortHistory(t *testing.T) {
+	hist := straight(1, 10, 8)
+	if _, ok := (Kinematic{}).Predict(hist, hist[0].TS+60000); !ok {
+		t.Error("single-point history should fall back to dead reckoning")
+	}
+}
+
+func TestRouteNetworkLearnsCurvedLane(t *testing.T) {
+	box := geo.NewBBox(22, 34, 30, 42)
+	rn := NewRouteNetwork(box, 256, 256)
+	// Archival fleet: many vessels along the same gently bending lane
+	// (0.05 deg/s ≈ 9 km turn radius — a realistic corridor bend). The
+	// route network learns the bend; dead reckoning cannot anticipate it.
+	for v := 0; v < 15; v++ {
+		pts := turning(400, 10, 8, 0.05)
+		tr := &model.Trajectory{EntityID: "H", Points: pts}
+		rn.Train(tr)
+	}
+	if rn.TrainedCells() == 0 {
+		t.Fatal("nothing learned")
+	}
+	// Live vessel follows the same lane; predict from t=500s to t=3000s,
+	// across ~125 degrees of accumulated turn.
+	lane := turning(400, 10, 8, 0.05)
+	cut := 50
+	hist := lane[:cut]
+	actual := lane[300]
+	rnPred, ok := rn.Predict(hist, actual.TS)
+	if !ok {
+		t.Fatal("route network predict failed")
+	}
+	drPred, _ := DeadReckoning{}.Predict(hist, actual.TS)
+	rnErr := geo.Haversine(rnPred, actual.Pt)
+	drErr := geo.Haversine(drPred, actual.Pt)
+	if rnErr >= drErr {
+		t.Errorf("route network %f m should beat dead reckoning %f m on the learned lane", rnErr, drErr)
+	}
+}
+
+func TestHistoryKNNReplaysLane(t *testing.T) {
+	box := geo.NewBBox(22, 34, 30, 42)
+	knn := NewHistoryKNN(box, 192, 192)
+	for v := 0; v < 8; v++ {
+		knn.Train(&model.Trajectory{EntityID: "H", Points: turning(400, 10, 8, 0.05)})
+	}
+	if knn.IndexedPoints() == 0 {
+		t.Fatal("nothing indexed")
+	}
+	lane := turning(400, 10, 8, 0.05)
+	hist := lane[:50]
+	actual := lane[300]
+	pred, ok := knn.Predict(hist, actual.TS)
+	if !ok {
+		t.Fatal("knn predict failed")
+	}
+	dr, _ := DeadReckoning{}.Predict(hist, actual.TS)
+	knnErr := geo.Haversine(pred, actual.Pt)
+	drErr := geo.Haversine(dr, actual.Pt)
+	if knnErr >= drErr {
+		t.Errorf("knn %f m should beat dead reckoning %f m on replayed lane", knnErr, drErr)
+	}
+	if knnErr > 2000 {
+		t.Errorf("knn error %f m too large on exact-history replay", knnErr)
+	}
+	// Stationary entity stays put.
+	still := []model.Position{{TS: 0, Pt: geo.Pt(25, 37), SpeedMS: 0.1}}
+	p, ok := knn.Predict(still, 600000)
+	if !ok || geo.Haversine(p, still[0].Pt) > 1 {
+		t.Error("stationary entity should stay put")
+	}
+	// Off-network falls back to dead reckoning.
+	far := straight(10, 10, 8)
+	for i := range far {
+		far[i].Pt.Lat += 3
+	}
+	pf, ok := knn.Predict(far, far[len(far)-1].TS+300000)
+	if !ok {
+		t.Fatal("fallback failed")
+	}
+	drf, _ := DeadReckoning{}.Predict(far, far[len(far)-1].TS+300000)
+	if geo.Haversine(pf, drf) > 10 {
+		t.Error("off-network prediction should equal dead reckoning")
+	}
+}
+
+func TestRouteNetworkOffLaneFallsBack(t *testing.T) {
+	box := geo.NewBBox(22, 34, 30, 42)
+	rn := NewRouteNetwork(box, 64, 64)
+	// Train far to the north; predict in the untrained south.
+	tr := &model.Trajectory{Points: straight(50, 10, 8)}
+	for i := range tr.Points {
+		tr.Points[i].Pt.Lat += 3
+	}
+	rn.Train(tr)
+	hist := straight(10, 10, 8)
+	last := hist[len(hist)-1]
+	pred, ok := rn.Predict(hist, last.TS+120000)
+	if !ok {
+		t.Fatal("predict failed")
+	}
+	dr, _ := DeadReckoning{}.Predict(hist, last.TS+120000)
+	if d := geo.Haversine(pred, dr); d > 10 {
+		t.Errorf("off-lane prediction should equal dead reckoning, differs by %f m", d)
+	}
+}
+
+func TestHorizonErrorMonotoneForDR(t *testing.T) {
+	sc := synth.GenMaritime(synth.MaritimeConfig{Seed: 23, Vessels: 10, Duration: time.Hour})
+	horizons := []time.Duration{1 * time.Minute, 5 * time.Minute, 15 * time.Minute}
+	meanM, n := HorizonError(DeadReckoning{}, sc.Truth, horizons, 10*time.Minute)
+	for i := range horizons {
+		if n[i] == 0 {
+			t.Fatalf("horizon %v: no samples", horizons[i])
+		}
+	}
+	if !(meanM[0] < meanM[1] && meanM[1] < meanM[2]) {
+		t.Errorf("dead-reckoning error should grow with horizon: %v", meanM)
+	}
+	// 1-minute dead reckoning on mostly-straight vessels is accurate.
+	if meanM[0] > 500 {
+		t.Errorf("1-min error %f m implausibly high", meanM[0])
+	}
+}
+
+func TestSpeedSymbols(t *testing.T) {
+	sym, n := SpeedSymbols(1, 5)
+	if n != 3 {
+		t.Fatalf("n = %d", n)
+	}
+	cases := map[float64]int{0.5: 0, 3: 1, 10: 2}
+	for speed, want := range cases {
+		if got := sym(model.Position{SpeedMS: speed}); got != want {
+			t.Errorf("sym(%f) = %d, want %d", speed, got, want)
+		}
+	}
+}
+
+func TestMarkovChainProbs(t *testing.T) {
+	mc := NewMarkovChain(2)
+	// Sticky chain: 0→0 and 1→1 dominate.
+	mc.TrainSequence([]int{0, 0, 0, 0, 1, 1, 1, 1, 1, 0, 0})
+	if p := mc.Prob(0, 0); p <= mc.Prob(0, 1) {
+		t.Errorf("P(0→0)=%f should exceed P(0→1)=%f", p, mc.Prob(0, 1))
+	}
+	// Probabilities sum to 1.
+	sum := mc.Prob(0, 0) + mc.Prob(0, 1)
+	if math.Abs(sum-1) > 1e-9 {
+		t.Errorf("row sum = %f", sum)
+	}
+	// Smoothing: unseen transitions still positive.
+	if mc.Prob(1, 0) <= 0 {
+		t.Error("smoothed prob must be positive")
+	}
+	// Out of range.
+	if mc.Prob(-1, 0) != 0 || mc.Prob(0, 9) != 0 {
+		t.Error("out-of-range prob must be 0")
+	}
+}
+
+func TestCompletionProbProperties(t *testing.T) {
+	mc := NewMarkovChain(2)
+	mc.TrainSequence([]int{0, 0, 0, 1, 0, 0, 0, 0, 1, 0})
+	pf := &PatternForecaster{K: 5, Match: func(s int) bool { return s == 0 }, Chain: mc}
+
+	// Completed run: probability 1.
+	if p := pf.CompletionProb(0, 5, 1); p != 1 {
+		t.Errorf("completed run prob = %f", p)
+	}
+	// Longer horizon ⇒ higher (or equal) probability.
+	p2 := pf.CompletionProb(0, 2, 2)
+	p8 := pf.CompletionProb(0, 2, 8)
+	if p8 < p2 {
+		t.Errorf("prob not monotone in horizon: %f vs %f", p2, p8)
+	}
+	// Longer current run ⇒ higher probability at same horizon.
+	pr0 := pf.CompletionProb(0, 0, 4)
+	pr4 := pf.CompletionProb(0, 4, 4)
+	if pr4 <= pr0 {
+		t.Errorf("prob not monotone in run length: %f vs %f", pr0, pr4)
+	}
+	// Horizon shorter than remaining requirement ⇒ zero.
+	if p := pf.CompletionProb(0, 0, 3); p != 0 {
+		t.Errorf("impossible completion prob = %f", p)
+	}
+	// Probabilities stay in [0,1].
+	for run := 0; run < 5; run++ {
+		for h := 0; h < 10; h++ {
+			p := pf.CompletionProb(0, run, h)
+			if p < 0 || p > 1 {
+				t.Fatalf("prob out of range: %f (run=%d h=%d)", p, run, h)
+			}
+		}
+	}
+}
+
+func TestStreamForecasterTracksRuns(t *testing.T) {
+	sym, n := SpeedSymbols(1)
+	mc := NewMarkovChain(n)
+	mc.TrainSequence([]int{0, 0, 0, 0, 0, 1, 0, 0, 0, 0})
+	pf := &PatternForecaster{K: 3, Match: func(s int) bool { return s == 0 }, Chain: mc}
+	sf := NewStreamForecaster(sym, pf, 5)
+	// Slow reports: probability should rise as the run grows.
+	var probs []float64
+	for i := 0; i < 3; i++ {
+		f := sf.Process(model.Position{EntityID: "V", TS: int64(i) * 1000, SpeedMS: 0.5})
+		probs = append(probs, f.Prob)
+	}
+	if !(probs[2] >= probs[1] && probs[1] >= probs[0]) {
+		t.Errorf("probabilities not increasing along run: %v", probs)
+	}
+	if probs[2] != 1 {
+		t.Errorf("run of 3 with K=3 should be certain, got %f", probs[2])
+	}
+	// A fast report resets the run.
+	f := sf.Process(model.Position{EntityID: "V", TS: 4000, SpeedMS: 9})
+	if f.Prob >= probs[2] {
+		t.Errorf("reset did not lower probability: %f", f.Prob)
+	}
+	if f.String() == "" {
+		t.Error("empty forecast string")
+	}
+}
+
+// Event forecasting quality on the synthetic world: alarms raised when
+// P(loitering completes within horizon) crosses a threshold should
+// correlate with actual scripted loitering.
+func TestEventForecastOnSyntheticWorld(t *testing.T) {
+	train := synth.GenMaritime(synth.MaritimeConfig{Seed: 41, Vessels: 12, Duration: time.Hour, Loiterers: 3})
+	test := synth.GenMaritime(synth.MaritimeConfig{Seed: 42, Vessels: 12, Duration: time.Hour, Loiterers: 3})
+	sym, n := SpeedSymbols(1.0)
+	mc := NewMarkovChain(n)
+	for _, tr := range train.Truth {
+		seq := make([]int, tr.Len())
+		for i, p := range tr.Points {
+			seq[i] = sym(p)
+		}
+		mc.TrainSequence(seq)
+	}
+	// Loitering at 10s cadence for 20 min = 120 consecutive slow reports;
+	// use a shorter K for the forecast experiment (5 min = 30 reports).
+	pf := &PatternForecaster{K: 30, Match: func(s int) bool { return s == 0 }, Chain: mc}
+	sf := NewStreamForecaster(sym, pf, 12)
+
+	loiterers := map[string]bool{}
+	for _, ev := range test.EventsOfType("loitering") {
+		loiterers[ev.Entity] = true
+	}
+	alarms := map[string]bool{}
+	for _, p := range test.Positions {
+		if f := sf.Process(p); f.Prob > 0.9 {
+			alarms[p.EntityID] = true
+		}
+	}
+	hits := 0
+	for e := range loiterers {
+		if alarms[e] {
+			hits++
+		}
+	}
+	if hits < len(loiterers) {
+		t.Errorf("forecast alarms missed loiterers: %d/%d", hits, len(loiterers))
+	}
+}

@@ -1,0 +1,111 @@
+package geo
+
+import (
+	"fmt"
+	"math"
+)
+
+// BBox is an axis-aligned geographic bounding box. It does not model
+// antimeridian-crossing boxes; the synthetic worlds used in this repository
+// stay away from the antimeridian, and callers that need wrap-around can
+// split a box into two.
+type BBox struct {
+	MinLon, MinLat float64
+	MaxLon, MaxLat float64
+}
+
+// NewBBox returns a bounding box from two corners in any order.
+func NewBBox(lon1, lat1, lon2, lat2 float64) BBox {
+	return BBox{
+		MinLon: math.Min(lon1, lon2), MinLat: math.Min(lat1, lat2),
+		MaxLon: math.Max(lon1, lon2), MaxLat: math.Max(lat1, lat2),
+	}
+}
+
+// EmptyBBox returns the identity element for Extend: a box that contains
+// nothing and extends to any point it is given.
+func EmptyBBox() BBox {
+	return BBox{MinLon: math.Inf(1), MinLat: math.Inf(1), MaxLon: math.Inf(-1), MaxLat: math.Inf(-1)}
+}
+
+// IsEmpty reports whether b contains no points.
+func (b BBox) IsEmpty() bool { return b.MinLon > b.MaxLon || b.MinLat > b.MaxLat }
+
+// String implements fmt.Stringer.
+func (b BBox) String() string {
+	return fmt.Sprintf("[%.4f,%.4f → %.4f,%.4f]", b.MinLon, b.MinLat, b.MaxLon, b.MaxLat)
+}
+
+// Contains reports whether p lies inside or on the boundary of b.
+func (b BBox) Contains(p Point) bool {
+	return p.Lon >= b.MinLon && p.Lon <= b.MaxLon && p.Lat >= b.MinLat && p.Lat <= b.MaxLat
+}
+
+// Intersects reports whether b and o share any point.
+func (b BBox) Intersects(o BBox) bool {
+	return b.MinLon <= o.MaxLon && o.MinLon <= b.MaxLon &&
+		b.MinLat <= o.MaxLat && o.MinLat <= b.MaxLat
+}
+
+// ContainsBox reports whether o lies entirely within b.
+func (b BBox) ContainsBox(o BBox) bool {
+	return o.MinLon >= b.MinLon && o.MaxLon <= b.MaxLon &&
+		o.MinLat >= b.MinLat && o.MaxLat <= b.MaxLat
+}
+
+// Extend returns the smallest box containing both b and p.
+func (b BBox) Extend(p Point) BBox {
+	return BBox{
+		MinLon: math.Min(b.MinLon, p.Lon), MinLat: math.Min(b.MinLat, p.Lat),
+		MaxLon: math.Max(b.MaxLon, p.Lon), MaxLat: math.Max(b.MaxLat, p.Lat),
+	}
+}
+
+// Union returns the smallest box containing both b and o.
+func (b BBox) Union(o BBox) BBox {
+	if b.IsEmpty() {
+		return o
+	}
+	if o.IsEmpty() {
+		return b
+	}
+	return BBox{
+		MinLon: math.Min(b.MinLon, o.MinLon), MinLat: math.Min(b.MinLat, o.MinLat),
+		MaxLon: math.Max(b.MaxLon, o.MaxLon), MaxLat: math.Max(b.MaxLat, o.MaxLat),
+	}
+}
+
+// Intersection returns the overlap of b and o; the result IsEmpty when they
+// do not intersect.
+func (b BBox) Intersection(o BBox) BBox {
+	return BBox{
+		MinLon: math.Max(b.MinLon, o.MinLon), MinLat: math.Max(b.MinLat, o.MinLat),
+		MaxLon: math.Min(b.MaxLon, o.MaxLon), MaxLat: math.Min(b.MaxLat, o.MaxLat),
+	}
+}
+
+// Center returns the centre point of b.
+func (b BBox) Center() Point {
+	return Point{Lon: (b.MinLon + b.MaxLon) / 2, Lat: (b.MinLat + b.MaxLat) / 2}
+}
+
+// Buffer returns b grown by the given margin in degrees on every side.
+func (b BBox) Buffer(deg float64) BBox {
+	return BBox{MinLon: b.MinLon - deg, MinLat: b.MinLat - deg, MaxLon: b.MaxLon + deg, MaxLat: b.MaxLat + deg}
+}
+
+// WidthDeg returns the longitudinal extent in degrees.
+func (b BBox) WidthDeg() float64 { return b.MaxLon - b.MinLon }
+
+// HeightDeg returns the latitudinal extent in degrees.
+func (b BBox) HeightDeg() float64 { return b.MaxLat - b.MinLat }
+
+// BBoxOf returns the smallest box containing all points, or an empty box for
+// no points.
+func BBoxOf(pts ...Point) BBox {
+	b := EmptyBBox()
+	for _, p := range pts {
+		b = b.Extend(p)
+	}
+	return b
+}

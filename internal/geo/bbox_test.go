@@ -1,0 +1,134 @@
+package geo
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestBBoxContains(t *testing.T) {
+	b := NewBBox(20, 35, 25, 40)
+	tests := []struct {
+		name string
+		p    Point
+		want bool
+	}{
+		{"inside", Pt(22, 37), true},
+		{"on min corner", Pt(20, 35), true},
+		{"on max corner", Pt(25, 40), true},
+		{"west of", Pt(19.9, 37), false},
+		{"north of", Pt(22, 40.1), false},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := b.Contains(tc.p); got != tc.want {
+				t.Errorf("Contains(%v) = %v, want %v", tc.p, got, tc.want)
+			}
+		})
+	}
+}
+
+func TestBBoxCornerOrderIrrelevant(t *testing.T) {
+	a := NewBBox(25, 40, 20, 35)
+	b := NewBBox(20, 35, 25, 40)
+	if a != b {
+		t.Errorf("corner order changed box: %v vs %v", a, b)
+	}
+}
+
+func TestBBoxIntersects(t *testing.T) {
+	b := NewBBox(0, 0, 10, 10)
+	tests := []struct {
+		name string
+		o    BBox
+		want bool
+	}{
+		{"overlap", NewBBox(5, 5, 15, 15), true},
+		{"touching edge", NewBBox(10, 0, 20, 10), true},
+		{"disjoint", NewBBox(11, 11, 20, 20), false},
+		{"contained", NewBBox(2, 2, 3, 3), true},
+		{"containing", NewBBox(-5, -5, 15, 15), true},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := b.Intersects(tc.o); got != tc.want {
+				t.Errorf("Intersects(%v) = %v, want %v", tc.o, got, tc.want)
+			}
+			if got := tc.o.Intersects(b); got != tc.want {
+				t.Errorf("Intersects not symmetric for %v", tc.o)
+			}
+		})
+	}
+}
+
+func TestEmptyBBox(t *testing.T) {
+	e := EmptyBBox()
+	if !e.IsEmpty() {
+		t.Fatal("EmptyBBox not empty")
+	}
+	if e.Contains(Pt(0, 0)) {
+		t.Error("empty box contains point")
+	}
+	got := e.Extend(Pt(5, 5))
+	if got.IsEmpty() || !got.Contains(Pt(5, 5)) {
+		t.Error("Extend on empty box broken")
+	}
+	// Union identity.
+	b := NewBBox(1, 2, 3, 4)
+	if e.Union(b) != b || b.Union(e) != b {
+		t.Error("empty box is not a Union identity")
+	}
+}
+
+func TestBBoxUnionIntersection(t *testing.T) {
+	a := NewBBox(0, 0, 10, 10)
+	b := NewBBox(5, 5, 15, 12)
+	u := a.Union(b)
+	if u != NewBBox(0, 0, 15, 12) {
+		t.Errorf("Union = %v", u)
+	}
+	i := a.Intersection(b)
+	if i != NewBBox(5, 5, 10, 10) {
+		t.Errorf("Intersection = %v", i)
+	}
+	if !a.Intersection(NewBBox(20, 20, 30, 30)).IsEmpty() {
+		t.Error("disjoint intersection should be empty")
+	}
+}
+
+func TestBBoxOfExtendConsistent(t *testing.T) {
+	f := func(coords [6]float64) bool {
+		pts := make([]Point, 0, 3)
+		for i := 0; i < 6; i += 2 {
+			lon, lat := coords[i], coords[i+1]
+			if math.IsNaN(lon) || math.IsNaN(lat) || math.IsInf(lon, 0) || math.IsInf(lat, 0) {
+				return true
+			}
+			pts = append(pts, Pt(lon, lat))
+		}
+		box := BBoxOf(pts...)
+		for _, p := range pts {
+			if !box.Contains(p) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBBoxBufferCenter(t *testing.T) {
+	b := NewBBox(10, 20, 12, 24)
+	if c := b.Center(); c != Pt(11, 22) {
+		t.Errorf("Center = %v", c)
+	}
+	buf := b.Buffer(1)
+	if buf != NewBBox(9, 19, 13, 25) {
+		t.Errorf("Buffer = %v", buf)
+	}
+	if !buf.ContainsBox(b) {
+		t.Error("buffered box should contain original")
+	}
+}

@@ -1,0 +1,128 @@
+package geo
+
+import "fmt"
+
+// Grid is a uniform lon/lat grid over a bounding box, used for density
+// analytics, spatial blocking in link discovery, spatial RDF partitioning,
+// and the route-network forecasting model. Cells are addressed either by
+// (col,row) or by a single CellID = row*Cols + col.
+type Grid struct {
+	Box  BBox
+	Cols int
+	Rows int
+}
+
+// NewGrid returns a grid with the given number of columns and rows over box.
+// Cols and rows are clamped to at least 1.
+func NewGrid(box BBox, cols, rows int) Grid {
+	if cols < 1 {
+		cols = 1
+	}
+	if rows < 1 {
+		rows = 1
+	}
+	return Grid{Box: box, Cols: cols, Rows: rows}
+}
+
+// NewGridCellSize returns a grid whose cells are approximately cellDeg
+// degrees on each side.
+func NewGridCellSize(box BBox, cellDeg float64) Grid {
+	if cellDeg <= 0 {
+		cellDeg = 1
+	}
+	cols := int(box.WidthDeg()/cellDeg) + 1
+	rows := int(box.HeightDeg()/cellDeg) + 1
+	return NewGrid(box, cols, rows)
+}
+
+// NumCells returns Cols*Rows.
+func (g Grid) NumCells() int { return g.Cols * g.Rows }
+
+// CellWidth returns the cell width in degrees of longitude.
+func (g Grid) CellWidth() float64 { return g.Box.WidthDeg() / float64(g.Cols) }
+
+// CellHeight returns the cell height in degrees of latitude.
+func (g Grid) CellHeight() float64 { return g.Box.HeightDeg() / float64(g.Rows) }
+
+// ColRow returns the cell coordinates containing p, clamped to the grid, so
+// points outside the box map to the nearest border cell.
+func (g Grid) ColRow(p Point) (col, row int) {
+	col = int((p.Lon - g.Box.MinLon) / g.CellWidth())
+	row = int((p.Lat - g.Box.MinLat) / g.CellHeight())
+	if col < 0 {
+		col = 0
+	} else if col >= g.Cols {
+		col = g.Cols - 1
+	}
+	if row < 0 {
+		row = 0
+	} else if row >= g.Rows {
+		row = g.Rows - 1
+	}
+	return col, row
+}
+
+// CellID returns the flat cell index containing p, in [0, NumCells).
+func (g Grid) CellID(p Point) int {
+	col, row := g.ColRow(p)
+	return row*g.Cols + col
+}
+
+// CellBounds returns the bounding box of the cell with the given flat id.
+func (g Grid) CellBounds(id int) BBox {
+	if id < 0 || id >= g.NumCells() {
+		return EmptyBBox()
+	}
+	col := id % g.Cols
+	row := id / g.Cols
+	w, h := g.CellWidth(), g.CellHeight()
+	minLon := g.Box.MinLon + float64(col)*w
+	minLat := g.Box.MinLat + float64(row)*h
+	return BBox{MinLon: minLon, MinLat: minLat, MaxLon: minLon + w, MaxLat: minLat + h}
+}
+
+// CellCenter returns the centre point of the cell with the given flat id.
+func (g Grid) CellCenter(id int) Point { return g.CellBounds(id).Center() }
+
+// CellsIn returns the flat ids of all cells whose bounds intersect box.
+func (g Grid) CellsIn(box BBox) []int {
+	inter := g.Box.Intersection(box)
+	if inter.IsEmpty() {
+		return nil
+	}
+	c0, r0 := g.ColRow(Point{Lon: inter.MinLon, Lat: inter.MinLat})
+	c1, r1 := g.ColRow(Point{Lon: inter.MaxLon, Lat: inter.MaxLat})
+	ids := make([]int, 0, (c1-c0+1)*(r1-r0+1))
+	for r := r0; r <= r1; r++ {
+		for c := c0; c <= c1; c++ {
+			ids = append(ids, r*g.Cols+c)
+		}
+	}
+	return ids
+}
+
+// Neighbors returns the flat ids of the up-to-8 cells adjacent to id,
+// excluding id itself.
+func (g Grid) Neighbors(id int) []int {
+	col := id % g.Cols
+	row := id / g.Cols
+	out := make([]int, 0, 8)
+	for dr := -1; dr <= 1; dr++ {
+		for dc := -1; dc <= 1; dc++ {
+			if dr == 0 && dc == 0 {
+				continue
+			}
+			r, c := row+dr, col+dc
+			if r < 0 || r >= g.Rows || c < 0 || c >= g.Cols {
+				continue
+			}
+			out = append(out, r*g.Cols+c)
+		}
+	}
+	return out
+}
+
+// String implements fmt.Stringer.
+func (g Grid) String() string {
+	return fmt.Sprintf("grid{%dx%d over %s}", g.Cols, g.Rows, g.Box)
+}

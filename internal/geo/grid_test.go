@@ -1,0 +1,112 @@
+package geo
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestGridCellIDRange(t *testing.T) {
+	g := NewGrid(NewBBox(20, 30, 30, 40), 10, 8)
+	f := func(lon, lat float64) bool {
+		id := g.CellID(Pt(lon, lat))
+		return id >= 0 && id < g.NumCells()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGridCellBoundsContainCenter(t *testing.T) {
+	g := NewGrid(NewBBox(0, 0, 10, 10), 5, 4)
+	for id := 0; id < g.NumCells(); id++ {
+		b := g.CellBounds(id)
+		c := g.CellCenter(id)
+		if !b.Contains(c) {
+			t.Errorf("cell %d bounds %v missing center %v", id, b, c)
+		}
+		if got := g.CellID(c); got != id {
+			t.Errorf("CellID(center of %d) = %d", id, got)
+		}
+	}
+}
+
+func TestGridCellBoundsInvalid(t *testing.T) {
+	g := NewGrid(NewBBox(0, 0, 10, 10), 5, 4)
+	if !g.CellBounds(-1).IsEmpty() || !g.CellBounds(g.NumCells()).IsEmpty() {
+		t.Error("out-of-range cell ids should yield empty bounds")
+	}
+}
+
+func TestGridClampsOutsidePoints(t *testing.T) {
+	g := NewGrid(NewBBox(0, 0, 10, 10), 5, 5)
+	if id := g.CellID(Pt(-100, -100)); id != 0 {
+		t.Errorf("far southwest should clamp to 0, got %d", id)
+	}
+	if id := g.CellID(Pt(100, 100)); id != g.NumCells()-1 {
+		t.Errorf("far northeast should clamp to last, got %d", id)
+	}
+}
+
+func TestGridCellsIn(t *testing.T) {
+	g := NewGrid(NewBBox(0, 0, 10, 10), 10, 10) // 1x1 degree cells
+	ids := g.CellsIn(NewBBox(2.5, 2.5, 4.5, 3.5))
+	// spans cols 2..4, rows 2..3 → 3*2 = 6 cells
+	if len(ids) != 6 {
+		t.Fatalf("CellsIn returned %d cells, want 6: %v", len(ids), ids)
+	}
+	if g.CellsIn(NewBBox(50, 50, 60, 60)) != nil {
+		t.Error("disjoint query should return nil")
+	}
+	all := g.CellsIn(g.Box)
+	if len(all) != g.NumCells() {
+		t.Errorf("whole-box query returned %d, want %d", len(all), g.NumCells())
+	}
+}
+
+func TestGridNeighbors(t *testing.T) {
+	g := NewGrid(NewBBox(0, 0, 10, 10), 4, 4)
+	tests := []struct {
+		name string
+		id   int
+		want int
+	}{
+		{"corner", 0, 3},
+		{"edge", 1, 5},
+		{"interior", 5, 8},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			n := g.Neighbors(tc.id)
+			if len(n) != tc.want {
+				t.Errorf("Neighbors(%d) = %v (len %d), want len %d", tc.id, n, len(n), tc.want)
+			}
+			for _, id := range n {
+				if id == tc.id {
+					t.Error("neighbor list includes self")
+				}
+			}
+		})
+	}
+}
+
+func TestNewGridCellSize(t *testing.T) {
+	g := NewGridCellSize(NewBBox(0, 0, 10, 5), 1.0)
+	if g.Cols < 10 || g.Rows < 5 {
+		t.Errorf("grid too coarse: %v", g)
+	}
+	if w := g.CellWidth(); w > 1.0 {
+		t.Errorf("cell width %f exceeds requested", w)
+	}
+	// Degenerate cell size falls back to something sane.
+	g2 := NewGridCellSize(NewBBox(0, 0, 10, 5), 0)
+	if g2.NumCells() < 1 {
+		t.Error("degenerate cell size produced empty grid")
+	}
+}
+
+func TestGridMinimumSize(t *testing.T) {
+	g := NewGrid(NewBBox(0, 0, 1, 1), 0, -3)
+	if g.Cols != 1 || g.Rows != 1 {
+		t.Errorf("clamping failed: %v", g)
+	}
+}

@@ -1,0 +1,86 @@
+package geo
+
+// Polygon is a simple polygon given as a ring of vertices. The ring may be
+// open (first != last); Contains treats it as implicitly closed. Vertex
+// order (CW/CCW) does not matter. Polygons are used for areas of interest:
+// ports, fishing zones, restricted areas, ATC sectors.
+type Polygon struct {
+	// Vertices of the ring in order.
+	Ring []Point
+	// bbox caches the bounding box; computed lazily by BBox.
+	bbox  BBox
+	hasBB bool
+}
+
+// NewPolygon returns a polygon over the given ring. The slice is not copied.
+func NewPolygon(ring []Point) *Polygon { return &Polygon{Ring: ring} }
+
+// Rect returns a rectangular polygon covering the bounding box.
+func Rect(b BBox) *Polygon {
+	return NewPolygon([]Point{
+		{Lon: b.MinLon, Lat: b.MinLat},
+		{Lon: b.MaxLon, Lat: b.MinLat},
+		{Lon: b.MaxLon, Lat: b.MaxLat},
+		{Lon: b.MinLon, Lat: b.MaxLat},
+	})
+}
+
+// BBox returns the polygon's bounding box, caching it after the first call.
+func (pg *Polygon) BBox() BBox {
+	if !pg.hasBB {
+		pg.bbox = BBoxOf(pg.Ring...)
+		pg.hasBB = true
+	}
+	return pg.bbox
+}
+
+// Contains reports whether p is inside the polygon using the even-odd
+// (ray-casting) rule in plate-carrée coordinates. This is accurate for the
+// region-scale polygons used here (tens to hundreds of km).
+func (pg *Polygon) Contains(p Point) bool {
+	if len(pg.Ring) < 3 || !pg.BBox().Contains(p) {
+		return false
+	}
+	in := false
+	n := len(pg.Ring)
+	j := n - 1
+	for i := 0; i < n; i++ {
+		a, b := pg.Ring[i], pg.Ring[j]
+		if (a.Lat > p.Lat) != (b.Lat > p.Lat) {
+			x := (b.Lon-a.Lon)*(p.Lat-a.Lat)/(b.Lat-a.Lat) + a.Lon
+			if p.Lon < x {
+				in = !in
+			}
+		}
+		j = i
+	}
+	return in
+}
+
+// Centroid returns the arithmetic mean of the vertices. Adequate for the
+// convex, region-scale polygons used as areas of interest.
+func (pg *Polygon) Centroid() Point {
+	var lon, lat float64
+	if len(pg.Ring) == 0 {
+		return Point{}
+	}
+	for _, v := range pg.Ring {
+		lon += v.Lon
+		lat += v.Lat
+	}
+	n := float64(len(pg.Ring))
+	return Point{Lon: lon / n, Lat: lat / n}
+}
+
+// Circle approximates a circle of radius metres around c with the given
+// number of segments (minimum 3).
+func Circle(c Point, radiusM float64, segments int) *Polygon {
+	if segments < 3 {
+		segments = 3
+	}
+	ring := make([]Point, segments)
+	for i := 0; i < segments; i++ {
+		ring[i] = Destination(c, float64(i)*360/float64(segments), radiusM)
+	}
+	return NewPolygon(ring)
+}

@@ -1,0 +1,99 @@
+package geo
+
+import "testing"
+
+func TestPolygonContains(t *testing.T) {
+	// Unit square.
+	sq := Rect(NewBBox(0, 0, 1, 1))
+	tests := []struct {
+		name string
+		p    Point
+		want bool
+	}{
+		{"center", Pt(0.5, 0.5), true},
+		{"outside east", Pt(1.5, 0.5), false},
+		{"outside north", Pt(0.5, 1.5), false},
+		{"near corner inside", Pt(0.01, 0.01), true},
+		{"far away", Pt(50, 50), false},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := sq.Contains(tc.p); got != tc.want {
+				t.Errorf("Contains(%v) = %v, want %v", tc.p, got, tc.want)
+			}
+		})
+	}
+}
+
+func TestPolygonContainsConcave(t *testing.T) {
+	// L-shape: big square minus top-right quadrant.
+	l := NewPolygon([]Point{
+		Pt(0, 0), Pt(2, 0), Pt(2, 1), Pt(1, 1), Pt(1, 2), Pt(0, 2),
+	})
+	if !l.Contains(Pt(0.5, 1.5)) {
+		t.Error("point in top-left arm should be inside")
+	}
+	if l.Contains(Pt(1.5, 1.5)) {
+		t.Error("point in removed quadrant should be outside")
+	}
+	if !l.Contains(Pt(1.5, 0.5)) {
+		t.Error("point in bottom-right arm should be inside")
+	}
+}
+
+func TestPolygonDegenerate(t *testing.T) {
+	if NewPolygon(nil).Contains(Pt(0, 0)) {
+		t.Error("empty polygon contains nothing")
+	}
+	if NewPolygon([]Point{Pt(0, 0), Pt(1, 1)}).Contains(Pt(0.5, 0.5)) {
+		t.Error("2-vertex polygon contains nothing")
+	}
+}
+
+func TestPolygonBBoxCached(t *testing.T) {
+	pg := Rect(NewBBox(5, 6, 9, 8))
+	b1 := pg.BBox()
+	b2 := pg.BBox()
+	if b1 != b2 || b1 != NewBBox(5, 6, 9, 8) {
+		t.Errorf("BBox = %v / %v", b1, b2)
+	}
+}
+
+func TestPolygonCentroid(t *testing.T) {
+	sq := Rect(NewBBox(0, 0, 2, 2))
+	c := sq.Centroid()
+	if c != Pt(1, 1) {
+		t.Errorf("Centroid = %v, want (1,1)", c)
+	}
+	if (&Polygon{}).Centroid() != (Point{}) {
+		t.Error("empty polygon centroid should be zero point")
+	}
+}
+
+func TestCircle(t *testing.T) {
+	c := Pt(23.5, 37.9)
+	circ := Circle(c, 10000, 36)
+	if len(circ.Ring) != 36 {
+		t.Fatalf("ring size = %d", len(circ.Ring))
+	}
+	if !circ.Contains(c) {
+		t.Error("circle must contain its centre")
+	}
+	for i, v := range circ.Ring {
+		d := Haversine(c, v)
+		if d < 9990 || d > 10010 {
+			t.Errorf("vertex %d at distance %f, want ≈10000", i, d)
+		}
+	}
+	// Point just inside / outside radius.
+	if !circ.Contains(Destination(c, 45, 9000)) {
+		t.Error("9km point should be inside 10km circle")
+	}
+	if circ.Contains(Destination(c, 45, 11000)) {
+		t.Error("11km point should be outside 10km circle")
+	}
+	// Minimum segment clamping.
+	if len(Circle(c, 100, 1).Ring) != 3 {
+		t.Error("segments should clamp to 3")
+	}
+}

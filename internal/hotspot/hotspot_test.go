@@ -1,0 +1,165 @@
+package hotspot
+
+import (
+	"testing"
+	"time"
+
+	"github.com/datacron-project/datacron/internal/geo"
+	"github.com/datacron-project/datacron/internal/synth"
+)
+
+var box = geo.NewBBox(22, 34, 30, 42)
+
+func TestDensityGridCounts(t *testing.T) {
+	d := NewDensityGrid(geo.NewGrid(box, 8, 8))
+	d.Add(geo.Pt(23, 35))
+	d.Add(geo.Pt(23, 35))
+	d.AddWeighted(geo.Pt(29, 41), 3)
+	if d.Total() != 5 {
+		t.Errorf("Total = %f", d.Total())
+	}
+	if d.Max() != 3 {
+		t.Errorf("Max = %f", d.Max())
+	}
+}
+
+func TestGiStarFindsCluster(t *testing.T) {
+	d := NewDensityGrid(geo.NewGrid(box, 16, 16))
+	// Uniform background.
+	for i := 0; i < 16; i++ {
+		for j := 0; j < 16; j++ {
+			d.AddWeighted(d.Grid.CellCenter(i*16+j), 1)
+		}
+	}
+	// Strong cluster near (25, 38).
+	hotPt := geo.Pt(25, 38)
+	for i := 0; i < 200; i++ {
+		d.Add(hotPt)
+	}
+	spots := d.Hotspots(2.0)
+	if len(spots) == 0 {
+		t.Fatal("no hotspots found")
+	}
+	// Gi* is a neighbourhood statistic: the peak cell and its neighbours
+	// share the top score. The peak must be flagged, and every flagged
+	// cell must be the peak or one of its 8 neighbours.
+	peak := d.Grid.CellID(hotPt)
+	neighbourhood := map[int]bool{peak: true}
+	for _, n := range d.Grid.Neighbors(peak) {
+		neighbourhood[n] = true
+	}
+	foundPeak := false
+	for _, s := range spots {
+		if s.Cell == peak {
+			foundPeak = true
+		}
+		if !neighbourhood[s.Cell] {
+			t.Errorf("spurious hotspot at cell %d (z=%f)", s.Cell, s.Z)
+		}
+	}
+	if !foundPeak {
+		t.Error("peak cell not flagged")
+	}
+	// Empty grid: no NaNs, no hotspots.
+	empty := NewDensityGrid(geo.NewGrid(box, 4, 4))
+	if len(empty.Hotspots(2)) != 0 {
+		t.Error("empty grid produced hotspots")
+	}
+	for _, z := range empty.GiStar() {
+		if z != 0 {
+			t.Fatal("empty grid non-zero z")
+		}
+	}
+}
+
+func TestOccupancyWindows(t *testing.T) {
+	o := NewOccupancy(60_000)
+	o.Observe("S1", "A", 10_000)
+	o.Observe("S1", "A", 20_000) // duplicate entity, same window
+	o.Observe("S1", "B", 30_000)
+	o.Observe("S1", "A", 70_000) // next window
+	o.Observe("S2", "A", 10_000)
+	counts := o.Counts()
+	if len(counts) != 3 {
+		t.Fatalf("counts = %+v", counts)
+	}
+	// Window 0, S1: 2 distinct entities.
+	if counts[0].Area != "S1" || counts[0].Entities != 2 {
+		t.Errorf("counts[0] = %+v", counts[0])
+	}
+}
+
+func TestCongestionEventsMergeWindows(t *testing.T) {
+	o := NewOccupancy(60_000)
+	// S1 congested in windows 0 and 1 (3 entities each), then clear.
+	for w := int64(0); w < 2; w++ {
+		for _, e := range []string{"a", "b", "c"} {
+			o.Observe("S1", e, w*60_000+1000)
+		}
+	}
+	o.Observe("S1", "a", 3*60_000)
+	evs := o.CongestionEvents(3)
+	if len(evs) != 1 {
+		t.Fatalf("events = %+v", evs)
+	}
+	if evs[0].StartTS != 0 || evs[0].EndTS != 120_000 {
+		t.Errorf("merged interval = %d..%d", evs[0].StartTS, evs[0].EndTS)
+	}
+	if evs[0].Area != "S1" || evs[0].Type != "hotspot" {
+		t.Errorf("event = %+v", evs[0])
+	}
+}
+
+func TestFlowTop(t *testing.T) {
+	f := NewFlow()
+	// entity e1: A → B → C; e2: A → B.
+	f.Observe("e1", "A")
+	f.Observe("e1", "")
+	f.Observe("e1", "B")
+	f.Observe("e1", "C")
+	f.Observe("e2", "A")
+	f.Observe("e2", "B")
+	top := f.Top(10)
+	if len(top) != 2 {
+		t.Fatalf("flows = %+v", top)
+	}
+	if top[0].From != "A" || top[0].To != "B" || top[0].Count != 2 {
+		t.Errorf("top flow = %+v", top[0])
+	}
+	if got := f.Top(1); len(got) != 1 {
+		t.Error("Top(1) truncation")
+	}
+	// Re-entering the same area is not a transition.
+	f2 := NewFlow()
+	f2.Observe("e", "A")
+	f2.Observe("e", "A")
+	if len(f2.Top(0)) != 0 {
+		t.Error("self transition counted")
+	}
+}
+
+func TestHotspotDetectionOnAviationWorld(t *testing.T) {
+	sc := synth.GenAviation(synth.AviationConfig{Seed: 19, Flights: 40, Duration: 2 * time.Hour, HoldEpisodes: 1})
+	grid := synth.SectorGrid()
+	occ := NewOccupancy((10 * time.Minute).Milliseconds())
+	for _, p := range sc.Positions {
+		occ.Observe(synth.SectorName(grid.CellID(p.Pt)), p.EntityID, p.TS)
+	}
+	// Threshold: the scripted hold should push its sector above typical
+	// occupancy. Find a threshold that flags the truth sector.
+	truth := sc.EventsOfType("hotspot")
+	if len(truth) != 1 {
+		t.Fatalf("scripted hotspots = %d", len(truth))
+	}
+	evs := occ.CongestionEvents(8)
+	found := false
+	for _, ev := range evs {
+		if ev.Area == truth[0].Area &&
+			ev.StartTS <= truth[0].EndTS && truth[0].StartTS <= ev.EndTS+10*60000 {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("scripted hold sector %s not flagged; events: %+v", truth[0].Area, evs)
+	}
+}

@@ -1,0 +1,134 @@
+package hotspot
+
+import (
+	"sort"
+
+	"github.com/datacron-project/datacron/internal/geo"
+	"github.com/datacron-project/datacron/internal/model"
+)
+
+// PathDensity aggregates movement *edges* rather than positions: each
+// consecutive report pair of a trajectory increments the directed edge
+// between their grid cells. The strongest edges trace the "hot paths" of
+// the paper's §1 ("prediction of ... hot spots / paths") — the de-facto
+// route network of the traffic.
+type PathDensity struct {
+	Grid  geo.Grid
+	edges map[[2]int]int
+}
+
+// NewPathDensity returns an empty aggregator over the grid.
+func NewPathDensity(g geo.Grid) *PathDensity {
+	return &PathDensity{Grid: g, edges: make(map[[2]int]int)}
+}
+
+// AddTrajectory accumulates all movement edges of a trajectory. Pauses
+// (speed ≤ 0.5 m/s) and intra-cell movement contribute nothing.
+func (pd *PathDensity) AddTrajectory(tr *model.Trajectory) {
+	for i := 1; i < tr.Len(); i++ {
+		a, b := tr.Points[i-1], tr.Points[i]
+		if b.SpeedMS <= 0.5 {
+			continue
+		}
+		ca, cb := pd.Grid.CellID(a.Pt), pd.Grid.CellID(b.Pt)
+		if ca == cb {
+			continue
+		}
+		pd.edges[[2]int{ca, cb}]++
+	}
+}
+
+// PathEdge is one directed cell-to-cell corridor segment.
+type PathEdge struct {
+	FromCell, ToCell int
+	From, To         geo.Point
+	Count            int
+}
+
+// TopEdges returns the k strongest corridor segments, strongest first.
+func (pd *PathDensity) TopEdges(k int) []PathEdge {
+	out := make([]PathEdge, 0, len(pd.edges))
+	for e, c := range pd.edges {
+		out = append(out, PathEdge{
+			FromCell: e[0], ToCell: e[1],
+			From: pd.Grid.CellCenter(e[0]), To: pd.Grid.CellCenter(e[1]),
+			Count: c,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Count != out[j].Count {
+			return out[i].Count > out[j].Count
+		}
+		if out[i].FromCell != out[j].FromCell {
+			return out[i].FromCell < out[j].FromCell
+		}
+		return out[i].ToCell < out[j].ToCell
+	})
+	if k > 0 && len(out) > k {
+		out = out[:k]
+	}
+	return out
+}
+
+// Corridor greedily extends the strongest edge into a path: from the
+// strongest edge, repeatedly append the strongest outgoing edge of the
+// current end cell (and prepend the strongest incoming edge of the start)
+// until no edge with at least minCount remains or the path reaches maxLen
+// cells. The result traces one dominant traffic corridor.
+func (pd *PathDensity) Corridor(minCount, maxLen int) []int {
+	top := pd.TopEdges(1)
+	if len(top) == 0 || top[0].Count < minCount {
+		return nil
+	}
+	path := []int{top[0].FromCell, top[0].ToCell}
+	used := map[int]bool{top[0].FromCell: true, top[0].ToCell: true}
+	// Extend forward.
+	for len(path) < maxLen {
+		end := path[len(path)-1]
+		next, c := pd.bestFrom(end, used)
+		if c < minCount {
+			break
+		}
+		path = append(path, next)
+		used[next] = true
+	}
+	// Extend backward.
+	for len(path) < maxLen {
+		start := path[0]
+		prev, c := pd.bestTo(start, used)
+		if c < minCount {
+			break
+		}
+		path = append([]int{prev}, path...)
+		used[prev] = true
+	}
+	return path
+}
+
+// bestFrom returns the strongest unused successor of cell.
+func (pd *PathDensity) bestFrom(cell int, used map[int]bool) (next, count int) {
+	count = -1
+	for e, c := range pd.edges {
+		if e[0] != cell || used[e[1]] {
+			continue
+		}
+		if c > count || (c == count && e[1] < next) {
+			next, count = e[1], c
+		}
+	}
+	return next, count
+}
+
+// bestTo returns the strongest unused predecessor of cell.
+func (pd *PathDensity) bestTo(cell int, used map[int]bool) (prev, count int) {
+	count = -1
+	for e, c := range pd.edges {
+		if e[1] != cell || used[e[0]] {
+			continue
+		}
+		if c > count || (c == count && e[0] < prev) {
+			prev, count = e[0], c
+		}
+	}
+	return prev, count
+}

@@ -1,0 +1,103 @@
+package hotspot
+
+import (
+	"testing"
+	"time"
+
+	"github.com/datacron-project/datacron/internal/geo"
+	"github.com/datacron-project/datacron/internal/model"
+	"github.com/datacron-project/datacron/internal/synth"
+)
+
+func eastTrack(id string, n int) *model.Trajectory {
+	tr := &model.Trajectory{EntityID: id}
+	pt := geo.Pt(23, 37)
+	for i := 0; i < n; i++ {
+		tr.Points = append(tr.Points, model.Position{
+			EntityID: id, TS: int64(i) * 60000, Pt: pt, SpeedMS: 8, CourseDeg: 90,
+		})
+		pt = geo.Destination(pt, 90, 8*60)
+	}
+	return tr
+}
+
+func TestPathDensityEdges(t *testing.T) {
+	pd := NewPathDensity(geo.NewGrid(box, 64, 64))
+	for v := 0; v < 5; v++ {
+		pd.AddTrajectory(eastTrack("V", 120))
+	}
+	edges := pd.TopEdges(10)
+	if len(edges) == 0 {
+		t.Fatal("no edges")
+	}
+	// No edge of an eastbound track heads west (same-longitude edges are
+	// row transitions from the great circle's slight southward drift).
+	for _, e := range edges {
+		if e.To.Lon < e.From.Lon {
+			t.Errorf("edge heads west: %+v", e)
+		}
+		if e.Count != 5 {
+			t.Errorf("edge count = %d, want 5 (one per vessel)", e.Count)
+		}
+	}
+}
+
+func TestPathDensityIgnoresPausesAndIntraCell(t *testing.T) {
+	pd := NewPathDensity(geo.NewGrid(box, 16, 16))
+	tr := eastTrack("V", 3)
+	// Append a pause at the same place.
+	last := tr.Points[len(tr.Points)-1]
+	last.TS += 60000
+	last.SpeedMS = 0.1
+	tr.Points = append(tr.Points, last)
+	pd.AddTrajectory(tr)
+	for _, e := range pd.TopEdges(0) {
+		if e.FromCell == e.ToCell {
+			t.Error("intra-cell edge recorded")
+		}
+	}
+}
+
+func TestCorridorTracesLane(t *testing.T) {
+	pd := NewPathDensity(geo.NewGrid(box, 64, 64))
+	for v := 0; v < 8; v++ {
+		pd.AddTrajectory(eastTrack("V", 180))
+	}
+	path := pd.Corridor(4, 32)
+	if len(path) < 3 {
+		t.Fatalf("corridor too short: %v", path)
+	}
+	// Eastbound corridor: cell-centre longitudes never decrease (row
+	// transitions from the great circle's southward drift keep the same
+	// column) and the corridor makes overall eastward progress.
+	for i := 1; i < len(path); i++ {
+		if pd.Grid.CellCenter(path[i]).Lon < pd.Grid.CellCenter(path[i-1]).Lon-1e-9 {
+			t.Errorf("corridor heads west at %d", i)
+		}
+	}
+	if pd.Grid.CellCenter(path[len(path)-1]).Lon <= pd.Grid.CellCenter(path[0]).Lon {
+		t.Error("corridor made no eastward progress")
+	}
+	// No corridor above threshold when traffic is weak.
+	weak := NewPathDensity(geo.NewGrid(box, 64, 64))
+	weak.AddTrajectory(eastTrack("V", 10))
+	if got := weak.Corridor(5, 10); got != nil {
+		t.Errorf("weak traffic corridor = %v", got)
+	}
+}
+
+func TestPathDensityOnSyntheticWorld(t *testing.T) {
+	sc := synth.GenMaritime(synth.MaritimeConfig{Seed: 51, Vessels: 40, Duration: 2 * time.Hour})
+	pd := NewPathDensity(geo.NewGrid(sc.Box, 48, 48))
+	for _, tr := range sc.Truth {
+		pd.AddTrajectory(tr)
+	}
+	edges := pd.TopEdges(20)
+	if len(edges) < 5 {
+		t.Fatalf("too few corridor edges: %d", len(edges))
+	}
+	// Strongest corridors carry several vessels (the shared lane graph).
+	if edges[0].Count < 3 {
+		t.Errorf("top edge count = %d, want shared-lane traffic", edges[0].Count)
+	}
+}

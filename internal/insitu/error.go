@@ -1,0 +1,90 @@
+package insitu
+
+import (
+	"math"
+	"sort"
+
+	"github.com/datacron-project/datacron/internal/geo"
+	"github.com/datacron-project/datacron/internal/model"
+)
+
+// ErrorStats summarises the reconstruction error a compressed trajectory
+// introduces against the original, measured as synchronised Euclidean
+// distance at every original timestamp.
+type ErrorStats struct {
+	MeanM  float64
+	MaxM   float64
+	P95M   float64
+	Points int
+}
+
+// CompressionError interpolates the compressed sequence at every original
+// timestamp and reports the SED statistics. Both inputs must be
+// time-ordered and belong to the same entity. Returns zeros when inputs are
+// degenerate.
+func CompressionError(original, compressed []model.Position) ErrorStats {
+	if len(original) == 0 || len(compressed) == 0 {
+		return ErrorStats{}
+	}
+	ct := model.Trajectory{Points: compressed}
+	var (
+		sum  float64
+		max  float64
+		errs = make([]float64, 0, len(original))
+	)
+	for _, p := range original {
+		q, ok := ct.At(p.TS)
+		if !ok {
+			continue
+		}
+		d := math.Hypot(geo.Haversine(p.Pt, q.Pt), q.Pt.Alt-p.Pt.Alt)
+		sum += d
+		if d > max {
+			max = d
+		}
+		errs = append(errs, d)
+	}
+	if len(errs) == 0 {
+		return ErrorStats{}
+	}
+	return ErrorStats{
+		MeanM:  sum / float64(len(errs)),
+		MaxM:   max,
+		P95M:   percentile(errs, 95),
+		Points: len(errs),
+	}
+}
+
+// percentile computes the p-th percentile of xs on a sorted copy.
+func percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	cp := make([]float64, len(xs))
+	copy(cp, xs)
+	sort.Float64s(cp)
+	idx := int(p / 100 * float64(len(cp)-1))
+	return cp[idx]
+}
+
+// Aggregate merges per-entity error stats weighted by point count. MaxM is
+// the overall maximum; P95M is conservatively the maximum of per-entity
+// p95 values.
+func Aggregate(stats []ErrorStats) ErrorStats {
+	var out ErrorStats
+	var sum float64
+	for _, s := range stats {
+		sum += s.MeanM * float64(s.Points)
+		out.Points += s.Points
+		if s.MaxM > out.MaxM {
+			out.MaxM = s.MaxM
+		}
+		if s.P95M > out.P95M {
+			out.P95M = s.P95M
+		}
+	}
+	if out.Points > 0 {
+		out.MeanM = sum / float64(out.Points)
+	}
+	return out
+}

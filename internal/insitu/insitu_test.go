@@ -1,0 +1,356 @@
+package insitu
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"github.com/datacron-project/datacron/internal/geo"
+	"github.com/datacron-project/datacron/internal/model"
+	"github.com/datacron-project/datacron/internal/synth"
+)
+
+// straightLine builds a constant-velocity track: n points every stepS
+// seconds heading east at speedMS.
+func straightLine(id string, n int, stepS int, speedMS float64) []model.Position {
+	pts := make([]model.Position, n)
+	p := geo.Pt(23.0, 37.5)
+	for i := 0; i < n; i++ {
+		pts[i] = model.Position{
+			EntityID: id, TS: int64(i*stepS) * 1000, Pt: p,
+			SpeedMS: speedMS, CourseDeg: 90,
+		}
+		p = geo.Destination(p, 90, speedMS*float64(stepS))
+	}
+	return pts
+}
+
+func TestNoiseGateDropsOutliers(t *testing.T) {
+	g := NewNoiseGate(40)
+	base := straightLine("V", 5, 10, 8)
+	for i, p := range base {
+		if !g.Accept(p) {
+			t.Fatalf("clean point %d rejected", i)
+		}
+	}
+	// A 50 km teleport 10 s later implies 5000 m/s.
+	outlier := base[len(base)-1]
+	outlier.TS += 10000
+	outlier.Pt = geo.Destination(outlier.Pt, 45, 50000)
+	if g.Accept(outlier) {
+		t.Error("outlier accepted")
+	}
+	// The next sane point (relative to the last accepted) passes.
+	next := base[len(base)-1]
+	next.TS += 20000
+	next.Pt = geo.Destination(next.Pt, 90, 8*20)
+	if !g.Accept(next) {
+		t.Error("recovery point rejected")
+	}
+}
+
+func TestNoiseGateRejectsTimeRegression(t *testing.T) {
+	g := NewNoiseGate(40)
+	p := straightLine("V", 1, 10, 8)[0]
+	if !g.Accept(p) {
+		t.Fatal("first point rejected")
+	}
+	dup := p
+	if g.Accept(dup) {
+		t.Error("duplicate timestamp accepted")
+	}
+	earlier := p
+	earlier.TS -= 1000
+	if g.Accept(earlier) {
+		t.Error("time regression accepted")
+	}
+}
+
+func TestNoiseGatePerEntityState(t *testing.T) {
+	g := NewNoiseGate(40)
+	a := straightLine("A", 1, 10, 8)[0]
+	b := a
+	b.EntityID = "B"
+	b.Pt = geo.Destination(a.Pt, 0, 100000) // far away, but first report of B
+	if !g.Accept(a) || !g.Accept(b) {
+		t.Error("independent entities should both be accepted")
+	}
+}
+
+func TestThresholdFilterSteadyMotionCompresses(t *testing.T) {
+	f := NewThresholdFilter(DefaultThreshold())
+	pts := straightLine("V", 100, 10, 8)
+	kept := 0
+	for _, p := range pts {
+		if f.Keep(p) {
+			kept++
+		}
+	}
+	// Constant velocity: only the first point plus ~one heartbeat per 3 min.
+	if kept > 8 {
+		t.Errorf("steady motion kept %d of %d points", kept, len(pts))
+	}
+	if kept == 0 {
+		t.Error("must keep at least the first point")
+	}
+}
+
+func TestThresholdFilterKeepsTurn(t *testing.T) {
+	f := NewThresholdFilter(ThresholdConfig{DistM: 50, CourseDeg: 5, MaxGapMS: 1 << 50})
+	pts := straightLine("V", 10, 10, 8)
+	for _, p := range pts {
+		f.Keep(p)
+	}
+	// A sharp turn must be kept.
+	turn := pts[len(pts)-1]
+	turn.TS += 10000
+	turn.Pt = geo.Destination(pts[len(pts)-1].Pt, 90, 80)
+	turn.CourseDeg = 145
+	if !f.Keep(turn) {
+		t.Error("turn not kept")
+	}
+}
+
+func TestThresholdFilterKeepsSpeedChange(t *testing.T) {
+	f := NewThresholdFilter(ThresholdConfig{SpeedMS: 0.5, MaxGapMS: 1 << 50})
+	pts := straightLine("V", 3, 10, 8)
+	for _, p := range pts {
+		f.Keep(p)
+	}
+	slow := pts[2]
+	slow.TS += 10000
+	slow.SpeedMS = 2 // sudden slow-down, same course
+	if !f.Keep(slow) {
+		t.Error("speed drop not kept")
+	}
+}
+
+func TestThresholdFilterHeartbeat(t *testing.T) {
+	f := NewThresholdFilter(ThresholdConfig{DistM: 1e9, MaxGapMS: 60000})
+	pts := straightLine("V", 30, 10, 8) // 300 s total, heartbeat every 60 s
+	kept := 0
+	for _, p := range pts {
+		if f.Keep(p) {
+			kept++
+		}
+	}
+	if kept < 5 || kept > 7 {
+		t.Errorf("heartbeat kept %d, want ≈6", kept)
+	}
+}
+
+func TestDeadReckon(t *testing.T) {
+	p := model.Position{TS: 0, Pt: geo.Pt(23, 37), SpeedMS: 10, CourseDeg: 90}
+	q := DeadReckon(p, 60000)
+	want := geo.Destination(p.Pt, 90, 600)
+	if geo.Haversine(q.Pt, want) > 1 {
+		t.Errorf("dead reckon drift: %v vs %v", q.Pt, want)
+	}
+	if q.TS != 60000 {
+		t.Errorf("TS = %d", q.TS)
+	}
+	// Non-positive dt returns the original.
+	if DeadReckon(p, -5).Pt != p.Pt {
+		t.Error("negative dt should not move")
+	}
+	// Vertical rate integrates into altitude.
+	p.VertRateMS = 10
+	q = DeadReckon(p, 30000)
+	if math.Abs(q.Pt.Alt-300) > 1e-9 {
+		t.Errorf("altitude = %f, want 300", q.Pt.Alt)
+	}
+}
+
+func TestDouglasPeuckerStraightLine(t *testing.T) {
+	pts := straightLine("V", 50, 10, 8)
+	out := DouglasPeucker(pts, 10)
+	if len(out) != 2 {
+		t.Errorf("straight line should compress to endpoints, got %d", len(out))
+	}
+	if out[0].TS != pts[0].TS || out[len(out)-1].TS != pts[len(pts)-1].TS {
+		t.Error("endpoints not preserved")
+	}
+}
+
+func TestDouglasPeuckerKeepsCorner(t *testing.T) {
+	// L-shaped path: east then north.
+	east := straightLine("V", 20, 10, 8)
+	corner := east[len(east)-1]
+	var pts []model.Position
+	pts = append(pts, east...)
+	p := corner.Pt
+	for i := 1; i <= 20; i++ {
+		p = geo.Destination(p, 0, 80)
+		pts = append(pts, model.Position{
+			EntityID: "V", TS: corner.TS + int64(i*10)*1000, Pt: p, SpeedMS: 8, CourseDeg: 0,
+		})
+	}
+	out := DouglasPeucker(pts, 10)
+	if len(out) != 3 {
+		t.Fatalf("L-path should keep 3 points, got %d", len(out))
+	}
+	if out[1].TS != corner.TS {
+		t.Errorf("corner not kept: kept ts %d, want %d", out[1].TS, corner.TS)
+	}
+}
+
+func TestTDTRKeepsSpeedChangeDPDoesNot(t *testing.T) {
+	// Path: straight east, but the mover stops halfway for 10 minutes.
+	// Spatially it is a perfect line (DP compresses to 2 points); the
+	// time-ratio variant must keep the stop.
+	var pts []model.Position
+	p := geo.Pt(23, 37.5)
+	ts := int64(0)
+	for i := 0; i < 20; i++ {
+		pts = append(pts, model.Position{EntityID: "V", TS: ts, Pt: p, SpeedMS: 8, CourseDeg: 90})
+		p = geo.Destination(p, 90, 80)
+		ts += 10000
+	}
+	for i := 0; i < 60; i++ { // stopped
+		pts = append(pts, model.Position{EntityID: "V", TS: ts, Pt: p, SpeedMS: 0, CourseDeg: 90})
+		ts += 10000
+	}
+	for i := 0; i < 20; i++ {
+		p = geo.Destination(p, 90, 80)
+		pts = append(pts, model.Position{EntityID: "V", TS: ts, Pt: p, SpeedMS: 8, CourseDeg: 90})
+		ts += 10000
+	}
+	dp := DouglasPeucker(pts, 30)
+	tdtr := TDTR(pts, 30)
+	if len(dp) > 4 {
+		t.Errorf("DP should erase the stop: kept %d", len(dp))
+	}
+	if len(tdtr) <= len(dp) {
+		t.Errorf("TD-TR must keep the stop: dp=%d tdtr=%d", len(dp), len(tdtr))
+	}
+	// And the TD-TR reconstruction error must be far smaller.
+	dpErr := CompressionError(pts, dp)
+	tdtrErr := CompressionError(pts, tdtr)
+	if tdtrErr.MaxM >= dpErr.MaxM {
+		t.Errorf("TD-TR max err %f should beat DP %f", tdtrErr.MaxM, dpErr.MaxM)
+	}
+}
+
+func TestSQUISHBoundedBuffer(t *testing.T) {
+	pts := straightLine("V", 200, 10, 8)
+	out := CompressSQUISH(pts, 20)
+	if len(out) != 20 {
+		t.Errorf("buffer bound violated: %d", len(out))
+	}
+	// Time order preserved.
+	for i := 1; i < len(out); i++ {
+		if out[i].TS <= out[i-1].TS {
+			t.Fatal("SQUISH output out of order")
+		}
+	}
+	// Endpoints survive.
+	if out[0].TS != pts[0].TS || out[len(out)-1].TS != pts[len(pts)-1].TS {
+		t.Error("endpoints evicted")
+	}
+}
+
+func TestSQUISHPreservesShapeBetterThanUniform(t *testing.T) {
+	// Zig-zag path: SQUISH at capacity k must reconstruct better than naive
+	// uniform sampling at the same k.
+	var pts []model.Position
+	p := geo.Pt(23, 37.5)
+	ts := int64(0)
+	dir := 45.0
+	for leg := 0; leg < 10; leg++ {
+		for i := 0; i < 20; i++ {
+			pts = append(pts, model.Position{EntityID: "V", TS: ts, Pt: p, SpeedMS: 8, CourseDeg: dir})
+			p = geo.Destination(p, dir, 80)
+			ts += 10000
+		}
+		dir = 180 - dir // zig
+	}
+	k := 25
+	squish := CompressSQUISH(pts, k)
+	uniform := make([]model.Position, 0, k)
+	for i := 0; i < k; i++ {
+		uniform = append(uniform, pts[i*len(pts)/k])
+	}
+	uniform[k-1] = pts[len(pts)-1]
+	es := CompressionError(pts, squish)
+	eu := CompressionError(pts, uniform)
+	if es.MeanM >= eu.MeanM {
+		t.Errorf("SQUISH mean err %.1f should beat uniform %.1f", es.MeanM, eu.MeanM)
+	}
+}
+
+func TestCompressionErrorZeroForIdentity(t *testing.T) {
+	pts := straightLine("V", 50, 10, 8)
+	e := CompressionError(pts, pts)
+	if e.MeanM > 1e-6 || e.MaxM > 1e-6 {
+		t.Errorf("identity compression should have zero error: %+v", e)
+	}
+	if e.Points != len(pts) {
+		t.Errorf("Points = %d", e.Points)
+	}
+	if (CompressionError(nil, pts) != ErrorStats{}) {
+		t.Error("empty original should be zero stats")
+	}
+	if (CompressionError(pts, nil) != ErrorStats{}) {
+		t.Error("empty compressed should be zero stats")
+	}
+}
+
+func TestRatio(t *testing.T) {
+	if Ratio(100, 10) != 10 {
+		t.Error("Ratio(100,10)")
+	}
+	if Ratio(100, 0) != 0 {
+		t.Error("Ratio with zero kept")
+	}
+}
+
+func TestAggregate(t *testing.T) {
+	agg := Aggregate([]ErrorStats{
+		{MeanM: 10, MaxM: 50, P95M: 30, Points: 100},
+		{MeanM: 20, MaxM: 80, P95M: 60, Points: 300},
+	})
+	if math.Abs(agg.MeanM-17.5) > 1e-9 {
+		t.Errorf("MeanM = %f", agg.MeanM)
+	}
+	if agg.MaxM != 80 || agg.P95M != 60 || agg.Points != 400 {
+		t.Errorf("agg = %+v", agg)
+	}
+	if (Aggregate(nil) != ErrorStats{}) {
+		t.Error("empty aggregate")
+	}
+}
+
+// End-to-end on synthetic data: the paper's central in-situ claim is that
+// high compression leaves analytics quality intact; here we check the error
+// stays bounded at a decent ratio on realistic trajectories.
+func TestCompressionOnSyntheticWorld(t *testing.T) {
+	sc := synth.GenMaritime(synth.MaritimeConfig{Seed: 5, Vessels: 8, Duration: time.Hour})
+	byEntity := model.GroupByEntity(sc.Positions)
+	var ratios []float64
+	var stats []ErrorStats
+	for _, tr := range byEntity {
+		f := NewThresholdFilter(DefaultThreshold())
+		var kept []model.Position
+		for _, p := range tr.Points {
+			if f.Keep(p) {
+				kept = append(kept, p)
+			}
+		}
+		ratios = append(ratios, Ratio(len(tr.Points), len(kept)))
+		stats = append(stats, CompressionError(tr.Points, kept))
+	}
+	var meanRatio float64
+	for _, r := range ratios {
+		meanRatio += r
+	}
+	meanRatio /= float64(len(ratios))
+	agg := Aggregate(stats)
+	if meanRatio < 2 {
+		t.Errorf("mean compression ratio %.1f too low for realistic traffic", meanRatio)
+	}
+	// GPS noise is ~15m; reconstruction error should stay within a couple
+	// hundred metres at default thresholds.
+	if agg.MeanM > 200 {
+		t.Errorf("mean SED %.1fm too high", agg.MeanM)
+	}
+}

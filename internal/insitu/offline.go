@@ -1,0 +1,72 @@
+package insitu
+
+import (
+	"github.com/datacron-project/datacron/internal/geo"
+	"github.com/datacron-project/datacron/internal/model"
+)
+
+// DouglasPeucker compresses a time-ordered point sequence with the classic
+// spatial Douglas-Peucker algorithm: keep the point farthest from the
+// endpoint chord while it exceeds epsM metres, recursing on both halves.
+// It is the offline reference for E1's ablation — it cannot run in-situ
+// because it needs the whole trajectory.
+func DouglasPeucker(points []model.Position, epsM float64) []model.Position {
+	if len(points) <= 2 {
+		return append([]model.Position(nil), points...)
+	}
+	keep := make([]bool, len(points))
+	keep[0], keep[len(points)-1] = true, true
+	dpRecurse(points, 0, len(points)-1, epsM, keep, func(a, b, p model.Position) float64 {
+		return geo.SegmentDist(p.Pt, a.Pt, b.Pt)
+	})
+	return collectKept(points, keep)
+}
+
+// TDTR is the time-aware variant of Douglas-Peucker (Meratnia & de By's
+// top-down time-ratio): the deviation measure is the synchronised Euclidean
+// distance, so points are kept where the *movement* deviates, not just the
+// path geometry. This preserves speed changes that spatial DP erases.
+func TDTR(points []model.Position, epsM float64) []model.Position {
+	if len(points) <= 2 {
+		return append([]model.Position(nil), points...)
+	}
+	keep := make([]bool, len(points))
+	keep[0], keep[len(points)-1] = true, true
+	dpRecurse(points, 0, len(points)-1, epsM, keep, func(a, b, p model.Position) float64 {
+		return sed(a, p, b)
+	})
+	return collectKept(points, keep)
+}
+
+// dpRecurse marks points to keep between lo and hi (exclusive) whose
+// deviation exceeds eps.
+func dpRecurse(points []model.Position, lo, hi int, eps float64, keep []bool, dist func(a, b, p model.Position) float64) {
+	if hi-lo < 2 {
+		return
+	}
+	maxD := -1.0
+	maxI := -1
+	for i := lo + 1; i < hi; i++ {
+		d := dist(points[lo], points[hi], points[i])
+		if d > maxD {
+			maxD = d
+			maxI = i
+		}
+	}
+	if maxD <= eps {
+		return
+	}
+	keep[maxI] = true
+	dpRecurse(points, lo, maxI, eps, keep, dist)
+	dpRecurse(points, maxI, hi, eps, keep, dist)
+}
+
+func collectKept(points []model.Position, keep []bool) []model.Position {
+	out := make([]model.Position, 0, 16)
+	for i, k := range keep {
+		if k {
+			out = append(out, points[i])
+		}
+	}
+	return out
+}

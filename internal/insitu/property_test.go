@@ -1,0 +1,124 @@
+package insitu
+
+// Property-based tests of the compression algorithms' formal guarantees.
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/datacron-project/datacron/internal/geo"
+	"github.com/datacron-project/datacron/internal/model"
+)
+
+// randomTrack builds a seeded random-walk trajectory.
+func randomTrack(seed int64, n int) []model.Position {
+	r := rand.New(rand.NewSource(seed))
+	pts := make([]model.Position, n)
+	pt := geo.Pt(23.5, 37.5)
+	course := 90.0
+	speed := 8.0
+	for i := 0; i < n; i++ {
+		pts[i] = model.Position{EntityID: "V", TS: int64(i) * 10000, Pt: pt, SpeedMS: speed, CourseDeg: course}
+		course += r.NormFloat64() * 15
+		speed += r.NormFloat64() * 0.5
+		if speed < 0.5 {
+			speed = 0.5
+		}
+		if speed > 12 {
+			speed = 12
+		}
+		pt = geo.Destination(pt, course, speed*10)
+	}
+	return pts
+}
+
+// isSubsequence verifies compressed points appear in the original in order.
+func isSubsequence(orig, sub []model.Position) bool {
+	j := 0
+	for i := 0; i < len(orig) && j < len(sub); i++ {
+		if orig[i].TS == sub[j].TS && orig[i].Pt == sub[j].Pt {
+			j++
+		}
+	}
+	return j == len(sub)
+}
+
+func TestDouglasPeuckerGuarantees(t *testing.T) {
+	const eps = 100.0
+	for seed := int64(0); seed < 20; seed++ {
+		orig := randomTrack(seed, 200)
+		out := DouglasPeucker(orig, eps)
+		// Endpoints preserved.
+		if out[0].TS != orig[0].TS || out[len(out)-1].TS != orig[len(orig)-1].TS {
+			t.Fatalf("seed %d: endpoints lost", seed)
+		}
+		// Output is an ordered subsequence of the input.
+		if !isSubsequence(orig, out) {
+			t.Fatalf("seed %d: output is not a subsequence", seed)
+		}
+		// Formal guarantee: every original point lies within eps of the
+		// kept polyline (geometric deviation bound).
+		for _, p := range orig {
+			min := 1e18
+			for i := 1; i < len(out); i++ {
+				if d := geo.SegmentDist(p.Pt, out[i-1].Pt, out[i].Pt); d < min {
+					min = d
+				}
+			}
+			if min > eps+1 { // 1m numerical slack
+				t.Fatalf("seed %d: point deviates %.1fm > eps", seed, min)
+			}
+		}
+	}
+}
+
+func TestTDTRGuarantees(t *testing.T) {
+	const eps = 100.0
+	for seed := int64(20); seed < 40; seed++ {
+		orig := randomTrack(seed, 200)
+		out := TDTR(orig, eps)
+		if !isSubsequence(orig, out) {
+			t.Fatalf("seed %d: output is not a subsequence", seed)
+		}
+		// Formal guarantee: the synchronised Euclidean deviation at every
+		// original timestamp is at most eps.
+		stats := CompressionError(orig, out)
+		if stats.MaxM > eps+1 {
+			t.Fatalf("seed %d: max SED %.1fm > eps", seed, stats.MaxM)
+		}
+	}
+}
+
+func TestSQUISHNeverExceedsCapacityProperty(t *testing.T) {
+	for seed := int64(40); seed < 50; seed++ {
+		orig := randomTrack(seed, 300)
+		for _, capacity := range []int{2, 5, 20, 100} {
+			out := CompressSQUISH(orig, capacity)
+			if len(out) > capacity {
+				t.Fatalf("seed %d cap %d: kept %d", seed, capacity, len(out))
+			}
+			if !isSubsequence(orig, out) {
+				t.Fatalf("seed %d: not a subsequence", seed)
+			}
+		}
+	}
+}
+
+func TestThresholdFilterMonotoneInThreshold(t *testing.T) {
+	// A looser threshold must never keep more points.
+	orig := randomTrack(99, 500)
+	prevKept := 1 << 30
+	for _, dist := range []float64{10, 50, 200, 1000} {
+		f := NewThresholdFilter(ThresholdConfig{DistM: dist, MaxGapMS: 1 << 50})
+		kept := 0
+		for _, p := range orig {
+			if f.Keep(p) {
+				kept++
+			}
+		}
+		if kept > prevKept {
+			t.Fatalf("threshold %.0f kept %d > previous %d", dist, kept, prevKept)
+		}
+		prevKept = kept
+	}
+}

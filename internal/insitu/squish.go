@@ -1,0 +1,85 @@
+package insitu
+
+import (
+	"github.com/datacron-project/datacron/internal/geo"
+	"github.com/datacron-project/datacron/internal/model"
+)
+
+// SQUISH is an online trajectory compressor with a bounded buffer, after
+// Muckell et al.'s SQUISH: when the buffer overflows, the interior point
+// whose removal introduces the least synchronised Euclidean distance (SED)
+// error is dropped, and its error is pushed onto its neighbours. One SQUISH
+// instance compresses one entity's stream.
+type SQUISH struct {
+	capacity int
+	buf      []squishPoint
+}
+
+type squishPoint struct {
+	p   model.Position
+	err float64 // accumulated SED error charged to this point
+}
+
+// NewSQUISH returns a compressor keeping at most capacity points (≥2).
+func NewSQUISH(capacity int) *SQUISH {
+	if capacity < 2 {
+		capacity = 2
+	}
+	return &SQUISH{capacity: capacity}
+}
+
+// Push adds a report to the buffer, evicting the least-important interior
+// point when full.
+func (s *SQUISH) Push(p model.Position) {
+	s.buf = append(s.buf, squishPoint{p: p})
+	if len(s.buf) <= s.capacity {
+		return
+	}
+	// Find interior point with minimal err + SED(removal).
+	bestIdx := -1
+	bestCost := 0.0
+	for i := 1; i < len(s.buf)-1; i++ {
+		cost := s.buf[i].err + sed(s.buf[i-1].p, s.buf[i].p, s.buf[i+1].p)
+		if bestIdx < 0 || cost < bestCost {
+			bestIdx = i
+			bestCost = cost
+		}
+	}
+	// Charge the removed point's cost to its neighbours and remove it.
+	if bestIdx > 0 {
+		s.buf[bestIdx-1].err += bestCost / 2
+		s.buf[bestIdx+1].err += bestCost / 2
+		s.buf = append(s.buf[:bestIdx], s.buf[bestIdx+1:]...)
+	}
+}
+
+// Result returns the compressed trajectory points in time order.
+func (s *SQUISH) Result() []model.Position {
+	out := make([]model.Position, len(s.buf))
+	for i, sp := range s.buf {
+		out[i] = sp.p
+	}
+	return out
+}
+
+// sed returns the synchronised Euclidean distance of b against the segment
+// a→c: the distance between b and where the mover would be at b's timestamp
+// if it travelled a→c directly.
+func sed(a, b, c model.Position) float64 {
+	if c.TS == a.TS {
+		return geo.Dist3D(a.Pt, b.Pt)
+	}
+	f := float64(b.TS-a.TS) / float64(c.TS-a.TS)
+	synth := geo.Interpolate(a.Pt, c.Pt, f)
+	return geo.Dist3D(synth, b.Pt)
+}
+
+// CompressSQUISH compresses one entity's time-ordered points to at most
+// capacity points.
+func CompressSQUISH(points []model.Position, capacity int) []model.Position {
+	s := NewSQUISH(capacity)
+	for _, p := range points {
+		s.Push(p)
+	}
+	return s.Result()
+}

@@ -1,0 +1,232 @@
+package interlink
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"github.com/datacron-project/datacron/internal/geo"
+	"github.com/datacron-project/datacron/internal/synth"
+)
+
+func TestNormalize(t *testing.T) {
+	tests := []struct{ in, want string }{
+		{"Blue Star 1", "BLUE STAR 1"},
+		{"BLUE-STAR-1", "BLUE STAR 1"},
+		{"  M/V  Blue   Star ", "M V BLUE STAR"},
+		{"", ""},
+		{"---", ""},
+	}
+	for _, tc := range tests {
+		if got := Normalize(tc.in); got != tc.want {
+			t.Errorf("Normalize(%q) = %q, want %q", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestNameSimilarity(t *testing.T) {
+	if s := NameSimilarity("BLUE STAR", "BLUE STAR"); s != 1 {
+		t.Errorf("identical names = %f", s)
+	}
+	if s := NameSimilarity("BLUE STAR", "BLUE-STAR"); s != 1 {
+		t.Errorf("punctuation variant = %f", s)
+	}
+	sim := NameSimilarity("AEGEAN CARGO 12", "AEGEAN CARG0 12") // typo
+	if sim < 0.5 || sim >= 1 {
+		t.Errorf("typo variant = %f", sim)
+	}
+	if s := NameSimilarity("BLUE STAR", "XXXXXX"); s > 0.1 {
+		t.Errorf("unrelated names = %f", s)
+	}
+	if s := NameSimilarity("", ""); s != 0 {
+		t.Errorf("empty names = %f", s)
+	}
+}
+
+func TestJaccard(t *testing.T) {
+	a := map[string]struct{}{"x": {}, "y": {}}
+	b := map[string]struct{}{"y": {}, "z": {}}
+	if j := Jaccard(a, b); j != 1.0/3.0 {
+		t.Errorf("Jaccard = %f", j)
+	}
+	if Jaccard(nil, nil) != 0 {
+		t.Error("empty sets")
+	}
+}
+
+func regs(names ...string) []NameRecord {
+	out := make([]NameRecord, len(names))
+	for i, n := range names {
+		out[i] = NameRecord{ID: fmt.Sprintf("a%d", i), Name: n}
+	}
+	return out
+}
+
+func TestMatchNaiveFindsBestMatch(t *testing.T) {
+	a := regs("BLUE STAR", "RED MOON")
+	b := []NameRecord{
+		{ID: "b0", Name: "BLUE-STAR"},
+		{ID: "b1", Name: "RED MOON II"},
+		{ID: "b2", Name: "GREEN SUN"},
+	}
+	links := MatchNaive(a, b, MatchConfig{Threshold: 0.3})
+	if len(links) != 2 {
+		t.Fatalf("links = %v", links)
+	}
+	if links[0].B != "b0" || links[1].B != "b1" {
+		t.Errorf("wrong matches: %v", links)
+	}
+}
+
+func TestMatchThresholdSuppressesWeakLinks(t *testing.T) {
+	a := regs("ALPHA")
+	b := []NameRecord{{ID: "b0", Name: "OMEGA ZZZ"}}
+	if links := MatchNaive(a, b, MatchConfig{Threshold: 0.5}); len(links) != 0 {
+		t.Errorf("weak link kept: %v", links)
+	}
+}
+
+func TestLengthBonusBreaksTies(t *testing.T) {
+	a := []NameRecord{{ID: "a0", Name: "STAR", LengthM: 100}}
+	b := []NameRecord{
+		{ID: "short", Name: "STAR", LengthM: 30},
+		{ID: "match", Name: "STAR", LengthM: 101},
+	}
+	links := MatchNaive(a, b, MatchConfig{Threshold: 0.5})
+	if len(links) != 1 || links[0].B != "match" {
+		t.Errorf("length bonus did not break tie: %v", links)
+	}
+}
+
+func TestMatchBlockedAgreesWithNaive(t *testing.T) {
+	sc := synth.GenMaritime(synth.MaritimeConfig{Seed: 31, Vessels: 30, Duration: 10 * time.Minute})
+	reg := synth.GenRegistry(sc, 7, 0.4)
+	var a, b []NameRecord
+	truth := Truth{}
+	for _, e := range sc.Entities {
+		a = append(a, NameRecord{ID: e.ID, Name: e.Name, LengthM: e.LengthM})
+	}
+	for _, r := range reg {
+		b = append(b, NameRecord{ID: r.RegID, Name: r.Name, LengthM: r.LengthM})
+		truth[r.TruthID] = r.RegID
+	}
+	naive := MatchNaive(a, b, MatchConfig{})
+	blocked := MatchBlocked(a, b, MatchConfig{})
+	pn, rn, _ := Score(naive, truth)
+	pb, rb, _ := Score(blocked, truth)
+	if rn < 0.8 {
+		t.Errorf("naive recall %f too low on mild noise", rn)
+	}
+	if pn < 0.8 {
+		t.Errorf("naive precision %f too low", pn)
+	}
+	// Blocking may lose a little recall but must stay close.
+	if rb < rn-0.15 {
+		t.Errorf("blocked recall %f much worse than naive %f", rb, rn)
+	}
+	if pb < pn-0.1 {
+		t.Errorf("blocked precision %f much worse than naive %f", pb, pn)
+	}
+}
+
+func TestMatchParallelismDeterministic(t *testing.T) {
+	a := regs("ALPHA ONE", "BETA TWO", "GAMMA THREE", "DELTA FOUR")
+	b := []NameRecord{
+		{ID: "b0", Name: "ALPHA-ONE"}, {ID: "b1", Name: "BETA 2"},
+		{ID: "b2", Name: "GAMMA THREE"}, {ID: "b3", Name: "DELTA IV"},
+	}
+	l1 := MatchNaive(a, b, MatchConfig{Threshold: 0.2, Parallelism: 1})
+	l8 := MatchNaive(a, b, MatchConfig{Threshold: 0.2, Parallelism: 8})
+	if len(l1) != len(l8) {
+		t.Fatalf("parallelism changed result count: %d vs %d", len(l1), len(l8))
+	}
+	for i := range l1 {
+		if l1[i] != l8[i] {
+			t.Errorf("link %d differs: %v vs %v", i, l1[i], l8[i])
+		}
+	}
+}
+
+func TestScore(t *testing.T) {
+	truth := Truth{"a0": "b0", "a1": "b1"}
+	links := []Link{{A: "a0", B: "b0"}, {A: "a1", B: "bX"}}
+	p, r, f1 := Score(links, truth)
+	if p != 0.5 || r != 0.5 {
+		t.Errorf("p=%f r=%f", p, r)
+	}
+	if f1 != 0.5 {
+		t.Errorf("f1=%f", f1)
+	}
+	if p, r, _ := Score(nil, truth); p != 0 || r != 0 {
+		t.Error("empty links")
+	}
+	if p, r, _ := Score(links, nil); p != 0 || r != 0 {
+		t.Error("empty truth")
+	}
+}
+
+func TestLinkSpatial(t *testing.T) {
+	box := geo.NewBBox(22, 34, 30, 42)
+	// Positions and weather cells: each position links to nearest cell.
+	a := []SpatialRecord{
+		{ID: "p0", Pt: geo.Pt(23.1, 37.1), TS: 1000},
+		{ID: "p1", Pt: geo.Pt(25.0, 38.0), TS: 1000},
+		{ID: "far", Pt: geo.Pt(29.9, 41.9), TS: 1000},
+	}
+	b := []SpatialRecord{
+		{ID: "w0", Pt: geo.Pt(23.12, 37.08), TS: 500},
+		{ID: "w1", Pt: geo.Pt(25.05, 38.02), TS: 500},
+	}
+	links := LinkSpatial(a, b, box, SpatialLinkConfig{MaxDistM: 15_000})
+	if len(links) != 2 {
+		t.Fatalf("links = %v", links)
+	}
+	if links[0].A != "p0" || links[0].B != "w0" {
+		t.Errorf("p0 link = %v", links[0])
+	}
+	if links[1].A != "p1" || links[1].B != "w1" {
+		t.Errorf("p1 link = %v", links[1])
+	}
+}
+
+func TestLinkSpatialTemporalCutoff(t *testing.T) {
+	box := geo.NewBBox(22, 34, 30, 42)
+	a := []SpatialRecord{{ID: "p0", Pt: geo.Pt(23, 37), TS: 0}}
+	b := []SpatialRecord{{ID: "w0", Pt: geo.Pt(23, 37), TS: 10 * 3600_000}} // 10h later
+	if links := LinkSpatial(a, b, box, SpatialLinkConfig{}); len(links) != 0 {
+		t.Errorf("stale observation linked: %v", links)
+	}
+}
+
+func TestLinkSpatialWithWeatherGrid(t *testing.T) {
+	box := geo.NewBBox(22, 34, 30, 42)
+	obs := synth.GenWeather(box, 8, 8, time.Date(2017, 3, 21, 6, 0, 0, 0, time.UTC), time.Hour)
+	var b []SpatialRecord
+	for i, w := range obs {
+		b = append(b, SpatialRecord{ID: fmt.Sprintf("w%d", i), Pt: w.Center, TS: w.TS})
+	}
+	a := []SpatialRecord{{ID: "p0", Pt: geo.Pt(24.6, 36.9), TS: obs[0].TS + 60_000}}
+	links := LinkSpatial(a, b, box, SpatialLinkConfig{MaxDistM: 80_000})
+	if len(links) != 1 {
+		t.Fatalf("links = %v", links)
+	}
+	// The linked cell must actually be the nearest one.
+	var bestID string
+	bestD := 1e18
+	for i, w := range obs {
+		dt := a[0].TS - w.TS
+		if dt < 0 {
+			dt = -dt
+		}
+		if dt > 30*60000 {
+			continue
+		}
+		if d := geo.Haversine(a[0].Pt, w.Center); d < bestD {
+			bestD = d
+			bestID = fmt.Sprintf("w%d", i)
+		}
+	}
+	if links[0].B != bestID {
+		t.Errorf("linked %s, nearest is %s", links[0].B, bestID)
+	}
+}

@@ -1,0 +1,142 @@
+// Package model defines the common record model shared by every datAcron
+// component: surveillance positions, moving-entity identities, trajectories
+// and detected events. The "data transformation" layer of the paper converts
+// wire formats (AIS, ADS-B) into these records and these records into RDF.
+package model
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/datacron-project/datacron/internal/geo"
+)
+
+// Domain distinguishes the two datAcron use cases: maritime (2D) and
+// aviation (3D).
+type Domain uint8
+
+// Supported domains.
+const (
+	Maritime Domain = iota
+	Aviation
+)
+
+// String implements fmt.Stringer.
+func (d Domain) String() string {
+	switch d {
+	case Maritime:
+		return "maritime"
+	case Aviation:
+		return "aviation"
+	default:
+		return fmt.Sprintf("domain(%d)", uint8(d))
+	}
+}
+
+// NavStatus encodes the navigational status reported by an entity, a
+// simplified union of the AIS navigation status and flight phase.
+type NavStatus uint8
+
+// Navigational statuses.
+const (
+	StatusUnknown NavStatus = iota
+	StatusUnderway
+	StatusAnchored
+	StatusMoored
+	StatusFishing
+	StatusClimbing
+	StatusCruising
+	StatusDescending
+)
+
+// String implements fmt.Stringer.
+func (s NavStatus) String() string {
+	switch s {
+	case StatusUnderway:
+		return "underway"
+	case StatusAnchored:
+		return "anchored"
+	case StatusMoored:
+		return "moored"
+	case StatusFishing:
+		return "fishing"
+	case StatusClimbing:
+		return "climbing"
+	case StatusCruising:
+		return "cruising"
+	case StatusDescending:
+		return "descending"
+	default:
+		return "unknown"
+	}
+}
+
+// Position is one timestamped surveillance report for a moving entity.
+// Timestamps are Unix milliseconds UTC: they are compact, trivially ordered,
+// and match the paper's millisecond latency vocabulary.
+type Position struct {
+	EntityID string    // MMSI for vessels, ICAO24 for aircraft
+	Domain   Domain    // maritime or aviation
+	TS       int64     // Unix milliseconds
+	Pt       geo.Point // lon/lat[/alt]
+	SpeedMS  float64   // speed over ground, m/s
+	CourseDeg float64  // course over ground, degrees from north
+	VertRateMS float64 // vertical rate, m/s (aviation; 0 for vessels)
+	Status   NavStatus
+}
+
+// Time returns the timestamp as a time.Time in UTC.
+func (p Position) Time() time.Time { return time.UnixMilli(p.TS).UTC() }
+
+// String implements fmt.Stringer.
+func (p Position) String() string {
+	return fmt.Sprintf("%s@%s %s %.1fm/s %.0f°", p.EntityID, p.Time().Format(time.RFC3339), p.Pt, p.SpeedMS, p.CourseDeg)
+}
+
+// Entity describes the static (voyage-level) properties of a moving entity,
+// reported out-of-band from positions (AIS message 5, flight plans).
+type Entity struct {
+	ID       string // MMSI / ICAO24
+	Domain   Domain
+	Name     string // ship name or callsign
+	Callsign string
+	Type     string // e.g. "cargo", "tanker", "fishing", "A320"
+	LengthM  float64
+	Dest     string // declared destination (port / aerodrome)
+}
+
+// Event is a detected or scripted occurrence involving one or two entities.
+// Ground-truth scripted events from the synthetic world and events detected
+// by the CER engine share this shape so they can be compared directly.
+type Event struct {
+	Type     string    // e.g. "rendezvous", "loitering", "areaEntry", "hotspot"
+	Entity   string    // primary entity
+	Other    string    // secondary entity, if any ("" otherwise)
+	StartTS  int64     // Unix milliseconds
+	EndTS    int64     // Unix milliseconds (== StartTS for instantaneous)
+	Where    geo.Point // representative location
+	Area     string    // named area involved, if any
+	DetectTS int64     // wall-clock-equivalent time the event was emitted (for latency)
+}
+
+// Duration returns the event duration.
+func (e Event) Duration() time.Duration {
+	return time.Duration(e.EndTS-e.StartTS) * time.Millisecond
+}
+
+// Overlaps reports whether two events overlap in time and concern the same
+// primary entity and type; used to score detections against ground truth.
+func (e Event) Overlaps(o Event) bool {
+	return e.Type == o.Type && e.Entity == o.Entity &&
+		e.StartTS <= o.EndTS && o.StartTS <= e.EndTS
+}
+
+// String implements fmt.Stringer.
+func (e Event) String() string {
+	if e.Other != "" {
+		return fmt.Sprintf("%s(%s,%s) %s..%s", e.Type, e.Entity, e.Other,
+			time.UnixMilli(e.StartTS).UTC().Format("15:04:05"), time.UnixMilli(e.EndTS).UTC().Format("15:04:05"))
+	}
+	return fmt.Sprintf("%s(%s) %s..%s", e.Type, e.Entity,
+		time.UnixMilli(e.StartTS).UTC().Format("15:04:05"), time.UnixMilli(e.EndTS).UTC().Format("15:04:05"))
+}

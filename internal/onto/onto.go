@@ -1,0 +1,235 @@
+// Package onto is the data-transformation layer of the datAcron
+// architecture: it converts surveillance records, entities, events and
+// contextual data into the common RDF representation ("convert data from
+// disparate data sources ... to a common representation", §2) and back.
+// The vocabulary follows the structure of the published datAcron ontology:
+// moving objects have semantic trajectories made of semantic nodes, each
+// with geometry, time and movement properties.
+package onto
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"github.com/datacron-project/datacron/internal/geo"
+	"github.com/datacron-project/datacron/internal/model"
+	"github.com/datacron-project/datacron/internal/rdf"
+	"github.com/datacron-project/datacron/internal/synth"
+)
+
+// NS is the vocabulary namespace.
+const NS = "http://www.datacron-project.eu/datAcron#"
+
+// res is the namespace for generated resources (instances).
+const res = "http://www.datacron-project.eu/resource/"
+
+// Vocabulary class IRIs.
+var (
+	ClassVessel   = rdf.NewIRI(NS + "Vessel")
+	ClassAircraft = rdf.NewIRI(NS + "Aircraft")
+	ClassNode     = rdf.NewIRI(NS + "SemanticNode") // one position report
+	ClassEvent    = rdf.NewIRI(NS + "Event")
+	ClassWeather  = rdf.NewIRI(NS + "WeatherCondition")
+	ClassArea     = rdf.NewIRI(NS + "Area")
+)
+
+// Vocabulary predicate IRIs.
+var (
+	PredType      = rdf.NewIRI(rdf.RDFType)
+	PredOfObject  = rdf.NewIRI(NS + "ofMovingObject")
+	PredLon       = rdf.NewIRI(NS + "longitude")
+	PredLat       = rdf.NewIRI(NS + "latitude")
+	PredAlt       = rdf.NewIRI(NS + "altitude")
+	PredTime      = rdf.NewIRI(NS + "timestamp") // xsd:long Unix millis
+	PredSpeed     = rdf.NewIRI(NS + "speed")     // m/s
+	PredHeading   = rdf.NewIRI(NS + "heading")   // degrees
+	PredStatus    = rdf.NewIRI(NS + "navStatus")
+	PredName      = rdf.NewIRI(NS + "name")
+	PredCallsign  = rdf.NewIRI(NS + "callsign")
+	PredShipType  = rdf.NewIRI(NS + "vehicleType")
+	PredLength    = rdf.NewIRI(NS + "length")
+	PredDest      = rdf.NewIRI(NS + "destination")
+	PredEventType = rdf.NewIRI(NS + "eventType")
+	PredStart     = rdf.NewIRI(NS + "start") // xsd:long Unix millis
+	PredEnd       = rdf.NewIRI(NS + "end")
+	PredInvolves  = rdf.NewIRI(NS + "involves")
+	PredInArea    = rdf.NewIRI(NS + "inArea")
+	PredWind      = rdf.NewIRI(NS + "windSpeed")
+	PredWindDir   = rdf.NewIRI(NS + "windDirection")
+	PredWave      = rdf.NewIRI(NS + "waveHeight")
+	PredNearTo    = rdf.NewIRI(NS + "hasWeatherCondition")
+	PredSameAs    = rdf.NewIRI("http://www.w3.org/2002/07/owl#sameAs")
+)
+
+// EntityIRI returns the resource IRI for a moving entity id.
+func EntityIRI(id string) rdf.Term { return rdf.NewIRI(res + "obj/" + id) }
+
+// NodeIRI returns the resource IRI for one position report (semantic node).
+func NodeIRI(entityID string, ts int64) rdf.Term {
+	return rdf.NewIRI(res + "node/" + entityID + "/" + strconv.FormatInt(ts, 10))
+}
+
+// EventIRI returns the resource IRI for a detected or scripted event.
+func EventIRI(typ, entityID string, ts int64) rdf.Term {
+	return rdf.NewIRI(res + "event/" + typ + "/" + entityID + "/" + strconv.FormatInt(ts, 10))
+}
+
+// AreaIRI returns the resource IRI of a named area.
+func AreaIRI(name string) rdf.Term { return rdf.NewIRI(res + "area/" + name) }
+
+// WeatherIRI returns the resource IRI of one weather observation.
+func WeatherIRI(cell int, ts int64) rdf.Term {
+	return rdf.NewIRI(res + fmt.Sprintf("weather/%d/%d", cell, ts))
+}
+
+// PositionTriples converts one position report to triples rooted at its
+// semantic node.
+func PositionTriples(p model.Position) []TripleT {
+	node := NodeIRI(p.EntityID, p.TS)
+	cls := ClassNode
+	out := []TripleT{
+		{node, PredType, cls},
+		{node, PredOfObject, EntityIRI(p.EntityID)},
+		{node, PredLon, rdf.NewDouble(p.Pt.Lon)},
+		{node, PredLat, rdf.NewDouble(p.Pt.Lat)},
+		{node, PredTime, rdf.NewLong(p.TS)},
+		{node, PredSpeed, rdf.NewDouble(p.SpeedMS)},
+		{node, PredHeading, rdf.NewDouble(p.CourseDeg)},
+		{node, PredStatus, rdf.NewLiteral(p.Status.String())},
+	}
+	if p.Domain == model.Aviation {
+		out = append(out, TripleT{node, PredAlt, rdf.NewDouble(p.Pt.Alt)})
+	}
+	return out
+}
+
+// EntityTriples converts static entity data to triples.
+func EntityTriples(e model.Entity) []TripleT {
+	obj := EntityIRI(e.ID)
+	cls := ClassVessel
+	if e.Domain == model.Aviation {
+		cls = ClassAircraft
+	}
+	out := []TripleT{
+		{obj, PredType, cls},
+		{obj, PredName, rdf.NewLiteral(e.Name)},
+	}
+	if e.Callsign != "" {
+		out = append(out, TripleT{obj, PredCallsign, rdf.NewLiteral(e.Callsign)})
+	}
+	if e.Type != "" {
+		out = append(out, TripleT{obj, PredShipType, rdf.NewLiteral(e.Type)})
+	}
+	if e.LengthM > 0 {
+		out = append(out, TripleT{obj, PredLength, rdf.NewDouble(e.LengthM)})
+	}
+	if e.Dest != "" {
+		out = append(out, TripleT{obj, PredDest, rdf.NewLiteral(e.Dest)})
+	}
+	return out
+}
+
+// EventTriples converts an event to triples.
+func EventTriples(ev model.Event) []TripleT {
+	node := EventIRI(ev.Type, ev.Entity, ev.StartTS)
+	out := []TripleT{
+		{node, PredType, ClassEvent},
+		{node, PredEventType, rdf.NewLiteral(ev.Type)},
+		{node, PredInvolves, EntityIRI(ev.Entity)},
+		{node, PredStart, rdf.NewLong(ev.StartTS)},
+		{node, PredEnd, rdf.NewLong(ev.EndTS)},
+	}
+	if ev.Other != "" {
+		out = append(out, TripleT{node, PredInvolves, EntityIRI(ev.Other)})
+	}
+	if ev.Area != "" {
+		out = append(out, TripleT{node, PredInArea, AreaIRI(ev.Area)})
+	}
+	return out
+}
+
+// WeatherTriples converts one weather observation to triples.
+func WeatherTriples(w synth.WeatherObs) []TripleT {
+	node := WeatherIRI(w.CellID, w.TS)
+	return []TripleT{
+		{node, PredType, ClassWeather},
+		{node, PredLon, rdf.NewDouble(w.Center.Lon)},
+		{node, PredLat, rdf.NewDouble(w.Center.Lat)},
+		{node, PredTime, rdf.NewLong(w.TS)},
+		{node, PredWind, rdf.NewDouble(w.WindMS)},
+		{node, PredWindDir, rdf.NewDouble(w.WindDirDeg)},
+		{node, PredWave, rdf.NewDouble(w.WaveM)},
+	}
+}
+
+// TripleT is a term-level triple, the unit the transformation layer emits.
+type TripleT struct{ S, P, O rdf.Term }
+
+// AddAll inserts term triples into a store.
+func AddAll(st *rdf.Store, triples []TripleT) {
+	for _, t := range triples {
+		st.Add(t.S, t.P, t.O)
+	}
+}
+
+// PositionFromStore reconstructs the position report rooted at the given
+// semantic node, the inverse of PositionTriples. ok is false when the node
+// is incomplete.
+func PositionFromStore(st *rdf.Store, node rdf.Term) (model.Position, bool) {
+	var p model.Position
+	found := map[string]bool{}
+	st.Find(&node, nil, nil, func(_, pred, obj rdf.Term) bool {
+		switch pred {
+		case PredOfObject:
+			p.EntityID = strings.TrimPrefix(obj.Value, res+"obj/")
+			found["obj"] = true
+		case PredLon:
+			if v, ok := obj.Float(); ok {
+				p.Pt.Lon = v
+				found["lon"] = true
+			}
+		case PredLat:
+			if v, ok := obj.Float(); ok {
+				p.Pt.Lat = v
+				found["lat"] = true
+			}
+		case PredAlt:
+			if v, ok := obj.Float(); ok {
+				p.Pt.Alt = v
+				p.Domain = model.Aviation
+			}
+		case PredTime:
+			if v, ok := obj.Int(); ok {
+				p.TS = v
+				found["ts"] = true
+			}
+		case PredSpeed:
+			if v, ok := obj.Float(); ok {
+				p.SpeedMS = v
+			}
+		case PredHeading:
+			if v, ok := obj.Float(); ok {
+				p.CourseDeg = v
+			}
+		}
+		return true
+	})
+	return p, found["obj"] && found["lon"] && found["lat"] && found["ts"]
+}
+
+// AreaTriples converts a named area polygon into triples carrying its
+// bounding box (sufficient for coarse spatial joins in the RDF layer; exact
+// geometry stays in the analytics layer).
+func AreaTriples(name string, poly *geo.Polygon) []TripleT {
+	node := AreaIRI(name)
+	b := poly.BBox()
+	return []TripleT{
+		{node, PredType, ClassArea},
+		{node, PredName, rdf.NewLiteral(name)},
+		{node, rdf.NewIRI(NS + "minLon"), rdf.NewDouble(b.MinLon)},
+		{node, rdf.NewIRI(NS + "minLat"), rdf.NewDouble(b.MinLat)},
+		{node, rdf.NewIRI(NS + "maxLon"), rdf.NewDouble(b.MaxLon)},
+		{node, rdf.NewIRI(NS + "maxLat"), rdf.NewDouble(b.MaxLat)},
+	}
+}

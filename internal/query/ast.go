@@ -1,0 +1,320 @@
+// Package query implements the spatio-temporal query answering layer of the
+// datAcron architecture: a SPARQL-like language ("stSPARQL-lite") with
+// spatiotemporal FILTER builtins, evaluated in parallel over the shards of
+// the parallel RDF store with partition pruning ("parallel query processing
+// techniques for spatio-temporal query languages over interlinked data
+// stored in parallel RDF stores", §2).
+//
+// Language sketch:
+//
+//	SELECT ?v ?name WHERE {
+//	  ?v rdf:type dat:Vessel .
+//	  ?v dat:name ?name .
+//	  ?n dat:ofMovingObject ?v .
+//	  ?n dat:longitude ?lon . ?n dat:latitude ?lat . ?n dat:timestamp ?t .
+//	  FILTER st:within(?lon, ?lat, 24.0, 36.0, 26.0, 38.0)
+//	  FILTER st:during(?t, 1489104000000, 1489111200000)
+//	  FILTER (?speed >= 5.0)
+//	} LIMIT 100
+//
+// Built-in prefixes: rdf:, dat: (the datAcron vocabulary), res: (resources).
+package query
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/datacron-project/datacron/internal/geo"
+	"github.com/datacron-project/datacron/internal/onto"
+	"github.com/datacron-project/datacron/internal/rdf"
+)
+
+// builtinPrefixes maps the prefixes the parser expands.
+var builtinPrefixes = map[string]string{
+	"rdf": "http://www.w3.org/1999/02/22-rdf-syntax-ns#",
+	"dat": onto.NS,
+	"res": "http://www.datacron-project.eu/resource/",
+	"owl": "http://www.w3.org/2002/07/owl#",
+	"xsd": "http://www.w3.org/2001/XMLSchema#",
+}
+
+// PatternTerm is one slot of a triple pattern: a variable or a constant.
+type PatternTerm struct {
+	IsVar bool
+	Var   string   // without '?'
+	Term  rdf.Term // valid when !IsVar
+}
+
+// Var returns a variable pattern term.
+func Var(name string) PatternTerm { return PatternTerm{IsVar: true, Var: name} }
+
+// Const returns a constant pattern term.
+func Const(t rdf.Term) PatternTerm { return PatternTerm{Term: t} }
+
+// String implements fmt.Stringer.
+func (p PatternTerm) String() string {
+	if p.IsVar {
+		return "?" + p.Var
+	}
+	return p.Term.String()
+}
+
+// TriplePattern is one basic graph pattern triple.
+type TriplePattern struct{ S, P, O PatternTerm }
+
+// vars returns the variables mentioned by the pattern.
+func (t TriplePattern) vars() []string {
+	var out []string
+	for _, pt := range []PatternTerm{t.S, t.P, t.O} {
+		if pt.IsVar {
+			out = append(out, pt.Var)
+		}
+	}
+	return out
+}
+
+// boundCount counts constant slots (the selectivity heuristic).
+func (t TriplePattern) boundCount(bound map[string]bool) int {
+	n := 0
+	for _, pt := range []PatternTerm{t.S, t.P, t.O} {
+		if !pt.IsVar || bound[pt.Var] {
+			n++
+		}
+	}
+	return n
+}
+
+// CmpOp is a comparison operator in value filters.
+type CmpOp string
+
+// Comparison operators.
+const (
+	OpLT CmpOp = "<"
+	OpLE CmpOp = "<="
+	OpGT CmpOp = ">"
+	OpGE CmpOp = ">="
+	OpEQ CmpOp = "="
+	OpNE CmpOp = "!="
+)
+
+// Filter is a boolean predicate over variable bindings.
+type Filter interface {
+	// Vars returns the variables the filter needs bound.
+	Vars() []string
+	// Eval evaluates the filter over decoded terms.
+	Eval(get func(string) (rdf.Term, bool)) bool
+	fmt.Stringer
+}
+
+// CmpFilter compares a variable against a constant: FILTER (?x >= 5).
+type CmpFilter struct {
+	Var   string
+	Op    CmpOp
+	Value rdf.Term
+}
+
+// Vars implements Filter.
+func (f CmpFilter) Vars() []string { return []string{f.Var} }
+
+// String implements fmt.Stringer.
+func (f CmpFilter) String() string { return fmt.Sprintf("FILTER (?%s %s %s)", f.Var, f.Op, f.Value) }
+
+// Eval implements Filter: numeric when both sides parse as numbers,
+// lexicographic otherwise.
+func (f CmpFilter) Eval(get func(string) (rdf.Term, bool)) bool {
+	t, ok := get(f.Var)
+	if !ok {
+		return false
+	}
+	if a, okA := t.Float(); okA {
+		if b, okB := f.Value.Float(); okB {
+			return cmpFloat(a, b, f.Op)
+		}
+	}
+	return cmpString(t.Value, f.Value.Value, f.Op)
+}
+
+func cmpFloat(a, b float64, op CmpOp) bool {
+	switch op {
+	case OpLT:
+		return a < b
+	case OpLE:
+		return a <= b
+	case OpGT:
+		return a > b
+	case OpGE:
+		return a >= b
+	case OpEQ:
+		return a == b
+	case OpNE:
+		return a != b
+	}
+	return false
+}
+
+func cmpString(a, b string, op CmpOp) bool {
+	switch op {
+	case OpLT:
+		return a < b
+	case OpLE:
+		return a <= b
+	case OpGT:
+		return a > b
+	case OpGE:
+		return a >= b
+	case OpEQ:
+		return a == b
+	case OpNE:
+		return a != b
+	}
+	return false
+}
+
+// WithinFilter is st:within(?lon, ?lat, minLon, minLat, maxLon, maxLat).
+type WithinFilter struct {
+	LonVar, LatVar string
+	Box            geo.BBox
+}
+
+// Vars implements Filter.
+func (f WithinFilter) Vars() []string { return []string{f.LonVar, f.LatVar} }
+
+// String implements fmt.Stringer.
+func (f WithinFilter) String() string {
+	return fmt.Sprintf("FILTER st:within(?%s, ?%s, %v)", f.LonVar, f.LatVar, f.Box)
+}
+
+// Eval implements Filter.
+func (f WithinFilter) Eval(get func(string) (rdf.Term, bool)) bool {
+	lon, ok1 := getFloat(get, f.LonVar)
+	lat, ok2 := getFloat(get, f.LatVar)
+	return ok1 && ok2 && f.Box.Contains(geo.Pt(lon, lat))
+}
+
+// DuringFilter is st:during(?t, fromMillis, toMillis), inclusive.
+type DuringFilter struct {
+	TSVar    string
+	From, To int64
+}
+
+// Vars implements Filter.
+func (f DuringFilter) Vars() []string { return []string{f.TSVar} }
+
+// String implements fmt.Stringer.
+func (f DuringFilter) String() string {
+	return fmt.Sprintf("FILTER st:during(?%s, %d, %d)", f.TSVar, f.From, f.To)
+}
+
+// Eval implements Filter.
+func (f DuringFilter) Eval(get func(string) (rdf.Term, bool)) bool {
+	t, ok := get(f.TSVar)
+	if !ok {
+		return false
+	}
+	v, ok := t.Int()
+	return ok && v >= f.From && v <= f.To
+}
+
+// DWithinFilter is st:dwithin(?lon, ?lat, centerLon, centerLat, metres).
+type DWithinFilter struct {
+	LonVar, LatVar string
+	Center         geo.Point
+	DistM          float64
+}
+
+// Vars implements Filter.
+func (f DWithinFilter) Vars() []string { return []string{f.LonVar, f.LatVar} }
+
+// String implements fmt.Stringer.
+func (f DWithinFilter) String() string {
+	return fmt.Sprintf("FILTER st:dwithin(?%s, ?%s, %v, %.0fm)", f.LonVar, f.LatVar, f.Center, f.DistM)
+}
+
+// Eval implements Filter.
+func (f DWithinFilter) Eval(get func(string) (rdf.Term, bool)) bool {
+	lon, ok1 := getFloat(get, f.LonVar)
+	lat, ok2 := getFloat(get, f.LatVar)
+	return ok1 && ok2 && geo.Haversine(geo.Pt(lon, lat), f.Center) <= f.DistM
+}
+
+func getFloat(get func(string) (rdf.Term, bool), v string) (float64, bool) {
+	t, ok := get(v)
+	if !ok {
+		return 0, false
+	}
+	return t.Float()
+}
+
+// Query is a parsed query.
+type Query struct {
+	Vars     []string // projection; empty = all variables in pattern order
+	Count    bool     // SELECT COUNT …: return a single row with the row count
+	Patterns []TriplePattern
+	Filters  []Filter
+	Limit    int // 0 = unlimited
+}
+
+// String renders a canonical form of the query.
+func (q *Query) String() string {
+	var b strings.Builder
+	b.WriteString("SELECT")
+	if len(q.Vars) == 0 {
+		b.WriteString(" *")
+	}
+	for _, v := range q.Vars {
+		b.WriteString(" ?" + v)
+	}
+	b.WriteString(" WHERE {")
+	for _, p := range q.Patterns {
+		fmt.Fprintf(&b, " %s %s %s .", p.S, p.P, p.O)
+	}
+	for _, f := range q.Filters {
+		b.WriteString(" " + f.String())
+	}
+	b.WriteString(" }")
+	if q.Limit > 0 {
+		fmt.Fprintf(&b, " LIMIT %d", q.Limit)
+	}
+	return b.String()
+}
+
+// SpatialBounds extracts the conjunction of spatial constraints for shard
+// pruning: the intersection of all st:within boxes (plus the bounding boxes
+// of st:dwithin circles). ok is false when no spatial filter exists.
+func (q *Query) SpatialBounds() (geo.BBox, bool) {
+	found := false
+	box := geo.BBox{MinLon: -180, MinLat: -90, MaxLon: 180, MaxLat: 90}
+	for _, f := range q.Filters {
+		switch ff := f.(type) {
+		case WithinFilter:
+			box = box.Intersection(ff.Box)
+			found = true
+		case DWithinFilter:
+			// Conservative degree buffer for the circle.
+			degLat := ff.DistM / 111_000
+			degLon := degLat * 2 // generous at mid latitudes
+			b := geo.NewBBox(ff.Center.Lon-degLon, ff.Center.Lat-degLat, ff.Center.Lon+degLon, ff.Center.Lat+degLat)
+			box = box.Intersection(b)
+			found = true
+		}
+	}
+	return box, found
+}
+
+// TimeBounds extracts the conjunction of temporal constraints for shard
+// pruning. ok is false when no temporal filter exists.
+func (q *Query) TimeBounds() (from, to int64, ok bool) {
+	from, to = -1<<62, 1<<62
+	for _, f := range q.Filters {
+		if df, isDuring := f.(DuringFilter); isDuring {
+			if df.From > from {
+				from = df.From
+			}
+			if df.To < to {
+				to = df.To
+			}
+			ok = true
+		}
+	}
+	return from, to, ok
+}

@@ -1,0 +1,114 @@
+package query
+
+import (
+	"testing"
+	"testing/quick"
+
+	"github.com/datacron-project/datacron/internal/rdf"
+)
+
+func TestCountQuery(t *testing.T) {
+	s := hashStore(t)
+	e := NewEngine(s)
+	res, err := e.Execute(`SELECT COUNT ?v WHERE { ?v rdf:type dat:Vessel . }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 || len(res.Vars) != 1 || res.Vars[0] != "count" {
+		t.Fatalf("count result shape: %+v", res)
+	}
+	n, ok := res.Rows[0][0].Int()
+	if !ok || n != 3 {
+		t.Errorf("count = %v, want 3", res.Rows[0][0])
+	}
+	// COUNT with no projection counts distinct full-variable rows.
+	res, err = e.Execute(`SELECT COUNT WHERE { ?n rdf:type dat:SemanticNode . }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n, _ := res.Rows[0][0].Int(); n != 11 {
+		t.Errorf("node count = %d, want 11", n)
+	}
+	// COUNT respects filters.
+	res, err = e.Execute(`SELECT COUNT ?n WHERE { ?n dat:speed ?s . FILTER (?s > 10) }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n, _ := res.Rows[0][0].Int(); n != 1 {
+		t.Errorf("filtered count = %d, want 1", n)
+	}
+	// COUNT respects LIMIT (applied before counting, like a subquery cap).
+	res, err = e.Execute(`SELECT COUNT ?n WHERE { ?n rdf:type dat:SemanticNode . } LIMIT 4`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n, _ := res.Rows[0][0].Int(); n != 4 {
+		t.Errorf("limited count = %d, want 4", n)
+	}
+}
+
+func TestCountEmptyResult(t *testing.T) {
+	s := hashStore(t)
+	e := NewEngine(s)
+	res, err := e.Execute(`SELECT COUNT ?v WHERE { ?v rdf:type dat:WeatherCondition . }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n, _ := res.Rows[0][0].Int(); n != 0 {
+		t.Errorf("empty count = %d", n)
+	}
+}
+
+// The parser must never panic, whatever the input.
+func TestParseNeverPanics(t *testing.T) {
+	f := func(src string) bool {
+		defer func() {
+			if r := recover(); r != nil {
+				t.Fatalf("Parse(%q) panicked: %v", src, r)
+			}
+		}()
+		_, _ = Parse(src)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+	// And on near-miss inputs built from real query fragments.
+	fragments := []string{
+		"SELECT", "?x", "WHERE", "{", "}", "FILTER", "st:within", "(", ")",
+		"rdf:type", `"lit"`, "<http://x>", ".", "5.5", "LIMIT", "COUNT", "<", ">=",
+	}
+	fuzz := func(idxs []uint8) bool {
+		var b []byte
+		for _, i := range idxs {
+			b = append(b, fragments[int(i)%len(fragments)]...)
+			b = append(b, ' ')
+		}
+		defer func() {
+			if r := recover(); r != nil {
+				t.Fatalf("Parse(%q) panicked: %v", b, r)
+			}
+		}()
+		_, _ = Parse(string(b))
+		return true
+	}
+	if err := quick.Check(fuzz, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNumberTermForms(t *testing.T) {
+	q, err := Parse(`SELECT ?n WHERE { ?n dat:speed 5 . ?n dat:heading -7.25 . ?n dat:altitude 1e3 . }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Patterns[0].O.Term.Datatype != rdf.XSDLong {
+		t.Errorf("integer literal datatype = %s", q.Patterns[0].O.Term.Datatype)
+	}
+	if q.Patterns[1].O.Term.Datatype != rdf.XSDDouble {
+		t.Errorf("decimal literal datatype = %s", q.Patterns[1].O.Term.Datatype)
+	}
+	if q.Patterns[2].O.Term.Datatype != rdf.XSDDouble {
+		t.Errorf("exponent literal datatype = %s", q.Patterns[2].O.Term.Datatype)
+	}
+}

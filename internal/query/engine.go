@@ -1,0 +1,343 @@
+package query
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"github.com/datacron-project/datacron/internal/geo"
+	"github.com/datacron-project/datacron/internal/rdf"
+	"github.com/datacron-project/datacron/internal/store"
+)
+
+// Engine evaluates queries over a sharded store: the plan orders patterns
+// greedily by bound-slot count, shard candidates come from the spatial and
+// temporal FILTER bounds via the partitioner, every candidate shard is
+// evaluated independently in parallel (global triples are replicated so the
+// evaluation never crosses shards), and rows are merged with set semantics.
+type Engine struct {
+	st *store.Sharded
+	// Parallelism bounds concurrent shard evaluations; 0 means the number
+	// of candidate shards.
+	Parallelism int
+}
+
+// NewEngine returns an engine over the given store.
+func NewEngine(st *store.Sharded) *Engine { return &Engine{st: st} }
+
+// Result is a query answer.
+type Result struct {
+	Vars          []string
+	Rows          [][]rdf.Term
+	ShardsVisited int
+	Elapsed       time.Duration
+}
+
+// Execute parses and runs a query string.
+func (e *Engine) Execute(src string) (*Result, error) {
+	q, err := Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	return e.Run(q)
+}
+
+// Run evaluates a parsed query.
+func (e *Engine) Run(q *Query) (*Result, error) {
+	start := time.Now()
+	plan := planPatterns(q.Patterns)
+	vars := q.Vars
+	if len(vars) == 0 {
+		vars = allVars(q.Patterns)
+	}
+
+	// Shard pruning from spatiotemporal filter bounds.
+	candidates := e.candidates(q)
+
+	par := e.Parallelism
+	if par <= 0 || par > len(candidates) {
+		par = len(candidates)
+	}
+	if par == 0 {
+		return &Result{Vars: vars, ShardsVisited: 0, Elapsed: time.Since(start)}, nil
+	}
+
+	var mu sync.Mutex
+	seen := make(map[string]struct{})
+	var rows [][]rdf.Term
+	e.st.EachShardSubset(candidates, par, func(i int, st *rdf.Store) {
+		local := evalShard(st, plan, q.Filters)
+		if len(local) == 0 {
+			return
+		}
+		// Decode and key rows outside the merge lock so parallel shards
+		// only serialise on the dedup map itself.
+		type keyedRow struct {
+			key string
+			row []rdf.Term
+		}
+		decoded := make([]keyedRow, 0, len(local))
+		for _, b := range local {
+			row := make([]rdf.Term, len(vars))
+			for j, v := range vars {
+				if id, ok := b[v]; ok {
+					t, _ := st.Dict().Decode(id)
+					row[j] = t
+				}
+			}
+			decoded = append(decoded, keyedRow{key: rowKey(row), row: row})
+		}
+		mu.Lock()
+		defer mu.Unlock()
+		for _, kr := range decoded {
+			if _, dup := seen[kr.key]; dup {
+				continue
+			}
+			seen[kr.key] = struct{}{}
+			rows = append(rows, kr.row)
+		}
+	})
+
+	sortRows(rows)
+	if q.Limit > 0 && len(rows) > q.Limit {
+		rows = rows[:q.Limit]
+	}
+	if q.Count {
+		return &Result{
+			Vars:          []string{"count"},
+			Rows:          [][]rdf.Term{{rdf.NewLong(int64(len(rows)))}},
+			ShardsVisited: len(candidates),
+			Elapsed:       time.Since(start),
+		}, nil
+	}
+	return &Result{Vars: vars, Rows: rows, ShardsVisited: len(candidates), Elapsed: time.Since(start)}, nil
+}
+
+// candidates returns the shard indexes to evaluate.
+func (e *Engine) candidates(q *Query) []int {
+	box, hasBox := q.SpatialBounds()
+	from, to, hasTime := q.TimeBounds()
+	if !hasBox && !hasTime {
+		out := make([]int, e.st.NumShards())
+		for i := range out {
+			out[i] = i
+		}
+		return out
+	}
+	if !hasBox {
+		box = geo.NewBBox(-180, -90, 180, 90)
+	}
+	return e.st.Partitioner().Candidates(box, from, to)
+}
+
+// binding maps variable name to term id within one shard.
+type binding map[string]rdf.ID
+
+// planPatterns orders patterns greedily: start from the most-bound pattern,
+// then repeatedly pick the pattern with the most slots bound given already
+// planned variables (preferring connected patterns avoids Cartesian blowup).
+func planPatterns(patterns []TriplePattern) []TriplePattern {
+	remaining := append([]TriplePattern(nil), patterns...)
+	bound := map[string]bool{}
+	var plan []TriplePattern
+	for len(remaining) > 0 {
+		bestIdx := 0
+		bestScore := -1
+		for i, tp := range remaining {
+			score := tp.boundCount(bound) * 2
+			// Prefer patterns connected to the bound set.
+			for _, v := range tp.vars() {
+				if bound[v] {
+					score++
+				}
+			}
+			if score > bestScore {
+				bestScore = score
+				bestIdx = i
+			}
+		}
+		chosen := remaining[bestIdx]
+		plan = append(plan, chosen)
+		for _, v := range chosen.vars() {
+			bound[v] = true
+		}
+		remaining = append(remaining[:bestIdx], remaining[bestIdx+1:]...)
+	}
+	return plan
+}
+
+// evalShard evaluates the planned BGP + filters on one shard.
+func evalShard(st *rdf.Store, plan []TriplePattern, filters []Filter) []binding {
+	bindings := []binding{{}}
+	applied := make([]bool, len(filters))
+	boundVars := map[string]bool{}
+
+	applyFilters := func(bs []binding) []binding {
+		for fi, f := range filters {
+			if applied[fi] {
+				continue
+			}
+			ready := true
+			for _, v := range f.Vars() {
+				if !boundVars[v] {
+					ready = false
+					break
+				}
+			}
+			if !ready {
+				continue
+			}
+			applied[fi] = true
+			var kept []binding
+			for _, b := range bs {
+				get := func(name string) (rdf.Term, bool) {
+					id, ok := b[name]
+					if !ok {
+						return rdf.Term{}, false
+					}
+					return st.Dict().Decode(id)
+				}
+				if f.Eval(get) {
+					kept = append(kept, b)
+				}
+			}
+			bs = kept
+		}
+		return bs
+	}
+
+	for _, tp := range plan {
+		if len(bindings) == 0 {
+			return nil
+		}
+		var next []binding
+		for _, b := range bindings {
+			sid, sv, ok := resolve(st, tp.S, b)
+			if !ok {
+				continue
+			}
+			pid, pv, ok := resolve(st, tp.P, b)
+			if !ok {
+				continue
+			}
+			oid, ov, ok := resolve(st, tp.O, b)
+			if !ok {
+				continue
+			}
+			st.FindID(sid, pid, oid, func(t rdf.Triple) bool {
+				nb := cloneBinding(b)
+				if sv != "" {
+					nb[sv] = t.S
+				}
+				if pv != "" {
+					nb[pv] = t.P
+				}
+				if ov != "" {
+					// A variable repeated in one pattern must match itself.
+					if prev, exists := nb[ov]; exists && prev != t.O {
+						return true
+					}
+					nb[ov] = t.O
+				}
+				next = append(next, nb)
+				return true
+			})
+		}
+		for _, v := range tp.vars() {
+			boundVars[v] = true
+		}
+		bindings = applyFilters(next)
+	}
+	return bindings
+}
+
+// resolve turns a pattern slot into (id, varName) under a binding. ok is
+// false when the slot is a constant unknown to the shard's dictionary
+// (no triple can match).
+func resolve(st *rdf.Store, pt PatternTerm, b binding) (rdf.ID, string, bool) {
+	if !pt.IsVar {
+		id, ok := st.Dict().Lookup(pt.Term)
+		if !ok {
+			return 0, "", false
+		}
+		return id, "", true
+	}
+	if id, ok := b[pt.Var]; ok {
+		return id, "", true
+	}
+	return rdf.Wildcard, pt.Var, true
+}
+
+func cloneBinding(b binding) binding {
+	nb := make(binding, len(b)+1)
+	for k, v := range b {
+		nb[k] = v
+	}
+	return nb
+}
+
+// allVars lists the variables of a pattern list in first-appearance order.
+func allVars(patterns []TriplePattern) []string {
+	var out []string
+	seen := map[string]bool{}
+	for _, tp := range patterns {
+		for _, v := range tp.vars() {
+			if !seen[v] {
+				seen[v] = true
+				out = append(out, v)
+			}
+		}
+	}
+	return out
+}
+
+// rowKey serialises a row for set-semantics dedup across shards.
+func rowKey(row []rdf.Term) string {
+	var b strings.Builder
+	for _, t := range row {
+		b.WriteString(t.String())
+		b.WriteByte('\x00')
+	}
+	return b.String()
+}
+
+// sortRows orders rows lexicographically for deterministic output.
+func sortRows(rows [][]rdf.Term) {
+	sort.Slice(rows, func(i, j int) bool {
+		a, b := rows[i], rows[j]
+		for k := 0; k < len(a) && k < len(b); k++ {
+			as, bs := a[k].String(), b[k].String()
+			if as != bs {
+				return as < bs
+			}
+		}
+		return len(a) < len(b)
+	})
+}
+
+// FormatTable renders a result as an aligned text table for the CLI.
+func FormatTable(r *Result) string {
+	var b strings.Builder
+	b.WriteString(strings.Join(varHeaders(r.Vars), "\t"))
+	b.WriteByte('\n')
+	for _, row := range r.Rows {
+		cells := make([]string, len(row))
+		for i, t := range row {
+			cells[i] = t.String()
+		}
+		b.WriteString(strings.Join(cells, "\t"))
+		b.WriteByte('\n')
+	}
+	fmt.Fprintf(&b, "-- %d rows, %d shards, %v\n", len(r.Rows), r.ShardsVisited, r.Elapsed)
+	return b.String()
+}
+
+func varHeaders(vars []string) []string {
+	out := make([]string, len(vars))
+	for i, v := range vars {
+		out[i] = "?" + v
+	}
+	return out
+}

@@ -1,0 +1,156 @@
+package rdf
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// WriteNTriples serialises the store's triples to w in canonical N-Triples
+// form: lines are sorted lexicographically, so two stores holding the same
+// graph produce byte-identical output regardless of insertion order or
+// dictionary state.
+func WriteNTriples(w io.Writer, st *Store) error {
+	lines := make([]string, 0, st.Len())
+	st.FindID(Wildcard, Wildcard, Wildcard, func(t Triple) bool {
+		s, _ := st.dict.Decode(t.S)
+		p, _ := st.dict.Decode(t.P)
+		o, _ := st.dict.Decode(t.O)
+		lines = append(lines, fmt.Sprintf("%s %s %s .\n", s, p, o))
+		return true
+	})
+	sort.Strings(lines)
+	bw := bufio.NewWriter(w)
+	for _, line := range lines {
+		if _, err := bw.WriteString(line); err != nil {
+			return fmt.Errorf("rdf: write: %w", err)
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadNTriples parses N-Triples from r into st, returning the number of
+// triples read. Blank lines and '#' comments are skipped.
+func ReadNTriples(r io.Reader, st *Store) (int, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+	n := 0
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		s, p, o, err := ParseTripleLine(line)
+		if err != nil {
+			return n, fmt.Errorf("rdf: line %d: %w", lineNo, err)
+		}
+		st.Add(s, p, o)
+		n++
+	}
+	if err := sc.Err(); err != nil {
+		return n, fmt.Errorf("rdf: read: %w", err)
+	}
+	return n, nil
+}
+
+// ParseTripleLine parses one N-Triples statement ending in " .".
+func ParseTripleLine(line string) (s, p, o Term, err error) {
+	rest := strings.TrimSpace(line)
+	if !strings.HasSuffix(rest, ".") {
+		return s, p, o, fmt.Errorf("missing terminating dot: %q", line)
+	}
+	rest = strings.TrimSpace(rest[:len(rest)-1])
+	s, rest, err = parseTerm(rest)
+	if err != nil {
+		return s, p, o, fmt.Errorf("subject: %w", err)
+	}
+	if s.Kind == Literal {
+		return s, p, o, fmt.Errorf("subject must be an IRI or blank node, got %s", s)
+	}
+	p, rest, err = parseTerm(rest)
+	if err != nil {
+		return s, p, o, fmt.Errorf("predicate: %w", err)
+	}
+	if p.Kind != IRI {
+		return s, p, o, fmt.Errorf("predicate must be an IRI, got %s", p)
+	}
+	o, rest, err = parseTerm(rest)
+	if err != nil {
+		return s, p, o, fmt.Errorf("object: %w", err)
+	}
+	if strings.TrimSpace(rest) != "" {
+		return s, p, o, fmt.Errorf("trailing content %q", rest)
+	}
+	return s, p, o, nil
+}
+
+// parseTerm consumes one term from the front of s and returns the rest.
+func parseTerm(s string) (Term, string, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return Term{}, "", fmt.Errorf("unexpected end of statement")
+	}
+	switch s[0] {
+	case '<':
+		end := strings.IndexByte(s, '>')
+		if end < 0 {
+			return Term{}, "", fmt.Errorf("unterminated IRI in %q", s)
+		}
+		return NewIRI(s[1:end]), s[end+1:], nil
+	case '_':
+		if len(s) < 2 || s[1] != ':' {
+			return Term{}, "", fmt.Errorf("malformed blank node in %q", s)
+		}
+		end := strings.IndexAny(s, " \t")
+		if end < 0 {
+			end = len(s)
+		}
+		return NewBlank(s[2:end]), s[end:], nil
+	case '"':
+		// Find the closing unescaped quote.
+		end := -1
+		for i := 1; i < len(s); i++ {
+			if s[i] == '\\' {
+				i++
+				continue
+			}
+			if s[i] == '"' {
+				end = i
+				break
+			}
+		}
+		if end < 0 {
+			return Term{}, "", fmt.Errorf("unterminated literal in %q", s)
+		}
+		raw := s[1:end]
+		val, err := unescapeLiteral(raw)
+		if err != nil {
+			return Term{}, "", err
+		}
+		rest := s[end+1:]
+		t := NewLiteral(val)
+		switch {
+		case strings.HasPrefix(rest, "^^<"):
+			dtEnd := strings.IndexByte(rest, '>')
+			if dtEnd < 0 {
+				return Term{}, "", fmt.Errorf("unterminated datatype in %q", rest)
+			}
+			t.Datatype = rest[3:dtEnd]
+			rest = rest[dtEnd+1:]
+		case strings.HasPrefix(rest, "@"):
+			end := strings.IndexAny(rest, " \t")
+			if end < 0 {
+				end = len(rest)
+			}
+			t.Lang = rest[1:end]
+			rest = rest[end:]
+		}
+		return t, rest, nil
+	default:
+		return Term{}, "", fmt.Errorf("unrecognised term start %q", s)
+	}
+}

@@ -1,0 +1,262 @@
+package rdf
+
+import (
+	"sort"
+	"sync"
+)
+
+// ID is a dictionary-encoded term identifier. 0 is reserved as the wildcard
+// in patterns and never identifies a term.
+type ID uint32
+
+// Wildcard matches any term in FindID patterns.
+const Wildcard ID = 0
+
+// Dictionary interns terms to dense IDs and back. It is safe for concurrent
+// use: encoding takes a write lock only on first sight of a term.
+type Dictionary struct {
+	mu      sync.RWMutex
+	byTerm  map[Term]ID
+	byID    []Term // byID[id-1]
+}
+
+// NewDictionary returns an empty dictionary.
+func NewDictionary() *Dictionary {
+	return &Dictionary{byTerm: make(map[Term]ID)}
+}
+
+// Encode interns t and returns its ID.
+func (d *Dictionary) Encode(t Term) ID {
+	d.mu.RLock()
+	id, ok := d.byTerm[t]
+	d.mu.RUnlock()
+	if ok {
+		return id
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if id, ok := d.byTerm[t]; ok {
+		return id
+	}
+	d.byID = append(d.byID, t)
+	id = ID(len(d.byID))
+	d.byTerm[t] = id
+	return id
+}
+
+// Lookup returns the ID of t without interning; ok=false if unseen.
+func (d *Dictionary) Lookup(t Term) (ID, bool) {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	id, ok := d.byTerm[t]
+	return id, ok
+}
+
+// Decode returns the term for id; ok=false for Wildcard or out-of-range ids.
+func (d *Dictionary) Decode(id ID) (Term, bool) {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	if id == 0 || int(id) > len(d.byID) {
+		return Term{}, false
+	}
+	return d.byID[id-1], true
+}
+
+// Len returns the number of interned terms.
+func (d *Dictionary) Len() int {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return len(d.byID)
+}
+
+// Triple is a dictionary-encoded RDF statement.
+type Triple struct{ S, P, O ID }
+
+// Store is an in-memory indexed triple store. It maintains SPO, POS and OSP
+// indexes so that any bound-variable combination has an efficient access
+// path. A Store is safe for concurrent reads; writes must be externally
+// serialised (the sharded store gives each shard a single writer).
+type Store struct {
+	dict *Dictionary
+	spo  map[ID]map[ID][]ID
+	pos  map[ID]map[ID][]ID
+	osp  map[ID]map[ID][]ID
+	n    int
+}
+
+// NewStore returns an empty store sharing the given dictionary (pass nil
+// for a private one).
+func NewStore(dict *Dictionary) *Store {
+	if dict == nil {
+		dict = NewDictionary()
+	}
+	return &Store{
+		dict: dict,
+		spo:  make(map[ID]map[ID][]ID),
+		pos:  make(map[ID]map[ID][]ID),
+		osp:  make(map[ID]map[ID][]ID),
+	}
+}
+
+// Dict returns the store's dictionary.
+func (st *Store) Dict() *Dictionary { return st.dict }
+
+// Len returns the number of triples.
+func (st *Store) Len() int { return st.n }
+
+// Add encodes and inserts a triple; duplicates are ignored.
+func (st *Store) Add(s, p, o Term) {
+	st.AddID(st.dict.Encode(s), st.dict.Encode(p), st.dict.Encode(o))
+}
+
+// AddID inserts an already-encoded triple; duplicates are ignored.
+func (st *Store) AddID(s, p, o ID) {
+	if addIndex(st.spo, s, p, o) {
+		addIndex(st.pos, p, o, s)
+		addIndex(st.osp, o, s, p)
+		st.n++
+	}
+}
+
+// addIndex appends c under (a,b) unless already present; reports insertion.
+func addIndex(idx map[ID]map[ID][]ID, a, b, c ID) bool {
+	m, ok := idx[a]
+	if !ok {
+		m = make(map[ID][]ID)
+		idx[a] = m
+	}
+	list := m[b]
+	for _, x := range list {
+		if x == c {
+			return false
+		}
+	}
+	m[b] = append(list, c)
+	return true
+}
+
+// FindID streams triples matching the pattern (Wildcard = any) to fn; fn
+// returning false stops iteration early.
+func (st *Store) FindID(s, p, o ID, fn func(Triple) bool) {
+	switch {
+	case s != Wildcard:
+		byP, ok := st.spo[s]
+		if !ok {
+			return
+		}
+		if p != Wildcard {
+			for _, obj := range byP[p] {
+				if o != Wildcard && obj != o {
+					continue
+				}
+				if !fn(Triple{s, p, obj}) {
+					return
+				}
+			}
+			return
+		}
+		for pred, objs := range byP {
+			for _, obj := range objs {
+				if o != Wildcard && obj != o {
+					continue
+				}
+				if !fn(Triple{s, pred, obj}) {
+					return
+				}
+			}
+		}
+	case p != Wildcard:
+		byO, ok := st.pos[p]
+		if !ok {
+			return
+		}
+		if o != Wildcard {
+			for _, sub := range byO[o] {
+				if !fn(Triple{sub, p, o}) {
+					return
+				}
+			}
+			return
+		}
+		for obj, subs := range byO {
+			for _, sub := range subs {
+				if !fn(Triple{sub, p, obj}) {
+					return
+				}
+			}
+		}
+	case o != Wildcard:
+		byS, ok := st.osp[o]
+		if !ok {
+			return
+		}
+		for sub, preds := range byS {
+			for _, pred := range preds {
+				if !fn(Triple{sub, pred, o}) {
+					return
+				}
+			}
+		}
+	default:
+		for sub, byP := range st.spo {
+			for pred, objs := range byP {
+				for _, obj := range objs {
+					if !fn(Triple{sub, pred, obj}) {
+						return
+					}
+				}
+			}
+		}
+	}
+}
+
+// Find is the Term-level convenience over FindID; nil pattern slots match
+// anything.
+func (st *Store) Find(s, p, o *Term, fn func(s, p, o Term) bool) {
+	enc := func(t *Term) (ID, bool) {
+		if t == nil {
+			return Wildcard, true
+		}
+		id, ok := st.dict.Lookup(*t)
+		return id, ok
+	}
+	sid, ok := enc(s)
+	if !ok {
+		return
+	}
+	pid, ok := enc(p)
+	if !ok {
+		return
+	}
+	oid, ok := enc(o)
+	if !ok {
+		return
+	}
+	st.FindID(sid, pid, oid, func(t Triple) bool {
+		ts, _ := st.dict.Decode(t.S)
+		tp, _ := st.dict.Decode(t.P)
+		to, _ := st.dict.Decode(t.O)
+		return fn(ts, tp, to)
+	})
+}
+
+// Triples returns all triples, ordered by (S,P,O) id for deterministic
+// output. Intended for serialisation and tests, not hot paths.
+func (st *Store) Triples() []Triple {
+	out := make([]Triple, 0, st.n)
+	st.FindID(Wildcard, Wildcard, Wildcard, func(t Triple) bool {
+		out = append(out, t)
+		return true
+	})
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.S != b.S {
+			return a.S < b.S
+		}
+		if a.P != b.P {
+			return a.P < b.P
+		}
+		return a.O < b.O
+	})
+	return out
+}

@@ -1,0 +1,62 @@
+package store
+
+import (
+	"fmt"
+	"io"
+
+	"github.com/datacron-project/datacron/internal/onto"
+	"github.com/datacron-project/datacron/internal/rdf"
+)
+
+// ExportNT writes the union graph of all shards as canonical N-Triples.
+// Replicated global triples are emitted once. The result can be re-loaded
+// with ImportNT or by any RDF tool.
+func (s *Sharded) ExportNT(w io.Writer) error {
+	union := rdf.NewStore(s.dict)
+	for _, sh := range s.shards {
+		sh.rdf.FindID(rdf.Wildcard, rdf.Wildcard, rdf.Wildcard, func(t rdf.Triple) bool {
+			union.AddID(t.S, t.P, t.O)
+			return true
+		})
+	}
+	if err := rdf.WriteNTriples(w, union); err != nil {
+		return fmt.Errorf("store: export: %w", err)
+	}
+	return nil
+}
+
+// ImportNT bulk-loads an N-Triples dump: semantic position nodes are
+// re-anchored through the partitioner (rebuilding the spatiotemporal
+// index); every other triple is treated as global dimension data and
+// replicated. Returns the number of positions re-anchored.
+func (s *Sharded) ImportNT(r io.Reader) (positions int, err error) {
+	staging := rdf.NewStore(nil)
+	if _, err := rdf.ReadNTriples(r, staging); err != nil {
+		return 0, fmt.Errorf("store: import: %w", err)
+	}
+	// Identify semantic nodes and re-anchor them.
+	nodeType := onto.ClassNode
+	typePred := onto.PredType
+	anchored := map[rdf.Term]bool{}
+	staging.Find(nil, &typePred, &nodeType, func(node, _, _ rdf.Term) bool {
+		p, ok := onto.PositionFromStore(staging, node)
+		if !ok {
+			return true
+		}
+		s.AddPositionRecord(p)
+		anchored[node] = true
+		positions++
+		return true
+	})
+	// Everything not belonging to an anchored node is global.
+	var globals []onto.TripleT
+	staging.Find(nil, nil, nil, func(sub, pred, obj rdf.Term) bool {
+		if anchored[sub] {
+			return true
+		}
+		globals = append(globals, onto.TripleT{S: sub, P: pred, O: obj})
+		return true
+	})
+	s.AddGlobal(globals)
+	return positions, nil
+}

@@ -1,0 +1,33 @@
+package store
+
+import (
+	"github.com/datacron-project/datacron/internal/model"
+	"github.com/datacron-project/datacron/internal/onto"
+)
+
+// AddPositionRecord transforms one position report to RDF and stores it
+// anchored at its coordinates and timestamp.
+func (s *Sharded) AddPositionRecord(p model.Position) {
+	node := onto.NodeIRI(p.EntityID, p.TS)
+	s.AddAnchored(node.Value, p.Pt, p.TS, node, onto.PositionTriples(p))
+}
+
+// AddEntity stores static entity data as global (replicated) triples, so
+// per-shard joins against entity attributes stay local.
+func (s *Sharded) AddEntity(e model.Entity) {
+	s.AddGlobal(onto.EntityTriples(e))
+}
+
+// AddEvent stores a (detected or scripted) event anchored at its location
+// and start time.
+func (s *Sharded) AddEvent(ev model.Event) {
+	node := onto.EventIRI(ev.Type, ev.Entity, ev.StartTS)
+	s.AddAnchored(node.Value, ev.Where, ev.StartTS, node, onto.EventTriples(ev))
+}
+
+// LoadPositions bulk-loads position reports.
+func (s *Sharded) LoadPositions(ps []model.Position) {
+	for _, p := range ps {
+		s.AddPositionRecord(p)
+	}
+}

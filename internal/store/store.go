@@ -1,0 +1,226 @@
+// Package store implements the parallel spatiotemporal RDF store of the
+// datAcron architecture: interlinked RDF data "stored in parallel RDF
+// stores, using sophisticated RDF partitioning algorithms" (§2). A Sharded
+// store owns N independent rdf.Stores (the shards), places each
+// spatiotemporally-anchored graph fragment with a partition.Partitioner,
+// replicates global (dimension) triples to every shard so per-shard query
+// evaluation never needs cross-shard joins, and maintains a per-shard
+// spatiotemporal grid index over the anchored nodes for range queries.
+package store
+
+import (
+	"runtime"
+	"sync"
+
+	"github.com/datacron-project/datacron/internal/geo"
+	"github.com/datacron-project/datacron/internal/onto"
+	"github.com/datacron-project/datacron/internal/partition"
+	"github.com/datacron-project/datacron/internal/rdf"
+)
+
+// Sharded is the parallel RDF store.
+type Sharded struct {
+	part   partition.Partitioner
+	dict   *rdf.Dictionary // shared across shards
+	shards []*Shard
+}
+
+// Shard is one partition: an RDF store plus a spatiotemporal index over the
+// graph fragments anchored in it. Writes to a shard are serialised by its
+// mutex; reads of the RDF store are lock-free once loading is done.
+type Shard struct {
+	mu      sync.Mutex
+	rdf     *rdf.Store
+	grid    geo.Grid
+	entries []anchor
+	cells   map[int][]int32 // grid cell → indexes into entries
+}
+
+// anchor is one spatiotemporally-anchored node.
+type anchor struct {
+	pt   geo.Point
+	ts   int64
+	node rdf.ID
+}
+
+// NewSharded returns a store partitioned by part, indexing anchors on a
+// 64x64 grid over worldBox.
+func NewSharded(part partition.Partitioner, worldBox geo.BBox) *Sharded {
+	dict := rdf.NewDictionary()
+	shards := make([]*Shard, part.Shards())
+	for i := range shards {
+		shards[i] = &Shard{
+			rdf:   rdf.NewStore(dict),
+			grid:  geo.NewGrid(worldBox, 64, 64),
+			cells: make(map[int][]int32),
+		}
+	}
+	return &Sharded{part: part, dict: dict, shards: shards}
+}
+
+// Dict returns the shared dictionary.
+func (s *Sharded) Dict() *rdf.Dictionary { return s.dict }
+
+// Partitioner returns the partitioner in use.
+func (s *Sharded) Partitioner() partition.Partitioner { return s.part }
+
+// NumShards returns the shard count.
+func (s *Sharded) NumShards() int { return len(s.shards) }
+
+// Shard returns shard i's RDF store (for query evaluation).
+func (s *Sharded) Shard(i int) *rdf.Store { return s.shards[i].rdf }
+
+// Len returns the total number of triples across shards (global triples are
+// counted once per shard they are replicated to).
+func (s *Sharded) Len() int {
+	n := 0
+	for _, sh := range s.shards {
+		n += sh.rdf.Len()
+	}
+	return n
+}
+
+// ShardLoads returns the number of anchored fragments per shard, the load
+// measure used by E3's balance metric.
+func (s *Sharded) ShardLoads() []int {
+	out := make([]int, len(s.shards))
+	for i, sh := range s.shards {
+		out[i] = len(sh.entries)
+	}
+	return out
+}
+
+// AddGlobal replicates dimension triples (entities, areas, vocabulary) to
+// every shard, so a per-shard BGP evaluation can join them locally.
+func (s *Sharded) AddGlobal(triples []onto.TripleT) {
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+		for _, t := range triples {
+			sh.rdf.Add(t.S, t.P, t.O)
+		}
+		sh.mu.Unlock()
+	}
+}
+
+// AddAnchored places a graph fragment anchored at (key, pt, ts): its
+// triples go to the shard the partitioner assigns and node is registered in
+// that shard's spatiotemporal index.
+func (s *Sharded) AddAnchored(key string, pt geo.Point, ts int64, node rdf.Term, triples []onto.TripleT) {
+	idx := s.part.Assign(key, pt, ts)
+	sh := s.shards[idx]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	for _, t := range triples {
+		sh.rdf.Add(t.S, t.P, t.O)
+	}
+	id := sh.rdf.Dict().Encode(node)
+	entryIdx := int32(len(sh.entries))
+	sh.entries = append(sh.entries, anchor{pt: pt, ts: ts, node: id})
+	cell := sh.grid.CellID(pt)
+	sh.cells[cell] = append(sh.cells[cell], entryIdx)
+}
+
+
+// RangeResult is one spatiotemporal range query hit.
+type RangeResult struct {
+	Node rdf.ID
+	Pt   geo.Point
+	TS   int64
+	// Shard records which shard held the hit (for experiment accounting).
+	Shard int
+}
+
+// RangeQuery returns the anchored nodes within box and [fromTS, toTS],
+// evaluating candidate shards in parallel. visited reports how many shards
+// were consulted (the pruning measure of E3).
+func (s *Sharded) RangeQuery(box geo.BBox, fromTS, toTS int64) (results []RangeResult, visited int) {
+	cands := s.part.Candidates(box, fromTS, toTS)
+	visited = len(cands)
+	if visited == 0 {
+		return nil, 0
+	}
+	type shardOut struct {
+		idx int
+		res []RangeResult
+	}
+	outCh := make(chan shardOut, len(cands))
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(cands) {
+		workers = len(cands)
+	}
+	work := make(chan int, len(cands))
+	for _, c := range cands {
+		work <- c
+	}
+	close(work)
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for c := range work {
+				outCh <- shardOut{c, s.shards[c].rangeLocal(box, fromTS, toTS, c)}
+			}
+		}()
+	}
+	wg.Wait()
+	close(outCh)
+	for so := range outCh {
+		results = append(results, so.res...)
+	}
+	return results, visited
+}
+
+// rangeLocal scans one shard's grid index.
+func (sh *Shard) rangeLocal(box geo.BBox, fromTS, toTS int64, shardIdx int) []RangeResult {
+	var out []RangeResult
+	for _, cell := range sh.grid.CellsIn(box) {
+		for _, ei := range sh.cells[cell] {
+			e := sh.entries[ei]
+			if e.ts < fromTS || e.ts > toTS || !box.Contains(e.pt) {
+				continue
+			}
+			out = append(out, RangeResult{Node: e.node, Pt: e.pt, TS: e.ts, Shard: shardIdx})
+		}
+	}
+	return out
+}
+
+// EachShardParallel runs fn over every shard concurrently and waits. fn
+// receives the shard index and its RDF store; it must treat the store as
+// read-only.
+func (s *Sharded) EachShardParallel(fn func(i int, st *rdf.Store)) {
+	var wg sync.WaitGroup
+	wg.Add(len(s.shards))
+	for i, sh := range s.shards {
+		go func(i int, sh *Shard) {
+			defer wg.Done()
+			fn(i, sh.rdf)
+		}(i, sh)
+	}
+	wg.Wait()
+}
+
+// EachShardSubset runs fn over the given shard indexes with bounded
+// parallelism and waits.
+func (s *Sharded) EachShardSubset(shardIdxs []int, parallelism int, fn func(i int, st *rdf.Store)) {
+	if parallelism < 1 {
+		parallelism = 1
+	}
+	work := make(chan int, len(shardIdxs))
+	for _, i := range shardIdxs {
+		work <- i
+	}
+	close(work)
+	var wg sync.WaitGroup
+	for w := 0; w < parallelism; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range work {
+				fn(i, s.shards[i].rdf)
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -1,0 +1,99 @@
+package stream
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Meter counts events over wall-clock time to report throughput.
+type Meter struct {
+	mu    sync.Mutex
+	n     int64
+	start time.Time
+}
+
+// NewMeter returns a running meter.
+func NewMeter() *Meter { return &Meter{start: time.Now()} }
+
+// Add records n events.
+func (m *Meter) Add(n int64) {
+	m.mu.Lock()
+	m.n += n
+	m.mu.Unlock()
+}
+
+// Count returns the number of recorded events.
+func (m *Meter) Count() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.n
+}
+
+// Rate returns events per second since the meter started.
+func (m *Meter) Rate() float64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	el := time.Since(m.start).Seconds()
+	if el <= 0 {
+		return 0
+	}
+	return float64(m.n) / el
+}
+
+// LatencyHist collects latency samples and reports percentiles. It keeps
+// raw samples (the experiment scales here are ≤ millions), which keeps
+// percentiles exact. The sorted view is cached and invalidated on Observe,
+// so reading several percentiles (p50/p95/p99) sorts once.
+type LatencyHist struct {
+	mu      sync.Mutex
+	samples []time.Duration
+	sorted  bool
+}
+
+// NewLatencyHist returns an empty histogram.
+func NewLatencyHist() *LatencyHist { return &LatencyHist{} }
+
+// Observe records one latency sample.
+func (h *LatencyHist) Observe(d time.Duration) {
+	h.mu.Lock()
+	h.samples = append(h.samples, d)
+	h.sorted = false
+	h.mu.Unlock()
+}
+
+// Count returns the number of samples.
+func (h *LatencyHist) Count() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return len(h.samples)
+}
+
+// Percentile returns the p-th percentile (0..100) latency, or 0 with no
+// samples.
+func (h *LatencyHist) Percentile(p float64) time.Duration {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if len(h.samples) == 0 {
+		return 0
+	}
+	if !h.sorted {
+		sort.Slice(h.samples, func(i, j int) bool { return h.samples[i] < h.samples[j] })
+		h.sorted = true
+	}
+	idx := int(p / 100 * float64(len(h.samples)-1))
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(h.samples) {
+		idx = len(h.samples) - 1
+	}
+	return h.samples[idx]
+}
+
+// Summary renders p50/p95/p99 for reports.
+func (h *LatencyHist) Summary() string {
+	return fmt.Sprintf("p50=%v p95=%v p99=%v (n=%d)",
+		h.Percentile(50), h.Percentile(95), h.Percentile(99), h.Count())
+}

@@ -1,0 +1,88 @@
+package stream
+
+import "sort"
+
+// slidingProc implements per-key event-time sliding windows: each record
+// belongs to size/slide panes; panes fire when the watermark passes their
+// end, like the tumbling processor.
+type slidingProc[T, A any] struct {
+	sizeMS  int64
+	slideMS int64
+	init    func() A
+	add     func(A, Msg[T]) A
+	panes   map[string]map[int64]*windowState[A]
+}
+
+// OnRecord assigns the record to every pane whose interval covers it.
+func (p *slidingProc[T, A]) OnRecord(m Msg[T]) []Msg[WindowResult[A]] {
+	firstStart := m.TS - mod(m.TS, p.slideMS)
+	byKey, ok := p.panes[m.Key]
+	if !ok {
+		byKey = make(map[int64]*windowState[A])
+		p.panes[m.Key] = byKey
+	}
+	for start := firstStart; start > m.TS-p.sizeMS; start -= p.slideMS {
+		st, ok := byKey[start]
+		if !ok {
+			st = &windowState[A]{agg: p.init()}
+			byKey[start] = st
+		}
+		st.agg = p.add(st.agg, m)
+		st.count++
+	}
+	return nil
+}
+
+// OnWatermark fires all panes whose end has passed, deterministically
+// ordered.
+func (p *slidingProc[T, A]) OnWatermark(wm int64) []Msg[WindowResult[A]] {
+	type fired struct {
+		key   string
+		start int64
+		st    *windowState[A]
+	}
+	var ready []fired
+	for key, byKey := range p.panes {
+		for start, st := range byKey {
+			if start+p.sizeMS <= wm {
+				ready = append(ready, fired{key, start, st})
+				delete(byKey, start)
+			}
+		}
+		if len(byKey) == 0 {
+			delete(p.panes, key)
+		}
+	}
+	sort.Slice(ready, func(i, j int) bool {
+		if ready[i].start != ready[j].start {
+			return ready[i].start < ready[j].start
+		}
+		return ready[i].key < ready[j].key
+	})
+	out := make([]Msg[WindowResult[A]], 0, len(ready))
+	for _, f := range ready {
+		end := f.start + p.sizeMS
+		out = append(out, Record(end, f.key, WindowResult[A]{
+			Key: f.key, StartTS: f.start, EndTS: end, Agg: f.st.agg, Count: f.st.count,
+		}))
+	}
+	return out
+}
+
+// SlidingWindow groups records into per-key event-time sliding windows of
+// the given size, advancing every slide. size must be a multiple of slide
+// for pane alignment; it is rounded up otherwise.
+func SlidingWindow[T, A any](in Stream[T], parallelism int, sizeMS, slideMS int64, init func() A, add func(A, Msg[T]) A) Stream[WindowResult[A]] {
+	if slideMS <= 0 {
+		slideMS = sizeMS
+	}
+	if rem := sizeMS % slideMS; rem != 0 {
+		sizeMS += slideMS - rem
+	}
+	return RunKeyed(in, parallelism, func() Processor[T, WindowResult[A]] {
+		return &slidingProc[T, A]{
+			sizeMS: sizeMS, slideMS: slideMS, init: init, add: add,
+			panes: make(map[string]map[int64]*windowState[A]),
+		}
+	})
+}

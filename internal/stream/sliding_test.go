@@ -1,0 +1,100 @@
+package stream
+
+import "testing"
+
+func TestSlidingWindowCoversRecordMultipleTimes(t *testing.T) {
+	// One record at ts=25 with size=30, slide=10 belongs to panes starting
+	// at 0, 10, 20.
+	items := []item{{25, "a", 1}, {100, "a", 1}} // second record flushes panes
+	out := SlidingWindow(src(items, 0), 1, 30, 10,
+		func() int { return 0 },
+		func(a int, _ Msg[item]) int { return a + 1 },
+	)
+	var starts []int64
+	for _, r := range Collect(out) {
+		if r.StartTS <= 25 && r.StartTS > 25-30 && r.Agg > 0 {
+			starts = append(starts, r.StartTS)
+		}
+	}
+	if len(starts) != 3 {
+		t.Fatalf("record covered by %d panes (%v), want 3", len(starts), starts)
+	}
+	if starts[0] != 0 || starts[1] != 10 || starts[2] != 20 {
+		t.Errorf("pane starts = %v", starts)
+	}
+}
+
+func TestSlidingWindowCountsMatchTumblingWhenSlideEqualsSize(t *testing.T) {
+	var items []item
+	for i := 0; i < 100; i++ {
+		items = append(items, item{ts: int64(i), key: "k", v: 1})
+	}
+	slide := Collect(SlidingWindow(src(items, 0), 1, 20, 20,
+		func() int { return 0 },
+		func(a int, _ Msg[item]) int { return a + 1 }))
+	tumble := Collect(CountWindow(src(items, 0), 1, 20))
+	if len(slide) != len(tumble) {
+		t.Fatalf("pane counts differ: %d vs %d", len(slide), len(tumble))
+	}
+	for i := range slide {
+		if slide[i].Agg != tumble[i].Agg || slide[i].StartTS != tumble[i].StartTS {
+			t.Errorf("pane %d: %+v vs %+v", i, slide[i], tumble[i])
+		}
+	}
+}
+
+func TestSlidingWindowTotalMassConserved(t *testing.T) {
+	// With size = k*slide, every record lands in exactly k panes, so total
+	// pane mass = k * records.
+	var items []item
+	for i := 0; i < 200; i++ {
+		items = append(items, item{ts: int64(i * 7), key: "k", v: 1})
+	}
+	// push a flusher record far in the future
+	items = append(items, item{ts: 1 << 40, key: "k", v: 1})
+	out := Collect(SlidingWindow(src(items, 0), 2, 40, 10,
+		func() int { return 0 },
+		func(a int, _ Msg[item]) int { return a + 1 }))
+	total := 0
+	for _, r := range out {
+		total += r.Agg
+	}
+	want := 4 * 201 // k = size/slide = 4
+	if total != want {
+		t.Errorf("total pane mass = %d, want %d", total, want)
+	}
+}
+
+func TestSlidingWindowSizeRounding(t *testing.T) {
+	// size 25, slide 10 → rounded to 30; a record at ts=5 then covered by
+	// 3 panes.
+	items := []item{{5, "a", 1}, {1000, "a", 1}}
+	out := Collect(SlidingWindow(src(items, 0), 1, 25, 10,
+		func() int { return 0 },
+		func(a int, _ Msg[item]) int { return a + 1 }))
+	covered := 0
+	for _, r := range out {
+		if r.StartTS <= 5 && r.EndTS > 5 && r.Agg > 0 {
+			covered++
+		}
+	}
+	if covered != 3 {
+		t.Errorf("covered by %d panes, want 3 after rounding", covered)
+	}
+}
+
+func TestSlidingWindowZeroSlideDefaultsToTumbling(t *testing.T) {
+	items := []item{{5, "a", 1}, {1000, "a", 1}}
+	out := Collect(SlidingWindow(src(items, 0), 1, 20, 0,
+		func() int { return 0 },
+		func(a int, _ Msg[item]) int { return a + 1 }))
+	count := 0
+	for _, r := range out {
+		if r.Agg > 0 && r.StartTS == 0 {
+			count++
+		}
+	}
+	if count != 1 {
+		t.Errorf("zero slide should behave like tumbling: %d panes at 0", count)
+	}
+}

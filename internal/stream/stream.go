@@ -1,0 +1,267 @@
+// Package stream is the from-scratch dataflow engine that stands in for the
+// Apache Flink substrate of the datAcron architecture (DESIGN.md §2). It
+// provides event-time streams with bounded-out-of-orderness watermarks,
+// stateless operators (map/filter/flatmap), hash-partitioned keyed operators
+// running on parallel workers with watermark re-alignment, and event-time
+// tumbling windows.
+//
+// A stream is a channel of Msg values; closing the channel ends the stream.
+// Watermark messages assert that no later record will carry a smaller
+// timestamp, which is what lets windows fire deterministically over the
+// out-of-order streams real surveillance feeds produce.
+package stream
+
+import (
+	"hash/fnv"
+	"sort"
+	"sync"
+)
+
+// Msg is one element of a stream: either a keyed, timestamped record or a
+// watermark.
+type Msg[T any] struct {
+	Watermark bool
+	TS        int64 // record event time, or watermark time
+	Key       string
+	Val       T
+}
+
+// Record constructs a record message.
+func Record[T any](ts int64, key string, val T) Msg[T] {
+	return Msg[T]{TS: ts, Key: key, Val: val}
+}
+
+// WM constructs a watermark message.
+func WM[T any](ts int64) Msg[T] { return Msg[T]{Watermark: true, TS: ts} }
+
+// Stream is a readable stream of messages.
+type Stream[T any] <-chan Msg[T]
+
+// chanBuf is the buffer size used for inter-operator channels.
+const chanBuf = 256
+
+// EndOfStream is the watermark emitted when a bounded source is exhausted;
+// it flushes every pending window and partial state, mirroring the +∞
+// watermark a distributed dataflow engine emits at end of bounded input.
+const EndOfStream int64 = 1 << 62
+
+// FromSlice turns a pre-sorted-or-not slice into a stream with
+// bounded-out-of-orderness watermarks: after each record the source emits a
+// watermark maxTS−delayMS every wmEveryN records (and a final one at close).
+// The slice is streamed in its given order, so callers control disorder.
+func FromSlice[T any](items []T, ts func(T) int64, key func(T) string, delayMS int64, wmEveryN int) Stream[T] {
+	out := make(chan Msg[T], chanBuf)
+	if wmEveryN <= 0 {
+		wmEveryN = 100
+	}
+	go func() {
+		defer close(out)
+		var maxTS int64 = -1 << 62
+		for i, it := range items {
+			t := ts(it)
+			if t > maxTS {
+				maxTS = t
+			}
+			out <- Record(t, key(it), it)
+			if (i+1)%wmEveryN == 0 {
+				out <- WM[T](maxTS - delayMS)
+			}
+		}
+		out <- WM[T](EndOfStream) // flush everything at end-of-stream
+	}()
+	return out
+}
+
+// Map applies f to every record, passing watermarks through.
+func Map[T, U any](in Stream[T], f func(T) U) Stream[U] {
+	out := make(chan Msg[U], chanBuf)
+	go func() {
+		defer close(out)
+		for m := range in {
+			if m.Watermark {
+				out <- WM[U](m.TS)
+				continue
+			}
+			out <- Record(m.TS, m.Key, f(m.Val))
+		}
+	}()
+	return out
+}
+
+// Filter drops records failing pred, passing watermarks through.
+func Filter[T any](in Stream[T], pred func(T) bool) Stream[T] {
+	out := make(chan Msg[T], chanBuf)
+	go func() {
+		defer close(out)
+		for m := range in {
+			if m.Watermark || pred(m.Val) {
+				out <- m
+			}
+		}
+	}()
+	return out
+}
+
+// FlatMap applies f to every record and emits each result, passing
+// watermarks through. Results keep the input's key and timestamp unless f
+// re-keys them via the returned Msg values.
+func FlatMap[T, U any](in Stream[T], f func(Msg[T]) []Msg[U]) Stream[U] {
+	out := make(chan Msg[U], chanBuf)
+	go func() {
+		defer close(out)
+		for m := range in {
+			if m.Watermark {
+				out <- WM[U](m.TS)
+				continue
+			}
+			for _, r := range f(m) {
+				out <- r
+			}
+		}
+	}()
+	return out
+}
+
+// Collect drains a stream into a slice of record values, discarding
+// watermarks. It blocks until the stream closes.
+func Collect[T any](in Stream[T]) []T {
+	var out []T
+	for m := range in {
+		if !m.Watermark {
+			out = append(out, m.Val)
+		}
+	}
+	return out
+}
+
+// CollectMsgs drains a stream into record messages (watermarks dropped).
+func CollectMsgs[T any](in Stream[T]) []Msg[T] {
+	var out []Msg[T]
+	for m := range in {
+		if !m.Watermark {
+			out = append(out, m)
+		}
+	}
+	return out
+}
+
+// hashKey maps a key to a partition in [0, n).
+func hashKey(key string, n int) int {
+	h := fnv.New32a()
+	h.Write([]byte(key))
+	return int(h.Sum32() % uint32(n))
+}
+
+// Processor is the state machine run per partition by RunKeyed. OnRecord
+// and OnWatermark return zero or more output messages. A processor instance
+// is only ever called from one goroutine.
+type Processor[T, U any] interface {
+	OnRecord(m Msg[T]) []Msg[U]
+	OnWatermark(wm int64) []Msg[U]
+}
+
+// RunKeyed hash-partitions records by key across `parallelism` worker
+// goroutines, each owning one Processor instance, and merges their outputs.
+// Watermarks are broadcast to all workers; the merged stream carries the
+// minimum watermark across workers, exactly like an exchange in a
+// distributed dataflow engine.
+func RunKeyed[T, U any](in Stream[T], parallelism int, newProc func() Processor[T, U]) Stream[U] {
+	if parallelism < 1 {
+		parallelism = 1
+	}
+	ins := make([]chan Msg[T], parallelism)
+	outs := make([]chan Msg[U], parallelism)
+	for i := range ins {
+		ins[i] = make(chan Msg[T], chanBuf)
+		outs[i] = make(chan Msg[U], chanBuf)
+	}
+	// Router: fan records out by key hash, broadcast watermarks.
+	go func() {
+		for m := range in {
+			if m.Watermark {
+				for _, c := range ins {
+					c <- m
+				}
+				continue
+			}
+			ins[hashKey(m.Key, parallelism)] <- m
+		}
+		for _, c := range ins {
+			close(c)
+		}
+	}()
+	// Workers.
+	for i := 0; i < parallelism; i++ {
+		go func(i int) {
+			defer close(outs[i])
+			proc := newProc()
+			for m := range ins[i] {
+				var results []Msg[U]
+				if m.Watermark {
+					results = proc.OnWatermark(m.TS)
+				} else {
+					results = proc.OnRecord(m)
+				}
+				for _, r := range results {
+					outs[i] <- r
+				}
+				if m.Watermark {
+					outs[i] <- WM[U](m.TS)
+				}
+			}
+		}(i)
+	}
+	return mergeAligned(outs)
+}
+
+// mergeAligned merges worker outputs into one stream whose watermark is the
+// minimum of the workers' watermarks.
+func mergeAligned[U any](outs []chan Msg[U]) Stream[U] {
+	merged := make(chan Msg[U], chanBuf)
+	var mu sync.Mutex
+	wms := make([]int64, len(outs))
+	for i := range wms {
+		wms[i] = -1 << 62
+	}
+	lastEmitted := int64(-1 << 62)
+	var wg sync.WaitGroup
+	wg.Add(len(outs))
+	for i, c := range outs {
+		go func(i int, c chan Msg[U]) {
+			defer wg.Done()
+			for m := range c {
+				if m.Watermark {
+					mu.Lock()
+					wms[i] = m.TS
+					min := wms[0]
+					for _, w := range wms[1:] {
+						if w < min {
+							min = w
+						}
+					}
+					emit := min > lastEmitted
+					if emit {
+						lastEmitted = min
+					}
+					mu.Unlock()
+					if emit {
+						merged <- WM[U](min)
+					}
+					continue
+				}
+				merged <- m
+			}
+		}(i, c)
+	}
+	go func() {
+		wg.Wait()
+		close(merged)
+	}()
+	return merged
+}
+
+// SortByTime sorts collected messages by timestamp (stable); handy for
+// asserting on merged parallel outputs.
+func SortByTime[T any](msgs []Msg[T]) {
+	sort.SliceStable(msgs, func(i, j int) bool { return msgs[i].TS < msgs[j].TS })
+}

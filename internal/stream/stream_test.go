@@ -1,0 +1,273 @@
+package stream
+
+import (
+	"fmt"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+type item struct {
+	ts  int64
+	key string
+	v   int
+}
+
+func src(items []item, delayMS int64) Stream[item] {
+	return FromSlice(items,
+		func(i item) int64 { return i.ts },
+		func(i item) string { return i.key },
+		delayMS, 2)
+}
+
+func TestMapFilterCollect(t *testing.T) {
+	items := []item{{1, "a", 1}, {2, "a", 2}, {3, "b", 3}, {4, "b", 4}}
+	doubled := Map(src(items, 0), func(i item) int { return i.v * 2 })
+	big := Filter(doubled, func(v int) bool { return v > 4 })
+	got := Collect(big)
+	if len(got) != 2 || got[0] != 6 || got[1] != 8 {
+		t.Errorf("got %v, want [6 8]", got)
+	}
+}
+
+func TestFlatMap(t *testing.T) {
+	items := []item{{1, "a", 2}}
+	out := FlatMap(src(items, 0), func(m Msg[item]) []Msg[string] {
+		var res []Msg[string]
+		for i := 0; i < m.Val.v; i++ {
+			res = append(res, Record(m.TS, m.Key, fmt.Sprintf("%s-%d", m.Key, i)))
+		}
+		return res
+	})
+	got := Collect(out)
+	if len(got) != 2 || got[0] != "a-0" || got[1] != "a-1" {
+		t.Errorf("got %v", got)
+	}
+}
+
+func TestCollectMsgsKeepsKeyAndTS(t *testing.T) {
+	items := []item{{7, "k", 42}}
+	msgs := CollectMsgs(src(items, 0))
+	if len(msgs) != 1 || msgs[0].Key != "k" || msgs[0].TS != 7 || msgs[0].Val.v != 42 {
+		t.Errorf("got %+v", msgs)
+	}
+}
+
+// sumProc sums values per key, emitting on watermark.
+type sumProc struct {
+	sums map[string]int
+}
+
+func (p *sumProc) OnRecord(m Msg[item]) []Msg[int] {
+	if p.sums == nil {
+		p.sums = map[string]int{}
+	}
+	p.sums[m.Key] += m.Val.v
+	return nil
+}
+
+func (p *sumProc) OnWatermark(wm int64) []Msg[int] {
+	if wm < EndOfStream { // only flush at end-of-stream in this test
+		return nil
+	}
+	var out []Msg[int]
+	for k, s := range p.sums {
+		out = append(out, Record(wm, k, s))
+	}
+	p.sums = map[string]int{}
+	return out
+}
+
+func TestRunKeyedPartitionsByKey(t *testing.T) {
+	var items []item
+	want := map[string]int{}
+	for i := 0; i < 100; i++ {
+		key := fmt.Sprintf("k%d", i%7)
+		items = append(items, item{ts: int64(i), key: key, v: i})
+		want[key] += i
+	}
+	out := RunKeyed(src(items, 0), 4, func() Processor[item, int] { return &sumProc{} })
+	got := map[string]int{}
+	for _, m := range CollectMsgs(out) {
+		got[m.Key] += m.Val
+	}
+	for k, w := range want {
+		if got[k] != w {
+			t.Errorf("key %s: got %d want %d", k, got[k], w)
+		}
+	}
+}
+
+func TestRunKeyedWatermarkIsMinAcrossWorkers(t *testing.T) {
+	items := []item{{10, "a", 1}, {20, "b", 1}, {30, "c", 1}, {40, "d", 1}}
+	in := src(items, 5)
+	out := RunKeyed(in, 3, func() Processor[item, int] { return passProc{} })
+	var lastWM int64 = -1 << 62
+	for m := range out {
+		if m.Watermark {
+			if m.TS < lastWM {
+				t.Fatalf("watermark regressed: %d after %d", m.TS, lastWM)
+			}
+			lastWM = m.TS
+		}
+	}
+	if lastWM != EndOfStream {
+		t.Errorf("final watermark = %d, want EndOfStream", lastWM)
+	}
+}
+
+type passProc struct{}
+
+func (passProc) OnRecord(m Msg[item]) []Msg[int] { return []Msg[int]{Record(m.TS, m.Key, m.Val.v)} }
+func (passProc) OnWatermark(int64) []Msg[int]    { return nil }
+
+func TestTumblingWindowCounts(t *testing.T) {
+	var items []item
+	// Key "a": ts 0..59 → windows [0,30) and [30,60) with 30 each.
+	for i := 0; i < 60; i++ {
+		items = append(items, item{ts: int64(i), key: "a", v: 1})
+	}
+	out := CountWindow(src(items, 0), 2, 30)
+	results := Collect(out)
+	if len(results) != 2 {
+		t.Fatalf("got %d windows, want 2: %+v", len(results), results)
+	}
+	SortByTimeResults := results
+	for _, r := range SortByTimeResults {
+		if r.Agg != 30 || r.Count != 30 {
+			t.Errorf("window %d..%d count = %d", r.StartTS, r.EndTS, r.Agg)
+		}
+	}
+}
+
+func TestTumblingWindowOutOfOrderWithinAllowance(t *testing.T) {
+	// Records arrive out of order but within the 10ms watermark delay: the
+	// window must still count all of them.
+	items := []item{
+		{5, "a", 1}, {2, "a", 1}, {9, "a", 1}, {1, "a", 1},
+		{12, "a", 1}, {11, "a", 1}, {25, "a", 1},
+	}
+	out := TumblingWindow(src(items, 10), 1, 10,
+		func() int { return 0 },
+		func(a int, _ Msg[item]) int { return a + 1 },
+	)
+	results := Collect(out)
+	total := 0
+	for _, r := range results {
+		total += r.Agg
+	}
+	if total != len(items) {
+		t.Errorf("windows dropped records: total %d, want %d", total, len(items))
+	}
+	// First window [0,10) must have exactly 4.
+	if results[0].StartTS != 0 || results[0].Agg != 4 {
+		t.Errorf("first window: %+v", results[0])
+	}
+}
+
+func TestTumblingWindowNegativeTimestamps(t *testing.T) {
+	items := []item{{-25, "a", 1}, {-15, "a", 1}, {-5, "a", 1}}
+	out := CountWindow(src(items, 0), 1, 10)
+	results := Collect(out)
+	if len(results) != 3 {
+		t.Fatalf("got %d windows: %+v", len(results), results)
+	}
+	if results[0].StartTS != -30 {
+		t.Errorf("first window start = %d, want -30", results[0].StartTS)
+	}
+}
+
+func TestWindowResultsDeterministicOrder(t *testing.T) {
+	items := []item{
+		{1, "b", 1}, {2, "a", 1}, {3, "c", 1},
+		{100, "z", 1}, // pushes watermark past all three windows at once
+	}
+	out := CountWindow(src(items, 0), 1, 10)
+	var keys []string
+	for _, r := range Collect(out) {
+		if r.StartTS == 0 {
+			keys = append(keys, r.Key)
+		}
+	}
+	if len(keys) != 3 || keys[0] != "a" || keys[1] != "b" || keys[2] != "c" {
+		t.Errorf("same-window keys not sorted: %v", keys)
+	}
+}
+
+func TestParallelismOneMatchesMany(t *testing.T) {
+	var items []item
+	for i := 0; i < 500; i++ {
+		items = append(items, item{ts: int64(i), key: fmt.Sprintf("k%d", i%13), v: i})
+	}
+	count := func(par int) map[string]int {
+		out := CountWindow(src(items, 0), par, 100)
+		m := map[string]int{}
+		for _, r := range Collect(out) {
+			m[fmt.Sprintf("%s@%d", r.Key, r.StartTS)] = r.Agg
+		}
+		return m
+	}
+	one := count(1)
+	four := count(4)
+	if len(one) != len(four) {
+		t.Fatalf("pane counts differ: %d vs %d", len(one), len(four))
+	}
+	for k, v := range one {
+		if four[k] != v {
+			t.Errorf("pane %s: %d vs %d", k, v, four[k])
+		}
+	}
+}
+
+func TestMeter(t *testing.T) {
+	m := NewMeter()
+	m.Add(10)
+	m.Add(5)
+	if m.Count() != 15 {
+		t.Errorf("Count = %d", m.Count())
+	}
+	if m.Rate() <= 0 {
+		t.Error("Rate should be positive")
+	}
+}
+
+func TestLatencyHist(t *testing.T) {
+	h := NewLatencyHist()
+	if h.Percentile(50) != 0 {
+		t.Error("empty hist percentile should be 0")
+	}
+	for i := 1; i <= 100; i++ {
+		h.Observe(time.Duration(i) * time.Millisecond)
+	}
+	if p := h.Percentile(50); p < 49*time.Millisecond || p > 52*time.Millisecond {
+		t.Errorf("p50 = %v", p)
+	}
+	if p := h.Percentile(99); p < 98*time.Millisecond {
+		t.Errorf("p99 = %v", p)
+	}
+	if h.Percentile(0) > h.Percentile(100) {
+		t.Error("percentile ordering")
+	}
+	if h.Summary() == "" {
+		t.Error("empty summary")
+	}
+}
+
+func TestThroughputSmoke(t *testing.T) {
+	// The engine must sustainably process a burst through a small pipeline;
+	// this is a smoke test, the real numbers are benchmarked in E2.
+	n := 50000
+	items := make([]item, n)
+	for i := range items {
+		items[i] = item{ts: int64(i), key: fmt.Sprintf("k%d", i%50), v: i}
+	}
+	var processed int64
+	out := Map(src(items, 100), func(i item) int {
+		atomic.AddInt64(&processed, 1)
+		return i.v
+	})
+	Collect(out)
+	if processed != int64(n) {
+		t.Errorf("processed %d, want %d", processed, n)
+	}
+}

@@ -1,0 +1,111 @@
+package stream
+
+import "sort"
+
+// WindowResult is the aggregate produced when an event-time window fires.
+type WindowResult[A any] struct {
+	Key      string
+	StartTS  int64 // window start (inclusive)
+	EndTS    int64 // window end (exclusive)
+	Agg      A
+	Count    int
+}
+
+// windowState accumulates one (key, window) pane.
+type windowState[A any] struct {
+	agg   A
+	count int
+}
+
+// tumblingProc implements Processor for per-key event-time tumbling windows.
+type tumblingProc[T, A any] struct {
+	sizeMS int64
+	init   func() A
+	add    func(A, Msg[T]) A
+	panes  map[string]map[int64]*windowState[A] // key → window start → state
+}
+
+// OnRecord assigns the record to its pane.
+func (p *tumblingProc[T, A]) OnRecord(m Msg[T]) []Msg[WindowResult[A]] {
+	start := m.TS - mod(m.TS, p.sizeMS)
+	byKey, ok := p.panes[m.Key]
+	if !ok {
+		byKey = make(map[int64]*windowState[A])
+		p.panes[m.Key] = byKey
+	}
+	st, ok := byKey[start]
+	if !ok {
+		st = &windowState[A]{agg: p.init()}
+		byKey[start] = st
+	}
+	st.agg = p.add(st.agg, m)
+	st.count++
+	return nil
+}
+
+// OnWatermark fires every pane whose window end is at or before the
+// watermark, in deterministic (key, start) order.
+func (p *tumblingProc[T, A]) OnWatermark(wm int64) []Msg[WindowResult[A]] {
+	type fired struct {
+		key   string
+		start int64
+		st    *windowState[A]
+	}
+	var ready []fired
+	for key, byKey := range p.panes {
+		for start, st := range byKey {
+			if start+p.sizeMS <= wm {
+				ready = append(ready, fired{key, start, st})
+				delete(byKey, start)
+			}
+		}
+		if len(byKey) == 0 {
+			delete(p.panes, key)
+		}
+	}
+	sort.Slice(ready, func(i, j int) bool {
+		if ready[i].start != ready[j].start {
+			return ready[i].start < ready[j].start
+		}
+		return ready[i].key < ready[j].key
+	})
+	out := make([]Msg[WindowResult[A]], 0, len(ready))
+	for _, f := range ready {
+		end := f.start + p.sizeMS
+		out = append(out, Record(end, f.key, WindowResult[A]{
+			Key: f.key, StartTS: f.start, EndTS: end, Agg: f.st.agg, Count: f.st.count,
+		}))
+	}
+	return out
+}
+
+// mod is a floor modulo that also handles negative timestamps.
+func mod(a, b int64) int64 {
+	m := a % b
+	if m < 0 {
+		m += b
+	}
+	return m
+}
+
+// TumblingWindow groups records into per-key event-time tumbling windows of
+// the given size and aggregates each pane with init/add. Panes fire when a
+// watermark passes the window end; records arriving later than the
+// watermark allowance are dropped with the pane already fired (standard
+// event-time semantics).
+func TumblingWindow[T, A any](in Stream[T], parallelism int, sizeMS int64, init func() A, add func(A, Msg[T]) A) Stream[WindowResult[A]] {
+	return RunKeyed(in, parallelism, func() Processor[T, WindowResult[A]] {
+		return &tumblingProc[T, A]{
+			sizeMS: sizeMS, init: init, add: add,
+			panes: make(map[string]map[int64]*windowState[A]),
+		}
+	})
+}
+
+// CountWindow is a convenience aggregate: the number of records per pane.
+func CountWindow[T any](in Stream[T], parallelism int, sizeMS int64) Stream[WindowResult[int]] {
+	return TumblingWindow(in, parallelism, sizeMS,
+		func() int { return 0 },
+		func(a int, _ Msg[T]) int { return a + 1 },
+	)
+}

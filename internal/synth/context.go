@@ -1,0 +1,179 @@
+package synth
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"time"
+
+	"github.com/datacron-project/datacron/internal/geo"
+	"github.com/datacron-project/datacron/internal/model"
+)
+
+// WeatherObs is one synthetic weather observation: a smooth, deterministic
+// wind/wave field sampled at grid-cell centres every hour. It stands in for
+// the NOAA/NetCDF contextual data datAcron enriches trajectories with; link
+// discovery associates positions with the nearest contemporaneous cell.
+type WeatherObs struct {
+	CellID     int
+	Center     geo.Point
+	TS         int64 // Unix milliseconds, top of the hour
+	WindMS     float64
+	WindDirDeg float64
+	WaveM      float64
+}
+
+// GenWeather samples the synthetic weather field over box on a cols×rows
+// grid every hour between start and end.
+func GenWeather(box geo.BBox, cols, rows int, start time.Time, duration time.Duration) []WeatherObs {
+	grid := geo.NewGrid(box, cols, rows)
+	startMS := start.Truncate(time.Hour).UnixMilli()
+	endMS := start.Add(duration).UnixMilli()
+	var out []WeatherObs
+	for ts := startMS; ts <= endMS; ts += 3600_000 {
+		hours := float64(ts) / 3600_000
+		for cell := 0; cell < grid.NumCells(); cell++ {
+			c := grid.CellCenter(cell)
+			// Smooth pseudo-field: sinusoids over space and time.
+			wind := 6 + 4*math.Sin(c.Lon/3+hours/7) + 3*math.Cos(c.Lat/2-hours/11)
+			dir := math.Mod(180+120*math.Sin(c.Lat/4+hours/13), 360)
+			wave := math.Max(0.1, wind/8+0.5*math.Sin(c.Lon/2+hours/5))
+			out = append(out, WeatherObs{
+				CellID: cell, Center: c, TS: ts,
+				WindMS: math.Max(0, wind), WindDirDeg: dir, WaveM: wave,
+			})
+		}
+	}
+	return out
+}
+
+// RegistryRecord is one entry of an external vessel registry: the same fleet
+// the AIS stream reports, but keyed by noisy names and approximate static
+// attributes instead of MMSI. Link discovery (E5) must re-associate these
+// with the surveillance entities.
+type RegistryRecord struct {
+	RegID    string  // registry-local identifier
+	Name     string  // noisy variant of the vessel name
+	LengthM  float64 // approximate length
+	Flag     string
+	HomePort string
+	// TruthID is the ground-truth entity id, kept for scoring only and not
+	// used by the matcher.
+	TruthID string
+}
+
+// GenRegistry derives a noisy registry from scenario entities. noise
+// controls how aggressively names are perturbed (0 = identical, 1 = heavy).
+func GenRegistry(sc *Scenario, seed int64, noise float64) []RegistryRecord {
+	r := newRNG(seed)
+	out := make([]RegistryRecord, 0, len(sc.Entities))
+	for i, e := range sc.Entities {
+		name := e.Name
+		if noise > 0 {
+			name = perturbName(r, name, noise)
+		}
+		out = append(out, RegistryRecord{
+			RegID:    fmt.Sprintf("REG-%04d", i+1),
+			Name:     name,
+			LengthM:  e.LengthM + r.gauss(0, 1.5*noise+0.01),
+			Flag:     "GR",
+			HomePort: pick(r, aegeanPorts).Name,
+			TruthID:  e.ID,
+		})
+	}
+	return out
+}
+
+// perturbName applies realistic registry noise: dropped spaces, hyphens,
+// abbreviations, single-character typos.
+func perturbName(r rng, name string, noise float64) string {
+	out := name
+	if r.Float64() < 0.5*noise {
+		out = strings.ReplaceAll(out, " ", "-")
+	}
+	if r.Float64() < 0.3*noise {
+		out = strings.ReplaceAll(out, " ", "")
+	}
+	if r.Float64() < 0.4*noise && len(out) > 3 {
+		// Single-character typo.
+		i := 1 + r.Intn(len(out)-2)
+		b := []byte(out)
+		b[i] = byte('A' + r.Intn(26))
+		out = string(b)
+	}
+	if r.Float64() < 0.2*noise {
+		out = "M/V " + out
+	}
+	return out
+}
+
+// ScoreDetections compares detected events against ground truth using the
+// Overlaps predicate on (type, entity, interval) and returns precision,
+// recall and F1. Events with types absent from the ground truth are
+// ignored, so detectors may emit auxiliary event kinds without penalty.
+func ScoreDetections(truth, detected []model.Event) (precision, recall, f1 float64) {
+	types := make(map[string]bool)
+	for _, t := range truth {
+		types[t.Type] = true
+	}
+	var relevant []model.Event
+	for _, d := range detected {
+		if types[d.Type] {
+			relevant = append(relevant, d)
+		}
+	}
+	if len(relevant) == 0 || len(truth) == 0 {
+		return 0, 0, 0
+	}
+	matchedTruth := make([]bool, len(truth))
+	tp := 0
+	for _, d := range relevant {
+		hit := false
+		for i, tr := range truth {
+			if !matchedTruth[i] && truthMatches(tr, d) {
+				matchedTruth[i] = true
+				hit = true
+				break
+			}
+		}
+		if hit {
+			tp++
+		}
+	}
+	truthHit := 0
+	for _, m := range matchedTruth {
+		if m {
+			truthHit++
+		}
+	}
+	precision = float64(tp) / float64(len(relevant))
+	recall = float64(truthHit) / float64(len(truth))
+	if precision+recall == 0 {
+		return precision, recall, 0
+	}
+	f1 = 2 * precision * recall / (precision + recall)
+	return precision, recall, f1
+}
+
+// truthMatches reports whether detection d matches ground-truth event tr:
+// same type, overlapping interval (with 5 min slack), and the same entity
+// pair regardless of order.
+func truthMatches(tr, d model.Event) bool {
+	if tr.Type != d.Type {
+		return false
+	}
+	const slack = 5 * 60000
+	if d.StartTS > tr.EndTS+slack || tr.StartTS > d.EndTS+slack {
+		return false
+	}
+	if tr.Other != "" {
+		samePair := (tr.Entity == d.Entity && tr.Other == d.Other) ||
+			(tr.Entity == d.Other && tr.Other == d.Entity)
+		return samePair
+	}
+	// Area-scoped events (hotspots) match on area, not entity.
+	if tr.Area != "" && d.Area != "" {
+		return tr.Area == d.Area
+	}
+	return tr.Entity == d.Entity
+}

@@ -1,0 +1,339 @@
+package synth
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"github.com/datacron-project/datacron/internal/adsb"
+	"github.com/datacron-project/datacron/internal/ais"
+	"github.com/datacron-project/datacron/internal/geo"
+	"github.com/datacron-project/datacron/internal/model"
+)
+
+// smallMaritime returns a quick scenario for tests.
+func smallMaritime(t *testing.T) *Scenario {
+	t.Helper()
+	return GenMaritime(MaritimeConfig{
+		Seed: 7, Vessels: 12, Duration: 45 * time.Minute, ReportEvery: 15 * time.Second,
+	})
+}
+
+func TestGenMaritimeDeterministic(t *testing.T) {
+	cfg := MaritimeConfig{Seed: 42, Vessels: 8, Duration: 20 * time.Minute}
+	a := GenMaritime(cfg)
+	b := GenMaritime(cfg)
+	if len(a.Positions) != len(b.Positions) || len(a.WireLines) != len(b.WireLines) {
+		t.Fatalf("non-deterministic sizes: %d/%d vs %d/%d",
+			len(a.Positions), len(a.WireLines), len(b.Positions), len(b.WireLines))
+	}
+	for i := range a.Positions {
+		if a.Positions[i] != b.Positions[i] {
+			t.Fatalf("position %d differs", i)
+		}
+	}
+	c := GenMaritime(MaritimeConfig{Seed: 43, Vessels: 8, Duration: 20 * time.Minute})
+	if len(c.Positions) > 0 && len(a.Positions) > 0 && c.Positions[0].Pt == a.Positions[0].Pt {
+		t.Error("different seeds produced identical first positions")
+	}
+}
+
+func TestMaritimeBasicShape(t *testing.T) {
+	sc := smallMaritime(t)
+	if len(sc.Entities) != 12 {
+		t.Errorf("entities = %d", len(sc.Entities))
+	}
+	if len(sc.Truth) != 12 {
+		t.Errorf("truth trajectories = %d", len(sc.Truth))
+	}
+	if len(sc.Positions) == 0 || len(sc.WireLines) == 0 {
+		t.Fatal("no observations generated")
+	}
+	if len(sc.WireTimed) != len(sc.WireLines) {
+		t.Errorf("WireTimed misaligned: %d vs %d", len(sc.WireTimed), len(sc.WireLines))
+	}
+	// Observed positions are time ordered.
+	for i := 1; i < len(sc.Positions); i++ {
+		if sc.Positions[i].TS < sc.Positions[i-1].TS {
+			t.Fatal("positions not time ordered")
+		}
+	}
+	// All positions inside (a buffered version of) the world box.
+	buffered := sc.Box.Buffer(3)
+	for _, p := range sc.Positions {
+		if !buffered.Contains(p.Pt) {
+			t.Fatalf("position outside world: %v", p)
+		}
+	}
+}
+
+func TestMaritimeWireDecodes(t *testing.T) {
+	sc := smallMaritime(t)
+	asm := ais.NewAssembler()
+	var posCount, staticCount int
+	for _, tl := range sc.WireTimed {
+		r, err := asm.Push(tl.Line)
+		if err != nil {
+			t.Fatalf("wire line failed to parse: %v", err)
+		}
+		if r == nil {
+			continue
+		}
+		dec, err := ais.Decode(r)
+		if err != nil {
+			t.Fatalf("wire line failed to decode: %v", err)
+		}
+		switch dec.(type) {
+		case ais.PositionReport:
+			posCount++
+		case ais.StaticVoyage:
+			staticCount++
+		}
+	}
+	if posCount != len(sc.Positions) {
+		t.Errorf("decoded %d position reports, want %d", posCount, len(sc.Positions))
+	}
+	if staticCount == 0 {
+		t.Error("no static voyage messages emitted")
+	}
+}
+
+func TestMaritimeScriptedEvents(t *testing.T) {
+	sc := GenMaritime(MaritimeConfig{Seed: 11, Vessels: 14, Duration: 90 * time.Minute, Rendezvous: 2, Loiterers: 2})
+	rvs := sc.EventsOfType("rendezvous")
+	if len(rvs) != 2 {
+		t.Fatalf("rendezvous events = %d, want 2", len(rvs))
+	}
+	// During a rendezvous the two vessels must actually be close and slow.
+	for _, ev := range rvs {
+		ta := sc.Truth[ev.Entity]
+		tb := sc.Truth[ev.Other]
+		if ta == nil || tb == nil {
+			t.Fatal("rendezvous entities missing trajectories")
+		}
+		mid := (ev.StartTS + ev.EndTS) / 2
+		pa, okA := ta.At(mid)
+		pb, okB := tb.At(mid)
+		if !okA || !okB {
+			t.Fatal("At failed")
+		}
+		if d := geo.Haversine(pa.Pt, pb.Pt); d > 2000 {
+			t.Errorf("rendezvous vessels %0.fm apart at midpoint", d)
+		}
+		if pa.SpeedMS > 2 || pb.SpeedMS > 2 {
+			t.Errorf("rendezvous vessels too fast: %.1f / %.1f m/s", pa.SpeedMS, pb.SpeedMS)
+		}
+	}
+	los := sc.EventsOfType("loitering")
+	if len(los) != 2 {
+		t.Fatalf("loitering events = %d, want 2", len(los))
+	}
+	for _, ev := range los {
+		tr := sc.Truth[ev.Entity]
+		mid := (ev.StartTS + ev.EndTS) / 2
+		p, _ := tr.At(mid)
+		if p.SpeedMS > 1.5 {
+			t.Errorf("loiterer moving at %.1f m/s mid-event", p.SpeedMS)
+		}
+	}
+}
+
+func TestMaritimeGapsSuppressReports(t *testing.T) {
+	sc := GenMaritime(MaritimeConfig{Seed: 3, Vessels: 10, Duration: time.Hour, GapProb: 0.99})
+	gaps := sc.EventsOfType("gap")
+	if len(gaps) == 0 {
+		t.Fatal("expected gap events with GapProb≈1")
+	}
+	byEntity := make(map[string][]model.Position)
+	for _, p := range sc.Positions {
+		byEntity[p.EntityID] = append(byEntity[p.EntityID], p)
+	}
+	for _, g := range gaps {
+		for _, p := range byEntity[g.Entity] {
+			if p.TS >= g.StartTS && p.TS < g.EndTS {
+				t.Fatalf("observed report inside gap for %s at %d", g.Entity, p.TS)
+			}
+		}
+		// Truth continues through the gap.
+		tr := sc.Truth[g.Entity]
+		mid := (g.StartTS + g.EndTS) / 2
+		if _, ok := tr.At(mid); !ok {
+			t.Error("truth missing during gap")
+		}
+	}
+}
+
+func TestAviationBasicShape(t *testing.T) {
+	sc := GenAviation(AviationConfig{Seed: 5, Flights: 10, Duration: time.Hour})
+	if len(sc.Truth) == 0 {
+		t.Fatal("no flights simulated")
+	}
+	// Aircraft must actually climb: some positions above 3000 m.
+	var high, withVR int
+	for _, p := range sc.Positions {
+		if p.Pt.Alt > 3000 {
+			high++
+		}
+		if p.VertRateMS != 0 {
+			withVR++
+		}
+	}
+	if high == 0 {
+		t.Error("no cruise-altitude positions")
+	}
+	if withVR == 0 {
+		t.Error("no climbing/descending positions")
+	}
+	// Positions time ordered, inside box.
+	buffered := sc.Box.Buffer(3)
+	for i, p := range sc.Positions {
+		if i > 0 && p.TS < sc.Positions[i-1].TS {
+			t.Fatal("positions not ordered")
+		}
+		if !buffered.Contains(p.Pt) {
+			t.Fatalf("position outside world: %v", p)
+		}
+	}
+}
+
+func TestAviationWireDecodesAndFuses(t *testing.T) {
+	sc := GenAviation(AviationConfig{Seed: 5, Flights: 6, Duration: 40 * time.Minute})
+	tracker := newTrackerForTest(t, sc)
+	if tracker.fused == 0 {
+		t.Fatal("no fused snapshots")
+	}
+	if tracker.fused != len(sc.Positions) {
+		t.Errorf("fused %d, want %d", tracker.fused, len(sc.Positions))
+	}
+	if tracker.withCallsign == 0 {
+		t.Error("no snapshot carried a callsign")
+	}
+}
+
+type trackerResult struct{ fused, withCallsign int }
+
+func newTrackerForTest(t *testing.T, sc *Scenario) trackerResult {
+	t.Helper()
+	var res trackerResult
+	tracker := adsb.NewTracker()
+	for _, tl := range sc.WireTimed {
+		m, err := adsb.Parse(tl.Line)
+		if err != nil {
+			t.Fatalf("wire line: %v", err)
+		}
+		if snap, ok := tracker.Push(m); ok {
+			res.fused++
+			if snap.Callsign != "" {
+				res.withCallsign++
+			}
+		}
+	}
+	return res
+}
+
+func TestAviationHotspotScripted(t *testing.T) {
+	sc := GenAviation(AviationConfig{Seed: 9, Flights: 30, Duration: 2 * time.Hour, HoldEpisodes: 2})
+	hs := sc.EventsOfType("hotspot")
+	if len(hs) != 2 {
+		t.Fatalf("hotspot events = %d, want 2", len(hs))
+	}
+	for _, ev := range hs {
+		if ev.Area == "" {
+			t.Error("hotspot without sector")
+		}
+	}
+}
+
+func TestGenWeatherSmoothAndDeterministic(t *testing.T) {
+	box := geo.NewBBox(22, 34, 30, 42)
+	a := GenWeather(box, 6, 5, defaultStart, 3*time.Hour)
+	b := GenWeather(box, 6, 5, defaultStart, 3*time.Hour)
+	if len(a) != len(b) || len(a) != 6*5*4 {
+		t.Fatalf("obs count = %d, want %d", len(a), 6*5*4)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("weather not deterministic")
+		}
+		if a[i].WindMS < 0 || math.IsNaN(a[i].WindMS) {
+			t.Fatalf("bad wind %f", a[i].WindMS)
+		}
+		if a[i].WindDirDeg < 0 || a[i].WindDirDeg >= 360 {
+			t.Fatalf("bad wind dir %f", a[i].WindDirDeg)
+		}
+	}
+}
+
+func TestGenRegistryLinksBackToEntities(t *testing.T) {
+	sc := smallMaritime(t)
+	regs := GenRegistry(sc, 99, 0.5)
+	if len(regs) != len(sc.Entities) {
+		t.Fatalf("registry size = %d, want %d", len(regs), len(sc.Entities))
+	}
+	seen := make(map[string]bool)
+	for _, rr := range regs {
+		if rr.TruthID == "" || seen[rr.RegID] {
+			t.Fatalf("bad registry record %+v", rr)
+		}
+		seen[rr.RegID] = true
+	}
+	// Zero noise keeps names identical.
+	clean := GenRegistry(sc, 99, 0)
+	for i, rr := range clean {
+		if rr.Name != sc.Entities[i].Name {
+			t.Errorf("zero-noise name changed: %q vs %q", rr.Name, sc.Entities[i].Name)
+		}
+	}
+}
+
+func TestScoreDetections(t *testing.T) {
+	truth := []model.Event{
+		{Type: "loitering", Entity: "A", StartTS: 0, EndTS: 100000},
+		{Type: "loitering", Entity: "B", StartTS: 0, EndTS: 100000},
+		{Type: "rendezvous", Entity: "C", Other: "D", StartTS: 0, EndTS: 100000},
+	}
+	det := []model.Event{
+		{Type: "loitering", Entity: "A", StartTS: 50000, EndTS: 150000}, // hit
+		{Type: "loitering", Entity: "Z", StartTS: 0, EndTS: 100000},     // false positive
+		{Type: "rendezvous", Entity: "D", Other: "C", StartTS: 10000, EndTS: 90000}, // hit (swapped pair)
+		{Type: "speeding", Entity: "A", StartTS: 0, EndTS: 1},           // ignored type
+	}
+	p, r, f1 := ScoreDetections(truth, det)
+	if math.Abs(p-2.0/3.0) > 1e-9 {
+		t.Errorf("precision = %f", p)
+	}
+	if math.Abs(r-2.0/3.0) > 1e-9 {
+		t.Errorf("recall = %f", r)
+	}
+	if f1 <= 0 {
+		t.Error("f1 should be positive")
+	}
+	// Degenerate inputs.
+	if p, r, _ := ScoreDetections(nil, det); p != 0 || r != 0 {
+		t.Error("empty truth should score zero")
+	}
+	if p, r, _ := ScoreDetections(truth, nil); p != 0 || r != 0 {
+		t.Error("empty detections should score zero")
+	}
+}
+
+func TestAreaEntryEventsGenerated(t *testing.T) {
+	sc := GenMaritime(MaritimeConfig{Seed: 21, Vessels: 16, Duration: 2 * time.Hour})
+	entries := sc.EventsOfType("areaEntry")
+	// Fishing vessels head into FISHING-ZONE-1, so entries must exist.
+	found := false
+	for _, e := range entries {
+		if e.Area == "FISHING-ZONE-1" {
+			found = true
+			if e.EndTS < e.StartTS {
+				t.Error("inverted event interval")
+			}
+		}
+		if e.Area != "" && e.Area[:5] == "PORT-" {
+			t.Error("port entries should be skipped")
+		}
+	}
+	if !found {
+		t.Error("no fishing-zone entries recorded")
+	}
+}

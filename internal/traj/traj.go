@@ -1,0 +1,158 @@
+// Package traj implements trajectory reconstruction: turning a raw, noisy,
+// out-of-order stream of position reports into clean per-entity trajectory
+// segments ("reconstruction ... of moving entities' trajectories", datAcron
+// §1). Reconstruction sorts and deduplicates reports, gates kinematically
+// impossible points, splits on reporting gaps, and drops fragments too short
+// to analyse. It also derives the kinematic features (acceleration, turn
+// rate) the analytics layers consume.
+package traj
+
+import (
+	"time"
+
+	"github.com/datacron-project/datacron/internal/geo"
+	"github.com/datacron-project/datacron/internal/insitu"
+	"github.com/datacron-project/datacron/internal/model"
+)
+
+// Config parameterises reconstruction.
+type Config struct {
+	// MaxSpeedMS gates implausible jumps; 0 disables the gate.
+	MaxSpeedMS float64
+	// MaxGap splits a trajectory when consecutive reports are further apart
+	// than this. Default 15 minutes.
+	MaxGap time.Duration
+	// MinPoints drops reconstructed segments shorter than this. Default 2.
+	MinPoints int
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxGap <= 0 {
+		c.MaxGap = 15 * time.Minute
+	}
+	if c.MinPoints < 2 {
+		c.MinPoints = 2
+	}
+	return c
+}
+
+// DefaultMaritime is the reconstruction config for vessel traffic.
+func DefaultMaritime() Config { return Config{MaxSpeedMS: 40, MaxGap: 15 * time.Minute, MinPoints: 3} }
+
+// DefaultAviation is the reconstruction config for flight traffic.
+func DefaultAviation() Config { return Config{MaxSpeedMS: 350, MaxGap: 5 * time.Minute, MinPoints: 3} }
+
+// Reconstruct groups raw positions by entity and returns the cleaned
+// trajectory segments of each entity, in time order.
+func Reconstruct(positions []model.Position, cfg Config) map[string][]*model.Trajectory {
+	cfg = cfg.withDefaults()
+	grouped := model.GroupByEntity(positions)
+	out := make(map[string][]*model.Trajectory, len(grouped))
+	for id, tr := range grouped {
+		segs := reconstructOne(tr, cfg)
+		if len(segs) > 0 {
+			out[id] = segs
+		}
+	}
+	return out
+}
+
+// reconstructOne cleans and segments a single entity's sorted trajectory.
+func reconstructOne(tr *model.Trajectory, cfg Config) []*model.Trajectory {
+	tr.Sort()
+	tr.Dedup()
+	points := tr.Points
+	if cfg.MaxSpeedMS > 0 {
+		gate := insitu.NewNoiseGate(cfg.MaxSpeedMS)
+		clean := points[:0:0]
+		for _, p := range points {
+			if gate.Accept(p) {
+				clean = append(clean, p)
+			}
+		}
+		points = clean
+	}
+	maxGapMS := cfg.MaxGap.Milliseconds()
+	var segs []*model.Trajectory
+	var cur []model.Position
+	flush := func() {
+		if len(cur) >= cfg.MinPoints {
+			segs = append(segs, &model.Trajectory{EntityID: tr.EntityID, Domain: tr.Domain, Points: cur})
+		}
+		cur = nil
+	}
+	for _, p := range points {
+		if len(cur) > 0 && p.TS-cur[len(cur)-1].TS > maxGapMS {
+			flush()
+		}
+		cur = append(cur, p)
+	}
+	flush()
+	return segs
+}
+
+// Kinematics is a derived per-point feature vector.
+type Kinematics struct {
+	TS          int64
+	SpeedMS     float64 // derived from displacement, not the reported SOG
+	AccelMS2    float64
+	TurnRateDgS float64 // degrees per second, signed (+ = clockwise)
+	ClimbMS     float64 // vertical speed (aviation)
+}
+
+// Features derives kinematics at every interior point of a trajectory from
+// displacements (robust to wrong reported SOG). The first point gets zero
+// acceleration/turn rate.
+func Features(tr *model.Trajectory) []Kinematics {
+	n := tr.Len()
+	if n == 0 {
+		return nil
+	}
+	out := make([]Kinematics, n)
+	speeds := make([]float64, n)
+	courses := make([]float64, n)
+	for i := 0; i < n; i++ {
+		out[i].TS = tr.Points[i].TS
+		if i == 0 {
+			speeds[i] = tr.Points[i].SpeedMS
+			courses[i] = tr.Points[i].CourseDeg
+			continue
+		}
+		a, b := tr.Points[i-1], tr.Points[i]
+		dt := float64(b.TS-a.TS) / 1000
+		if dt <= 0 {
+			speeds[i] = speeds[i-1]
+			courses[i] = courses[i-1]
+			continue
+		}
+		speeds[i] = geo.Haversine(a.Pt, b.Pt) / dt
+		courses[i] = geo.Bearing(a.Pt, b.Pt)
+		out[i].SpeedMS = speeds[i]
+		out[i].ClimbMS = (b.Pt.Alt - a.Pt.Alt) / dt
+		out[i].AccelMS2 = (speeds[i] - speeds[i-1]) / dt
+		out[i].TurnRateDgS = geo.AngleDiff(courses[i-1], courses[i]) / dt
+	}
+	out[0].SpeedMS = speeds[0]
+	return out
+}
+
+// FillGaps returns a copy of tr with interior gaps larger than step filled
+// by great-circle interpolation at the given step. Used to regularise
+// trajectories before grid-based analytics.
+func FillGaps(tr *model.Trajectory, step time.Duration) *model.Trajectory {
+	if tr.Len() < 2 || step <= 0 {
+		return tr.Clone()
+	}
+	stepMS := step.Milliseconds()
+	out := &model.Trajectory{EntityID: tr.EntityID, Domain: tr.Domain}
+	for i := 0; i < tr.Len()-1; i++ {
+		a, b := tr.Points[i], tr.Points[i+1]
+		out.Points = append(out.Points, a)
+		for ts := a.TS + stepMS; ts < b.TS; ts += stepMS {
+			p, _ := tr.At(ts)
+			out.Points = append(out.Points, p)
+		}
+	}
+	out.Points = append(out.Points, tr.Points[tr.Len()-1])
+	return out
+}

@@ -1,0 +1,193 @@
+package traj
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"github.com/datacron-project/datacron/internal/geo"
+	"github.com/datacron-project/datacron/internal/model"
+	"github.com/datacron-project/datacron/internal/synth"
+)
+
+func line(id string, startTS int64, n int, stepS int, speedMS float64) []model.Position {
+	pts := make([]model.Position, n)
+	p := geo.Pt(23.0, 37.5)
+	for i := 0; i < n; i++ {
+		pts[i] = model.Position{EntityID: id, TS: startTS + int64(i*stepS)*1000, Pt: p, SpeedMS: speedMS, CourseDeg: 90}
+		p = geo.Destination(p, 90, speedMS*float64(stepS))
+	}
+	return pts
+}
+
+func TestReconstructSortsAndSegments(t *testing.T) {
+	// Two segments separated by a 30-minute silence, delivered shuffled.
+	seg1 := line("V", 0, 10, 10, 8)
+	seg2 := line("V", (100+1800)*1000, 10, 10, 8)
+	var raw []model.Position
+	for i := range seg1 {
+		raw = append(raw, seg2[len(seg2)-1-i], seg1[len(seg1)-1-i])
+	}
+	segs := Reconstruct(raw, Config{MaxGap: 15 * time.Minute})
+	got := segs["V"]
+	if len(got) != 2 {
+		t.Fatalf("segments = %d, want 2", len(got))
+	}
+	for _, s := range got {
+		if s.Len() != 10 {
+			t.Errorf("segment len = %d", s.Len())
+		}
+		for i := 1; i < s.Len(); i++ {
+			if s.Points[i].TS <= s.Points[i-1].TS {
+				t.Fatal("segment not sorted")
+			}
+		}
+	}
+}
+
+func TestReconstructGatesOutliers(t *testing.T) {
+	pts := line("V", 0, 20, 10, 8)
+	bad := pts[10]
+	bad.Pt = geo.Destination(bad.Pt, 10, 80000) // 80 km jump
+	pts[10] = bad
+	segs := Reconstruct(pts, Config{MaxSpeedMS: 40})
+	if len(segs["V"]) != 1 {
+		t.Fatalf("segments = %d", len(segs["V"]))
+	}
+	if segs["V"][0].Len() != 19 {
+		t.Errorf("outlier not dropped: len = %d", segs["V"][0].Len())
+	}
+}
+
+func TestReconstructDropsShortFragments(t *testing.T) {
+	pts := line("V", 0, 2, 10, 8) // only 2 points
+	segs := Reconstruct(pts, Config{MinPoints: 3})
+	if len(segs) != 0 {
+		t.Errorf("short fragment kept: %v", segs)
+	}
+}
+
+func TestReconstructMultipleEntities(t *testing.T) {
+	var raw []model.Position
+	raw = append(raw, line("A", 0, 5, 10, 8)...)
+	raw = append(raw, line("B", 0, 7, 10, 8)...)
+	segs := Reconstruct(raw, Config{})
+	if len(segs) != 2 || len(segs["A"]) != 1 || len(segs["B"]) != 1 {
+		t.Fatalf("unexpected segmentation: %d entities", len(segs))
+	}
+	if segs["A"][0].Len() != 5 || segs["B"][0].Len() != 7 {
+		t.Error("entity points mixed up")
+	}
+}
+
+func TestFeaturesStraightLine(t *testing.T) {
+	tr := &model.Trajectory{EntityID: "V", Points: line("V", 0, 10, 10, 8)}
+	feats := Features(tr)
+	if len(feats) != 10 {
+		t.Fatalf("features = %d", len(feats))
+	}
+	for i, f := range feats[1:] {
+		if math.Abs(f.SpeedMS-8) > 0.2 {
+			t.Errorf("point %d derived speed = %f", i+1, f.SpeedMS)
+		}
+		if math.Abs(f.TurnRateDgS) > 0.1 {
+			t.Errorf("point %d turn rate = %f on straight line", i+1, f.TurnRateDgS)
+		}
+		if math.Abs(f.AccelMS2) > 0.05 {
+			t.Errorf("point %d accel = %f on constant speed", i+1, f.AccelMS2)
+		}
+	}
+}
+
+func TestFeaturesDetectsTurnAndAcceleration(t *testing.T) {
+	// Construct: straight at 8 m/s, then a 90° turn with speed-up to 16.
+	pts := line("V", 0, 5, 10, 8)
+	last := pts[len(pts)-1]
+	p := last.Pt
+	for i := 1; i <= 5; i++ {
+		p = geo.Destination(p, 0, 16*10)
+		pts = append(pts, model.Position{EntityID: "V", TS: last.TS + int64(i*10)*1000, Pt: p, SpeedMS: 16, CourseDeg: 0})
+	}
+	feats := Features(&model.Trajectory{EntityID: "V", Points: pts})
+	turnIdx := 5
+	if math.Abs(feats[turnIdx].TurnRateDgS) < 5 {
+		t.Errorf("turn not detected: %f deg/s", feats[turnIdx].TurnRateDgS)
+	}
+	if feats[turnIdx].AccelMS2 < 0.3 {
+		t.Errorf("acceleration not detected: %f", feats[turnIdx].AccelMS2)
+	}
+}
+
+func TestFeaturesClimb(t *testing.T) {
+	pts := line("V", 0, 5, 10, 100)
+	for i := range pts {
+		pts[i].Pt.Alt = float64(i) * 100 // 10 m/s climb
+	}
+	feats := Features(&model.Trajectory{Points: pts})
+	for _, f := range feats[1:] {
+		if math.Abs(f.ClimbMS-10) > 0.01 {
+			t.Errorf("climb = %f, want 10", f.ClimbMS)
+		}
+	}
+}
+
+func TestFeaturesEmpty(t *testing.T) {
+	if Features(&model.Trajectory{}) != nil {
+		t.Error("empty trajectory should yield nil features")
+	}
+}
+
+func TestFillGaps(t *testing.T) {
+	pts := []model.Position{
+		{EntityID: "V", TS: 0, Pt: geo.Pt(23, 37), SpeedMS: 8, CourseDeg: 90},
+		{EntityID: "V", TS: 100000, Pt: geo.Pt(23.01, 37), SpeedMS: 8, CourseDeg: 90},
+	}
+	tr := &model.Trajectory{EntityID: "V", Points: pts}
+	filled := FillGaps(tr, 10*time.Second)
+	if filled.Len() != 11 {
+		t.Fatalf("filled len = %d, want 11", filled.Len())
+	}
+	for i := 1; i < filled.Len(); i++ {
+		if filled.Points[i].TS-filled.Points[i-1].TS != 10000 {
+			t.Fatal("uneven fill steps")
+		}
+	}
+	// Endpoints unchanged.
+	if filled.Points[0] != pts[0] || filled.Points[10] != pts[1] {
+		t.Error("endpoints altered")
+	}
+	// Degenerate cases.
+	if FillGaps(&model.Trajectory{}, time.Second).Len() != 0 {
+		t.Error("empty fill")
+	}
+	if FillGaps(tr, 0).Len() != 2 {
+		t.Error("zero step should clone")
+	}
+}
+
+func TestReconstructSyntheticWorld(t *testing.T) {
+	sc := synth.GenMaritime(synth.MaritimeConfig{Seed: 13, Vessels: 10, Duration: time.Hour, GapProb: 0.99})
+	segs := Reconstruct(sc.Positions, DefaultMaritime())
+	if len(segs) == 0 {
+		t.Fatal("nothing reconstructed")
+	}
+	// Vessels with a scripted >15 min gap must split into ≥2 segments —
+	// provided reports resume after the gap (a gap running to the end of
+	// the simulation cannot create a split).
+	lastTS := make(map[string]int64)
+	for _, p := range sc.Positions {
+		lastTS[p.EntityID] = p.TS
+	}
+	for _, g := range sc.EventsOfType("gap") {
+		if g.EndTS-g.StartTS <= (15 * time.Minute).Milliseconds() {
+			continue
+		}
+		if lastTS[g.Entity] <= g.EndTS {
+			continue // silent until the end: no split expected
+		}
+		if len(segs[g.Entity]) < 2 {
+			t.Errorf("entity %s with %v gap has %d segments",
+				g.Entity, time.Duration(g.EndTS-g.StartTS)*time.Millisecond, len(segs[g.Entity]))
+		}
+	}
+}

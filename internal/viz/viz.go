@@ -1,0 +1,215 @@
+// Package viz is the visual-analytics substrate of the datAcron
+// architecture ("interactive Visual Analytics for supporting human
+// exploration", §1): it renders density grids, trajectories and hotspot
+// overlays as PPM images and ASCII maps — the file-based equivalents of the
+// project's interactive dashboards, adequate for inspecting every analytic
+// this reproduction computes.
+package viz
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"strings"
+
+	"github.com/datacron-project/datacron/internal/geo"
+	"github.com/datacron-project/datacron/internal/hotspot"
+	"github.com/datacron-project/datacron/internal/model"
+)
+
+// Canvas is a simple RGB raster addressed in geographic coordinates.
+type Canvas struct {
+	Box  geo.BBox
+	W, H int
+	pix  []byte // RGB triplets, row 0 = north
+}
+
+// NewCanvas returns a white canvas of the given pixel size over box.
+func NewCanvas(box geo.BBox, w, h int) *Canvas {
+	if w < 1 {
+		w = 1
+	}
+	if h < 1 {
+		h = 1
+	}
+	c := &Canvas{Box: box, W: w, H: h, pix: make([]byte, w*h*3)}
+	for i := range c.pix {
+		c.pix[i] = 255
+	}
+	return c
+}
+
+// pixel returns the pixel coordinates of a geographic point.
+func (c *Canvas) pixel(p geo.Point) (x, y int, ok bool) {
+	if !c.Box.Contains(p) {
+		return 0, 0, false
+	}
+	fx := (p.Lon - c.Box.MinLon) / c.Box.WidthDeg()
+	fy := (p.Lat - c.Box.MinLat) / c.Box.HeightDeg()
+	x = int(fx * float64(c.W-1))
+	y = c.H - 1 - int(fy*float64(c.H-1))
+	return x, y, true
+}
+
+// Set colours the pixel at a geographic point.
+func (c *Canvas) Set(p geo.Point, r, g, b byte) {
+	if x, y, ok := c.pixel(p); ok {
+		i := (y*c.W + x) * 3
+		c.pix[i], c.pix[i+1], c.pix[i+2] = r, g, b
+	}
+}
+
+// DrawTrajectory plots a trajectory as coloured points with linear
+// interpolation between consecutive reports.
+func (c *Canvas) DrawTrajectory(tr *model.Trajectory, r, g, b byte) {
+	for i, p := range tr.Points {
+		c.Set(p.Pt, r, g, b)
+		if i == 0 {
+			continue
+		}
+		// Fill intermediate pixels along the segment.
+		prev := tr.Points[i-1].Pt
+		d := geo.Haversine(prev, p.Pt)
+		steps := int(d / 500) // every ~500 m
+		for s := 1; s < steps; s++ {
+			c.Set(geo.Interpolate(prev, p.Pt, float64(s)/float64(steps)), r, g, b)
+		}
+	}
+}
+
+// DrawPolygon outlines a polygon.
+func (c *Canvas) DrawPolygon(poly *geo.Polygon, r, g, b byte) {
+	n := len(poly.Ring)
+	for i := 0; i < n; i++ {
+		a := poly.Ring[i]
+		bb := poly.Ring[(i+1)%n]
+		d := geo.Haversine(a, bb)
+		steps := int(d/300) + 1
+		for s := 0; s <= steps; s++ {
+			c.Set(geo.Interpolate(a, bb, float64(s)/float64(steps)), r, g, b)
+		}
+	}
+}
+
+// WritePPM serialises the canvas as a binary PPM (P6) image.
+func (c *Canvas) WritePPM(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "P6\n%d %d\n255\n", c.W, c.H); err != nil {
+		return fmt.Errorf("viz: write header: %w", err)
+	}
+	if _, err := bw.Write(c.pix); err != nil {
+		return fmt.Errorf("viz: write pixels: %w", err)
+	}
+	return bw.Flush()
+}
+
+// HeatmapPPM renders a density grid with a white→yellow→red colour ramp,
+// one pixel per grid cell scaled up by `scale`.
+func HeatmapPPM(w io.Writer, d *hotspot.DensityGrid, scale int) error {
+	if scale < 1 {
+		scale = 1
+	}
+	cols, rows := d.Grid.Cols, d.Grid.Rows
+	max := d.Max()
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "P6\n%d %d\n255\n", cols*scale, rows*scale); err != nil {
+		return fmt.Errorf("viz: write header: %w", err)
+	}
+	for py := rows*scale - 1; py >= 0; py-- {
+		row := py / scale
+		for px := 0; px < cols*scale; px++ {
+			col := px / scale
+			v := 0.0
+			if max > 0 {
+				v = d.Counts[row*cols+col] / max
+			}
+			r, g, b := ramp(v)
+			bw.WriteByte(r)
+			bw.WriteByte(g)
+			bw.WriteByte(b)
+		}
+	}
+	return bw.Flush()
+}
+
+// ramp maps [0,1] to white→yellow→red.
+func ramp(v float64) (r, g, b byte) {
+	v = math.Max(0, math.Min(1, v))
+	switch {
+	case v == 0:
+		return 255, 255, 255
+	case v < 0.5:
+		// white → yellow
+		f := v / 0.5
+		return 255, 255, byte(255 * (1 - f))
+	default:
+		// yellow → red
+		f := (v - 0.5) / 0.5
+		return 255, byte(255 * (1 - f)), 0
+	}
+}
+
+// asciiRamp is the character ramp for terminal heatmaps, light to dense.
+const asciiRamp = " .:-=+*#%@"
+
+// HeatmapASCII renders a density grid as text, north at the top.
+func HeatmapASCII(d *hotspot.DensityGrid) string {
+	cols, rows := d.Grid.Cols, d.Grid.Rows
+	max := d.Max()
+	var sb strings.Builder
+	sb.Grow((cols + 1) * rows)
+	for row := rows - 1; row >= 0; row-- {
+		for col := 0; col < cols; col++ {
+			v := 0.0
+			if max > 0 {
+				v = d.Counts[row*cols+col] / max
+			}
+			idx := int(v * float64(len(asciiRamp)-1))
+			sb.WriteByte(asciiRamp[idx])
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// DrawFlows plots corridor edges on the canvas with intensity proportional
+// to their traffic count: the "hot paths" view of the visual analytics.
+func (c *Canvas) DrawFlows(edges []hotspot.PathEdge) {
+	if len(edges) == 0 {
+		return
+	}
+	max := edges[0].Count
+	for _, e := range edges {
+		if e.Count > max {
+			max = e.Count
+		}
+	}
+	for _, e := range edges {
+		f := float64(e.Count) / float64(max)
+		// Blue (weak) to red (strong).
+		r := byte(255 * f)
+		b := byte(255 * (1 - f))
+		d := geo.Haversine(e.From, e.To)
+		steps := int(d/300) + 1
+		for s := 0; s <= steps; s++ {
+			c.Set(geo.Interpolate(e.From, e.To, float64(s)/float64(steps)), r, 0, b)
+		}
+	}
+}
+
+// MarkHotspots overlays hotspot markers ('X') on an ASCII heatmap.
+func MarkHotspots(d *hotspot.DensityGrid, spots []hotspot.Hotspot) string {
+	base := []byte(HeatmapASCII(d))
+	cols, rows := d.Grid.Cols, d.Grid.Rows
+	for _, h := range spots {
+		col := h.Cell % cols
+		row := h.Cell / cols
+		line := rows - 1 - row
+		idx := line*(cols+1) + col
+		if idx >= 0 && idx < len(base) && base[idx] != '\n' {
+			base[idx] = 'X'
+		}
+	}
+	return string(base)
+}

@@ -1,0 +1,158 @@
+package viz
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"github.com/datacron-project/datacron/internal/geo"
+	"github.com/datacron-project/datacron/internal/hotspot"
+	"github.com/datacron-project/datacron/internal/model"
+)
+
+var box = geo.NewBBox(22, 34, 30, 42)
+
+func TestCanvasPPMHeader(t *testing.T) {
+	c := NewCanvas(box, 64, 48)
+	var buf bytes.Buffer
+	if err := c.WritePPM(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(buf.String(), "P6\n64 48\n255\n") {
+		t.Errorf("header = %q", buf.String()[:20])
+	}
+	if buf.Len() != len("P6\n64 48\n255\n")+64*48*3 {
+		t.Errorf("payload size = %d", buf.Len())
+	}
+}
+
+func TestCanvasSetAndDraw(t *testing.T) {
+	c := NewCanvas(box, 32, 32)
+	var before bytes.Buffer
+	c.WritePPM(&before)
+	tr := &model.Trajectory{Points: []model.Position{
+		{TS: 0, Pt: geo.Pt(23, 36)},
+		{TS: 1000, Pt: geo.Pt(27, 40)},
+	}}
+	c.DrawTrajectory(tr, 255, 0, 0)
+	c.DrawPolygon(geo.Rect(geo.NewBBox(24, 36, 26, 38)), 0, 0, 255)
+	var after bytes.Buffer
+	c.WritePPM(&after)
+	if bytes.Equal(before.Bytes(), after.Bytes()) {
+		t.Error("drawing changed nothing")
+	}
+	// Points outside the box are ignored without panic.
+	c.Set(geo.Pt(100, 50), 0, 0, 0)
+}
+
+func TestCanvasClampsDegenerate(t *testing.T) {
+	c := NewCanvas(box, 0, -5)
+	if c.W != 1 || c.H != 1 {
+		t.Errorf("degenerate canvas = %dx%d", c.W, c.H)
+	}
+}
+
+func TestHeatmapPPM(t *testing.T) {
+	d := hotspot.NewDensityGrid(geo.NewGrid(box, 8, 8))
+	for i := 0; i < 50; i++ {
+		d.Add(geo.Pt(25, 38))
+	}
+	var buf bytes.Buffer
+	if err := HeatmapPPM(&buf, d, 4); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(buf.String(), "P6\n32 32\n255\n") {
+		t.Errorf("header = %q", buf.String()[:16])
+	}
+	// Hot cell must render red (255,0,0); verify some red pixel exists.
+	body := buf.Bytes()[len("P6\n32 32\n255\n"):]
+	foundRed := false
+	for i := 0; i+2 < len(body); i += 3 {
+		if body[i] == 255 && body[i+1] == 0 && body[i+2] == 0 {
+			foundRed = true
+			break
+		}
+	}
+	if !foundRed {
+		t.Error("no saturated hotspot pixel")
+	}
+}
+
+func TestHeatmapASCII(t *testing.T) {
+	d := hotspot.NewDensityGrid(geo.NewGrid(box, 10, 5))
+	for i := 0; i < 20; i++ {
+		d.Add(geo.Pt(25, 38))
+	}
+	out := HeatmapASCII(d)
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 {
+		t.Fatalf("lines = %d", len(lines))
+	}
+	for _, l := range lines {
+		if len(l) != 10 {
+			t.Fatalf("line width = %d", len(l))
+		}
+	}
+	if !strings.Contains(out, "@") {
+		t.Error("dense cell not rendered with densest glyph")
+	}
+	// Empty grid renders all blanks.
+	empty := hotspot.NewDensityGrid(geo.NewGrid(box, 4, 2))
+	if s := HeatmapASCII(empty); strings.Trim(s, " \n") != "" {
+		t.Errorf("empty heatmap = %q", s)
+	}
+}
+
+func TestMarkHotspots(t *testing.T) {
+	d := hotspot.NewDensityGrid(geo.NewGrid(box, 16, 16))
+	for i := 0; i < 16*16; i++ {
+		d.AddWeighted(d.Grid.CellCenter(i), 1)
+	}
+	for i := 0; i < 100; i++ {
+		d.Add(geo.Pt(25, 38))
+	}
+	spots := d.Hotspots(2)
+	if len(spots) == 0 {
+		t.Fatal("no hotspots to mark")
+	}
+	marked := MarkHotspots(d, spots)
+	if !strings.Contains(marked, "X") {
+		t.Error("hotspot marker missing")
+	}
+}
+
+func TestDrawFlows(t *testing.T) {
+	c := NewCanvas(box, 64, 64)
+	var before bytes.Buffer
+	c.WritePPM(&before)
+	edges := []hotspot.PathEdge{
+		{From: geo.Pt(23, 36), To: geo.Pt(24, 37), Count: 10},
+		{From: geo.Pt(24, 37), To: geo.Pt(25, 38), Count: 3},
+	}
+	c.DrawFlows(edges)
+	var after bytes.Buffer
+	c.WritePPM(&after)
+	if bytes.Equal(before.Bytes(), after.Bytes()) {
+		t.Error("flows drew nothing")
+	}
+	// Empty edges must be a no-op.
+	c2 := NewCanvas(box, 8, 8)
+	c2.DrawFlows(nil)
+}
+
+func TestRamp(t *testing.T) {
+	if r, g, b := ramp(0); r != 255 || g != 255 || b != 255 {
+		t.Error("zero should be white")
+	}
+	if r, g, b := ramp(1); r != 255 || g != 0 || b != 0 {
+		t.Error("one should be red")
+	}
+	if r, g, b := ramp(0.5); r != 255 || g != 255 || b != 0 {
+		t.Error("half should be yellow")
+	}
+	// Out of range clamps.
+	if r, _, _ := ramp(-1); r != 255 {
+		t.Error("negative clamp")
+	}
+	ramp(2)
+}
