@@ -1,0 +1,94 @@
+// datacron-serve runs the datAcron online serving daemon: a long-running
+// HTTP server that ingests raw AIS/SBS wire lines into the parallel
+// spatiotemporal RDF store while answering queries and streaming recognised
+// complex events — the paper's online architecture as a service.
+//
+//	datacron-serve -addr :8080 -domain maritime -shards 8 -workers 8
+//	datacron-gen -domain maritime -out aegean
+//	curl -X POST --data-binary @aegean.wire localhost:8080/ingest
+//	curl -X POST -d 'SELECT ?v WHERE { ?v rdf:type dat:Vessel . }' localhost:8080/query
+//	curl -N localhost:8080/events
+//	curl localhost:8080/metrics
+//
+// By default the daemon primes the world (areas of interest and entity
+// registry) from the same deterministic generator datacron-gen uses, so a
+// generated wire file POSTed to /ingest produces the scripted complex
+// events. Use -prime=false for a blank world that learns entities from the
+// stream alone.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log"
+	"net/http"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"github.com/datacron-project/datacron/internal/core"
+	"github.com/datacron-project/datacron/internal/model"
+	"github.com/datacron-project/datacron/internal/server"
+	"github.com/datacron-project/datacron/internal/synth"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("datacron-serve: ")
+	var (
+		addr    = flag.String("addr", ":8080", "listen address")
+		domain  = flag.String("domain", "maritime", "maritime or aviation")
+		shards  = flag.Int("shards", 4, "store shard count")
+		workers = flag.Int("workers", 0, "ingest worker goroutines (0 = GOMAXPROCS)")
+		queue   = flag.Int("queue", 8192, "per-worker ingest queue bound (full = HTTP 429)")
+		prime   = flag.Bool("prime", true, "pre-install the generator's areas and entities")
+		seed    = flag.Int64("seed", 42, "world seed used when priming (match datacron-gen)")
+		vessels = flag.Int("vessels", 50, "world vessel count when priming (maritime)")
+		flights = flag.Int("flights", 40, "world flight count when priming (aviation)")
+	)
+	flag.Parse()
+
+	dom := model.Maritime
+	if *domain == "aviation" {
+		dom = model.Aviation
+	} else if *domain != "maritime" {
+		log.Fatalf("unknown domain %q", *domain)
+	}
+	p := core.New(core.Config{Domain: dom, Shards: *shards})
+	if *prime {
+		// A minimal-duration scenario carries the full area set and entity
+		// registry without generating traffic.
+		var sc *synth.Scenario
+		if dom == model.Maritime {
+			sc = synth.GenMaritime(synth.MaritimeConfig{Seed: *seed, Vessels: *vessels, Duration: time.Minute})
+		} else {
+			sc = synth.GenAviation(synth.AviationConfig{Seed: *seed, Flights: *flights, Duration: time.Minute})
+		}
+		p.InstallAreas(sc.Areas)
+		p.InstallEntities(sc.Entities)
+		log.Printf("primed %s world: %d areas, %d entities", dom, len(sc.Areas), len(sc.Entities))
+	}
+
+	srv := server.New(server.Config{Pipeline: p, Workers: *workers, QueueLen: *queue})
+	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	go func() {
+		<-ctx.Done()
+		log.Print("shutting down")
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		_ = httpSrv.Shutdown(shutdownCtx)
+	}()
+
+	log.Printf("serving %s on %s (shards=%d workers=%d queue=%d)",
+		dom, *addr, *shards, srv.Ingestor().Workers(), *queue)
+	log.Printf("endpoints: POST /ingest, POST /query, GET /range, GET /events, GET /healthz, GET /metrics")
+	if err := httpSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Fatal(err)
+	}
+	srv.Close()
+	log.Print(p.Report())
+}

@@ -1,0 +1,3 @@
+module github.com/datacron-project/datacron
+
+go 1.24

@@ -1,0 +1,26 @@
+package adsb
+
+import "strings"
+
+// RoutingKey extracts the ICAO hex ident (CSV field 5) from one SBS line
+// without full parsing, for per-entity routing in the parallel ingest
+// front-end. ok is false for lines that are not recognisably SBS.
+func RoutingKey(line string) (key string, ok bool) {
+	rest := line
+	for i := 0; i < 4; i++ {
+		c := strings.IndexByte(rest, ',')
+		if c < 0 {
+			return "", false
+		}
+		rest = rest[c+1:]
+	}
+	c := strings.IndexByte(rest, ',')
+	if c < 0 {
+		return "", false
+	}
+	id := strings.ToUpper(strings.TrimSpace(rest[:c]))
+	if id == "" {
+		return "", false
+	}
+	return id, true
+}

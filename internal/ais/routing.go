@@ -1,0 +1,58 @@
+package ais
+
+import (
+	"strconv"
+	"strings"
+)
+
+// RoutingKey extracts a cheap per-entity routing key from one AIVDM line
+// without full decode or checksum verification: the 30-bit MMSI unpacked
+// from the first payload characters for single-sentence messages, or a
+// (sequence id, channel) key for fragments of multi-sentence messages so
+// that every fragment of one message reaches the same assembler. The
+// parallel ingest front-end hashes this key to pick a worker, which keeps
+// all reports of one entity on one worker (per-entity decoder and
+// compressor state stays single-writer) while different entities spread
+// across workers.
+//
+// ok is false when the line is not recognisably AIVDM; such lines can be
+// routed anywhere (they will be counted as bad lines downstream).
+func RoutingKey(line string) (key string, ok bool) {
+	line = strings.TrimRight(line, "\r\n")
+	if len(line) < 2 || (line[0] != '!' && line[0] != '$') {
+		return "", false
+	}
+	// Fields: AIVDM,total,num,seq,chan,payload,fill*CS
+	fields := strings.SplitN(line[1:], ",", 7)
+	if len(fields) < 6 || (fields[0] != "AIVDM" && fields[0] != "AIVDO") {
+		return "", false
+	}
+	if fields[1] != "1" {
+		// Multi-sentence: group fragments by sequence id + channel.
+		return "seq:" + fields[3] + ":" + fields[4], true
+	}
+	mmsi, ok := payloadMMSI(fields[5])
+	if !ok {
+		return "", false
+	}
+	return strconv.FormatUint(uint64(mmsi), 10), true
+}
+
+// payloadMMSI unpacks the MMSI (bits 8..37) from the first seven armored
+// payload characters of any AIS message — every message type carries
+// (type:6, repeat:2, mmsi:30) first.
+func payloadMMSI(payload string) (uint32, bool) {
+	if len(payload) < 7 {
+		return 0, false
+	}
+	var bits uint64
+	for i := 0; i < 7; i++ {
+		v, err := dearmorChar(payload[i])
+		if err != nil {
+			return 0, false
+		}
+		bits = bits<<6 | uint64(v)
+	}
+	// 42 bits collected; MMSI occupies bits 8..37 from the top.
+	return uint32(bits >> 4 & 0x3FFFFFFF), true
+}

@@ -1,0 +1,58 @@
+package ais
+
+import (
+	"strconv"
+	"testing"
+)
+
+func TestRoutingKeyPositionReport(t *testing.T) {
+	for _, mmsi := range []uint32{1, 123456789, 999999999, 237000123} {
+		m := PositionReport{MsgType: TypePositionA, MMSI: mmsi, Lon: 24.1, Lat: 37.9, SOG: 12.3, COG: 90, Second: 30}
+		payload, fill, err := m.Encode()
+		if err != nil {
+			t.Fatal(err)
+		}
+		lines := ToSentences(payload, fill, 0, "A")
+		if len(lines) != 1 {
+			t.Fatalf("position report split into %d sentences", len(lines))
+		}
+		key, ok := RoutingKey(lines[0])
+		if !ok {
+			t.Fatalf("no routing key for %q", lines[0])
+		}
+		if want := strconv.FormatUint(uint64(mmsi), 10); key != want {
+			t.Errorf("RoutingKey = %q, want %q", key, want)
+		}
+	}
+}
+
+func TestRoutingKeyMultiSentence(t *testing.T) {
+	sv := StaticVoyage{MMSI: 237000123, Name: "TEST VESSEL", Callsign: "SV1234", Destination: "PIRAEUS"}
+	payload, fill, err := sv.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := ToSentences(payload, fill, 7, "B")
+	if len(lines) < 2 {
+		t.Fatalf("static voyage fit in %d sentence(s); need a multi-sentence case", len(lines))
+	}
+	keys := map[string]bool{}
+	for _, line := range lines {
+		key, ok := RoutingKey(line)
+		if !ok {
+			t.Fatalf("no routing key for fragment %q", line)
+		}
+		keys[key] = true
+	}
+	if len(keys) != 1 {
+		t.Errorf("fragments of one message routed to %d keys: %v", len(keys), keys)
+	}
+}
+
+func TestRoutingKeyGarbage(t *testing.T) {
+	for _, line := range []string{"", "not ais", "!AIVDM,1,1", "!AIVDM,1,1,,A,xx,0*00"} {
+		if key, ok := RoutingKey(line); ok {
+			t.Errorf("RoutingKey(%q) = %q, want not-ok", line, key)
+		}
+	}
+}

@@ -1,0 +1,185 @@
+package core
+
+import (
+	"hash/fnv"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/datacron-project/datacron/internal/adsb"
+	"github.com/datacron-project/datacron/internal/ais"
+	"github.com/datacron-project/datacron/internal/model"
+	"github.com/datacron-project/datacron/internal/synth"
+)
+
+// Ingestor is the parallel ingest front-end of the serving layer: wire
+// lines are routed by entity identity to worker goroutines over bounded
+// channels, each worker owning its own decode/compress front so per-entity
+// operator state stays single-writer, all feeding the shared sharded store
+// (which locks per shard) and the serialised analytics stage. Submitting to
+// a full worker queue fails fast, giving callers a backpressure signal
+// (the HTTP layer maps it to 429).
+type Ingestor struct {
+	p      *Pipeline
+	queues []chan synth.TimedLine
+	wg     sync.WaitGroup
+
+	// onEvents, when non-nil, receives every batch of complex events a
+	// worker detects (the serving layer fans them out to subscribers). It
+	// is called from worker goroutines and must be safe for concurrent use.
+	onEvents func([]model.Event)
+
+	mu       sync.RWMutex // guards Submit vs Close (send on closed channel)
+	closed   bool
+	rejected atomic.Int64
+	inflight atomic.Int64
+}
+
+// IngestorConfig tunes the parallel front-end; the zero value uses
+// GOMAXPROCS workers and 1024-line queues.
+type IngestorConfig struct {
+	// Workers is the number of ingest goroutines (and decode fronts).
+	Workers int
+	// QueueLen bounds each worker's queue; a full queue rejects Submit.
+	QueueLen int
+	// OnEvents receives detected event batches from worker goroutines.
+	OnEvents func([]model.Event)
+}
+
+// NewIngestor starts the worker goroutines. Close must be called to stop
+// them. The pipeline's areas and entities must already be installed.
+func (p *Pipeline) NewIngestor(cfg IngestorConfig) *Ingestor {
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
+	if cfg.QueueLen <= 0 {
+		cfg.QueueLen = 1024
+	}
+	ing := &Ingestor{
+		p:        p,
+		queues:   make([]chan synth.TimedLine, cfg.Workers),
+		onEvents: cfg.OnEvents,
+	}
+	for i := range ing.queues {
+		ing.queues[i] = make(chan synth.TimedLine, cfg.QueueLen)
+	}
+	ing.wg.Add(cfg.Workers)
+	for i := range ing.queues {
+		go ing.run(ing.queues[i])
+	}
+	return ing
+}
+
+// run is one worker: it owns a private front and drains its queue.
+func (ing *Ingestor) run(q <-chan synth.TimedLine) {
+	defer ing.wg.Done()
+	f := newFront(ing.p.cfg)
+	for tl := range q {
+		// Errors are already counted in Stats.BadLines; the parallel path
+		// never runs strict (a daemon must survive malformed input).
+		evs, _ := ing.p.ingest(&f, tl)
+		if len(evs) > 0 && ing.onEvents != nil {
+			ing.onEvents(evs)
+		}
+		ing.inflight.Add(-1)
+	}
+}
+
+// Submit routes one wire line to its entity's worker. It returns false —
+// without blocking — when the worker's queue is full (backpressure) or the
+// ingestor is closed; the line is then dropped and counted in Rejected.
+func (ing *Ingestor) Submit(tl synth.TimedLine) bool {
+	ing.mu.RLock()
+	defer ing.mu.RUnlock()
+	if ing.closed {
+		ing.rejected.Add(1)
+		return false
+	}
+	ing.inflight.Add(1)
+	select {
+	case ing.queues[ing.route(tl.Line)] <- tl:
+		return true
+	default:
+		ing.inflight.Add(-1)
+		ing.rejected.Add(1)
+		return false
+	}
+}
+
+// route picks the worker for a wire line: hash of the entity routing key,
+// falling back to the raw line for unrecognisable input (deterministic, so
+// retries of a bad line hit the same worker).
+func (ing *Ingestor) route(line string) int {
+	var key string
+	var ok bool
+	switch ing.p.cfg.Domain {
+	case model.Maritime:
+		key, ok = ais.RoutingKey(line)
+	case model.Aviation:
+		key, ok = adsb.RoutingKey(line)
+	}
+	if !ok {
+		key = line
+	}
+	h := fnv.New32a()
+	h.Write([]byte(key))
+	return int(h.Sum32() % uint32(len(ing.queues)))
+}
+
+// Workers returns the worker count.
+func (ing *Ingestor) Workers() int { return len(ing.queues) }
+
+// QueueDepths returns the current depth of each worker queue.
+func (ing *Ingestor) QueueDepths() []int {
+	out := make([]int, len(ing.queues))
+	for i, q := range ing.queues {
+		out[i] = len(q)
+	}
+	return out
+}
+
+// Rejected returns how many lines were dropped due to backpressure.
+func (ing *Ingestor) Rejected() int64 { return ing.rejected.Load() }
+
+// Pending returns the number of submitted lines not yet fully processed.
+func (ing *Ingestor) Pending() int64 { return ing.inflight.Load() }
+
+// Quiesce blocks until every submitted line has been fully processed, or
+// the timeout elapses (0 means wait forever). It reports whether the
+// ingestor drained. Lines submitted during the wait extend it — callers
+// use this to observe a consistent store after a burst, not to pause
+// ingest.
+func (ing *Ingestor) Quiesce(timeout time.Duration) bool {
+	deadline := time.Now().Add(timeout)
+	// Exponential backoff: sub-millisecond reaction to short bursts
+	// without spinning the scheduler through long waits.
+	wait := 100 * time.Microsecond
+	const maxWait = 20 * time.Millisecond
+	for ing.inflight.Load() > 0 {
+		if timeout > 0 && time.Now().After(deadline) {
+			return false
+		}
+		time.Sleep(wait)
+		if wait < maxWait {
+			wait *= 2
+		}
+	}
+	return true
+}
+
+// Close stops accepting lines, drains the queues and waits for the
+// workers to finish. Safe to call concurrently with Submit.
+func (ing *Ingestor) Close() {
+	ing.mu.Lock()
+	if ing.closed {
+		ing.mu.Unlock()
+		return
+	}
+	ing.closed = true
+	for _, q := range ing.queues {
+		close(q)
+	}
+	ing.mu.Unlock()
+	ing.wg.Wait()
+}

@@ -8,6 +8,8 @@ package core
 
 import (
 	"fmt"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/datacron-project/datacron/internal/adsb"
@@ -86,6 +88,13 @@ func (c Config) withDefaults() Config {
 }
 
 // Pipeline is a running datAcron instance.
+//
+// Concurrency: the store and query engine are safe for concurrent use while
+// ingest is in flight (per-shard read/write locking). IngestLine itself
+// carries per-entity decoder and compressor state and must be called from a
+// single goroutine; for parallel ingestion use NewIngestor, which routes
+// wire lines to per-entity-keyed workers each owning its own front-end.
+// InstallAreas and InstallEntities must happen before ingestion starts.
 type Pipeline struct {
 	cfg     Config
 	Store   *store.Sharded
@@ -93,14 +102,45 @@ type Pipeline struct {
 	Suite   *cer.MaritimeSuite
 	Density *hotspot.DensityGrid
 
-	gate     *insitu.NoiseGate
-	filter   *insitu.ThresholdFilter
-	asm      *ais.Assembler
-	tracker  *adsb.Tracker
+	// serial is the front-end used by the single-goroutine IngestLine path.
+	serial front
+
+	// entityMu guards the on-the-fly entity registry (AIS message 5 can be
+	// decoded concurrently by ingest workers).
+	entityMu sync.Mutex
 	entities map[string]bool
 
-	// Stats accumulates counters and per-stage latency.
+	// analyticsMu serialises the stateful analytics stage (CER suite and
+	// density grid) over the gated stream. Decode, compression and store
+	// writes run in parallel; recognisers keep cross-entity state (pairing)
+	// and so form a single serialised stage, like a keyed window operator
+	// with parallelism 1.
+	analyticsMu sync.Mutex
+
+	// Stats accumulates counters and per-stage latency. Counters are
+	// updated atomically; read them with Snapshot when ingest may be in
+	// flight.
 	Stats Stats
+}
+
+// front bundles the per-goroutine ingest state: wire-format reassembly and
+// the per-entity in-situ operators. Each ingest worker owns one, so a given
+// entity's reports must always be routed to the same front (the Ingestor
+// guarantees this by keying on the wire line's entity identity).
+type front struct {
+	gate    *insitu.NoiseGate
+	filter  *insitu.ThresholdFilter
+	asm     *ais.Assembler
+	tracker *adsb.Tracker
+}
+
+func newFront(cfg Config) front {
+	return front{
+		gate:    insitu.NewNoiseGate(cfg.MaxSpeedMS),
+		filter:  insitu.NewThresholdFilter(cfg.Compression),
+		asm:     ais.NewAssembler(),
+		tracker: adsb.NewTracker(),
+	}
 }
 
 // Stats carries pipeline counters and latency histograms.
@@ -124,7 +164,27 @@ type Stats struct {
 
 // CompressionRatio returns decoded/kept.
 func (s *Stats) CompressionRatio() float64 {
-	return insitu.Ratio(int(s.Decoded-s.Gated), int(s.Kept))
+	snap := s.Snapshot()
+	return insitu.Ratio(int(snap.Decoded-snap.Gated), int(snap.Kept))
+}
+
+// StatsSnapshot is a consistent-enough copy of the pipeline counters, read
+// atomically so it is safe to take while ingest workers are running.
+type StatsSnapshot struct {
+	Lines, BadLines, Decoded, Gated, Kept, Suppressed, Detections int64
+}
+
+// Snapshot atomically reads the counters.
+func (s *Stats) Snapshot() StatsSnapshot {
+	return StatsSnapshot{
+		Lines:      atomic.LoadInt64(&s.Lines),
+		BadLines:   atomic.LoadInt64(&s.BadLines),
+		Decoded:    atomic.LoadInt64(&s.Decoded),
+		Gated:      atomic.LoadInt64(&s.Gated),
+		Kept:       atomic.LoadInt64(&s.Kept),
+		Suppressed: atomic.LoadInt64(&s.Suppressed),
+		Detections: atomic.LoadInt64(&s.Detections),
+	}
 }
 
 // New returns a pipeline with the given config.
@@ -133,10 +193,7 @@ func New(cfg Config) *Pipeline {
 	p := &Pipeline{
 		cfg:      cfg,
 		Store:    store.NewSharded(cfg.Partitioner, cfg.Box),
-		gate:     insitu.NewNoiseGate(cfg.MaxSpeedMS),
-		filter:   insitu.NewThresholdFilter(cfg.Compression),
-		asm:      ais.NewAssembler(),
-		tracker:  adsb.NewTracker(),
+		serial:   newFront(cfg),
 		entities: make(map[string]bool),
 		Density:  hotspot.NewDensityGrid(geo.NewGrid(cfg.Box, cfg.HotspotGridCols, cfg.HotspotGridRows)),
 	}
@@ -146,6 +203,12 @@ func New(cfg Config) *Pipeline {
 	p.Stats.CERLatency = stream.NewLatencyHist()
 	return p
 }
+
+// WorldBox returns the configured world bounding box.
+func (p *Pipeline) WorldBox() geo.BBox { return p.cfg.Box }
+
+// Domain returns the configured domain.
+func (p *Pipeline) Domain() model.Domain { return p.cfg.Domain }
 
 // InstallAreas registers the world's areas of interest: they become RDF
 // area resources and parameterise the CER suite.
@@ -161,27 +224,39 @@ func (p *Pipeline) InstallAreas(areas map[string]*geo.Polygon) {
 func (p *Pipeline) InstallEntities(entities []model.Entity) {
 	for _, e := range entities {
 		p.Store.AddEntity(e)
+		p.entityMu.Lock()
 		p.entities[e.ID] = true
+		p.entityMu.Unlock()
 	}
 }
 
 // IngestLine consumes one wire line with its receiver timestamp and runs
 // the full architecture over it. It returns the complex events detected as
-// a consequence of this line.
+// a consequence of this line. IngestLine must not be called concurrently
+// with itself (per-entity decoder state); use NewIngestor for that. It is
+// safe to run queries, range scans and exports while IngestLine runs.
 func (p *Pipeline) IngestLine(tl synth.TimedLine) ([]model.Event, error) {
+	return p.ingest(&p.serial, tl)
+}
+
+// ingest runs the full architecture over one wire line using the given
+// front-end. Multiple goroutines may call ingest concurrently as long as
+// each uses its own front and any two reports of the same entity always use
+// the same front.
+func (p *Pipeline) ingest(f *front, tl synth.TimedLine) ([]model.Event, error) {
 	t0 := time.Now()
-	p.Stats.Lines++
+	atomic.AddInt64(&p.Stats.Lines, 1)
 	var pos model.Position
 	var ok bool
 	var err error
 	switch p.cfg.Domain {
 	case model.Maritime:
-		pos, ok, err = p.decodeAIS(tl)
+		pos, ok, err = p.decodeAIS(f, tl)
 	case model.Aviation:
-		pos, ok, err = p.decodeSBS(tl)
+		pos, ok, err = p.decodeSBS(f, tl)
 	}
 	if err != nil {
-		p.Stats.BadLines++
+		atomic.AddInt64(&p.Stats.BadLines, 1)
 		if p.cfg.StrictWire {
 			return nil, err
 		}
@@ -190,39 +265,45 @@ func (p *Pipeline) IngestLine(tl synth.TimedLine) ([]model.Event, error) {
 	if !ok {
 		return nil, nil
 	}
-	p.Stats.Decoded++
+	atomic.AddInt64(&p.Stats.Decoded, 1)
 
 	// In-situ processing: noise gate then threshold compression.
-	if !p.gate.Accept(pos) {
-		p.Stats.Gated++
+	if !f.gate.Accept(pos) {
+		atomic.AddInt64(&p.Stats.Gated, 1)
 		return nil, nil
 	}
 	stored := true
-	if !p.cfg.DisableCompression && !p.filter.Keep(pos) {
+	if !p.cfg.DisableCompression && !f.filter.Keep(pos) {
 		stored = false
-		p.Stats.Suppressed++
+		atomic.AddInt64(&p.Stats.Suppressed, 1)
 	}
 
 	// Transformation + parallel RDF store (only kept reports are stored —
-	// that is the point of in-situ compression).
+	// that is the point of in-situ compression). The sharded store does its
+	// own per-shard locking, so fronts write in parallel.
 	if stored {
-		p.Stats.Kept++
+		atomic.AddInt64(&p.Stats.Kept, 1)
 		st0 := time.Now()
 		p.Store.AddPositionRecord(pos)
 		p.Stats.StoreLatency.Observe(time.Since(st0))
 	}
 
-	// Analytics on the full gated stream: CER + density.
+	// Analytics on the full gated stream: CER + density. The suite keeps
+	// cross-entity state (proximity pairing), so this stage is serialised.
+	p.analyticsMu.Lock()
 	p.Density.Add(pos.Pt)
 	var events []model.Event
 	if p.Suite != nil {
 		ct0 := time.Now()
 		events = p.Suite.Process(pos)
 		p.Stats.CERLatency.Observe(time.Since(ct0))
+	}
+	p.analyticsMu.Unlock()
+	if len(events) > 0 {
 		for _, ev := range events {
 			p.Store.AddEvent(ev)
 		}
-		p.Stats.Detections += int64(len(events))
+		atomic.AddInt64(&p.Stats.Detections, int64(len(events)))
 	}
 	p.Stats.Latency.Observe(time.Since(t0))
 	return events, nil
@@ -231,8 +312,8 @@ func (p *Pipeline) IngestLine(tl synth.TimedLine) ([]model.Event, error) {
 // decodeAIS decodes one AIVDM line; multi-sentence messages return ok=false
 // until complete; static messages update the entity registry and return
 // ok=false (they carry no position).
-func (p *Pipeline) decodeAIS(tl synth.TimedLine) (model.Position, bool, error) {
-	r, err := p.asm.Push(tl.Line)
+func (p *Pipeline) decodeAIS(f *front, tl synth.TimedLine) (model.Position, bool, error) {
+	r, err := f.asm.Push(tl.Line)
 	if err != nil {
 		return model.Position{}, false, fmt.Errorf("core: ais decode: %w", err)
 	}
@@ -246,8 +327,13 @@ func (p *Pipeline) decodeAIS(tl synth.TimedLine) (model.Position, bool, error) {
 	switch m := dec.(type) {
 	case ais.StaticVoyage:
 		id := fmt.Sprintf("%09d", m.MMSI)
-		if !p.entities[id] {
+		p.entityMu.Lock()
+		known := p.entities[id]
+		if !known {
 			p.entities[id] = true
+		}
+		p.entityMu.Unlock()
+		if !known {
 			p.Store.AddEntity(model.Entity{
 				ID: id, Domain: model.Maritime, Name: m.Name, Callsign: m.Callsign,
 				Type: shipTypeName(m.ShipType), LengthM: float64(m.LengthM), Dest: m.Destination,
@@ -271,12 +357,12 @@ func (p *Pipeline) decodeAIS(tl synth.TimedLine) (model.Position, bool, error) {
 }
 
 // decodeSBS decodes one SBS line through the fusing tracker.
-func (p *Pipeline) decodeSBS(tl synth.TimedLine) (model.Position, bool, error) {
+func (p *Pipeline) decodeSBS(f *front, tl synth.TimedLine) (model.Position, bool, error) {
 	m, err := adsb.Parse(tl.Line)
 	if err != nil {
 		return model.Position{}, false, fmt.Errorf("core: sbs decode: %w", err)
 	}
-	snap, ok := p.tracker.Push(m)
+	snap, ok := f.tracker.Push(m)
 	if !ok {
 		return model.Position{}, false, nil
 	}
@@ -349,9 +435,11 @@ func (p *Pipeline) RunScenario(sc *synth.Scenario) ([]model.Event, error) {
 // Report renders the pipeline statistics for the CLI and experiments.
 func (p *Pipeline) Report() string {
 	s := &p.Stats
+	snap := s.Snapshot()
+	ratio := insitu.Ratio(int(snap.Decoded-snap.Gated), int(snap.Kept))
 	return fmt.Sprintf(
 		"lines=%d bad=%d decoded=%d gated=%d stored=%d suppressed=%d ratio=%.1f:1 detections=%d\n"+
 			"latency: total %s | store %s | cer %s",
-		s.Lines, s.BadLines, s.Decoded, s.Gated, s.Kept, s.Suppressed, s.CompressionRatio(), s.Detections,
+		snap.Lines, snap.BadLines, snap.Decoded, snap.Gated, snap.Kept, snap.Suppressed, ratio, snap.Detections,
 		s.Latency.Summary(), s.StoreLatency.Summary(), s.CERLatency.Summary())
 }

@@ -1,0 +1,80 @@
+package server
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/datacron-project/datacron/internal/core"
+	"github.com/datacron-project/datacron/internal/model"
+	"github.com/datacron-project/datacron/internal/synth"
+)
+
+var benchWorld struct {
+	once    sync.Once
+	sc      *synth.Scenario
+	batches []string
+}
+
+// benchBatches pre-renders the wire stream as POST bodies so the benchmark
+// measures serving, not generation.
+func benchBatches(b *testing.B) []string {
+	benchWorld.once.Do(func() {
+		benchWorld.sc = synth.GenMaritime(synth.MaritimeConfig{
+			Seed: 99, Vessels: 40, Duration: 2 * time.Hour,
+		})
+		const batch = 512
+		tls := benchWorld.sc.WireTimed
+		for i := 0; i < len(tls); i += batch {
+			end := i + batch
+			if end > len(tls) {
+				end = len(tls)
+			}
+			benchWorld.batches = append(benchWorld.batches, wireBody(tls[i:end]))
+		}
+	})
+	return benchWorld.batches
+}
+
+// BenchmarkServerIngest drives concurrent POST /ingest against a live
+// server (one op = one 512-line batch) and reports sustained lines/sec so
+// later PRs can track serving throughput.
+func BenchmarkServerIngest(b *testing.B) {
+	batches := benchBatches(b)
+	p := core.New(core.Config{Domain: model.Maritime})
+	p.InstallAreas(benchWorld.sc.Areas)
+	p.InstallEntities(benchWorld.sc.Entities)
+	srv := New(Config{Pipeline: p, QueueLen: 1 << 16})
+	ts := httptest.NewServer(srv.Handler())
+	defer func() { ts.Close(); srv.Close() }()
+	client := ts.Client()
+	client.Transport.(*http.Transport).MaxIdleConnsPerHost = 64
+
+	var next atomic.Int64
+	var lines atomic.Int64
+	start := time.Now()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			body := batches[int(next.Add(1))%len(batches)]
+			resp, err := client.Post(ts.URL+"/ingest", "text/plain", strings.NewReader(body))
+			if err != nil {
+				b.Error(err)
+				return
+			}
+			resp.Body.Close()
+			lines.Add(int64(strings.Count(body, "\n")))
+		}
+	})
+	srv.Ingestor().Quiesce(0)
+	b.StopTimer()
+	el := time.Since(start).Seconds()
+	if el > 0 {
+		b.ReportMetric(float64(lines.Load())/el, "lines/sec")
+	}
+	b.ReportMetric(float64(srv.Ingestor().Rejected()), "rejected")
+}

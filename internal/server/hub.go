@@ -1,0 +1,90 @@
+package server
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"github.com/datacron-project/datacron/internal/model"
+)
+
+// hub fans recognised complex events out to SSE subscribers. Publishing
+// never blocks: a subscriber whose buffer is full loses the event (counted
+// in dropped), so a stalled client cannot backpressure the ingest workers.
+type hub struct {
+	mu      sync.Mutex
+	subs    map[int]chan model.Event
+	nextID  int
+	buf     int
+	closed  bool
+	dropped atomic.Int64
+	// published counts events fanned out (once per event, not per
+	// subscriber).
+	published atomic.Int64
+}
+
+func newHub(buf int) *hub {
+	return &hub{subs: make(map[int]chan model.Event), buf: buf}
+}
+
+// publish delivers a batch of events to every subscriber.
+func (h *hub) publish(evs []model.Event) {
+	h.published.Add(int64(len(evs)))
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.closed {
+		return
+	}
+	for _, ev := range evs {
+		for _, ch := range h.subs {
+			select {
+			case ch <- ev:
+			default:
+				h.dropped.Add(1)
+			}
+		}
+	}
+}
+
+// subscribe registers a new subscriber and returns its channel and an
+// unsubscribe function.
+func (h *hub) subscribe() (<-chan model.Event, func()) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	id := h.nextID
+	h.nextID++
+	ch := make(chan model.Event, h.buf)
+	if h.closed {
+		close(ch)
+		return ch, func() {}
+	}
+	h.subs[id] = ch
+	return ch, func() {
+		h.mu.Lock()
+		defer h.mu.Unlock()
+		if _, ok := h.subs[id]; ok {
+			delete(h.subs, id)
+			close(ch)
+		}
+	}
+}
+
+// subscribers returns the current subscriber count.
+func (h *hub) subscribers() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return len(h.subs)
+}
+
+// close disconnects all subscribers; further publishes are dropped.
+func (h *hub) close() {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.closed {
+		return
+	}
+	h.closed = true
+	for id, ch := range h.subs {
+		delete(h.subs, id)
+		close(ch)
+	}
+}

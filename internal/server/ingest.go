@@ -1,0 +1,104 @@
+package server
+
+import (
+	"bufio"
+	"encoding/json"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"github.com/datacron-project/datacron/internal/synth"
+)
+
+// ingestResponse reports what happened to one POST /ingest batch. Accepted
+// counts body lines consumed (including blank ones, so it is always an
+// exact line offset to resume from); Error carries a mid-body read
+// failure, after which the accepted prefix was still ingested.
+type ingestResponse struct {
+	Accepted int    `json:"accepted"`
+	Rejected int    `json:"rejected"`
+	Pending  int64  `json:"pending"`
+	Error    string `json:"error,omitempty"`
+}
+
+// handleIngest accepts a newline-separated batch of wire lines. Each line
+// is either "<unix-ms> <wire line>" (the datacron-gen wire file format) or
+// a bare wire line, which is stamped with the server receive time. Lines
+// are submitted in order to the per-entity ingest workers; at the first
+// line shed by a full worker queue the server stops submitting and counts
+// the whole remainder as rejected, so `accepted` is an exact resume
+// offset: the client retries the batch from line `accepted` onward (never
+// re-sending already-ingested lines) after the 429's Retry-After.
+//
+// ?wait=1 blocks until the submitted lines (and any others in flight) have
+// been fully processed — useful when a client wants read-your-writes
+// consistency for a following query.
+func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
+	s.reqIngest.Add(1)
+	resp := ingestResponse{}
+	sc := bufio.NewScanner(r.Body)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	now := time.Now().UnixMilli()
+	shedding := false
+	for sc.Scan() {
+		raw := sc.Text()
+		if raw == "" {
+			// Blank lines are no-ops but still count toward the resume
+			// offset — resending one is harmless, misaligning the offset
+			// is not.
+			if shedding {
+				resp.Rejected++
+			} else {
+				resp.Accepted++
+			}
+			continue
+		}
+		if shedding {
+			resp.Rejected++
+			continue
+		}
+		tl := synth.TimedLine{TS: now, Line: raw}
+		// "<unix-ms> <line>" prefix, as written by datacron-gen.
+		if sp := strings.IndexByte(raw, ' '); sp > 0 {
+			if ts, err := strconv.ParseInt(raw[:sp], 10, 64); err == nil {
+				tl = synth.TimedLine{TS: ts, Line: raw[sp+1:]}
+			}
+		}
+		if s.ing.Submit(tl) {
+			resp.Accepted++
+		} else {
+			resp.Rejected++
+			shedding = true
+		}
+	}
+	if err := sc.Err(); err != nil {
+		// The accepted prefix is already ingested; report it so the client
+		// can resume from there instead of re-sending (and duplicating)
+		// the whole batch.
+		resp.Error = "read body: " + err.Error()
+		resp.Pending = s.ing.Pending()
+		writeJSON(w, http.StatusBadRequest, resp)
+		return
+	}
+	s.meter.Add(int64(resp.Accepted))
+	if r.URL.Query().Get("wait") == "1" {
+		s.ing.Quiesce(30 * time.Second)
+	}
+	resp.Pending = s.ing.Pending()
+	status := http.StatusAccepted
+	if resp.Rejected > 0 {
+		status = http.StatusTooManyRequests
+		w.Header().Set("Retry-After", "1")
+	}
+	writeJSON(w, status, resp)
+}
+
+// writeJSON renders v with the given status.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	_ = enc.Encode(v)
+}

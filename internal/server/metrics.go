@@ -1,0 +1,104 @@
+package server
+
+import (
+	"fmt"
+	"net/http"
+	"strings"
+	"time"
+)
+
+// healthResponse is the GET /healthz body.
+type healthResponse struct {
+	Status      string `json:"status"`
+	Domain      string `json:"domain"`
+	UptimeMS    int64  `json:"uptimeMs"`
+	Lines       int64  `json:"lines"`
+	Triples     int    `json:"triples"`
+	Subscribers int    `json:"subscribers"`
+}
+
+// handleHealthz reports liveness plus the counters a load balancer or
+// probe wants at a glance.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	snap := s.p.Stats.Snapshot()
+	writeJSON(w, http.StatusOK, healthResponse{
+		Status:      "ok",
+		Domain:      s.p.Domain().String(),
+		UptimeMS:    time.Since(s.start).Milliseconds(),
+		Lines:       snap.Lines,
+		Triples:     s.p.Store.Len(),
+		Subscribers: s.hub.subscribers(),
+	})
+}
+
+// handleMetrics renders Prometheus-style text metrics: ingest counters and
+// rate, worker queue depths, per-shard loads, compression ratio, event
+// fan-out counters and HTTP request counts.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	snap := s.p.Stats.Snapshot()
+	var b strings.Builder
+	count := func(name string, v int64) {
+		fmt.Fprintf(&b, "# TYPE %s counter\n%s %d\n", name, name, v)
+	}
+	gaugef := func(name string, v float64) {
+		fmt.Fprintf(&b, "# TYPE %s gauge\n%s %g\n", name, name, v)
+	}
+
+	count("datacron_ingest_lines_total", snap.Lines)
+	count("datacron_ingest_bad_lines_total", snap.BadLines)
+	count("datacron_ingest_decoded_total", snap.Decoded)
+	count("datacron_ingest_gated_total", snap.Gated)
+	count("datacron_ingest_stored_total", snap.Kept)
+	count("datacron_ingest_suppressed_total", snap.Suppressed)
+	count("datacron_ingest_rejected_total", s.ing.Rejected())
+	count("datacron_detections_total", snap.Detections)
+	count("datacron_events_published_total", s.hub.published.Load())
+	count("datacron_events_dropped_total", s.hub.dropped.Load())
+	gaugef("datacron_compression_ratio", s.p.Stats.CompressionRatio())
+	gaugef("datacron_ingest_rate_lines_per_sec", s.ingestRate())
+	gaugef("datacron_ingest_pending", float64(s.ing.Pending()))
+	gaugef("datacron_event_subscribers", float64(s.hub.subscribers()))
+	gaugef("datacron_store_triples", float64(s.p.Store.Len()))
+
+	fmt.Fprintf(&b, "# TYPE datacron_ingest_queue_depth gauge\n")
+	for i, d := range s.ing.QueueDepths() {
+		fmt.Fprintf(&b, "datacron_ingest_queue_depth{worker=\"%d\"} %d\n", i, d)
+	}
+	fmt.Fprintf(&b, "# TYPE datacron_shard_load gauge\n")
+	for i, l := range s.p.Store.ShardLoads() {
+		fmt.Fprintf(&b, "datacron_shard_load{shard=\"%d\"} %d\n", i, l)
+	}
+
+	fmt.Fprintf(&b, "# TYPE datacron_http_requests_total counter\n")
+	for _, rc := range []struct {
+		path string
+		n    int64
+	}{
+		{"/ingest", s.reqIngest.Load()},
+		{"/query", s.reqQuery.Load()},
+		{"/range", s.reqRange.Load()},
+		{"/events", s.reqEvents.Load()},
+	} {
+		fmt.Fprintf(&b, "datacron_http_requests_total{path=\"%s\"} %d\n", rc.path, rc.n)
+	}
+
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	_, _ = w.Write([]byte(b.String()))
+}
+
+// ingestRate returns accepted lines/sec since the previous /metrics scrape
+// (lifetime average on the first), so the gauge tracks the live rate on a
+// long-running daemon instead of decaying toward the all-time mean.
+func (s *Server) ingestRate() float64 {
+	s.rateMu.Lock()
+	defer s.rateMu.Unlock()
+	now := time.Now()
+	count := s.meter.Count()
+	el := now.Sub(s.lastRateTime).Seconds()
+	if el <= 0 {
+		return 0
+	}
+	rate := float64(count-s.lastRateCount) / el
+	s.lastRateCount, s.lastRateTime = count, now
+	return rate
+}

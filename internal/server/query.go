@@ -1,0 +1,145 @@
+package server
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+
+	"github.com/datacron-project/datacron/internal/geo"
+)
+
+// queryRequest is the JSON form of POST /query; a text/plain body is the
+// query string itself.
+type queryRequest struct {
+	Query string `json:"query"`
+}
+
+// queryResponse is the JSON result of POST /query.
+type queryResponse struct {
+	Vars          []string   `json:"vars"`
+	Rows          [][]string `json:"rows"`
+	ShardsVisited int        `json:"shardsVisited"`
+	ElapsedUS     int64      `json:"elapsedUs"`
+}
+
+// handleQuery runs one stSPARQL-lite query against the store. Safe while
+// ingest is in flight: shard evaluation takes per-shard read locks.
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	s.reqQuery.Add(1)
+	body, err := io.ReadAll(io.LimitReader(r.Body, 1<<20))
+	if err != nil {
+		http.Error(w, "read body: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	src := string(body)
+	if strings.Contains(r.Header.Get("Content-Type"), "application/json") {
+		var req queryRequest
+		if err := json.Unmarshal(body, &req); err != nil {
+			http.Error(w, "bad json: "+err.Error(), http.StatusBadRequest)
+			return
+		}
+		src = req.Query
+	}
+	if strings.TrimSpace(src) == "" {
+		http.Error(w, "empty query", http.StatusBadRequest)
+		return
+	}
+	res, err := s.p.Engine.Execute(src)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	out := queryResponse{
+		Vars:          res.Vars,
+		Rows:          make([][]string, len(res.Rows)),
+		ShardsVisited: res.ShardsVisited,
+		ElapsedUS:     res.Elapsed.Microseconds(),
+	}
+	for i, row := range res.Rows {
+		cells := make([]string, len(row))
+		for j, t := range row {
+			cells[j] = t.String()
+		}
+		out.Rows[i] = cells
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// rangeHit is one spatiotemporal range query result.
+type rangeHit struct {
+	Node  string  `json:"node"`
+	Lon   float64 `json:"lon"`
+	Lat   float64 `json:"lat"`
+	TS    int64   `json:"ts"`
+	Shard int     `json:"shard"`
+}
+
+// rangeResponse is the JSON result of GET /range. Count is the number of
+// hits returned; truncated reports that more matches exist beyond limit.
+type rangeResponse struct {
+	Hits          []rangeHit `json:"hits"`
+	Count         int        `json:"count"`
+	ShardsVisited int        `json:"shardsVisited"`
+	Truncated     bool       `json:"truncated"`
+}
+
+// maxRangeLimit caps ?limit= so one request cannot make the store
+// materialise unbounded results.
+const maxRangeLimit = 100_000
+
+// handleRange runs a spatiotemporal range query over the anchored nodes:
+// GET /range?minlon=&minlat=&maxlon=&maxlat=&from=&to=&limit=. Omitted
+// spatial bounds default to the world box; omitted time bounds are open.
+// The limit (default 10000, max 100000) bounds the scan itself, not just
+// the response.
+func (s *Server) handleRange(w http.ResponseWriter, r *http.Request) {
+	s.reqRange.Add(1)
+	q := r.URL.Query()
+	world := s.p.WorldBox()
+	minLon, err := floatParam(q.Get("minlon"), world.MinLon)
+	minLat, err2 := floatParam(q.Get("minlat"), world.MinLat)
+	maxLon, err3 := floatParam(q.Get("maxlon"), world.MaxLon)
+	maxLat, err4 := floatParam(q.Get("maxlat"), world.MaxLat)
+	from, err5 := intParam(q.Get("from"), 0)
+	to, err6 := intParam(q.Get("to"), 1<<62)
+	limit, err7 := intParam(q.Get("limit"), 10000)
+	for _, e := range []error{err, err2, err3, err4, err5, err6, err7} {
+		if e != nil {
+			http.Error(w, "bad parameter: "+e.Error(), http.StatusBadRequest)
+			return
+		}
+	}
+	if limit <= 0 || limit > maxRangeLimit {
+		limit = maxRangeLimit
+	}
+	results, visited, truncated := s.p.Store.RangeQueryN(
+		geo.NewBBox(minLon, minLat, maxLon, maxLat), from, to, int(limit))
+	resp := rangeResponse{Hits: []rangeHit{}, Count: len(results), ShardsVisited: visited, Truncated: truncated}
+	dict := s.p.Store.Dict()
+	for _, res := range results {
+		node := ""
+		if t, ok := dict.Decode(res.Node); ok {
+			node = t.Value
+		}
+		resp.Hits = append(resp.Hits, rangeHit{
+			Node: node, Lon: res.Pt.Lon, Lat: res.Pt.Lat, TS: res.TS, Shard: res.Shard,
+		})
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func floatParam(s string, def float64) (float64, error) {
+	if s == "" {
+		return def, nil
+	}
+	return strconv.ParseFloat(s, 64)
+}
+
+func intParam(s string, def int64) (int64, error) {
+	if s == "" {
+		return def, nil
+	}
+	return strconv.ParseInt(s, 10, 64)
+}

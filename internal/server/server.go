@@ -1,0 +1,105 @@
+// Package server is the online serving layer of the datAcron reproduction:
+// a long-running HTTP daemon wrapping core.Pipeline that ingests, queries
+// and publishes complex events concurrently — the paper's online
+// architecture (§2), where surveillance streams flow continuously into the
+// distributed spatiotemporal RDF store and are analysed while data arrives.
+//
+// Endpoints:
+//
+//	POST /ingest   — raw AIS/SBS wire lines, routed to per-entity-keyed
+//	                 ingest workers with bounded queues; 429 on overload.
+//	POST /query    — stSPARQL-lite query, JSON result.
+//	GET  /range    — spatiotemporal range query over the anchored nodes.
+//	GET  /events   — server-sent event stream of recognised complex events.
+//	GET  /healthz  — liveness and basic counters.
+//	GET  /metrics  — Prometheus-style text metrics.
+//
+// See DESIGN.md §7 for the endpoint reference with examples.
+package server
+
+import (
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/datacron-project/datacron/internal/core"
+	"github.com/datacron-project/datacron/internal/stream"
+)
+
+// Config parameterises a server.
+type Config struct {
+	// Pipeline is the running datAcron instance to serve. Required; areas
+	// and entities should already be installed.
+	Pipeline *core.Pipeline
+	// Workers is the ingest worker count (default GOMAXPROCS).
+	Workers int
+	// QueueLen bounds each ingest worker's queue (default 1024); a full
+	// queue surfaces as HTTP 429.
+	QueueLen int
+	// SubscriberBuffer is the per-subscriber event buffer (default 64);
+	// slow subscribers drop events rather than stall ingest.
+	SubscriberBuffer int
+}
+
+// Server serves a pipeline over HTTP. Create with New, attach via Handler,
+// stop with Close.
+type Server struct {
+	cfg   Config
+	p     *core.Pipeline
+	ing   *core.Ingestor
+	hub   *hub
+	mux   *http.ServeMux
+	meter *stream.Meter
+	start time.Time
+
+	// rateMu guards the since-last-scrape ingest rate window.
+	rateMu        sync.Mutex
+	lastRateCount int64
+	lastRateTime  time.Time
+
+	reqIngest, reqQuery, reqRange, reqEvents atomic.Int64
+}
+
+// New builds the serving layer over cfg.Pipeline and starts the ingest
+// workers.
+func New(cfg Config) *Server {
+	if cfg.SubscriberBuffer <= 0 {
+		cfg.SubscriberBuffer = 64
+	}
+	s := &Server{
+		cfg:   cfg,
+		p:     cfg.Pipeline,
+		hub:   newHub(cfg.SubscriberBuffer),
+		mux:   http.NewServeMux(),
+		meter: stream.NewMeter(),
+		start: time.Now(),
+	}
+	s.lastRateTime = s.start
+	s.ing = s.p.NewIngestor(core.IngestorConfig{
+		Workers:  cfg.Workers,
+		QueueLen: cfg.QueueLen,
+		OnEvents: s.hub.publish,
+	})
+	s.mux.HandleFunc("POST /ingest", s.handleIngest)
+	s.mux.HandleFunc("POST /query", s.handleQuery)
+	s.mux.HandleFunc("GET /range", s.handleRange)
+	s.mux.HandleFunc("GET /events", s.handleEvents)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return s
+}
+
+// Handler returns the HTTP handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Ingestor exposes the parallel ingest front-end (for draining in tests
+// and benchmarks).
+func (s *Server) Ingestor() *core.Ingestor { return s.ing }
+
+// Close drains the ingest queues, stops the workers and disconnects event
+// subscribers.
+func (s *Server) Close() {
+	s.ing.Close()
+	s.hub.close()
+}

@@ -14,10 +14,12 @@ import (
 func (s *Sharded) ExportNT(w io.Writer) error {
 	union := rdf.NewStore(s.dict)
 	for _, sh := range s.shards {
+		sh.mu.RLock()
 		sh.rdf.FindID(rdf.Wildcard, rdf.Wildcard, rdf.Wildcard, func(t rdf.Triple) bool {
 			union.AddID(t.S, t.P, t.O)
 			return true
 		})
+		sh.mu.RUnlock()
 	}
 	if err := rdf.WriteNTriples(w, union); err != nil {
 		return fmt.Errorf("store: export: %w", err)

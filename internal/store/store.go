@@ -27,9 +27,11 @@ type Sharded struct {
 
 // Shard is one partition: an RDF store plus a spatiotemporal index over the
 // graph fragments anchored in it. Writes to a shard are serialised by its
-// mutex; reads of the RDF store are lock-free once loading is done.
+// write lock; readers (range scans, per-shard query evaluation) take the
+// read lock, so the store is safe for concurrent ingest and querying — the
+// serving layer's core requirement.
 type Shard struct {
-	mu      sync.Mutex
+	mu      sync.RWMutex
 	rdf     *rdf.Store
 	grid    geo.Grid
 	entries []anchor
@@ -75,7 +77,9 @@ func (s *Sharded) Shard(i int) *rdf.Store { return s.shards[i].rdf }
 func (s *Sharded) Len() int {
 	n := 0
 	for _, sh := range s.shards {
+		sh.mu.RLock()
 		n += sh.rdf.Len()
+		sh.mu.RUnlock()
 	}
 	return n
 }
@@ -85,7 +89,9 @@ func (s *Sharded) Len() int {
 func (s *Sharded) ShardLoads() []int {
 	out := make([]int, len(s.shards))
 	for i, sh := range s.shards {
+		sh.mu.RLock()
 		out[i] = len(sh.entries)
+		sh.mu.RUnlock()
 	}
 	return out
 }
@@ -134,10 +140,27 @@ type RangeResult struct {
 // evaluating candidate shards in parallel. visited reports how many shards
 // were consulted (the pruning measure of E3).
 func (s *Sharded) RangeQuery(box geo.BBox, fromTS, toTS int64) (results []RangeResult, visited int) {
+	results, visited, _ = s.RangeQueryN(box, fromTS, toTS, 0)
+	return results, visited
+}
+
+// RangeQueryN is RangeQuery with a result bound: when limit > 0, each
+// shard stops scanning after limit+1 hits and at most limit results are
+// returned, with truncated reporting whether more matches exist. This
+// bounds both the work and the allocation of a query, which is what lets
+// the serving layer expose range queries to untrusted clients. limit <= 0
+// returns everything.
+func (s *Sharded) RangeQueryN(box geo.BBox, fromTS, toTS int64, limit int) (results []RangeResult, visited int, truncated bool) {
 	cands := s.part.Candidates(box, fromTS, toTS)
 	visited = len(cands)
 	if visited == 0 {
-		return nil, 0
+		return nil, 0, false
+	}
+	perShard := 0
+	if limit > 0 {
+		// limit+1 per shard so the merged length distinguishes "exactly
+		// limit" from "more exist".
+		perShard = limit + 1
 	}
 	type shardOut struct {
 		idx int
@@ -159,7 +182,7 @@ func (s *Sharded) RangeQuery(box geo.BBox, fromTS, toTS int64) (results []RangeR
 		go func() {
 			defer wg.Done()
 			for c := range work {
-				outCh <- shardOut{c, s.shards[c].rangeLocal(box, fromTS, toTS, c)}
+				outCh <- shardOut{c, s.shards[c].rangeLocal(box, fromTS, toTS, c, perShard)}
 			}
 		}()
 	}
@@ -168,11 +191,18 @@ func (s *Sharded) RangeQuery(box geo.BBox, fromTS, toTS int64) (results []RangeR
 	for so := range outCh {
 		results = append(results, so.res...)
 	}
-	return results, visited
+	if limit > 0 && len(results) > limit {
+		results = results[:limit]
+		truncated = true
+	}
+	return results, visited, truncated
 }
 
-// rangeLocal scans one shard's grid index.
-func (sh *Shard) rangeLocal(box geo.BBox, fromTS, toTS int64, shardIdx int) []RangeResult {
+// rangeLocal scans one shard's grid index under the shard's read lock,
+// stopping after max hits when max > 0.
+func (sh *Shard) rangeLocal(box geo.BBox, fromTS, toTS int64, shardIdx, max int) []RangeResult {
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
 	var out []RangeResult
 	for _, cell := range sh.grid.CellsIn(box) {
 		for _, ei := range sh.cells[cell] {
@@ -181,6 +211,9 @@ func (sh *Shard) rangeLocal(box geo.BBox, fromTS, toTS int64, shardIdx int) []Ra
 				continue
 			}
 			out = append(out, RangeResult{Node: e.node, Pt: e.pt, TS: e.ts, Shard: shardIdx})
+			if max > 0 && len(out) >= max {
+				return out
+			}
 		}
 	}
 	return out
@@ -188,13 +221,16 @@ func (sh *Shard) rangeLocal(box geo.BBox, fromTS, toTS int64, shardIdx int) []Ra
 
 // EachShardParallel runs fn over every shard concurrently and waits. fn
 // receives the shard index and its RDF store; it must treat the store as
-// read-only.
+// read-only. Each invocation holds the shard's read lock, so it is safe to
+// run while ingest is in flight (writes to that shard wait for fn).
 func (s *Sharded) EachShardParallel(fn func(i int, st *rdf.Store)) {
 	var wg sync.WaitGroup
 	wg.Add(len(s.shards))
 	for i, sh := range s.shards {
 		go func(i int, sh *Shard) {
 			defer wg.Done()
+			sh.mu.RLock()
+			defer sh.mu.RUnlock()
 			fn(i, sh.rdf)
 		}(i, sh)
 	}
@@ -202,7 +238,8 @@ func (s *Sharded) EachShardParallel(fn func(i int, st *rdf.Store)) {
 }
 
 // EachShardSubset runs fn over the given shard indexes with bounded
-// parallelism and waits.
+// parallelism and waits. Like EachShardParallel, fn runs under the shard's
+// read lock and must treat the store as read-only.
 func (s *Sharded) EachShardSubset(shardIdxs []int, parallelism int, fn func(i int, st *rdf.Store)) {
 	if parallelism < 1 {
 		parallelism = 1
@@ -218,7 +255,10 @@ func (s *Sharded) EachShardSubset(shardIdxs []int, parallelism int, fn func(i in
 		go func() {
 			defer wg.Done()
 			for i := range work {
-				fn(i, s.shards[i].rdf)
+				sh := s.shards[i]
+				sh.mu.RLock()
+				fn(i, sh.rdf)
+				sh.mu.RUnlock()
 			}
 		}()
 	}

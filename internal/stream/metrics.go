@@ -2,6 +2,7 @@ package stream
 
 import (
 	"fmt"
+	"math/rand"
 	"sort"
 	"sync"
 	"time"
@@ -42,32 +43,49 @@ func (m *Meter) Rate() float64 {
 	return float64(m.n) / el
 }
 
-// LatencyHist collects latency samples and reports percentiles. It keeps
-// raw samples (the experiment scales here are ≤ millions), which keeps
-// percentiles exact. The sorted view is cached and invalidated on Observe,
-// so reading several percentiles (p50/p95/p99) sorts once.
+// maxLatencySamples bounds the histogram's reservoir. Batch experiments
+// (≤ millions of samples) fit comfortably; the long-running serving daemon
+// observes on every ingested line, so memory must not grow with uptime.
+const maxLatencySamples = 1 << 16
+
+// LatencyHist collects latency samples and reports percentiles. Up to
+// maxLatencySamples raw samples are kept, so percentiles are exact at
+// experiment scales; beyond that, reservoir sampling (Algorithm R) keeps a
+// uniform sample of the whole stream, bounding memory for long-running
+// servers. The sorted view is cached and invalidated on Observe, so
+// reading several percentiles (p50/p95/p99) sorts once.
 type LatencyHist struct {
 	mu      sync.Mutex
 	samples []time.Duration
 	sorted  bool
+	n       int64 // total observations, ≥ len(samples)
+	rng     *rand.Rand
 }
 
 // NewLatencyHist returns an empty histogram.
-func NewLatencyHist() *LatencyHist { return &LatencyHist{} }
+func NewLatencyHist() *LatencyHist {
+	return &LatencyHist{rng: rand.New(rand.NewSource(1))}
+}
 
 // Observe records one latency sample.
 func (h *LatencyHist) Observe(d time.Duration) {
 	h.mu.Lock()
-	h.samples = append(h.samples, d)
-	h.sorted = false
+	h.n++
+	if len(h.samples) < maxLatencySamples {
+		h.samples = append(h.samples, d)
+		h.sorted = false
+	} else if j := h.rng.Int63n(h.n); j < int64(len(h.samples)) {
+		h.samples[j] = d
+		h.sorted = false
+	}
 	h.mu.Unlock()
 }
 
-// Count returns the number of samples.
+// Count returns the number of observations (not the reservoir size).
 func (h *LatencyHist) Count() int {
 	h.mu.Lock()
 	defer h.mu.Unlock()
-	return len(h.samples)
+	return int(h.n)
 }
 
 // Percentile returns the p-th percentile (0..100) latency, or 0 with no
