@@ -15,6 +15,15 @@
 // generated wire file POSTed to /ingest produces the scripted complex
 // events. Use -prime=false for a blank world that learns entities from the
 // stream alone.
+//
+// With -data-dir the daemon is durable: accepted wire lines are written to
+// a write-ahead log and group-committed before the HTTP ack, POST
+// /snapshot persists the full pipeline state, and a restart with the same
+// -data-dir recovers by loading the newest snapshot and replaying the log
+// tail — kill -9 mid-ingest loses no acknowledged line:
+//
+//	datacron-serve -addr :8080 -data-dir /var/lib/datacron
+//	curl -X POST localhost:8080/snapshot
 package main
 
 import (
@@ -31,6 +40,7 @@ import (
 	"github.com/datacron-project/datacron/internal/model"
 	"github.com/datacron-project/datacron/internal/server"
 	"github.com/datacron-project/datacron/internal/synth"
+	"github.com/datacron-project/datacron/internal/wal"
 )
 
 func main() {
@@ -46,6 +56,9 @@ func main() {
 		seed    = flag.Int64("seed", 42, "world seed used when priming (match datacron-gen)")
 		vessels = flag.Int("vessels", 50, "world vessel count when priming (maritime)")
 		flights = flag.Int("flights", 40, "world flight count when priming (aviation)")
+		dataDir = flag.String("data-dir", "", "durability directory (WAL + snapshots); empty = in-memory only")
+		fsync   = flag.Bool("fsync", false, "fsync the WAL on every commit: survives power loss, not just kill -9 (default flushes to the OS, which a process crash cannot lose)")
+		segMB   = flag.Int64("segment-mb", 64, "WAL segment roll size in MiB")
 	)
 	flag.Parse()
 
@@ -70,7 +83,54 @@ func main() {
 		log.Printf("primed %s world: %d areas, %d entities", dom, len(sc.Areas), len(sc.Entities))
 	}
 
-	srv := server.New(server.Config{Pipeline: p, Workers: *workers, QueueLen: *queue})
+	// Durable mode: recover (snapshot + WAL tail) before serving, then
+	// open the log for appending.
+	var (
+		walLog   *wal.Log
+		recovery *core.RecoveryStats
+	)
+	if *dataDir != "" {
+		rs, err := p.Recover(*dataDir)
+		if err != nil {
+			log.Fatalf("recovery failed: %v", err)
+		}
+		recovery = &rs
+		log.Printf("recovered: snapshot lsn=%d (%d triples, %d anchors), replayed %d lines (skipped %d already applied, %d events) in %v",
+			rs.SnapshotLSN, rs.SnapshotTriples, rs.SnapshotAnchors, rs.Replayed, rs.SkippedApplied, rs.Events, rs.Took.Round(time.Millisecond))
+		if rs.TailTruncatedBytes > 0 {
+			log.Printf("recovery: dropped %d torn bytes at the log tail (unacknowledged partial write)", rs.TailTruncatedBytes)
+		}
+		if rs.CorruptStopped {
+			log.Printf("recovery: WARNING: mid-log corruption — stopped at the last valid record, %d bytes skipped", rs.SkippedBytes)
+		}
+		var err2 error
+		walLog, err2 = wal.Open(core.WALDir(*dataDir), wal.Options{
+			SegmentBytes: *segMB << 20,
+			NoSync:       !*fsync,
+		})
+		if err2 != nil {
+			log.Fatalf("open wal: %v", err2)
+		}
+		defer walLog.Close()
+		if rs.CorruptStopped {
+			// Replay can never get past the damaged record, so lines acked
+			// from here on would be unrecoverable on the next restart.
+			// Seal the damaged log: snapshot the recovered state with a
+			// replay floor beyond the whole existing log, so future acks
+			// are durable again. The skipped suffix is already lost to the
+			// disk damage either way.
+			info, err := p.WriteSnapshot(*dataDir, nil, walLog)
+			if err != nil {
+				log.Fatalf("recovery: cannot seal corrupt log with a snapshot: %v — refusing to serve durably", err)
+			}
+			log.Printf("recovery: sealed corrupt log: snapshot lsn=%d, new replay floor=%d", info.CutLSN, info.ReplayFrom)
+		}
+	}
+
+	srv := server.New(server.Config{
+		Pipeline: p, Workers: *workers, QueueLen: *queue,
+		WAL: walLog, DataDir: *dataDir, Recovery: recovery,
+	})
 	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
 
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
@@ -83,9 +143,13 @@ func main() {
 		_ = httpSrv.Shutdown(shutdownCtx)
 	}()
 
-	log.Printf("serving %s on %s (shards=%d workers=%d queue=%d)",
-		dom, *addr, *shards, srv.Ingestor().Workers(), *queue)
-	log.Printf("endpoints: POST /ingest, POST /query, GET /range, GET /events, GET /healthz, GET /metrics")
+	durable := "in-memory"
+	if *dataDir != "" {
+		durable = "data-dir=" + *dataDir
+	}
+	log.Printf("serving %s on %s (shards=%d workers=%d queue=%d %s)",
+		dom, *addr, *shards, srv.Ingestor().Workers(), *queue, durable)
+	log.Printf("endpoints: POST /ingest, POST /query, GET /range, GET /events, POST /snapshot, GET /healthz, GET /metrics")
 	if err := httpSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
 		log.Fatal(err)
 	}

@@ -1,0 +1,42 @@
+package adsb
+
+import "math"
+
+// TrackState is the exported form of one aircraft's fusion state, used by
+// pipeline snapshots. SBS velocity fields are NaN until a MSG,4 arrives;
+// NaN is not representable in JSON, so the exported form zeroes the
+// velocity fields when HasVel is false and restore re-installs the NaNs.
+type TrackState struct {
+	Callsign    string  `json:"callsign,omitempty"`
+	SpeedKn     float64 `json:"speedKn"`
+	TrackDeg    float64 `json:"trackDeg"`
+	VertRateFpm float64 `json:"vertRateFpm"`
+	HasVel      bool    `json:"hasVel"`
+}
+
+// ExportStates returns a copy of the tracker's per-aircraft fusion state.
+func (t *Tracker) ExportStates() map[string]TrackState {
+	out := make(map[string]TrackState, len(t.state))
+	for hex, st := range t.state {
+		ts := TrackState{Callsign: st.callsign, HasVel: st.hasVel}
+		if st.hasVel {
+			ts.SpeedKn, ts.TrackDeg, ts.VertRateFpm = st.speedKn, st.trackDeg, st.vertRateFpm
+		}
+		out[hex] = ts
+	}
+	return out
+}
+
+// RestoreStates replaces the tracker's per-aircraft state with m.
+func (t *Tracker) RestoreStates(m map[string]TrackState) {
+	t.state = make(map[string]*trackState, len(m))
+	for hex, ts := range m {
+		st := &trackState{callsign: ts.Callsign, hasVel: ts.HasVel}
+		if ts.HasVel {
+			st.speedKn, st.trackDeg, st.vertRateFpm = ts.SpeedKn, ts.TrackDeg, ts.VertRateFpm
+		} else {
+			st.speedKn, st.trackDeg, st.vertRateFpm = math.NaN(), math.NaN(), math.NaN()
+		}
+		t.state[hex] = st
+	}
+}

@@ -29,13 +29,25 @@ func RoutingKey(line string) (key string, ok bool) {
 	}
 	if fields[1] != "1" {
 		// Multi-sentence: group fragments by sequence id + channel.
-		return "seq:" + fields[3] + ":" + fields[4], true
+		return FragmentKey(fields[3], fields[4]), true
 	}
 	mmsi, ok := payloadMMSI(fields[5])
 	if !ok {
 		return "", false
 	}
 	return strconv.FormatUint(uint64(mmsi), 10), true
+}
+
+// FragmentKey is the routing key of a multi-sentence fragment group. The
+// sequence id is canonicalised through integer parsing so that a key
+// reconstructed from a parsed Sentence (snapshot restore partitioning in
+// internal/core) matches the key extracted from the raw line here even
+// for non-canonical field text like a zero-padded "05".
+func FragmentKey(seq, channel string) string {
+	if n, err := strconv.Atoi(seq); err == nil {
+		seq = strconv.Itoa(n)
+	}
+	return "seq:" + seq + ":" + channel
 }
 
 // payloadMMSI unpacks the MMSI (bits 8..37) from the first seven armored

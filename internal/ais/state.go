@@ -1,0 +1,24 @@
+package ais
+
+// Snapshot/restore support for the durable serving layer: an assembler's
+// pending multi-sentence fragments are part of a pipeline snapshot so a
+// recovered replay resumes mid-message instead of dropping the fragments
+// that arrived before the cut.
+
+// ExportPending returns a copy of the assembler's partial multi-sentence
+// messages, keyed by sequence id.
+func (a *Assembler) ExportPending() map[int][]Sentence {
+	out := make(map[int][]Sentence, len(a.pending))
+	for k, v := range a.pending {
+		out[k] = append([]Sentence(nil), v...)
+	}
+	return out
+}
+
+// RestorePending replaces the assembler's partial messages with a copy of m.
+func (a *Assembler) RestorePending(m map[int][]Sentence) {
+	a.pending = make(map[int][]Sentence, len(m))
+	for k, v := range m {
+		a.pending[k] = append([]Sentence(nil), v...)
+	}
+}

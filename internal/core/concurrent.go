@@ -1,8 +1,10 @@
 package core
 
 import (
+	"errors"
 	"hash/fnv"
 	"runtime"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -11,6 +13,7 @@ import (
 	"github.com/datacron-project/datacron/internal/ais"
 	"github.com/datacron-project/datacron/internal/model"
 	"github.com/datacron-project/datacron/internal/synth"
+	"github.com/datacron-project/datacron/internal/wal"
 )
 
 // Ingestor is the parallel ingest front-end of the serving layer: wire
@@ -20,20 +23,54 @@ import (
 // (which locks per shard) and the serialised analytics stage. Submitting to
 // a full worker queue fails fast, giving callers a backpressure signal
 // (the HTTP layer maps it to 429).
+//
+// For durable ingest the Ingestor also carries the bookkeeping the
+// snapshot/recovery protocol needs: WAL-logged lines flow through
+// Reserve + EnqueueLogged, every worker records the exact WAL offset (LSN)
+// it has fully applied per entity, and Barrier pauses all workers between
+// lines so a snapshot captures an atomic cut — a line is either fully
+// reflected in the snapshot (store writes, analytics, counters, applied
+// offset) or not at all.
 type Ingestor struct {
-	p      *Pipeline
-	queues []chan synth.TimedLine
-	wg     sync.WaitGroup
-
-	// onEvents, when non-nil, receives every batch of complex events a
-	// worker detects (the serving layer fans them out to subscribers). It
-	// is called from worker goroutines and must be safe for concurrent use.
+	p        *Pipeline
+	workers  []*worker
+	wg       sync.WaitGroup
 	onEvents func([]model.Event)
 
-	mu       sync.RWMutex // guards Submit vs Close (send on closed channel)
+	// snapGate excludes the append→enqueue window of logged lines while a
+	// snapshot computes its cut, so no acknowledged LSN can fall between
+	// "appended to the WAL" and "visible in a worker queue" at the cut.
+	snapGate sync.RWMutex
+
+	mu       sync.RWMutex // guards Reserve/Enqueue vs Close
 	closed   bool
 	rejected atomic.Int64
 	inflight atomic.Int64
+}
+
+// worker is one ingest goroutine and its queue-side bookkeeping.
+type worker struct {
+	q        chan item
+	reserved atomic.Int64 // slots taken: queued + in-process + reserved
+
+	// qmu guards lsns, the FIFO of WAL offsets of logged lines currently
+	// queued (aligned with q's order for logged items).
+	qmu  sync.Mutex
+	lsns []uint64
+
+	// snapMu is held by the worker for the whole processing of one line
+	// and by Barrier; under it the worker's front, applied map and the
+	// pipeline counters are quiescent.
+	snapMu  sync.Mutex
+	front   front
+	applied map[string]uint64 // routing key → highest fully-applied LSN
+}
+
+// item is one queued wire line; lsn is 0 for non-logged submissions.
+type item struct {
+	tl  synth.TimedLine
+	key string
+	lsn uint64
 }
 
 // IngestorConfig tunes the parallel front-end; the zero value uses
@@ -41,7 +78,8 @@ type Ingestor struct {
 type IngestorConfig struct {
 	// Workers is the number of ingest goroutines (and decode fronts).
 	Workers int
-	// QueueLen bounds each worker's queue; a full queue rejects Submit.
+	// QueueLen bounds each worker's in-flight lines; exceeding it rejects
+	// Reserve/Submit.
 	QueueLen int
 	// OnEvents receives detected event batches from worker goroutines.
 	OnEvents func([]model.Event)
@@ -49,6 +87,14 @@ type IngestorConfig struct {
 
 // NewIngestor starts the worker goroutines. Close must be called to stop
 // them. The pipeline's areas and entities must already be installed.
+//
+// Worker fronts are seeded from the pipeline's serial front, so an
+// Ingestor created after Recover continues gating and compressing exactly
+// where the recovered session stopped: per-entity gate/filter state is
+// copied to every worker (only the owning worker ever touches an entity's
+// keys; stale copies are reconciled by the snapshot exporter's newest-wins
+// merge), while reassembly/fusion state is partitioned to each key's
+// owning worker.
 func (p *Pipeline) NewIngestor(cfg IngestorConfig) *Ingestor {
 	if cfg.Workers <= 0 {
 		cfg.Workers = runtime.GOMAXPROCS(0)
@@ -58,62 +104,124 @@ func (p *Pipeline) NewIngestor(cfg IngestorConfig) *Ingestor {
 	}
 	ing := &Ingestor{
 		p:        p,
-		queues:   make([]chan synth.TimedLine, cfg.Workers),
+		workers:  make([]*worker, cfg.Workers),
 		onEvents: cfg.OnEvents,
 	}
-	for i := range ing.queues {
-		ing.queues[i] = make(chan synth.TimedLine, cfg.QueueLen)
+	gate := p.serial.gate.ExportState()
+	filter := p.serial.filter.ExportState()
+	pending := p.serial.asm.ExportPending()
+	tracks := p.serial.tracker.ExportStates()
+	seedApplied := p.appliedSeed
+	for i := range ing.workers {
+		w := &worker{
+			q:       make(chan item, cfg.QueueLen),
+			front:   newFront(p.cfg),
+			applied: make(map[string]uint64),
+		}
+		w.front.gate.RestoreState(gate)
+		w.front.filter.RestoreState(filter)
+		ing.workers[i] = w
+	}
+	// Partition reassembly/fusion state and recovered offsets to owners.
+	byWorker := func(key string) *worker {
+		return ing.workers[workerIndex(key, len(ing.workers))]
+	}
+	asmParts := make([]map[int][]ais.Sentence, cfg.Workers)
+	trackParts := make([]map[string]adsb.TrackState, cfg.Workers)
+	for i := range ing.workers {
+		asmParts[i] = make(map[int][]ais.Sentence)
+		trackParts[i] = make(map[string]adsb.TrackState)
+	}
+	for seq, frags := range pending {
+		if len(frags) == 0 {
+			continue
+		}
+		w := workerIndex(multiSentenceKey(frags[0]), len(ing.workers))
+		asmParts[w][seq] = frags
+	}
+	for hex, st := range tracks {
+		w := workerIndex(hex, len(ing.workers))
+		trackParts[w][hex] = st
+	}
+	for key, lsn := range seedApplied {
+		w := byWorker(key)
+		w.applied[key] = lsn
+	}
+	for i, w := range ing.workers {
+		w.front.asm.RestorePending(asmParts[i])
+		w.front.tracker.RestoreStates(trackParts[i])
 	}
 	ing.wg.Add(cfg.Workers)
-	for i := range ing.queues {
-		go ing.run(ing.queues[i])
+	for _, w := range ing.workers {
+		go ing.run(w)
 	}
 	return ing
 }
 
-// run is one worker: it owns a private front and drains its queue.
-func (ing *Ingestor) run(q <-chan synth.TimedLine) {
+// run is one worker: it drains its queue, processing each line under its
+// snapshot lock so snapshots land between lines, never inside one.
+func (ing *Ingestor) run(w *worker) {
 	defer ing.wg.Done()
-	f := newFront(ing.p.cfg)
-	for tl := range q {
+	for it := range w.q {
+		w.snapMu.Lock()
 		// Errors are already counted in Stats.BadLines; the parallel path
 		// never runs strict (a daemon must survive malformed input).
-		evs, _ := ing.p.ingest(&f, tl)
+		evs, _ := ing.p.ingest(&w.front, it.tl)
+		if it.lsn > 0 {
+			if cur := w.applied[it.key]; it.lsn > cur {
+				w.applied[it.key] = it.lsn
+			}
+			w.qmu.Lock()
+			// Logged items leave the LSN FIFO in arrival order.
+			if len(w.lsns) > 0 && w.lsns[0] == it.lsn {
+				w.lsns = w.lsns[1:]
+				if len(w.lsns) == 0 {
+					w.lsns = nil // let the drained backlog be collected
+				}
+			}
+			w.qmu.Unlock()
+		}
+		w.snapMu.Unlock()
 		if len(evs) > 0 && ing.onEvents != nil {
 			ing.onEvents(evs)
 		}
+		w.reserved.Add(-1)
 		ing.inflight.Add(-1)
 	}
 }
 
-// Submit routes one wire line to its entity's worker. It returns false —
-// without blocking — when the worker's queue is full (backpressure) or the
-// ingestor is closed; the line is then dropped and counted in Rejected.
-func (ing *Ingestor) Submit(tl synth.TimedLine) bool {
-	ing.mu.RLock()
-	defer ing.mu.RUnlock()
-	if ing.closed {
-		ing.rejected.Add(1)
-		return false
-	}
-	ing.inflight.Add(1)
-	select {
-	case ing.queues[ing.route(tl.Line)] <- tl:
-		return true
-	default:
-		ing.inflight.Add(-1)
-		ing.rejected.Add(1)
-		return false
-	}
+// workerIndex routes a key to a worker by FNV-1a hash.
+func workerIndex(key string, n int) int {
+	h := fnv.New32a()
+	h.Write([]byte(key))
+	return int(h.Sum32() % uint32(n))
 }
 
-// route picks the worker for a wire line: hash of the entity routing key,
-// falling back to the raw line for unrecognisable input (deterministic, so
-// retries of a bad line hit the same worker).
-func (ing *Ingestor) route(line string) int {
+// multiSentenceKey reconstructs the routing key of a multi-sentence AIS
+// fragment group from a parsed sentence; ais.FragmentKey keeps it in
+// lockstep with what ais.RoutingKey extracts from the raw line.
+func multiSentenceKey(s ais.Sentence) string {
+	seq := ""
+	if s.SeqID >= 0 {
+		seq = strconv.Itoa(s.SeqID)
+	}
+	return ais.FragmentKey(seq, s.Channel)
+}
+
+// Reservation is a claimed queue slot on one worker, obtained from Reserve
+// and consumed by Enqueue/EnqueueLogged (or returned by Release).
+type Reservation struct {
+	w   *worker
+	key string
+}
+
+// routingKey extracts the per-entity routing key for a wire line, falling
+// back to the raw line for unrecognisable input (deterministic, so retries
+// and replays of a bad line resolve identically).
+func (p *Pipeline) routingKey(line string) string {
 	var key string
 	var ok bool
-	switch ing.p.cfg.Domain {
+	switch p.cfg.Domain {
 	case model.Maritime:
 		key, ok = ais.RoutingKey(line)
 	case model.Aviation:
@@ -122,19 +230,190 @@ func (ing *Ingestor) route(line string) int {
 	if !ok {
 		key = line
 	}
-	h := fnv.New32a()
-	h.Write([]byte(key))
-	return int(h.Sum32() % uint32(len(ing.queues)))
+	return key
+}
+
+// Reserve claims — without blocking — a queue slot on the worker that owns
+// line's entity. It returns ok=false when that worker is saturated
+// (backpressure; counted in Rejected) or the ingestor is closed. A
+// successful reservation must be followed by Enqueue, EnqueueLogged or
+// Release.
+func (ing *Ingestor) Reserve(line string) (Reservation, bool) {
+	ing.mu.RLock()
+	defer ing.mu.RUnlock()
+	if ing.closed {
+		ing.rejected.Add(1)
+		return Reservation{}, false
+	}
+	key := ing.p.routingKey(line)
+	w := ing.workers[workerIndex(key, len(ing.workers))]
+	if w.reserved.Add(1) > int64(cap(w.q)) {
+		w.reserved.Add(-1)
+		ing.rejected.Add(1)
+		return Reservation{}, false
+	}
+	return Reservation{w: w, key: key}, true
+}
+
+// Release returns an unused reservation (e.g. after a WAL append error).
+func (ing *Ingestor) Release(res Reservation) {
+	if res.w != nil {
+		res.w.reserved.Add(-1)
+	}
+}
+
+// Enqueue delivers a reserved line to its worker. The reserved slot
+// guarantees the channel send cannot block. ok=false only when the
+// ingestor was closed since the reservation (the line is dropped and
+// counted in Rejected).
+func (ing *Ingestor) Enqueue(res Reservation, tl synth.TimedLine) bool {
+	return ing.enqueue(res, tl)
+}
+
+// ErrIngestorClosed reports an Enqueue/EnqueueLogged that lost the race
+// with Close; the line was not logged or queued and counts as rejected.
+var ErrIngestorClosed = errors.New("core: ingestor closed")
+
+// EnqueueLogged appends the line to the WAL and delivers it to its worker
+// as one atomic step — atomic with respect to snapshot cuts (no snapshot
+// can observe the LSN as appended but not yet queued) and with respect to
+// other logged lines on the same worker (the append and the queue send
+// happen under the worker's FIFO lock, so per-worker queue order always
+// equals LSN order; without this, two concurrent requests carrying the
+// same entity could invert append and enqueue order and a snapshot's
+// applied offset would skip an acknowledged line on recovery). The record
+// still needs a wal Commit to become durable; the serving layer commits
+// once per HTTP batch before acknowledging. On any error — WAL failure or
+// ErrIngestorClosed — the line was neither logged nor queued, the
+// reservation is consumed and the line counts as rejected.
+func (ing *Ingestor) EnqueueLogged(l *wal.Log, res Reservation, tl synth.TimedLine) (lsn uint64, err error) {
+	ing.snapGate.RLock()
+	defer ing.snapGate.RUnlock()
+	ing.mu.RLock()
+	defer ing.mu.RUnlock()
+	res.w.qmu.Lock()
+	defer res.w.qmu.Unlock()
+	if ing.closed {
+		ing.Release(res)
+		ing.rejected.Add(1)
+		return 0, ErrIngestorClosed
+	}
+	lsn, err = l.Append(tl.TS, tl.Line)
+	if err != nil {
+		ing.Release(res)
+		ing.rejected.Add(1)
+		return 0, err
+	}
+	ing.inflight.Add(1)
+	res.w.lsns = append(res.w.lsns, lsn)
+	// The reserved slot guarantees the send cannot block under qmu.
+	res.w.q <- item{tl: tl, key: res.key, lsn: lsn}
+	return lsn, nil
+}
+
+func (ing *Ingestor) enqueue(res Reservation, tl synth.TimedLine) bool {
+	ing.mu.RLock()
+	defer ing.mu.RUnlock()
+	if ing.closed {
+		ing.Release(res)
+		ing.rejected.Add(1)
+		return false
+	}
+	ing.inflight.Add(1)
+	res.w.q <- item{tl: tl, key: res.key}
+	return true
+}
+
+// Submit routes one wire line to its entity's worker. It returns false —
+// without blocking — when the worker is saturated (backpressure) or the
+// ingestor is closed; the line is then dropped and counted in Rejected.
+func (ing *Ingestor) Submit(tl synth.TimedLine) bool {
+	res, ok := ing.Reserve(tl.Line)
+	if !ok {
+		return false
+	}
+	return ing.Enqueue(res, tl)
+}
+
+// Barrier pauses every worker at a line boundary and returns a release
+// function. While the barrier is held, worker fronts, applied offsets and
+// the pipeline's analytics state are quiescent — the atomic cut that makes
+// snapshots torn-write-free. New lines keep being accepted (into queues)
+// until backpressure kicks in.
+func (ing *Ingestor) Barrier() (release func()) {
+	for _, w := range ing.workers {
+		w.snapMu.Lock()
+	}
+	return func() {
+		for _, w := range ing.workers {
+			w.snapMu.Unlock()
+		}
+	}
+}
+
+// cutState captures the recovery bookkeeping under an established Barrier:
+// the merged per-key applied offsets and the lowest queued-but-unprocessed
+// LSN (or 0 when no logged line is queued).
+func (ing *Ingestor) cutState() (applied map[string]uint64, minQueued uint64) {
+	applied = make(map[string]uint64)
+	for k, v := range ing.p.appliedSeed {
+		applied[k] = v
+	}
+	for _, w := range ing.workers {
+		for k, v := range w.applied {
+			if v > applied[k] {
+				applied[k] = v
+			}
+		}
+		w.qmu.Lock()
+		if len(w.lsns) > 0 && (minQueued == 0 || w.lsns[0] < minQueued) {
+			minQueued = w.lsns[0]
+		}
+		w.qmu.Unlock()
+	}
+	return applied, minQueued
+}
+
+// exportFront merges the workers' per-entity operator state under an
+// established Barrier: gate/filter maps merge newest-wins (each entity's
+// owner holds the freshest entry; stale seed copies lose by timestamp),
+// reassembly and fusion state unions (each key lives on exactly one
+// worker).
+func (ing *Ingestor) exportFront() frontState {
+	st := frontState{
+		Gate:    make(map[string]model.Position),
+		Filter:  make(map[string]model.Position),
+		Pending: make(map[int][]ais.Sentence),
+		Tracks:  make(map[string]adsb.TrackState),
+	}
+	newest := func(dst map[string]model.Position, src map[string]model.Position) {
+		for k, v := range src {
+			if cur, ok := dst[k]; !ok || v.TS > cur.TS {
+				dst[k] = v
+			}
+		}
+	}
+	for _, w := range ing.workers {
+		newest(st.Gate, w.front.gate.ExportState())
+		newest(st.Filter, w.front.filter.ExportState())
+		for k, v := range w.front.asm.ExportPending() {
+			st.Pending[k] = v
+		}
+		for k, v := range w.front.tracker.ExportStates() {
+			st.Tracks[k] = v
+		}
+	}
+	return st
 }
 
 // Workers returns the worker count.
-func (ing *Ingestor) Workers() int { return len(ing.queues) }
+func (ing *Ingestor) Workers() int { return len(ing.workers) }
 
 // QueueDepths returns the current depth of each worker queue.
 func (ing *Ingestor) QueueDepths() []int {
-	out := make([]int, len(ing.queues))
-	for i, q := range ing.queues {
-		out[i] = len(q)
+	out := make([]int, len(ing.workers))
+	for i, w := range ing.workers {
+		out[i] = len(w.q)
 	}
 	return out
 }
@@ -177,8 +456,8 @@ func (ing *Ingestor) Close() {
 		return
 	}
 	ing.closed = true
-	for _, q := range ing.queues {
-		close(q)
+	for _, w := range ing.workers {
+		close(w.q)
 	}
 	ing.mu.Unlock()
 	ing.wg.Wait()

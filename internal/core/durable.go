@@ -1,0 +1,437 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"github.com/datacron-project/datacron/internal/adsb"
+	"github.com/datacron-project/datacron/internal/ais"
+	"github.com/datacron-project/datacron/internal/cer"
+	"github.com/datacron-project/datacron/internal/model"
+	"github.com/datacron-project/datacron/internal/synth"
+	"github.com/datacron-project/datacron/internal/wal"
+)
+
+// Durability layout under a --data-dir:
+//
+//	<data-dir>/wal/wal-<firstLSN>.seg      the write-ahead wire log
+//	<data-dir>/snapshots/snap-<cutLSN>/    full pipeline snapshots
+//	    MANIFEST.json                      cut + replay floor + config check
+//	    state.json                         counters, operator state, offsets
+//	    shard-NNN.nt / shard-NNN.anchors   per-shard store serialisation
+//
+// A snapshot is taken under the Ingestor's barrier, so it is an atomic cut
+// of the whole pipeline: every wire line is either fully reflected
+// (store writes, analytics state, counters, its per-entity applied LSN) or
+// absent. Recovery loads the newest snapshot and replays the WAL tail from
+// the manifest's replay floor, skipping records at or below their entity's
+// applied offset — so recovery cost is snapshot-load + tail, not the whole
+// log, and no record is ever applied twice.
+
+// snapshotFormatVersion guards against loading a future layout.
+const snapshotFormatVersion = 1
+
+// WALDir returns the write-ahead log directory under dataDir.
+func WALDir(dataDir string) string { return filepath.Join(dataDir, "wal") }
+
+// SnapshotsDir returns the snapshot root under dataDir.
+func SnapshotsDir(dataDir string) string { return filepath.Join(dataDir, "snapshots") }
+
+// manifest is the MANIFEST.json of one snapshot.
+type manifest struct {
+	Version       int    `json:"version"`
+	CutLSN        uint64 `json:"cutLSN"`
+	ReplayFrom    uint64 `json:"replayFrom"`
+	Shards        int    `json:"shards"`
+	Domain        string `json:"domain"`
+	CreatedUnixMS int64  `json:"createdUnixMS"`
+}
+
+// frontState is the serialisable per-entity operator state of an ingest
+// front (or the newest-wins merge of all worker fronts).
+type frontState struct {
+	Gate    map[string]model.Position  `json:"gate"`
+	Filter  map[string]model.Position  `json:"filter"`
+	Pending map[int][]ais.Sentence     `json:"aisPending"`
+	Tracks  map[string]adsb.TrackState `json:"tracks"`
+}
+
+// export captures one front's state.
+func (f *front) export() frontState {
+	return frontState{
+		Gate:    f.gate.ExportState(),
+		Filter:  f.filter.ExportState(),
+		Pending: f.asm.ExportPending(),
+		Tracks:  f.tracker.ExportStates(),
+	}
+}
+
+// restore installs st into one front.
+func (f *front) restore(st frontState) {
+	f.gate.RestoreState(st.Gate)
+	f.filter.RestoreState(st.Filter)
+	f.asm.RestorePending(st.Pending)
+	f.tracker.RestoreStates(st.Tracks)
+}
+
+// pipelineState is the state.json of one snapshot: everything a pipeline
+// needs beyond the store itself to continue deterministically.
+type pipelineState struct {
+	Counters StatsSnapshot     `json:"counters"`
+	Entities []string          `json:"entities"`
+	Front    frontState        `json:"front"`
+	Suite    *cer.SuiteState   `json:"suite,omitempty"`
+	Density  []float64         `json:"density"`
+	Applied  map[string]uint64 `json:"applied"`
+}
+
+// SnapshotInfo describes a completed snapshot.
+type SnapshotInfo struct {
+	Dir        string
+	CutLSN     uint64
+	ReplayFrom uint64
+	Triples    int
+	Took       time.Duration
+}
+
+// WriteSnapshot writes an atomic full-pipeline snapshot under dataDir.
+// With a live Ingestor the cut is taken under its barrier (workers pause
+// between lines; ingest HTTP clients see queue backpressure, not errors);
+// with ing == nil the pipeline must be externally quiescent (the serial
+// ingest path). log may be nil when running without a WAL — the snapshot
+// then has no replay floor and recovery is snapshot-only.
+func (p *Pipeline) WriteSnapshot(dataDir string, ing *Ingestor, log *wal.Log) (SnapshotInfo, error) {
+	start := time.Now()
+	snapRoot := SnapshotsDir(dataDir)
+	if err := os.MkdirAll(snapRoot, 0o755); err != nil {
+		return SnapshotInfo{}, fmt.Errorf("core: snapshot: %w", err)
+	}
+	tmp, err := os.MkdirTemp(snapRoot, ".tmp-")
+	if err != nil {
+		return SnapshotInfo{}, fmt.Errorf("core: snapshot: %w", err)
+	}
+	defer os.RemoveAll(tmp)
+
+	// Establish the cut.
+	var (
+		cut, replayFrom uint64
+		applied         map[string]uint64
+		fs              frontState
+		release         = func() {}
+	)
+	if ing != nil {
+		// Exclude the append→enqueue window, pause the workers, and only
+		// then read the LSN bookkeeping: every appended LSN is now either
+		// fully applied or visible in a queue.
+		ing.snapGate.Lock()
+		release = ing.Barrier()
+		if log != nil {
+			cut = log.Appended()
+		}
+		var minQueued uint64
+		applied, minQueued = ing.cutState()
+		if minQueued > 0 {
+			replayFrom = minQueued
+		} else {
+			replayFrom = cut + 1
+		}
+		ing.snapGate.Unlock()
+		fs = ing.exportFront()
+	} else {
+		if log != nil {
+			cut = log.Appended()
+		}
+		replayFrom = cut + 1
+		applied = make(map[string]uint64, len(p.appliedSeed))
+		for k, v := range p.appliedSeed {
+			applied[k] = v
+		}
+		fs = p.serial.export()
+	}
+
+	// Serialise everything under the barrier, then release before the
+	// rename (the files are final; only the directory swap remains).
+	err = func() error {
+		defer release()
+		if err := p.Store.WriteSnapshot(tmp); err != nil {
+			return err
+		}
+		st := pipelineState{
+			Counters: p.Stats.Snapshot(),
+			Front:    fs,
+			Density:  append([]float64(nil), p.Density.Counts...),
+			Applied:  applied,
+		}
+		p.entityMu.Lock()
+		st.Entities = make([]string, 0, len(p.entities))
+		for id := range p.entities {
+			st.Entities = append(st.Entities, id)
+		}
+		p.entityMu.Unlock()
+		sort.Strings(st.Entities)
+		if p.Suite != nil {
+			ss := p.Suite.ExportState()
+			st.Suite = &ss
+		}
+		if err := writeJSON(filepath.Join(tmp, "state.json"), st); err != nil {
+			return err
+		}
+		return writeJSON(filepath.Join(tmp, "MANIFEST.json"), manifest{
+			Version:       snapshotFormatVersion,
+			CutLSN:        cut,
+			ReplayFrom:    replayFrom,
+			Shards:        p.Store.NumShards(),
+			Domain:        p.cfg.Domain.String(),
+			CreatedUnixMS: time.Now().UnixMilli(),
+		})
+	}()
+	if err != nil {
+		return SnapshotInfo{}, fmt.Errorf("core: snapshot: %w", err)
+	}
+
+	final := filepath.Join(snapRoot, fmt.Sprintf("snap-%020d", cut))
+	if err := os.RemoveAll(final); err != nil {
+		return SnapshotInfo{}, fmt.Errorf("core: snapshot: %w", err)
+	}
+	if err := os.Rename(tmp, final); err != nil {
+		return SnapshotInfo{}, fmt.Errorf("core: snapshot: %w", err)
+	}
+	// Older snapshots and fully-covered WAL segments are now disposable.
+	pruneSnapshots(snapRoot, cut)
+	if log != nil && replayFrom > 1 {
+		_, _ = log.RemoveSegmentsBefore(replayFrom)
+	}
+	return SnapshotInfo{
+		Dir: final, CutLSN: cut, ReplayFrom: replayFrom,
+		Triples: p.Store.Len(), Took: time.Since(start),
+	}, nil
+}
+
+// writeJSON writes v as indented JSON to path.
+func writeJSON(path string, v any) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", " ")
+	if err := enc.Encode(v); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// readJSON reads path into v.
+func readJSON(path string, v any) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	return json.Unmarshal(data, v)
+}
+
+// snapshotCut parses a snapshot directory name; ok=false for foreign
+// entries (including in-progress .tmp-* dirs).
+func snapshotCut(name string) (uint64, bool) {
+	if !strings.HasPrefix(name, "snap-") {
+		return 0, false
+	}
+	n, err := strconv.ParseUint(name[5:], 10, 64)
+	if err != nil {
+		return 0, false
+	}
+	return n, true
+}
+
+// latestSnapshot returns the newest completed snapshot directory.
+func latestSnapshot(snapRoot string) (dir string, cut uint64, ok bool) {
+	ents, err := os.ReadDir(snapRoot)
+	if err != nil {
+		return "", 0, false
+	}
+	for _, e := range ents {
+		if c, isSnap := snapshotCut(e.Name()); isSnap && (!ok || c > cut) {
+			dir, cut, ok = filepath.Join(snapRoot, e.Name()), c, true
+		}
+	}
+	return dir, cut, ok
+}
+
+// pruneSnapshots removes completed snapshots other than keep.
+func pruneSnapshots(snapRoot string, keep uint64) {
+	ents, err := os.ReadDir(snapRoot)
+	if err != nil {
+		return
+	}
+	for _, e := range ents {
+		if c, isSnap := snapshotCut(e.Name()); isSnap && c != keep {
+			_ = os.RemoveAll(filepath.Join(snapRoot, e.Name()))
+		}
+	}
+}
+
+// RecoveryStats reports what a Recover (or Replay) run did.
+type RecoveryStats struct {
+	// SnapshotLSN is the loaded snapshot's cut (0 when none was found and
+	// the whole log was replayed).
+	SnapshotLSN uint64
+	// ReplayFrom is the first WAL offset scanned.
+	ReplayFrom uint64
+	// SnapshotTriples / SnapshotAnchors count what the snapshot restored.
+	SnapshotTriples, SnapshotAnchors int
+	// Replayed counts wire lines re-ingested from the log tail.
+	Replayed int64
+	// SkippedApplied counts scanned records already covered by their
+	// entity's snapshot offset.
+	SkippedApplied int64
+	// Events counts complex events re-detected during replay.
+	Events int64
+	// TailTruncatedBytes is the torn tail dropped (normal after kill -9).
+	TailTruncatedBytes int64
+	// CorruptStopped/SkippedBytes report mid-log damage: replay stopped at
+	// the last valid record and this much data after it was skipped.
+	CorruptStopped bool
+	SkippedBytes   int64
+	// Took is the wall-clock recovery time.
+	Took time.Duration
+}
+
+// Recover restores the pipeline from dataDir: it loads the newest
+// snapshot (if any) and replays the WAL tail sequentially through the
+// serial ingest path. Areas and entities should be installed first (the
+// daemon primes them before recovering); the pipeline must not be serving
+// yet. After Recover, NewIngestor seeds its workers with the recovered
+// operator state, so the daemon continues exactly where the crashed
+// process stopped.
+func (p *Pipeline) Recover(dataDir string) (RecoveryStats, error) {
+	start := time.Now()
+	var rs RecoveryStats
+	applied := make(map[string]uint64)
+	from := uint64(1)
+
+	if dir, cut, ok := latestSnapshot(SnapshotsDir(dataDir)); ok {
+		var m manifest
+		if err := readJSON(filepath.Join(dir, "MANIFEST.json"), &m); err != nil {
+			return rs, fmt.Errorf("core: recover: manifest: %w", err)
+		}
+		if m.Version != snapshotFormatVersion {
+			return rs, fmt.Errorf("core: recover: snapshot format v%d, this build reads v%d", m.Version, snapshotFormatVersion)
+		}
+		if m.Shards != p.Store.NumShards() {
+			return rs, fmt.Errorf("core: recover: snapshot has %d shards, pipeline has %d — restart with -shards %d", m.Shards, p.Store.NumShards(), m.Shards)
+		}
+		if m.Domain != p.cfg.Domain.String() {
+			return rs, fmt.Errorf("core: recover: snapshot domain %s, pipeline domain %s", m.Domain, p.cfg.Domain)
+		}
+		t, a, err := p.Store.LoadSnapshot(dir)
+		if err != nil {
+			return rs, fmt.Errorf("core: recover: %w", err)
+		}
+		var st pipelineState
+		if err := readJSON(filepath.Join(dir, "state.json"), &st); err != nil {
+			return rs, fmt.Errorf("core: recover: state: %w", err)
+		}
+		p.restoreCounters(st.Counters)
+		p.entityMu.Lock()
+		for _, id := range st.Entities {
+			p.entities[id] = true
+		}
+		p.entityMu.Unlock()
+		p.serial.restore(st.Front)
+		if p.Suite != nil && st.Suite != nil {
+			p.Suite.RestoreState(*st.Suite)
+		}
+		p.Density.RestoreCounts(st.Density)
+		for k, v := range st.Applied {
+			applied[k] = v
+		}
+		from = m.ReplayFrom
+		rs.SnapshotLSN, rs.SnapshotTriples, rs.SnapshotAnchors = cut, t, a
+	}
+
+	tail, err := p.replayLog(dataDir, from, applied, &rs)
+	rs.ReplayFrom = from
+	rs.TailTruncatedBytes = tail.TruncatedBytes
+	rs.CorruptStopped = tail.CorruptStopped
+	rs.SkippedBytes = tail.SkippedBytes
+	p.appliedSeed = applied
+	rs.Took = time.Since(start)
+	return rs, err
+}
+
+// Replay re-feeds a logged session in dataDir through a fresh pipeline,
+// sequentially and in exact log order — the deterministic test harness
+// hook: two Replays of the same log produce byte-identical stores, event
+// sequences and counters. prime (optional) installs areas and entities
+// before the first line.
+func Replay(dataDir string, cfg Config, prime func(*Pipeline)) (*Pipeline, RecoveryStats, error) {
+	p := New(cfg)
+	if prime != nil {
+		prime(p)
+	}
+	var rs RecoveryStats
+	start := time.Now()
+	stats, err := p.replayLog(dataDir, 1, make(map[string]uint64), &rs)
+	rs.ReplayFrom = 1
+	rs.TailTruncatedBytes = stats.TruncatedBytes
+	rs.CorruptStopped = stats.CorruptStopped
+	rs.SkippedBytes = stats.SkippedBytes
+	rs.Took = time.Since(start)
+	return p, rs, err
+}
+
+// replayLog scans the WAL from offset `from`, re-ingesting every record
+// above its entity's applied offset through the serial front. applied is
+// advanced in place.
+func (p *Pipeline) replayLog(dataDir string, from uint64, applied map[string]uint64, rs *RecoveryStats) (wal.ScanStats, error) {
+	return wal.Scan(WALDir(dataDir), from, func(r wal.Record) error {
+		key := p.routingKey(r.Line)
+		if r.LSN <= applied[key] {
+			rs.SkippedApplied++
+			return nil
+		}
+		evs, _ := p.IngestLine(synth.TimedLine{TS: r.TS, Line: r.Line})
+		applied[key] = r.LSN
+		rs.Replayed++
+		rs.Events += int64(len(evs))
+		return nil
+	})
+}
+
+// IngestLineLogged is the serial durable ingest path: the line is appended
+// to the WAL, processed, and its applied offset recorded, so a later
+// WriteSnapshot(dataDir, nil, log) carries exact resume offsets. Like
+// IngestLine it must not be called concurrently with itself; the caller
+// decides when to Commit the log (group commit).
+func (p *Pipeline) IngestLineLogged(l *wal.Log, tl synth.TimedLine) ([]model.Event, error) {
+	lsn, err := l.Append(tl.TS, tl.Line)
+	if err != nil {
+		return nil, err
+	}
+	evs, err := p.IngestLine(tl)
+	if p.appliedSeed == nil {
+		p.appliedSeed = make(map[string]uint64)
+	}
+	p.appliedSeed[p.routingKey(tl.Line)] = lsn
+	return evs, err
+}
+
+// restoreCounters installs snapshot counters (latency histograms restart
+// empty — they are observability, not data).
+func (p *Pipeline) restoreCounters(c StatsSnapshot) {
+	atomic.StoreInt64(&p.Stats.Lines, c.Lines)
+	atomic.StoreInt64(&p.Stats.BadLines, c.BadLines)
+	atomic.StoreInt64(&p.Stats.Decoded, c.Decoded)
+	atomic.StoreInt64(&p.Stats.Gated, c.Gated)
+	atomic.StoreInt64(&p.Stats.Kept, c.Kept)
+	atomic.StoreInt64(&p.Stats.Suppressed, c.Suppressed)
+	atomic.StoreInt64(&p.Stats.Detections, c.Detections)
+}

@@ -1,0 +1,280 @@
+package core
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/datacron-project/datacron/internal/model"
+	"github.com/datacron-project/datacron/internal/synth"
+	"github.com/datacron-project/datacron/internal/wal"
+)
+
+// durableWorld is a scenario with loiterers (per-entity events) but no
+// scripted rendezvous (Rendezvous: -1 disables the default pairs): all of
+// its complex events are per-entity and thus arrival-order-independent, so
+// a recovered pipeline must match an uninterrupted one exactly. Pair-based
+// events (rendezvous) are inherently sensitive to cross-entity arrival
+// order in the parallel path — replay determinism for them holds between
+// replays of the same log, which TestReplayDeterminism covers.
+func durableWorld(t testing.TB) *synth.Scenario {
+	t.Helper()
+	return synth.GenMaritime(synth.MaritimeConfig{
+		Seed: 1234, Vessels: 10, Duration: time.Hour,
+		Rendezvous: -1, Loiterers: 2, GapProb: 0.0005, OutlierProb: 0.002,
+	})
+}
+
+// exportNT renders the canonical store dump.
+func exportNT(t testing.TB, p *Pipeline) []byte {
+	t.Helper()
+	var b bytes.Buffer
+	if err := p.Store.ExportNT(&b); err != nil {
+		t.Fatal(err)
+	}
+	return b.Bytes()
+}
+
+// newPrimed builds a pipeline primed with sc's world.
+func newPrimed(sc *synth.Scenario) *Pipeline {
+	p := New(Config{Domain: model.Maritime})
+	p.InstallAreas(sc.Areas)
+	p.InstallEntities(sc.Entities)
+	return p
+}
+
+// TestSerialDurableRecovery ingests a session through the serial logged
+// path, snapshots 60% in, "crashes", and verifies that a recovered
+// pipeline (snapshot + tail replay) is byte-identical to the uninterrupted
+// one: same canonical store dump, same counters, same density mass.
+func TestSerialDurableRecovery(t *testing.T) {
+	sc := durableWorld(t)
+	dataDir := t.TempDir()
+
+	log, err := wal.Open(WALDir(dataDir), wal.Options{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p1 := newPrimed(sc)
+	cutAt := len(sc.WireTimed) * 6 / 10
+	for i, tl := range sc.WireTimed {
+		if _, err := p1.IngestLineLogged(log, tl); err != nil {
+			t.Fatal(err)
+		}
+		if i == cutAt {
+			if err := log.Commit(); err != nil {
+				t.Fatal(err)
+			}
+			info, err := p1.WriteSnapshot(dataDir, nil, log)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if info.CutLSN == 0 || info.ReplayFrom != info.CutLSN+1 {
+				t.Fatalf("serial snapshot info = %+v", info)
+			}
+		}
+	}
+	if err := log.Close(); err != nil { // flush: every line was "acked"
+		t.Fatal(err)
+	}
+	wantNT := exportNT(t, p1)
+	wantSnap := p1.Stats.Snapshot()
+	if wantSnap.Detections == 0 {
+		t.Fatal("scenario produced no events; test is vacuous")
+	}
+
+	// Recover into a fresh pipeline.
+	p2 := newPrimed(sc)
+	rs, err := p2.Recover(dataDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs.SnapshotLSN == 0 {
+		t.Fatal("snapshot not loaded")
+	}
+	if rs.Replayed == 0 {
+		t.Fatal("no tail replayed")
+	}
+	if rs.SkippedApplied != 0 {
+		t.Errorf("serial snapshot should leave no overlap, skipped %d", rs.SkippedApplied)
+	}
+	if got := p2.Stats.Snapshot(); got != wantSnap {
+		t.Errorf("recovered counters = %+v, want %+v", got, wantSnap)
+	}
+	if got := exportNT(t, p2); !bytes.Equal(got, wantNT) {
+		t.Errorf("recovered store dump differs: %d vs %d bytes", len(got), len(wantNT))
+	}
+	if p2.Density.Total() != p1.Density.Total() {
+		t.Errorf("density total %v, want %v", p2.Density.Total(), p1.Density.Total())
+	}
+}
+
+// TestReplayDeterminism replays the same log twice through fresh pipelines
+// and requires byte-identical results — the foundation the golden tests
+// stand on.
+func TestReplayDeterminism(t *testing.T) {
+	sc := durableWorld(t)
+	dataDir := t.TempDir()
+	log, err := wal.Open(WALDir(dataDir), wal.Options{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p0 := newPrimed(sc)
+	for _, tl := range sc.WireTimed {
+		if _, err := p0.IngestLineLogged(log, tl); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := log.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	prime := func(p *Pipeline) {
+		p.InstallAreas(sc.Areas)
+		p.InstallEntities(sc.Entities)
+	}
+	pa, rsa, err := Replay(dataDir, Config{Domain: model.Maritime}, prime)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pb, rsb, err := Replay(dataDir, Config{Domain: model.Maritime}, prime)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rsa.Replayed != int64(len(sc.WireTimed)) || rsa.Replayed != rsb.Replayed {
+		t.Fatalf("replayed %d / %d, want %d", rsa.Replayed, rsb.Replayed, len(sc.WireTimed))
+	}
+	if pa.Stats.Snapshot() != pb.Stats.Snapshot() {
+		t.Errorf("two replays disagree on counters: %+v vs %+v", pa.Stats.Snapshot(), pb.Stats.Snapshot())
+	}
+	if !bytes.Equal(exportNT(t, pa), exportNT(t, pb)) {
+		t.Error("two replays of the same log produced different stores")
+	}
+	// And both match the original session.
+	if pa.Stats.Snapshot() != p0.Stats.Snapshot() {
+		t.Errorf("replay counters %+v, original %+v", pa.Stats.Snapshot(), p0.Stats.Snapshot())
+	}
+	if !bytes.Equal(exportNT(t, pa), exportNT(t, p0)) {
+		t.Error("replay store differs from the original session")
+	}
+}
+
+// TestParallelDurableRecovery drives the parallel logged path (the one the
+// HTTP layer uses) with a snapshot taken while ingest is in flight, then
+// recovers and compares against the uninterrupted run.
+func TestParallelDurableRecovery(t *testing.T) {
+	sc := durableWorld(t)
+	dataDir := t.TempDir()
+	log, err := wal.Open(WALDir(dataDir), wal.Options{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p1 := newPrimed(sc)
+	ing := p1.NewIngestor(IngestorConfig{Workers: 4, QueueLen: 1 << 16})
+
+	snapAt := len(sc.WireTimed) / 2
+	var snapErr error
+	for i, tl := range sc.WireTimed {
+		res, ok := ing.Reserve(tl.Line)
+		if !ok {
+			t.Fatalf("line %d rejected with oversized queue", i)
+		}
+		if _, err := ing.EnqueueLogged(log, res, tl); err != nil {
+			t.Fatal(err)
+		}
+		if i == snapAt {
+			// Snapshot mid-stream, with queues still draining.
+			_, snapErr = p1.WriteSnapshot(dataDir, ing, log)
+		}
+	}
+	if snapErr != nil {
+		t.Fatal(snapErr)
+	}
+	if !ing.Quiesce(30 * time.Second) {
+		t.Fatal("ingest did not drain")
+	}
+	if err := log.Close(); err != nil {
+		t.Fatal(err)
+	}
+	ing.Close()
+	wantNT := exportNT(t, p1)
+	wantSnap := p1.Stats.Snapshot()
+
+	p2 := newPrimed(sc)
+	rs, err := p2.Recover(dataDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs.SnapshotLSN == 0 {
+		t.Fatal("snapshot not loaded")
+	}
+	if got := p2.Stats.Snapshot(); got != wantSnap {
+		t.Errorf("recovered counters = %+v, want %+v", got, wantSnap)
+	}
+	if got := exportNT(t, p2); !bytes.Equal(got, wantNT) {
+		t.Error("recovered store differs from uninterrupted parallel run")
+	}
+	// The WAL was pruned to the snapshot's replay floor, but the tail kept
+	// every record needed: replayed + skipped covers [ReplayFrom, end].
+	if rs.Replayed == 0 {
+		t.Error("expected a non-empty tail replay")
+	}
+}
+
+// TestRecoverTornTail simulates kill -9 mid-write: the final WAL record is
+// cut in half. Recovery must keep everything before it and report the torn
+// bytes.
+func TestRecoverTornTail(t *testing.T) {
+	sc := durableWorld(t)
+	dataDir := t.TempDir()
+	log, err := wal.Open(WALDir(dataDir), wal.Options{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p1 := newPrimed(sc)
+	n := 2000
+	for _, tl := range sc.WireTimed[:n] {
+		if _, err := p1.IngestLineLogged(log, tl); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := log.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Tear the tail: chop 7 bytes off the last segment.
+	segs, err := os.ReadDir(WALDir(dataDir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	last := segs[len(segs)-1].Name()
+	if !strings.HasSuffix(last, ".seg") {
+		t.Fatalf("unexpected entry %q", last)
+	}
+	path := filepath.Join(WALDir(dataDir), last)
+	st, _ := os.Stat(path)
+	if err := os.Truncate(path, st.Size()-7); err != nil {
+		t.Fatal(err)
+	}
+
+	p2 := newPrimed(sc)
+	rs, err := p2.Recover(dataDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs.TailTruncatedBytes == 0 {
+		t.Error("torn tail not reported")
+	}
+	if rs.CorruptStopped {
+		t.Error("torn tail misclassified as mid-log corruption")
+	}
+	if rs.Replayed != int64(n-1) {
+		t.Errorf("replayed %d lines, want %d (all but the torn record)", rs.Replayed, n-1)
+	}
+	if got := p2.Stats.Snapshot().Lines; got != int64(n-1) {
+		t.Errorf("recovered lines = %d, want %d", got, n-1)
+	}
+}

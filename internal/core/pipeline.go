@@ -110,6 +110,11 @@ type Pipeline struct {
 	entityMu sync.Mutex
 	entities map[string]bool
 
+	// appliedSeed carries per-entity applied WAL offsets across the
+	// recovery boundary: set by Recover (and the serial logged ingest
+	// path), consumed by NewIngestor and the snapshot writer.
+	appliedSeed map[string]uint64
+
 	// analyticsMu serialises the stateful analytics stage (CER suite and
 	// density grid) over the gated stream. Decode, compression and store
 	// writes run in parallel; recognisers keep cross-entity state (pairing)

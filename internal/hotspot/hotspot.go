@@ -39,6 +39,21 @@ func (d *DensityGrid) AddWeighted(p geo.Point, w float64) {
 // Total returns the accumulated weight.
 func (d *DensityGrid) Total() float64 { return d.total }
 
+// RestoreCounts replaces the cell counts with a copy of counts (padded or
+// clipped to the grid size) and recomputes the total — snapshot restore
+// for the durable serving layer.
+func (d *DensityGrid) RestoreCounts(counts []float64) {
+	d.Counts = make([]float64, d.Grid.NumCells())
+	d.total = 0
+	for i, c := range counts {
+		if i >= len(d.Counts) {
+			break
+		}
+		d.Counts[i] = c
+		d.total += c
+	}
+}
+
 // Max returns the maximum cell weight.
 func (d *DensityGrid) Max() float64 {
 	m := 0.0

@@ -1,0 +1,44 @@
+package insitu
+
+import "github.com/datacron-project/datacron/internal/model"
+
+// Snapshot/restore support for the durable serving layer (internal/core):
+// the per-entity operator state of the in-situ compressors is part of a
+// pipeline snapshot, so that recovery continues compressing exactly where
+// the crashed process stopped — without it, the first post-recovery report
+// of every entity would always be kept and recovered output would diverge
+// from an uninterrupted run.
+
+// ExportState returns a copy of the gate's per-entity last-accepted map.
+func (g *NoiseGate) ExportState() map[string]model.Position {
+	out := make(map[string]model.Position, len(g.last))
+	for k, v := range g.last {
+		out[k] = v
+	}
+	return out
+}
+
+// RestoreState replaces the gate's per-entity state with a copy of m.
+func (g *NoiseGate) RestoreState(m map[string]model.Position) {
+	g.last = make(map[string]model.Position, len(m))
+	for k, v := range m {
+		g.last[k] = v
+	}
+}
+
+// ExportState returns a copy of the filter's per-entity last-kept map.
+func (f *ThresholdFilter) ExportState() map[string]model.Position {
+	out := make(map[string]model.Position, len(f.last))
+	for k, v := range f.last {
+		out[k] = v
+	}
+	return out
+}
+
+// RestoreState replaces the filter's per-entity state with a copy of m.
+func (f *ThresholdFilter) RestoreState(m map[string]model.Position) {
+	f.last = make(map[string]model.Position, len(m))
+	for k, v := range m {
+		f.last[k] = v
+	}
+}

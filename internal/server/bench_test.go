@@ -3,6 +3,7 @@ package server
 import (
 	"net/http"
 	"net/http/httptest"
+	"os"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -12,6 +13,7 @@ import (
 	"github.com/datacron-project/datacron/internal/core"
 	"github.com/datacron-project/datacron/internal/model"
 	"github.com/datacron-project/datacron/internal/synth"
+	"github.com/datacron-project/datacron/internal/wal"
 )
 
 var benchWorld struct {
@@ -40,15 +42,10 @@ func benchBatches(b *testing.B) []string {
 	return benchWorld.batches
 }
 
-// BenchmarkServerIngest drives concurrent POST /ingest against a live
-// server (one op = one 512-line batch) and reports sustained lines/sec so
-// later PRs can track serving throughput.
-func BenchmarkServerIngest(b *testing.B) {
-	batches := benchBatches(b)
-	p := core.New(core.Config{Domain: model.Maritime})
-	p.InstallAreas(benchWorld.sc.Areas)
-	p.InstallEntities(benchWorld.sc.Entities)
-	srv := New(Config{Pipeline: p, QueueLen: 1 << 16})
+// runIngestBench drives concurrent POST /ingest against a live server
+// (one op = one 512-line batch) and reports sustained lines/sec so later
+// PRs can track serving throughput.
+func runIngestBench(b *testing.B, srv *Server, batches []string) {
 	ts := httptest.NewServer(srv.Handler())
 	defer func() { ts.Close(); srv.Close() }()
 	client := ts.Client()
@@ -77,4 +74,53 @@ func BenchmarkServerIngest(b *testing.B) {
 		b.ReportMetric(float64(lines.Load())/el, "lines/sec")
 	}
 	b.ReportMetric(float64(srv.Ingestor().Rejected()), "rejected")
+}
+
+// benchPipeline builds a primed pipeline over the benchmark world.
+func benchPipeline(b *testing.B) *core.Pipeline {
+	p := core.New(core.Config{Domain: model.Maritime})
+	p.InstallAreas(benchWorld.sc.Areas)
+	p.InstallEntities(benchWorld.sc.Entities)
+	return p
+}
+
+// BenchmarkServerIngest is the in-memory serving baseline.
+func BenchmarkServerIngest(b *testing.B) {
+	batches := benchBatches(b)
+	srv := New(Config{Pipeline: benchPipeline(b), QueueLen: 1 << 16})
+	runIngestBench(b, srv, batches)
+}
+
+// BenchmarkServerIngestWAL is the durable path in the daemon's default
+// mode: every accepted line is framed/CRC'd into the write-ahead log and
+// each batch is group-committed (flushed to the OS — kill -9 durable)
+// before its ack. The acceptance bar for the durability subsystem is
+// < 20% regression against BenchmarkServerIngest.
+func BenchmarkServerIngestWAL(b *testing.B) {
+	benchServerIngestWAL(b, wal.Options{NoSync: true})
+}
+
+// BenchmarkServerIngestWALFsync is the power-loss-durable mode (-fsync):
+// one (often shared) fsync per acknowledged batch. On single-spindle or
+// single-core hosts the fsync latency is serial dead time per request, so
+// this mode trades throughput for machine-crash durability.
+func BenchmarkServerIngestWALFsync(b *testing.B) {
+	benchServerIngestWAL(b, wal.Options{})
+}
+
+func benchServerIngestWAL(b *testing.B, opts wal.Options) {
+	batches := benchBatches(b)
+	dataDir, err := os.MkdirTemp("", "datacron-walbench-")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer os.RemoveAll(dataDir)
+	l, err := wal.Open(core.WALDir(dataDir), opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer l.Close()
+	srv := New(Config{Pipeline: benchPipeline(b), QueueLen: 1 << 16, WAL: l, DataDir: dataDir})
+	runIngestBench(b, srv, batches)
+	b.ReportMetric(float64(l.Appended()), "wal-records")
 }

@@ -31,6 +31,12 @@ type ingestResponse struct {
 // offset: the client retries the batch from line `accepted` onward (never
 // re-sending already-ingested lines) after the 429's Retry-After.
 //
+// In durable mode every accepted line is appended to the write-ahead log
+// and the whole batch is group-committed before the response is written:
+// an acknowledged line survives kill -9. Rejected lines are never logged,
+// so the resume-offset contract is unchanged — a resent line was never
+// acked and never logged.
+//
 // ?wait=1 blocks until the submitted lines (and any others in flight) have
 // been fully processed — useful when a client wants read-your-writes
 // consistency for a following query.
@@ -65,7 +71,7 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 				tl = synth.TimedLine{TS: ts, Line: raw[sp+1:]}
 			}
 		}
-		if s.ing.Submit(tl) {
+		if s.submit(tl, &resp) {
 			resp.Accepted++
 		} else {
 			resp.Rejected++
@@ -81,6 +87,19 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusBadRequest, resp)
 		return
 	}
+	if s.wal != nil && resp.Accepted > 0 {
+		// Group commit: one (usually shared) fsync covers the batch. On
+		// failure nothing is acked — the client must retry the whole batch;
+		// lines already queued will deduplicate in the store.
+		if err := s.wal.Commit(); err != nil {
+			resp.Error = "wal commit: " + err.Error()
+			resp.Rejected += resp.Accepted
+			resp.Accepted = 0
+			resp.Pending = s.ing.Pending()
+			writeJSON(w, http.StatusInternalServerError, resp)
+			return
+		}
+	}
 	s.meter.Add(int64(resp.Accepted))
 	if r.URL.Query().Get("wait") == "1" {
 		s.ing.Quiesce(30 * time.Second)
@@ -92,6 +111,26 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Retry-After", "1")
 	}
 	writeJSON(w, status, resp)
+}
+
+// submit routes one line to the ingest workers, through the write-ahead
+// log when durable. resp.Error records a WAL append failure (the line is
+// then counted rejected, not acked).
+func (s *Server) submit(tl synth.TimedLine, resp *ingestResponse) bool {
+	if s.wal == nil {
+		return s.ing.Submit(tl)
+	}
+	res, ok := s.ing.Reserve(tl.Line)
+	if !ok {
+		return false
+	}
+	if _, err := s.ing.EnqueueLogged(s.wal, res, tl); err != nil {
+		if resp.Error == "" {
+			resp.Error = "durable submit: " + err.Error()
+		}
+		return false
+	}
+	return true
 }
 
 // writeJSON renders v with the given status.

@@ -60,6 +60,29 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	gaugef("datacron_event_subscribers", float64(s.hub.subscribers()))
 	gaugef("datacron_store_triples", float64(s.p.Store.Len()))
 
+	// Durability: WAL position, snapshot progress and what the boot-time
+	// recovery replayed or had to skip.
+	if s.wal != nil {
+		gaugef("datacron_wal_appended_lsn", float64(s.wal.Appended()))
+		gaugef("datacron_wal_durable_lsn", float64(s.wal.Durable()))
+		gaugef("datacron_wal_segments", float64(s.wal.Segments()))
+	}
+	count("datacron_snapshots_total", s.snapshots.Load())
+	gaugef("datacron_snapshot_last_lsn", float64(s.lastSnapshotLSN.Load()))
+	if rec := s.cfg.Recovery; rec != nil {
+		count("datacron_recovery_replayed_total", rec.Replayed)
+		count("datacron_recovery_skipped_applied_total", rec.SkippedApplied)
+		count("datacron_recovery_events_total", rec.Events)
+		gaugef("datacron_recovery_snapshot_lsn", float64(rec.SnapshotLSN))
+		gaugef("datacron_recovery_tail_truncated_bytes", float64(rec.TailTruncatedBytes))
+		gaugef("datacron_recovery_skipped_bytes", float64(rec.SkippedBytes))
+		corrupt := 0.0
+		if rec.CorruptStopped {
+			corrupt = 1
+		}
+		gaugef("datacron_recovery_corrupt_stopped", corrupt)
+	}
+
 	fmt.Fprintf(&b, "# TYPE datacron_ingest_queue_depth gauge\n")
 	for i, d := range s.ing.QueueDepths() {
 		fmt.Fprintf(&b, "datacron_ingest_queue_depth{worker=\"%d\"} %d\n", i, d)
@@ -78,6 +101,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		{"/query", s.reqQuery.Load()},
 		{"/range", s.reqRange.Load()},
 		{"/events", s.reqEvents.Load()},
+		{"/snapshot", s.reqSnapshot.Load()},
 	} {
 		fmt.Fprintf(&b, "datacron_http_requests_total{path=\"%s\"} %d\n", rc.path, rc.n)
 	}

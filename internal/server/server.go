@@ -8,13 +8,17 @@
 //
 //	POST /ingest   — raw AIS/SBS wire lines, routed to per-entity-keyed
 //	                 ingest workers with bounded queues; 429 on overload.
+//	                 With a WAL configured, lines are logged and
+//	                 group-committed before the batch is acknowledged.
 //	POST /query    — stSPARQL-lite query, JSON result.
 //	GET  /range    — spatiotemporal range query over the anchored nodes.
 //	GET  /events   — server-sent event stream of recognised complex events.
+//	POST /snapshot — write a full pipeline snapshot (durable mode only).
 //	GET  /healthz  — liveness and basic counters.
 //	GET  /metrics  — Prometheus-style text metrics.
 //
-// See DESIGN.md §7 for the endpoint reference with examples.
+// See DESIGN.md §7 for the endpoint reference with examples and §8 for the
+// durability and recovery protocol.
 package server
 
 import (
@@ -25,12 +29,14 @@ import (
 
 	"github.com/datacron-project/datacron/internal/core"
 	"github.com/datacron-project/datacron/internal/stream"
+	"github.com/datacron-project/datacron/internal/wal"
 )
 
 // Config parameterises a server.
 type Config struct {
 	// Pipeline is the running datAcron instance to serve. Required; areas
-	// and entities should already be installed.
+	// and entities should already be installed (and Recover already run
+	// when serving durably).
 	Pipeline *core.Pipeline
 	// Workers is the ingest worker count (default GOMAXPROCS).
 	Workers int
@@ -40,6 +46,17 @@ type Config struct {
 	// SubscriberBuffer is the per-subscriber event buffer (default 64);
 	// slow subscribers drop events rather than stall ingest.
 	SubscriberBuffer int
+
+	// WAL, when non-nil, makes ingest durable: every accepted line is
+	// appended to the log and the batch is group-committed before the
+	// HTTP ack, so a kill -9 never loses an acknowledged line. The caller
+	// keeps ownership (Close order: Server first, then the log).
+	WAL *wal.Log
+	// DataDir is the durability directory (enables POST /snapshot).
+	DataDir string
+	// Recovery, when non-nil, carries the boot-time recovery stats so
+	// /metrics can expose what the restart replayed and skipped.
+	Recovery *core.RecoveryStats
 }
 
 // Server serves a pipeline over HTTP. Create with New, attach via Handler,
@@ -53,12 +70,19 @@ type Server struct {
 	meter *stream.Meter
 	start time.Time
 
+	wal *wal.Log
+
+	// snapMu serialises POST /snapshot requests.
+	snapMu          sync.Mutex
+	snapshots       atomic.Int64
+	lastSnapshotLSN atomic.Uint64
+
 	// rateMu guards the since-last-scrape ingest rate window.
 	rateMu        sync.Mutex
 	lastRateCount int64
 	lastRateTime  time.Time
 
-	reqIngest, reqQuery, reqRange, reqEvents atomic.Int64
+	reqIngest, reqQuery, reqRange, reqEvents, reqSnapshot atomic.Int64
 }
 
 // New builds the serving layer over cfg.Pipeline and starts the ingest
@@ -74,6 +98,7 @@ func New(cfg Config) *Server {
 		mux:   http.NewServeMux(),
 		meter: stream.NewMeter(),
 		start: time.Now(),
+		wal:   cfg.WAL,
 	}
 	s.lastRateTime = s.start
 	s.ing = s.p.NewIngestor(core.IngestorConfig{
@@ -85,6 +110,7 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("POST /query", s.handleQuery)
 	s.mux.HandleFunc("GET /range", s.handleRange)
 	s.mux.HandleFunc("GET /events", s.handleEvents)
+	s.mux.HandleFunc("POST /snapshot", s.handleSnapshot)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	return s

@@ -1,0 +1,152 @@
+package store
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+
+	"github.com/datacron-project/datacron/internal/geo"
+	"github.com/datacron-project/datacron/internal/rdf"
+)
+
+// Snapshot serialisation for the durable serving layer. Each shard is
+// written as two files so recovery restores the exact partitioning without
+// re-running the partitioner:
+//
+//	shard-NNN.nt       the shard's full RDF graph as canonical N-Triples
+//	shard-NNN.anchors  the shard's spatiotemporal index, one anchor per
+//	                   line: "<ts> <lon> <lat> <alt> <node IRI>"
+//
+// Floats use strconv 'g'/-1 formatting, which round-trips exactly. The
+// N-Triples writer sorts lines, so two stores holding the same graph
+// produce byte-identical shard files regardless of insertion order.
+
+// shardFile names a per-shard snapshot file.
+func shardFile(dir string, i int, ext string) string {
+	return filepath.Join(dir, fmt.Sprintf("shard-%03d.%s", i, ext))
+}
+
+// WriteSnapshot serialises every shard into dir (which must exist). Each
+// shard is written under its read lock; for a consistent multi-shard cut
+// the caller must quiesce writers first (the core snapshot barrier does).
+func (s *Sharded) WriteSnapshot(dir string) error {
+	for i, sh := range s.shards {
+		if err := writeShard(dir, i, sh); err != nil {
+			return fmt.Errorf("store: snapshot shard %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+func writeShard(dir string, i int, sh *Shard) error {
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+
+	ntf, err := os.Create(shardFile(dir, i, "nt"))
+	if err != nil {
+		return err
+	}
+	if err := rdf.WriteNTriples(ntf, sh.rdf); err != nil {
+		ntf.Close()
+		return err
+	}
+	if err := ntf.Close(); err != nil {
+		return err
+	}
+
+	af, err := os.Create(shardFile(dir, i, "anchors"))
+	if err != nil {
+		return err
+	}
+	bw := bufio.NewWriterSize(af, 1<<16)
+	g := func(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+	for _, e := range sh.entries {
+		term, ok := sh.rdf.Dict().Decode(e.node)
+		if !ok {
+			af.Close()
+			return fmt.Errorf("anchor node id %d not in dictionary", e.node)
+		}
+		fmt.Fprintf(bw, "%d %s %s %s %s\n", e.ts, g(e.pt.Lon), g(e.pt.Lat), g(e.pt.Alt), term.Value)
+	}
+	if err := bw.Flush(); err != nil {
+		af.Close()
+		return err
+	}
+	return af.Close()
+}
+
+// LoadSnapshot restores shard contents written by WriteSnapshot into this
+// store, which must have the same shard count (the core manifest checks
+// that before calling). Existing shard contents are kept — loading into a
+// store primed with the same global triples just deduplicates them — and
+// the spatiotemporal index entries are appended in file order.
+func (s *Sharded) LoadSnapshot(dir string) (triples, anchors int, err error) {
+	for i, sh := range s.shards {
+		t, a, err := loadShard(dir, i, sh)
+		if err != nil {
+			return triples, anchors, fmt.Errorf("store: load shard %d: %w", i, err)
+		}
+		triples += t
+		anchors += a
+	}
+	return triples, anchors, nil
+}
+
+func loadShard(dir string, i int, sh *Shard) (triples, anchors int, err error) {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+
+	ntf, err := os.Open(shardFile(dir, i, "nt"))
+	if err != nil {
+		return 0, 0, err
+	}
+	triples, err = rdf.ReadNTriples(ntf, sh.rdf)
+	ntf.Close()
+	if err != nil {
+		return triples, 0, err
+	}
+
+	af, err := os.Open(shardFile(dir, i, "anchors"))
+	if err != nil {
+		return triples, 0, err
+	}
+	defer af.Close()
+	sc := bufio.NewScanner(af)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if line == "" {
+			continue
+		}
+		parts := strings.SplitN(line, " ", 5)
+		if len(parts) != 5 {
+			return triples, anchors, fmt.Errorf("anchors line %d: malformed %q", lineNo, line)
+		}
+		ts, err := strconv.ParseInt(parts[0], 10, 64)
+		if err != nil {
+			return triples, anchors, fmt.Errorf("anchors line %d: %w", lineNo, err)
+		}
+		var coord [3]float64
+		for j := 0; j < 3; j++ {
+			if coord[j], err = strconv.ParseFloat(parts[j+1], 64); err != nil {
+				return triples, anchors, fmt.Errorf("anchors line %d: %w", lineNo, err)
+			}
+		}
+		pt := geo.Point{Lon: coord[0], Lat: coord[1], Alt: coord[2]}
+		id := sh.rdf.Dict().Encode(rdf.NewIRI(parts[4]))
+		entryIdx := int32(len(sh.entries))
+		sh.entries = append(sh.entries, anchor{pt: pt, ts: ts, node: id})
+		cell := sh.grid.CellID(pt)
+		sh.cells[cell] = append(sh.cells[cell], entryIdx)
+		anchors++
+	}
+	if err := sc.Err(); err != nil {
+		return triples, anchors, fmt.Errorf("anchors: %w", err)
+	}
+	return triples, anchors, nil
+}

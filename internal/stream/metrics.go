@@ -88,6 +88,14 @@ func (h *LatencyHist) Count() int {
 	return int(h.n)
 }
 
+// Samples returns the reservoir size: min(Count, maxLatencySamples). It
+// is the memory-bound invariant long-running servers rely on.
+func (h *LatencyHist) Samples() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return len(h.samples)
+}
+
 // Percentile returns the p-th percentile (0..100) latency, or 0 with no
 // samples.
 func (h *LatencyHist) Percentile(p float64) time.Duration {

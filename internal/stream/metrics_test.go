@@ -1,0 +1,81 @@
+package stream
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+// TestLatencyHistReservoirSpill drives the histogram far past the 64k
+// reservoir bound and checks the two properties long-running servers rely
+// on: memory stays capped, and quantiles remain accurate estimates of the
+// full stream (Algorithm R keeps a uniform sample).
+func TestLatencyHistReservoirSpill(t *testing.T) {
+	h := NewLatencyHist()
+	const n = 1_000_000
+	// Uniform 1µs..1s ramp: the true p-quantile is p/100 * n µs.
+	for i := 1; i <= n; i++ {
+		h.Observe(time.Duration(i) * time.Microsecond)
+	}
+
+	if got := h.Count(); got != n {
+		t.Errorf("Count = %d, want %d", got, n)
+	}
+	if got := h.Samples(); got != maxLatencySamples {
+		t.Errorf("Samples = %d, want exactly %d (reservoir must stay capped)", got, maxLatencySamples)
+	}
+
+	// Quantile accuracy: the reservoir's standard error at 64k samples is
+	// ~sqrt(p(1-p)/64k) < 0.2pp, so a 2% relative tolerance is generous.
+	for _, tc := range []struct{ p, want float64 }{
+		{50, 0.50 * n}, {90, 0.90 * n}, {95, 0.95 * n}, {99, 0.99 * n},
+	} {
+		got := float64(h.Percentile(tc.p).Microseconds())
+		if math.Abs(got-tc.want)/tc.want > 0.02 {
+			t.Errorf("p%g = %.0fµs, want %.0fµs ±2%%", tc.p, got, tc.want)
+		}
+	}
+	// Quantiles are monotone and bounded by the observed range.
+	p50, p95, p99 := h.Percentile(50), h.Percentile(95), h.Percentile(99)
+	if !(p50 <= p95 && p95 <= p99) {
+		t.Errorf("quantiles not monotone: p50=%v p95=%v p99=%v", p50, p95, p99)
+	}
+	if lo, hi := h.Percentile(0), h.Percentile(100); lo < time.Microsecond || hi > n*time.Microsecond {
+		t.Errorf("extremes out of range: p0=%v p100=%v", lo, hi)
+	}
+
+	// Observations after a Percentile call (which sorts the reservoir in
+	// place) must keep the reservoir capped and the quantiles sane — the
+	// sort/replace interleaving is the long-uptime steady state.
+	for i := 1; i <= 100_000; i++ {
+		h.Observe(time.Duration(i) * time.Microsecond)
+	}
+	if got := h.Samples(); got != maxLatencySamples {
+		t.Errorf("Samples after interleaved sort = %d, want %d", got, maxLatencySamples)
+	}
+	if got := h.Count(); got != n+100_000 {
+		t.Errorf("Count = %d, want %d", got, n+100_000)
+	}
+	if p50b := h.Percentile(50); p50b > p50 {
+		// The second ramp only adds values ≤ 100ms, so the median must
+		// not increase.
+		t.Errorf("median rose after low-valued tail: %v > %v", p50b, p50)
+	}
+}
+
+// TestLatencyHistSmall keeps exactness below the reservoir bound.
+func TestLatencyHistSmall(t *testing.T) {
+	h := NewLatencyHist()
+	for i := 1; i <= 100; i++ {
+		h.Observe(time.Duration(i) * time.Millisecond)
+	}
+	if got := h.Samples(); got != 100 {
+		t.Errorf("Samples = %d, want 100 (no sampling below the cap)", got)
+	}
+	if got := h.Percentile(50); got != 50*time.Millisecond && got != 51*time.Millisecond {
+		t.Errorf("exact p50 = %v", got)
+	}
+	if got := h.Percentile(100); got != 100*time.Millisecond {
+		t.Errorf("exact p100 = %v, want 100ms", got)
+	}
+}

@@ -1,0 +1,78 @@
+package wal
+
+import (
+	"strings"
+	"sync/atomic"
+	"testing"
+)
+
+// benchLine approximates one timestamped AIVDM wire line (~80 bytes).
+var benchLine = "!AIVDM,1,1,,A," + strings.Repeat("P", 56) + ",0*5C"
+
+// BenchmarkWALAppend measures the ingest hot path's logging cost: appends
+// with a group commit every 512 lines (the serving layer's batch shape).
+// The fsync sub-benchmark is the durable configuration; nosync isolates
+// the framing/CRC/buffering cost.
+func BenchmarkWALAppend(b *testing.B) {
+	for _, mode := range []struct {
+		name   string
+		noSync bool
+	}{
+		{"fsync-batch", false},
+		{"nosync", true},
+	} {
+		b.Run(mode.name, func(b *testing.B) {
+			l, err := Open(b.TempDir(), Options{NoSync: mode.noSync})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer l.Close()
+			b.SetBytes(int64(len(benchLine) + recordHeaderSize + 8))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := l.Append(int64(i), benchLine); err != nil {
+					b.Fatal(err)
+				}
+				if i%512 == 511 {
+					if err := l.Commit(); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+			if err := l.Commit(); err != nil {
+				b.Fatal(err)
+			}
+		})
+	}
+}
+
+// BenchmarkWALAppendParallel measures group commit under concurrent
+// appenders: every goroutine commits its own batches, but concurrent
+// commits coalesce onto shared fsyncs — the serving layer's actual shape
+// with many simultaneous /ingest requests.
+func BenchmarkWALAppendParallel(b *testing.B) {
+	l, err := Open(b.TempDir(), Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer l.Close()
+	b.SetBytes(int64(len(benchLine) + recordHeaderSize + 8))
+	var ts atomic.Int64
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		n := 0
+		for pb.Next() {
+			if _, err := l.Append(ts.Add(1), benchLine); err != nil {
+				b.Fatal(err)
+			}
+			if n++; n%512 == 0 {
+				if err := l.Commit(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+		if err := l.Commit(); err != nil {
+			b.Fatal(err)
+		}
+	})
+}

@@ -1,0 +1,340 @@
+package wal
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+)
+
+// appendN appends n records "line-<i>" with ts=i and commits.
+func appendN(t *testing.T, l *Log, start, n int) {
+	t.Helper()
+	for i := start; i < start+n; i++ {
+		if _, err := l.Append(int64(i), fmt.Sprintf("line-%d", i)); err != nil {
+			t.Fatalf("append %d: %v", i, err)
+		}
+	}
+	if err := l.Commit(); err != nil {
+		t.Fatalf("commit: %v", err)
+	}
+}
+
+// collect scans dir from lsn and returns the records.
+func collect(t *testing.T, dir string, from uint64) ([]Record, ScanStats) {
+	t.Helper()
+	var recs []Record
+	stats, err := Scan(dir, from, func(r Record) error {
+		recs = append(recs, r)
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("scan: %v", err)
+	}
+	return recs, stats
+}
+
+func TestLogRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendN(t, l, 0, 100)
+	if got := l.Appended(); got != 100 {
+		t.Errorf("Appended = %d, want 100", got)
+	}
+	if got := l.Durable(); got != 100 {
+		t.Errorf("Durable = %d, want 100", got)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	recs, stats := collect(t, dir, 0)
+	if len(recs) != 100 {
+		t.Fatalf("scanned %d records, want 100", len(recs))
+	}
+	for i, r := range recs {
+		if r.LSN != uint64(i+1) || r.TS != int64(i) || r.Line != fmt.Sprintf("line-%d", i) {
+			t.Fatalf("record %d = %+v", i, r)
+		}
+	}
+	if stats.TruncatedBytes != 0 || stats.CorruptStopped {
+		t.Errorf("clean log reported damage: %+v", stats)
+	}
+
+	// Scan from a mid offset delivers only the suffix.
+	recs, stats = collect(t, dir, 51)
+	if len(recs) != 50 || recs[0].LSN != 51 {
+		t.Errorf("from=51: got %d records starting at %d", len(recs), recs[0].LSN)
+	}
+	if stats.Delivered != 50 {
+		t.Errorf("Delivered = %d, want 50", stats.Delivered)
+	}
+}
+
+func TestLogReopenAppends(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendN(t, l, 0, 10)
+	l.Close()
+
+	l, err = Open(dir, Options{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := l.Appended(); got != 10 {
+		t.Fatalf("reopened Appended = %d, want 10", got)
+	}
+	appendN(t, l, 10, 10)
+	l.Close()
+
+	recs, _ := collect(t, dir, 0)
+	if len(recs) != 20 || recs[19].LSN != 20 || recs[19].Line != "line-19" {
+		t.Fatalf("after reopen: %d records, last %+v", len(recs), recs[len(recs)-1])
+	}
+}
+
+func TestLogSegmentRollAndTruncate(t *testing.T) {
+	dir := t.TempDir()
+	// Tiny segments force rolling every few records.
+	l, err := Open(dir, Options{NoSync: true, SegmentBytes: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendN(t, l, 0, 200)
+	if l.Segments() < 3 {
+		t.Fatalf("expected >= 3 segments, got %d", l.Segments())
+	}
+	recs, _ := collect(t, dir, 0)
+	if len(recs) != 200 {
+		t.Fatalf("scanned %d, want 200 across segments", len(recs))
+	}
+
+	// Drop segments wholly below LSN 100; the suffix must stay intact.
+	removed, err := l.RemoveSegmentsBefore(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if removed == 0 {
+		t.Fatal("expected at least one segment removed")
+	}
+	recs, _ = collect(t, dir, 100)
+	if len(recs) != 101 || recs[0].LSN != 100 {
+		t.Fatalf("after truncation: %d records from %d", len(recs), recs[0].LSN)
+	}
+	l.Close()
+}
+
+// TestLogTornTail simulates a kill -9 mid-write: the last record is cut
+// short. Recovery must deliver every whole record, report the torn bytes,
+// and a reopened log must append after the last valid record.
+func TestLogTornTail(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendN(t, l, 0, 50)
+	l.Close()
+
+	segs, _ := listSegments(dir)
+	path := filepath.Join(dir, segmentName(segs[len(segs)-1]))
+	st, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(path, st.Size()-5); err != nil {
+		t.Fatal(err)
+	}
+
+	recs, stats := collect(t, dir, 0)
+	if len(recs) != 49 {
+		t.Fatalf("after torn tail: %d records, want 49", len(recs))
+	}
+	if stats.TruncatedBytes == 0 {
+		t.Error("TruncatedBytes not reported")
+	}
+	if stats.CorruptStopped {
+		t.Error("torn tail misreported as mid-log corruption")
+	}
+
+	// Reopen: the torn record is truncated away and LSN 50 is reused.
+	l, err = Open(dir, Options{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := l.Appended(); got != 49 {
+		t.Fatalf("reopened Appended = %d, want 49", got)
+	}
+	appendN(t, l, 100, 1)
+	l.Close()
+	recs, stats = collect(t, dir, 0)
+	if len(recs) != 50 || recs[49].Line != "line-100" || recs[49].LSN != 50 {
+		t.Fatalf("post-recovery append: last record %+v of %d", recs[len(recs)-1], len(recs))
+	}
+	if stats.TruncatedBytes != 0 {
+		t.Errorf("reopened log still reports torn bytes: %+v", stats)
+	}
+}
+
+// TestLogTailCorruptionWithFollowingRecords flips a byte of a record in
+// the MIDDLE of the final segment, leaving committed records after it.
+// This is disk damage, not a torn write: the scan must report
+// CorruptStopped (not a silent tail truncation) and Open must refuse to
+// truncate — truncating would destroy the acknowledged records that
+// follow the damage.
+func TestLogTailCorruptionWithFollowingRecords(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendN(t, l, 0, 50)
+	l.Close()
+
+	segs, _ := listSegments(dir)
+	path := filepath.Join(dir, segmentName(segs[len(segs)-1]))
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Damage a byte roughly in the middle of the file (inside an early
+	// record's payload), keeping everything after it intact.
+	data[len(data)/2] ^= 0xFF
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	recs, stats := collect(t, dir, 0)
+	if !stats.CorruptStopped {
+		t.Fatal("mid-segment damage in the tail misclassified as a torn write")
+	}
+	if stats.TruncatedBytes != 0 {
+		t.Errorf("TruncatedBytes = %d for corruption, want 0", stats.TruncatedBytes)
+	}
+	if stats.SkippedBytes == 0 {
+		t.Error("SkippedBytes not reported")
+	}
+	if len(recs) == 0 || len(recs) >= 50 {
+		t.Fatalf("delivered %d records, want a proper non-empty prefix", len(recs))
+	}
+
+	// Open must refuse rather than truncate away the trailing records.
+	if _, err := Open(dir, Options{NoSync: true}); err == nil {
+		t.Fatal("Open truncated a corrupt (non-torn) tail segment")
+	}
+}
+
+// TestLogMidCorruption flips a CRC byte in the FIRST of several segments:
+// the scan must stop at the last valid record before the damage, keep all
+// earlier data, and report the skipped suffix.
+func TestLogMidCorruption(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{NoSync: true, SegmentBytes: 512})
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendN(t, l, 0, 200)
+	if l.Segments() < 2 {
+		t.Fatal("need multiple segments for this test")
+	}
+	l.Close()
+
+	segs, _ := listSegments(dir)
+	path := filepath.Join(dir, segmentName(segs[0]))
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip one payload byte of the last record in the first segment.
+	data[len(data)-1] ^= 0xFF
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	recs, stats := collect(t, dir, 0)
+	if !stats.CorruptStopped {
+		t.Fatal("mid-log corruption not reported")
+	}
+	if stats.SkippedBytes == 0 {
+		t.Error("SkippedBytes not reported")
+	}
+	if len(recs) == 0 || len(recs) >= 200 {
+		t.Fatalf("delivered %d records, want a proper non-empty prefix", len(recs))
+	}
+	// The prefix is exactly the records before the corrupt one.
+	want := int(segs[1] - segs[0] - 1)
+	if len(recs) != want {
+		t.Errorf("delivered %d records, want %d (all before the corrupt record)", len(recs), want)
+	}
+	for i, r := range recs {
+		if r.Line != fmt.Sprintf("line-%d", i) {
+			t.Fatalf("record %d corrupted on delivery: %+v", i, r)
+		}
+	}
+}
+
+// TestLogConcurrentAppendCommit exercises group commit under -race: many
+// goroutines appending and committing concurrently, with rolling.
+func TestLogConcurrentAppendCommit(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{NoSync: true, SegmentBytes: 4096})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const goroutines, per = 8, 200
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				if _, err := l.Append(int64(i), fmt.Sprintf("g%d-%d", g, i)); err != nil {
+					t.Errorf("append: %v", err)
+					return
+				}
+				if i%50 == 0 {
+					if err := l.Commit(); err != nil {
+						t.Errorf("commit: %v", err)
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	recs, stats := collect(t, dir, 0)
+	if len(recs) != goroutines*per {
+		t.Fatalf("scanned %d records, want %d", len(recs), goroutines*per)
+	}
+	if stats.TruncatedBytes != 0 || stats.CorruptStopped {
+		t.Errorf("damage reported on clean concurrent log: %+v", stats)
+	}
+	// LSNs are dense and strictly increasing.
+	for i, r := range recs {
+		if r.LSN != uint64(i+1) {
+			t.Fatalf("LSN %d at index %d", r.LSN, i)
+		}
+	}
+}
+
+func TestAppendTooLarge(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	if _, err := l.Append(0, string(make([]byte, MaxRecordBytes))); err == nil {
+		t.Fatal("oversized append accepted")
+	}
+}
