@@ -1,4 +1,4 @@
-// datacron-bench runs the experiment suite E1–E11 (DESIGN.md §4) and prints
+// datacron-bench runs the experiment suite E1–E12 (DESIGN.md §4) and prints
 // every result table; use it to regenerate the numbers in EXPERIMENTS.md.
 //
 //	datacron-bench            # full scale (minutes)
@@ -47,6 +47,7 @@ func main() {
 		{"E9", experiments.E9Hotspots},
 		{"E10", experiments.E10EndToEnd},
 		{"E11", experiments.E11Durability},
+		{"E12", experiments.E12OnlineForecast},
 	}
 	for _, e := range all {
 		if len(want) > 0 && !want[e.id] {

@@ -7,8 +7,18 @@
 //	datacron-gen -domain maritime -out aegean
 //	curl -X POST --data-binary @aegean.wire localhost:8080/ingest
 //	curl -X POST -d 'SELECT ?v WHERE { ?v rdf:type dat:Vessel . }' localhost:8080/query
+//	curl 'localhost:8080/forecast?entity=237000001&horizon=10m'
+//	curl 'localhost:8080/forecast/batch?horizon=5m'
 //	curl -N localhost:8080/events
 //	curl localhost:8080/metrics
+//
+// Online forecasting (-forecast, on by default) keeps warm per-entity
+// kinematic history and incrementally trains the shared route-network, KNN
+// and Markov models from the live stream; GET /forecast extrapolates an
+// entity's future location (method-tagged: dead-reckoning → kinematic →
+// route/KNN by history length) and -forecast-interval streams periodic
+// "forecast" SSE frames on /events. Forecast state is part of snapshots
+// and survives kill -9.
 //
 // By default the daemon primes the world (areas of interest and entity
 // registry) from the same deterministic generator datacron-gen uses, so a
@@ -59,6 +69,12 @@ func main() {
 		dataDir = flag.String("data-dir", "", "durability directory (WAL + snapshots); empty = in-memory only")
 		fsync   = flag.Bool("fsync", false, "fsync the WAL on every commit: survives power loss, not just kill -9 (default flushes to the OS, which a process crash cannot lose)")
 		segMB   = flag.Int64("segment-mb", 64, "WAL segment roll size in MiB")
+
+		fcast         = flag.Bool("forecast", true, "online forecasting: serve GET /forecast and /forecast/batch")
+		fcastGrid     = flag.Int("forecast-grid", 96, "route-network/KNN grid resolution (cells per side)")
+		fcastHistory  = flag.Int("forecast-history", 32, "per-entity kinematic history ring (reports)")
+		fcastHorizon  = flag.Duration("forecast-horizon", time.Hour, "maximum accepted forecast horizon")
+		fcastInterval = flag.Duration("forecast-interval", 0, "publish SSE \"forecast\" frames for all live entities at this interval (0 = off)")
 	)
 	flag.Parse()
 
@@ -68,7 +84,16 @@ func main() {
 	} else if *domain != "maritime" {
 		log.Fatalf("unknown domain %q", *domain)
 	}
-	p := core.New(core.Config{Domain: dom, Shards: *shards})
+	p := core.New(core.Config{
+		Domain: dom, Shards: *shards,
+		Forecast: core.ForecastConfig{
+			Enabled:    *fcast,
+			GridCols:   *fcastGrid,
+			GridRows:   *fcastGrid,
+			HistoryLen: *fcastHistory,
+			MaxHorizon: *fcastHorizon,
+		},
+	})
 	if *prime {
 		// A minimal-duration scenario carries the full area set and entity
 		// registry without generating traffic.
@@ -130,6 +155,7 @@ func main() {
 	srv := server.New(server.Config{
 		Pipeline: p, Workers: *workers, QueueLen: *queue,
 		WAL: walLog, DataDir: *dataDir, Recovery: recovery,
+		ForecastInterval: *fcastInterval,
 	})
 	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
 
@@ -149,7 +175,7 @@ func main() {
 	}
 	log.Printf("serving %s on %s (shards=%d workers=%d queue=%d %s)",
 		dom, *addr, *shards, srv.Ingestor().Workers(), *queue, durable)
-	log.Printf("endpoints: POST /ingest, POST /query, GET /range, GET /events, POST /snapshot, GET /healthz, GET /metrics")
+	log.Printf("endpoints: POST /ingest, POST /query, GET /range, GET /events, GET /forecast, GET /forecast/batch, POST /snapshot, GET /healthz, GET /metrics")
 	if err := httpSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
 		log.Fatal(err)
 	}

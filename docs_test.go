@@ -1,0 +1,35 @@
+package datacron
+
+import (
+	"os"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// TestMarkdownLinks is the tier-1 twin of the CI markdown link check: the
+// operator docs must exist and every relative link in them must resolve to
+// a file in the repository.
+func TestMarkdownLinks(t *testing.T) {
+	link := regexp.MustCompile(`\]\(([^)]+)\)`)
+	for _, doc := range []string{"README.md", "OPERATIONS.md", "DESIGN.md", "ROADMAP.md"} {
+		data, err := os.ReadFile(doc)
+		if err != nil {
+			t.Errorf("%s: %v", doc, err)
+			continue
+		}
+		for _, m := range link.FindAllStringSubmatch(string(data), -1) {
+			target := m[1]
+			if strings.HasPrefix(target, "http://") || strings.HasPrefix(target, "https://") ||
+				strings.HasPrefix(target, "mailto:") || strings.HasPrefix(target, "#") {
+				continue
+			}
+			if i := strings.IndexByte(target, '#'); i >= 0 {
+				target = target[:i]
+			}
+			if _, err := os.Stat(target); err != nil {
+				t.Errorf("%s: broken link %q", doc, m[1])
+			}
+		}
+	}
+}

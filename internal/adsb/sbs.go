@@ -31,17 +31,17 @@ const (
 // Message is one SBS-1 record. Fields that are absent on the wire are NaN
 // (floats) or empty strings.
 type Message struct {
-	Type      MsgType
-	HexIdent  string    // ICAO 24-bit address, upper-case hex
-	Generated time.Time // date/time message generated (UTC)
-	Callsign  string    // MSG,1
-	AltitudeFt float64  // MSG,3
-	Lat       float64   // MSG,3
-	Lon       float64   // MSG,3
-	SpeedKn   float64   // MSG,4 ground speed
-	TrackDeg  float64   // MSG,4
-	VertRateFpm float64 // MSG,4
-	OnGround  bool
+	Type        MsgType
+	HexIdent    string    // ICAO 24-bit address, upper-case hex
+	Generated   time.Time // date/time message generated (UTC)
+	Callsign    string    // MSG,1
+	AltitudeFt  float64   // MSG,3
+	Lat         float64   // MSG,3
+	Lon         float64   // MSG,3
+	SpeedKn     float64   // MSG,4 ground speed
+	TrackDeg    float64   // MSG,4
+	VertRateFpm float64   // MSG,4
+	OnGround    bool
 }
 
 // sbsTimeFormat is the date/time layout used by BaseStation output.

@@ -125,8 +125,8 @@ func TestPositionRoundTripQuick(t *testing.T) {
 		orig := PositionReport{
 			MsgType: 1,
 			MMSI:    mmsiSeed % 1000000000,
-			Lon:     float64(lonSeed) / 200,  // ±163.8
-			Lat:     float64(latSeed) / 400,  // ±81.9
+			Lon:     float64(lonSeed) / 200, // ±163.8
+			Lat:     float64(latSeed) / 400, // ±81.9
 			SOG:     math.Abs(float64(sogSeed)) / 500,
 			COG:     math.Mod(math.Abs(float64(cogSeed)), 360),
 			Heading: float64(sec % 60),

@@ -138,7 +138,7 @@ func decodePositionA(r *BitReader) (PositionReport, error) {
 func decodePositionB(r *BitReader) (PositionReport, error) {
 	var m PositionReport
 	m.MsgType = int(r.Uint(6))
-	r.Uint(2)  // repeat
+	r.Uint(2) // repeat
 	m.MMSI = uint32(r.Uint(30))
 	r.Uint(8) // regional reserved
 	m.SOG = decodeSOG(int(r.Uint(10)))
@@ -206,12 +206,12 @@ func (m StaticVoyage) Encode() (payload string, fillBits int, err error) {
 		bow = 0
 	}
 	b.AppendUint(uint64(bow), 9)
-	b.AppendUint(0, 9) // stern
-	b.AppendUint(0, 6) // port
-	b.AppendUint(0, 6) // starboard
-	b.AppendUint(1, 4) // EPFD: GPS
-	b.AppendUint(0, 4) // ETA month
-	b.AppendUint(0, 5) // ETA day
+	b.AppendUint(0, 9)  // stern
+	b.AppendUint(0, 6)  // port
+	b.AppendUint(0, 6)  // starboard
+	b.AppendUint(1, 4)  // EPFD: GPS
+	b.AppendUint(0, 4)  // ETA month
+	b.AppendUint(0, 5)  // ETA day
 	b.AppendUint(24, 5) // ETA hour (24 = n/a)
 	b.AppendUint(60, 6) // ETA minute (60 = n/a)
 	dr := int(math.Round(m.Draught * 10))
@@ -243,13 +243,13 @@ func decodeStaticVoyage(r *BitReader) (StaticVoyage, error) {
 	bow := int(r.Uint(9))
 	stern := int(r.Uint(9))
 	m.LengthM = bow + stern
-	r.Uint(6)  // port
-	r.Uint(6)  // starboard
-	r.Uint(4)  // EPFD
-	r.Uint(4)  // ETA month
-	r.Uint(5)  // ETA day
-	r.Uint(5)  // ETA hour
-	r.Uint(6)  // ETA minute
+	r.Uint(6) // port
+	r.Uint(6) // starboard
+	r.Uint(4) // EPFD
+	r.Uint(4) // ETA month
+	r.Uint(5) // ETA day
+	r.Uint(5) // ETA hour
+	r.Uint(6) // ETA minute
 	m.Draught = float64(r.Uint(8)) / 10
 	m.Destination = r.String(20)
 	return m, r.Err()

@@ -90,6 +90,11 @@ type pipelineState struct {
 	Suite    *cer.SuiteState   `json:"suite,omitempty"`
 	Density  []float64         `json:"density"`
 	Applied  map[string]uint64 `json:"applied"`
+	// Forecast carries the online forecasting hub (nil when the pipeline
+	// runs without it; a snapshot with forecast state restored into a
+	// pipeline without a hub is silently ignored, and vice versa — the WAL
+	// tail replay then rebuilds what it can).
+	Forecast *forecastHubState `json:"forecast,omitempty"`
 }
 
 // SnapshotInfo describes a completed snapshot.
@@ -179,6 +184,10 @@ func (p *Pipeline) WriteSnapshot(dataDir string, ing *Ingestor, log *wal.Log) (S
 		if p.Suite != nil {
 			ss := p.Suite.ExportState()
 			st.Suite = &ss
+		}
+		if p.ForecastHub != nil {
+			fs := p.ForecastHub.exportState()
+			st.Forecast = &fs
 		}
 		if err := writeJSON(filepath.Join(tmp, "state.json"), st); err != nil {
 			return err
@@ -348,6 +357,9 @@ func (p *Pipeline) Recover(dataDir string) (RecoveryStats, error) {
 		p.serial.restore(st.Front)
 		if p.Suite != nil && st.Suite != nil {
 			p.Suite.RestoreState(*st.Suite)
+		}
+		if p.ForecastHub != nil && st.Forecast != nil {
+			p.ForecastHub.restoreState(*st.Forecast)
 		}
 		p.Density.RestoreCounts(st.Density)
 		for k, v := range st.Applied {

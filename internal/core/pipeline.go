@@ -1,9 +1,12 @@
 // Package core wires every component into the datAcron architecture of §2:
 // wire-format ingestion (AIS/SBS decoding), in-situ processing (noise gate +
 // online compression), transformation to RDF, interlinking, storage in the
-// parallel spatiotemporal RDF store, complex event recognition, and the
-// density analytics — with per-stage latency accounting against the paper's
-// millisecond operational requirement (§4).
+// parallel spatiotemporal RDF store, complex event recognition, the density
+// analytics, and online mobility forecasting (ForecastHub) — with per-stage
+// latency accounting against the paper's millisecond operational
+// requirement (§4). The durability protocol (WriteSnapshot/Recover/Replay,
+// DESIGN.md §8) makes the whole pipeline — forecast state included —
+// survive kill -9.
 package core
 
 import (
@@ -50,6 +53,9 @@ type Config struct {
 	// counted (Stats.BadLines) and skipped, because real feeds contain
 	// truncated and corrupted sentences.
 	StrictWire bool
+	// Forecast configures the online forecasting subsystem; the zero value
+	// leaves it off and Pipeline.ForecastHub nil.
+	Forecast ForecastConfig
 }
 
 func (c Config) withDefaults() Config {
@@ -101,6 +107,10 @@ type Pipeline struct {
 	Engine  *query.Engine
 	Suite   *cer.MaritimeSuite
 	Density *hotspot.DensityGrid
+	// ForecastHub is the online forecasting subsystem (nil unless
+	// Config.Forecast.Enabled): warm per-entity history plus incrementally
+	// trained shared models, fed from the gated report stream.
+	ForecastHub *ForecastHub
 
 	// serial is the front-end used by the single-goroutine IngestLine path.
 	serial front
@@ -203,6 +213,9 @@ func New(cfg Config) *Pipeline {
 		Density:  hotspot.NewDensityGrid(geo.NewGrid(cfg.Box, cfg.HotspotGridCols, cfg.HotspotGridRows)),
 	}
 	p.Engine = query.NewEngine(p.Store)
+	if cfg.Forecast.Enabled {
+		p.ForecastHub = NewForecastHub(cfg.Box, cfg.Forecast)
+	}
 	p.Stats.Latency = stream.NewLatencyHist()
 	p.Stats.StoreLatency = stream.NewLatencyHist()
 	p.Stats.CERLatency = stream.NewLatencyHist()
@@ -277,6 +290,13 @@ func (p *Pipeline) ingest(f *front, tl synth.TimedLine) ([]model.Event, error) {
 		atomic.AddInt64(&p.Stats.Gated, 1)
 		return nil, nil
 	}
+	// Online forecasting taps the gated stream (post-tracker, pre-
+	// compression: suppressed reports still carry kinematic evidence). The
+	// hub does its own locking; because this runs inside the worker's
+	// per-line critical section, the snapshot barrier quiesces it.
+	if p.ForecastHub != nil {
+		p.ForecastHub.Observe(pos)
+	}
 	stored := true
 	if !p.cfg.DisableCompression && !f.filter.Keep(pos) {
 		stored = false
@@ -347,13 +367,13 @@ func (p *Pipeline) decodeAIS(f *front, tl synth.TimedLine) (model.Position, bool
 		return model.Position{}, false, nil
 	case ais.PositionReport:
 		pos := model.Position{
-			EntityID: fmt.Sprintf("%09d", m.MMSI),
-			Domain:   model.Maritime,
-			TS:       tl.TS,
-			Pt:       geo.Pt(m.Lon, m.Lat),
-			SpeedMS:  geo.Knots(orZero(m.SOG)),
+			EntityID:  fmt.Sprintf("%09d", m.MMSI),
+			Domain:    model.Maritime,
+			TS:        tl.TS,
+			Pt:        geo.Pt(m.Lon, m.Lat),
+			SpeedMS:   geo.Knots(orZero(m.SOG)),
 			CourseDeg: orZero(m.COG),
-			Status:   navStatusFromAIS(m.NavStatus),
+			Status:    navStatusFromAIS(m.NavStatus),
 		}
 		return pos, true, nil
 	default:
@@ -372,12 +392,12 @@ func (p *Pipeline) decodeSBS(f *front, tl synth.TimedLine) (model.Position, bool
 		return model.Position{}, false, nil
 	}
 	pos := model.Position{
-		EntityID: snap.HexIdent,
-		Domain:   model.Aviation,
-		TS:       tl.TS,
-		Pt:       geo.Pt3(snap.Lon, snap.Lat, geo.Feet(orZero(snap.AltitudeFt))),
-		SpeedMS:  geo.Knots(orZero(snap.SpeedKn)),
-		CourseDeg: orZero(snap.TrackDeg),
+		EntityID:   snap.HexIdent,
+		Domain:     model.Aviation,
+		TS:         tl.TS,
+		Pt:         geo.Pt3(snap.Lon, snap.Lat, geo.Feet(orZero(snap.AltitudeFt))),
+		SpeedMS:    geo.Knots(orZero(snap.SpeedKn)),
+		CourseDeg:  orZero(snap.TrackDeg),
 		VertRateMS: orZero(snap.VertRateFpm) * 0.00508, // ft/min → m/s
 	}
 	return pos, true, nil

@@ -223,3 +223,29 @@ func parseDur(s string) (int64, error) {
 	d, err := time.ParseDuration(s)
 	return int64(d), err
 }
+
+func TestE12ForecastShapeAndTrends(t *testing.T) {
+	tab := E12OnlineForecast(true)
+	if len(tab.Rows) != 5 {
+		t.Fatalf("rows = %d: %s", len(tab.Rows), tab)
+	}
+	// Accuracy rows: error grows with horizon and every horizon has
+	// samples.
+	var errs []float64
+	for r := 0; r < 3; r++ {
+		if tab.Rows[r][0] != "serving-path accuracy" {
+			t.Fatalf("row %d = %q", r, tab.Rows[r][0])
+		}
+		if n := cell(t, tab, r, 3); n == 0 {
+			t.Fatalf("horizon %s has no samples", tab.Rows[r][1])
+		}
+		errs = append(errs, cell(t, tab, r, 2))
+	}
+	if !(errs[0] < errs[2]) {
+		t.Errorf("forecast error should grow from 5m to 20m horizon: %v", errs)
+	}
+	// 5-minute serving forecasts on mostly-lane traffic stay under 1km.
+	if errs[0] > 1000 {
+		t.Errorf("5-minute serving error %f m implausibly high", errs[0])
+	}
+}

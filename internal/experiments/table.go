@@ -1,8 +1,10 @@
-// Package experiments implements the E1–E10 evaluation harness defined in
+// Package experiments implements the E1–E12 evaluation harness defined in
 // DESIGN.md §4: each experiment reifies one verbatim claim of the paper
-// into a measured table. The same functions back the root bench_test.go
-// benchmarks and the cmd/datacron-bench report tool. Pass quick=true for
-// test-sized workloads, quick=false for the full experiment scale.
+// into a measured table (E11/E12 extend the suite to the serving layer's
+// durability and online-forecasting subsystems). The same functions back
+// the root bench_test.go benchmarks and the cmd/datacron-bench report
+// tool. Pass quick=true for test-sized workloads, quick=false for the full
+// experiment scale.
 package experiments
 
 import (
@@ -85,5 +87,7 @@ func All(quick bool) []*Table {
 		E8EventForecast(quick),
 		E9Hotspots(quick),
 		E10EndToEnd(quick),
+		E11Durability(quick),
+		E12OnlineForecast(quick),
 	}
 }

@@ -157,6 +157,55 @@ func TestHistoryKNNReplaysLane(t *testing.T) {
 	}
 }
 
+// TestPredictModelStrict pins the serving-layer contract: the strict
+// variants decline instead of silently falling back to dead reckoning, so
+// a method-tagged forecast always reflects the model's own knowledge.
+func TestPredictModelStrict(t *testing.T) {
+	box := geo.NewBBox(22, 34, 30, 42)
+	knn := NewHistoryKNN(box, 192, 192)
+	knn.Train(&model.Trajectory{EntityID: "H", Points: turning(400, 10, 8, 0.05)})
+	// Off-network: strict declines, lenient Predict still answers (via DR).
+	far := straight(10, 10, 8)
+	for i := range far {
+		far[i].Pt.Lat += 3
+	}
+	ts := far[len(far)-1].TS + 300000
+	if _, ok := knn.PredictModel(far, ts); ok {
+		t.Error("knn strict must decline off-network")
+	}
+	if _, ok := knn.Predict(far, ts); !ok {
+		t.Error("knn lenient must still answer off-network")
+	}
+	// On-network: both answer.
+	lane := turning(400, 10, 8, 0.05)
+	if _, ok := knn.PredictModel(lane[:50], lane[300].TS); !ok {
+		t.Error("knn strict must answer on the trained lane")
+	}
+	// Stationary: lenient stays put, strict declines (no replayed history).
+	still := []model.Position{{TS: 0, Pt: geo.Pt(25, 37), SpeedMS: 0.1}}
+	if _, ok := knn.PredictModel(still, 600000); ok {
+		t.Error("knn strict must decline for a stationary entity")
+	}
+
+	rn := NewRouteNetwork(box, 64, 64)
+	north := &model.Trajectory{Points: straight(50, 10, 8)}
+	for i := range north.Points {
+		north.Points[i].Pt.Lat += 3
+	}
+	rn.Train(north)
+	hist := straight(10, 10, 8)
+	last := hist[len(hist)-1]
+	if _, ok := rn.PredictModel(hist, last.TS+120000); ok {
+		t.Error("route strict must decline off-lane")
+	}
+	if _, ok := rn.Predict(hist, last.TS+120000); !ok {
+		t.Error("route lenient must still answer off-lane")
+	}
+	if _, ok := rn.PredictModel(north.Points[:10], north.Points[9].TS+120000); !ok {
+		t.Error("route strict must answer on the trained lane")
+	}
+}
+
 func TestRouteNetworkOffLaneFallsBack(t *testing.T) {
 	box := geo.NewBBox(22, 34, 30, 42)
 	rn := NewRouteNetwork(box, 64, 64)

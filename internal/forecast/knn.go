@@ -19,6 +19,12 @@ type HistoryKNN struct {
 	MaxCourseDiffDeg float64
 	trajs            []*model.Trajectory
 	index            map[int][]knnRef // grid cell → candidate reports
+	// live maps an entity to its stream-fed trajectory (Observe); archival
+	// trajectories added with Train are not in this map.
+	live map[string]int32
+	// indexed caches the total index size, so IndexedPoints is O(1) on the
+	// serving path.
+	indexed int
 }
 
 type knnRef struct {
@@ -47,18 +53,13 @@ func (k *HistoryKNN) Train(trajectories ...*model.Trajectory) {
 			}
 			cell := k.grid.CellID(p.Pt)
 			k.index[cell] = append(k.index[cell], knnRef{traj: ti, pt: int32(i)})
+			k.indexed++
 		}
 	}
 }
 
-// IndexedPoints returns the number of indexed archival reports.
-func (k *HistoryKNN) IndexedPoints() int {
-	n := 0
-	for _, refs := range k.index {
-		n += len(refs)
-	}
-	return n
-}
+// IndexedPoints returns the number of indexed reports.
+func (k *HistoryKNN) IndexedPoints() int { return k.indexed }
 
 // Name implements Predictor.
 func (k *HistoryKNN) Name() string { return "knn-history" }
@@ -76,6 +77,26 @@ func (k *HistoryKNN) Predict(history []model.Position, ts int64) (geo.Point, boo
 	// Stationary entities stay put; history replay would teleport them.
 	if last.SpeedMS <= 0.5 {
 		return last.Pt, true
+	}
+	if pt, ok := k.PredictModel(history, ts); ok {
+		return pt, ok
+	}
+	return DeadReckoning{}.Predict(history, ts)
+}
+
+// PredictModel is Predict without the dead-reckoning safety net: ok=false
+// when the history is degenerate, the entity is stationary, or no similar
+// archival report with enough recorded future exists. The serving layer's
+// model-selection ladder uses this so a forecast tagged "knn-history"
+// always reflects replayed history rather than a silent fallback.
+func (k *HistoryKNN) PredictModel(history []model.Position, ts int64) (geo.Point, bool) {
+	if len(history) == 0 {
+		return geo.Point{}, false
+	}
+	last := history[len(history)-1]
+	dtMS := ts - last.TS
+	if dtMS < 0 || last.SpeedMS <= 0.5 {
+		return geo.Point{}, false
 	}
 	cell := k.grid.CellID(last.Pt)
 	cells := append(k.grid.Neighbors(cell), cell)
@@ -107,7 +128,7 @@ func (k *HistoryKNN) Predict(history []model.Position, ts int64) (geo.Point, boo
 		}
 	}
 	if len(cands) == 0 {
-		return DeadReckoning{}.Predict(history, ts)
+		return geo.Point{}, false
 	}
 	// Top-k by score (small k: partial selection).
 	const topK = 5
@@ -154,7 +175,7 @@ func (k *HistoryKNN) Predict(history []model.Position, ts int64) (geo.Point, boo
 		n++
 	}
 	if n == 0 {
-		return DeadReckoning{}.Predict(history, ts)
+		return geo.Point{}, false
 	}
 	return geo.Point{Lon: sumLon / float64(n), Lat: sumLat / float64(n), Alt: sumAlt / float64(n)}, true
 }

@@ -1,0 +1,257 @@
+package forecast
+
+import (
+	"github.com/datacron-project/datacron/internal/geo"
+	"github.com/datacron-project/datacron/internal/model"
+)
+
+// This file adds the incremental-update and export/restore surface that the
+// online serving layer (core.ForecastHub) needs: every model that the batch
+// experiments train from archival trajectories can also be grown one report
+// at a time from the live stream, and its learned state can be serialised
+// into a pipeline snapshot and restored after a crash. None of these
+// methods lock — the hub serialises updates and guards reads; snapshots are
+// taken under the ingest barrier, when no update is in flight.
+
+// Observe adds one live report to the route network — the incremental
+// counterpart of Train. Only moving reports (speed > 0.5 m/s) contribute,
+// matching Train's anchorage filter.
+func (rn *RouteNetwork) Observe(p model.Position) {
+	if p.SpeedMS <= 0.5 {
+		return
+	}
+	rn.add(p)
+}
+
+// RouteCellState is the learned state of one non-empty (cell, sector) pair.
+type RouteCellState struct {
+	Cell   int     `json:"cell"`
+	Sector int     `json:"sector"`
+	SumSin float64 `json:"sumSin"`
+	SumCos float64 `json:"sumCos"`
+	SumSpd float64 `json:"sumSpd"`
+	Count  int     `json:"count"`
+}
+
+// RouteNetworkState is the serialisable form of a RouteNetwork. The export
+// is sparse — only trained (cell, sector) pairs are carried — because a
+// serving-resolution grid is mostly empty water.
+type RouteNetworkState struct {
+	Box   geo.BBox         `json:"box"`
+	Cols  int              `json:"cols"`
+	Rows  int              `json:"rows"`
+	Cells []RouteCellState `json:"cells"`
+}
+
+// ExportState captures the learned motion field.
+func (rn *RouteNetwork) ExportState() RouteNetworkState {
+	st := RouteNetworkState{Box: rn.grid.Box, Cols: rn.grid.Cols, Rows: rn.grid.Rows}
+	for cell, secs := range rn.counts {
+		for sec, cnt := range secs {
+			if cnt == 0 {
+				continue
+			}
+			st.Cells = append(st.Cells, RouteCellState{
+				Cell: cell, Sector: sec,
+				SumSin: rn.sumSin[cell][sec], SumCos: rn.sumCos[cell][sec],
+				SumSpd: rn.sumSpd[cell][sec], Count: cnt,
+			})
+		}
+	}
+	return st
+}
+
+// RestoreState replaces the model with st (grid geometry included, so a
+// restored network predicts identically regardless of the receiver's
+// construction parameters).
+func (rn *RouteNetwork) RestoreState(st RouteNetworkState) {
+	g := geo.NewGrid(st.Box, st.Cols, st.Rows)
+	n := g.NumCells()
+	rn.grid = g
+	rn.sumSin = make([][nSectors]float64, n)
+	rn.sumCos = make([][nSectors]float64, n)
+	rn.sumSpd = make([][nSectors]float64, n)
+	rn.counts = make([][nSectors]int, n)
+	for _, c := range st.Cells {
+		if c.Cell < 0 || c.Cell >= n || c.Sector < 0 || c.Sector >= nSectors {
+			continue
+		}
+		rn.sumSin[c.Cell][c.Sector] = c.SumSin
+		rn.sumCos[c.Cell][c.Sector] = c.SumCos
+		rn.sumSpd[c.Cell][c.Sector] = c.SumSpd
+		rn.counts[c.Cell][c.Sector] = c.Count
+	}
+	rn.trained = 0
+	for cell := range rn.counts {
+		if !rn.cellEmpty(cell) {
+			rn.trained++
+		}
+	}
+}
+
+// Observe appends one live report to the entity's stream-fed trajectory and
+// indexes it — the incremental counterpart of Train. The per-entity live
+// trajectory is append-only (index refs stay valid); when it exceeds
+// maxPerEntity points the oldest half is dropped and the whole index
+// rebuilt, bounding memory on an unbounded stream. Reports must arrive in
+// per-entity time order (the ingest workers guarantee this).
+func (k *HistoryKNN) Observe(p model.Position, maxPerEntity int) {
+	if maxPerEntity <= 0 {
+		maxPerEntity = 4096
+	}
+	if k.live == nil {
+		k.live = make(map[string]int32)
+	}
+	ti, ok := k.live[p.EntityID]
+	if !ok {
+		ti = int32(len(k.trajs))
+		k.trajs = append(k.trajs, &model.Trajectory{EntityID: p.EntityID, Domain: p.Domain})
+		k.live[p.EntityID] = ti
+	}
+	tr := k.trajs[ti]
+	tr.Points = append(tr.Points, p)
+	if len(tr.Points) > maxPerEntity {
+		tr.Points = append([]model.Position(nil), tr.Points[len(tr.Points)/2:]...)
+		k.reindex()
+		return
+	}
+	if p.SpeedMS > 0.5 {
+		cell := k.grid.CellID(p.Pt)
+		k.index[cell] = append(k.index[cell], knnRef{traj: ti, pt: int32(len(tr.Points) - 1)})
+		k.indexed++
+	}
+}
+
+// DropEntities removes the stream-fed trajectories of the given entities
+// (archival Train'd trajectories are untouched) and rebuilds the index.
+// The serving hub calls this to evict entities that left the feed.
+func (k *HistoryKNN) DropEntities(ids []string) {
+	dropped := false
+	drop := make(map[int32]bool, len(ids))
+	for _, id := range ids {
+		if ti, ok := k.live[id]; ok {
+			drop[ti] = true
+			delete(k.live, id)
+			dropped = true
+		}
+	}
+	if !dropped {
+		return
+	}
+	trajs := make([]*model.Trajectory, 0, len(k.trajs))
+	remap := make(map[int32]int32, len(k.trajs))
+	for ti, tr := range k.trajs {
+		if drop[int32(ti)] {
+			continue
+		}
+		remap[int32(ti)] = int32(len(trajs))
+		trajs = append(trajs, tr)
+	}
+	k.trajs = trajs
+	for id, ti := range k.live {
+		k.live[id] = remap[ti]
+	}
+	k.reindex()
+}
+
+// reindex rebuilds the spatial index from the current trajectories.
+func (k *HistoryKNN) reindex() {
+	k.index = make(map[int][]knnRef)
+	k.indexed = 0
+	for ti, tr := range k.trajs {
+		for i, p := range tr.Points {
+			if p.SpeedMS <= 0.5 {
+				continue
+			}
+			k.index[k.grid.CellID(p.Pt)] = append(k.index[k.grid.CellID(p.Pt)], knnRef{traj: int32(ti), pt: int32(i)})
+			k.indexed++
+		}
+	}
+}
+
+// HistoryKNNState is the serialisable form of a HistoryKNN: the trajectories
+// themselves (the index is derived and rebuilt on restore).
+type HistoryKNNState struct {
+	Box              geo.BBox            `json:"box"`
+	Cols             int                 `json:"cols"`
+	Rows             int                 `json:"rows"`
+	MaxCourseDiffDeg float64             `json:"maxCourseDiffDeg"`
+	Trajectories     []*model.Trajectory `json:"trajectories"`
+}
+
+// ExportState captures the indexed trajectories.
+func (k *HistoryKNN) ExportState() HistoryKNNState {
+	st := HistoryKNNState{
+		Box: k.grid.Box, Cols: k.grid.Cols, Rows: k.grid.Rows,
+		MaxCourseDiffDeg: k.MaxCourseDiffDeg,
+	}
+	for _, tr := range k.trajs {
+		c := tr.Clone()
+		st.Trajectories = append(st.Trajectories, c)
+	}
+	return st
+}
+
+// RestoreState replaces the model with st and rebuilds the index.
+func (k *HistoryKNN) RestoreState(st HistoryKNNState) {
+	k.grid = geo.NewGrid(st.Box, st.Cols, st.Rows)
+	if st.MaxCourseDiffDeg > 0 {
+		k.MaxCourseDiffDeg = st.MaxCourseDiffDeg
+	}
+	k.trajs = nil
+	k.live = make(map[string]int32)
+	for _, tr := range st.Trajectories {
+		ti := int32(len(k.trajs))
+		k.trajs = append(k.trajs, tr.Clone())
+		if tr.EntityID != "" {
+			k.live[tr.EntityID] = ti
+		}
+	}
+	k.reindex()
+}
+
+// ExportCounts returns a copy of the chain's transition counts.
+func (mc *MarkovChain) ExportCounts() [][]float64 {
+	out := make([][]float64, len(mc.counts))
+	for i, row := range mc.counts {
+		out[i] = append([]float64(nil), row...)
+	}
+	return out
+}
+
+// RestoreCounts replaces the chain's transition counts (rows/columns beyond
+// the chain's symbol count are ignored; missing ones stay zero).
+func (mc *MarkovChain) RestoreCounts(counts [][]float64) {
+	for i := 0; i < mc.n && i < len(counts); i++ {
+		row := make([]float64, mc.n)
+		copy(row, counts[i])
+		mc.counts[i] = row
+	}
+}
+
+// ObserveTransition adds one observed symbol transition — the incremental
+// counterpart of TrainSequence for a live stream where the caller tracks
+// each entity's previous symbol.
+func (mc *MarkovChain) ObserveTransition(from, to int) {
+	if from >= 0 && from < mc.n && to >= 0 && to < mc.n {
+		mc.counts[from][to]++
+	}
+}
+
+// RunLengths returns a copy of the stream forecaster's per-entity run
+// lengths (for snapshots).
+func (sf *StreamForecaster) RunLengths() map[string]int {
+	out := make(map[string]int, len(sf.runLens))
+	for k, v := range sf.runLens {
+		out[k] = v
+	}
+	return out
+}
+
+// RestoreRunLengths replaces the per-entity run lengths.
+func (sf *StreamForecaster) RestoreRunLengths(m map[string]int) {
+	sf.runLens = make(map[string]int, len(m))
+	for k, v := range m {
+		sf.runLens[k] = v
+	}
+}

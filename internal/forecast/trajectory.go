@@ -16,6 +16,12 @@
 // Event forecasting (markov.go) follows the pattern-automaton × Markov
 // chain construction: it estimates the probability that a CER pattern
 // completes within a horizon given the current partial-match state.
+//
+// Every model is usable both batch-trained (Train over archival
+// trajectories, experiment E6) and online (state.go: Observe grows a model
+// one live report at a time, ExportState/RestoreState round-trip it
+// through pipeline snapshots). The serving layer's core.ForecastHub feeds
+// the online surface from the live ingest stream (DESIGN.md §9).
 package forecast
 
 import (
@@ -125,6 +131,9 @@ type RouteNetwork struct {
 	sumCos [][nSectors]float64
 	sumSpd [][nSectors]float64
 	counts [][nSectors]int
+	// trained caches the number of cells with data in any sector, so
+	// TrainedCells is O(1) on the serving path.
+	trained int
 }
 
 // nSectors is the number of 45° course sectors per cell.
@@ -165,30 +174,37 @@ func (rn *RouteNetwork) Train(trajectories ...*model.Trajectory) {
 			if p.SpeedMS <= 0.5 {
 				continue
 			}
-			cell := rn.grid.CellID(p.Pt)
-			sec := sectorOf(p.CourseDeg)
-			rad := geo.Radians(p.CourseDeg)
-			rn.sumSin[cell][sec] += math.Sin(rad)
-			rn.sumCos[cell][sec] += math.Cos(rad)
-			rn.sumSpd[cell][sec] += p.SpeedMS
-			rn.counts[cell][sec]++
+			rn.add(p)
 		}
 	}
 }
 
-// TrainedCells returns how many cells carry data in any sector.
-func (rn *RouteNetwork) TrainedCells() int {
-	n := 0
-	for _, secs := range rn.counts {
-		for _, c := range secs {
-			if c > 0 {
-				n++
-				break
-			}
+// add accumulates one moving report into its cell sector.
+func (rn *RouteNetwork) add(p model.Position) {
+	cell := rn.grid.CellID(p.Pt)
+	sec := sectorOf(p.CourseDeg)
+	if rn.counts[cell][sec] == 0 && rn.cellEmpty(cell) {
+		rn.trained++
+	}
+	rad := geo.Radians(p.CourseDeg)
+	rn.sumSin[cell][sec] += math.Sin(rad)
+	rn.sumCos[cell][sec] += math.Cos(rad)
+	rn.sumSpd[cell][sec] += p.SpeedMS
+	rn.counts[cell][sec]++
+}
+
+// cellEmpty reports whether no sector of the cell carries data.
+func (rn *RouteNetwork) cellEmpty(cell int) bool {
+	for _, c := range rn.counts[cell] {
+		if c > 0 {
+			return false
 		}
 	}
-	return n
+	return true
 }
+
+// TrainedCells returns how many cells carry data in any sector.
+func (rn *RouteNetwork) TrainedCells() int { return rn.trained }
 
 // cellMotion returns the learned mean course/speed of the cell sector
 // matching the given course (also checking the two adjacent sectors, since
@@ -224,13 +240,29 @@ func (rn *RouteNetwork) Name() string { return "route-network" }
 // the entity's current heading (±60°), otherwise the vessel is off-lane or
 // on the opposite lane direction and dead reckoning is safer.
 func (rn *RouteNetwork) Predict(history []model.Position, ts int64) (geo.Point, bool) {
+	pt, _, ok := rn.predict(history, ts)
+	return pt, ok
+}
+
+// PredictModel is Predict, except ok=false when no trained cell influenced
+// the walk — i.e. when the result would be indistinguishable from dead
+// reckoning. The serving layer's model-selection ladder uses this so a
+// forecast tagged "route-network" always reflects learned lane knowledge.
+func (rn *RouteNetwork) PredictModel(history []model.Position, ts int64) (geo.Point, bool) {
+	pt, usedLane, ok := rn.predict(history, ts)
+	return pt, ok && usedLane
+}
+
+// predict walks the motion field, reporting whether any learned cell
+// steered the walk.
+func (rn *RouteNetwork) predict(history []model.Position, ts int64) (pt geo.Point, usedLane, ok bool) {
 	if len(history) == 0 {
-		return geo.Point{}, false
+		return geo.Point{}, false, false
 	}
 	last := history[len(history)-1]
 	dt := float64(ts-last.TS) / 1000
 	if dt < 0 {
-		return geo.Point{}, false
+		return geo.Point{}, false, false
 	}
 	const step = 30.0 // seconds
 	pos := last.Pt
@@ -246,11 +278,12 @@ func (rn *RouteNetwork) Predict(history []model.Position, ts int64) (geo.Point, 
 			// lane knows where traffic bends, the entity knows how fast it
 			// moves.
 			course = c
+			usedLane = true
 		}
 		pos = geo.Destination(pos, course, speed*h)
 	}
 	pos.Alt = last.Pt.Alt + last.VertRateMS*dt
-	return pos, true
+	return pos, usedLane, true
 }
 
 // HorizonError evaluates a predictor against ground truth: for each truth

@@ -75,14 +75,14 @@ func (s NavStatus) String() string {
 // Timestamps are Unix milliseconds UTC: they are compact, trivially ordered,
 // and match the paper's millisecond latency vocabulary.
 type Position struct {
-	EntityID string    // MMSI for vessels, ICAO24 for aircraft
-	Domain   Domain    // maritime or aviation
-	TS       int64     // Unix milliseconds
-	Pt       geo.Point // lon/lat[/alt]
-	SpeedMS  float64   // speed over ground, m/s
-	CourseDeg float64  // course over ground, degrees from north
-	VertRateMS float64 // vertical rate, m/s (aviation; 0 for vessels)
-	Status   NavStatus
+	EntityID   string    // MMSI for vessels, ICAO24 for aircraft
+	Domain     Domain    // maritime or aviation
+	TS         int64     // Unix milliseconds
+	Pt         geo.Point // lon/lat[/alt]
+	SpeedMS    float64   // speed over ground, m/s
+	CourseDeg  float64   // course over ground, degrees from north
+	VertRateMS float64   // vertical rate, m/s (aviation; 0 for vessels)
+	Status     NavStatus
 }
 
 // Time returns the timestamp as a time.Time in UTC.

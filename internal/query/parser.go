@@ -14,13 +14,13 @@ import (
 type tokKind int
 
 const (
-	tokEOF tokKind = iota
-	tokIdent        // SELECT, WHERE, prefixed:name, st:within …
-	tokVar          // ?name
-	tokIRI          // <...>
-	tokString       // "..."
-	tokNumber       // 42, -3.5
-	tokPunct        // { } ( ) . , and comparison operators
+	tokEOF    tokKind = iota
+	tokIdent          // SELECT, WHERE, prefixed:name, st:within …
+	tokVar            // ?name
+	tokIRI            // <...>
+	tokString         // "..."
+	tokNumber         // 42, -3.5
+	tokPunct          // { } ( ) . , and comparison operators
 )
 
 type token struct {
@@ -141,9 +141,9 @@ func isNameChar(c byte) bool {
 
 // parser consumes tokens into a Query.
 type parser struct {
-	lex  *lexer
-	cur  token
-	err  error
+	lex *lexer
+	cur token
+	err error
 }
 
 // Parse parses one query.

@@ -15,9 +15,9 @@ const Wildcard ID = 0
 // Dictionary interns terms to dense IDs and back. It is safe for concurrent
 // use: encoding takes a write lock only on first sight of a term.
 type Dictionary struct {
-	mu      sync.RWMutex
-	byTerm  map[Term]ID
-	byID    []Term // byID[id-1]
+	mu     sync.RWMutex
+	byTerm map[Term]ID
+	byID   []Term // byID[id-1]
 }
 
 // NewDictionary returns an empty dictionary.

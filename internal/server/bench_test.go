@@ -91,6 +91,23 @@ func BenchmarkServerIngest(b *testing.B) {
 	runIngestBench(b, srv, batches)
 }
 
+// BenchmarkServerIngestForecast is the serving path with the online
+// forecasting hub tapping every gated report (warm history ring + route
+// network + KNN + Markov updates). The acceptance bar for the forecasting
+// subsystem is < 15% regression against BenchmarkServerIngest.
+func BenchmarkServerIngestForecast(b *testing.B) {
+	batches := benchBatches(b)
+	p := core.New(core.Config{
+		Domain:   model.Maritime,
+		Forecast: core.ForecastConfig{Enabled: true},
+	})
+	p.InstallAreas(benchWorld.sc.Areas)
+	p.InstallEntities(benchWorld.sc.Entities)
+	srv := New(Config{Pipeline: p, QueueLen: 1 << 16})
+	runIngestBench(b, srv, batches)
+	b.ReportMetric(float64(p.ForecastHub.Observed()), "observed")
+}
+
 // BenchmarkServerIngestWAL is the durable path in the daemon's default
 // mode: every accepted line is framed/CRC'd into the write-ahead log and
 // each batch is group-committed (flushed to the OS — kill -9 durable)

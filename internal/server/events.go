@@ -1,7 +1,6 @@
 package server
 
 import (
-	"encoding/json"
 	"fmt"
 	"net/http"
 	"time"
@@ -31,10 +30,11 @@ func toEventJSON(ev model.Event) eventJSON {
 	}
 }
 
-// handleEvents streams recognised complex events as server-sent events:
-// one "event: <type>" + "data: <json>" frame per detection, with periodic
-// comment heartbeats so intermediaries keep the connection alive. The
-// stream ends when the client disconnects or the server closes.
+// handleEvents streams the hub's SSE frames: one "event: <type>" +
+// "data: <json>" frame per recognised complex event (class = CER type) or
+// per published forecast (class "forecast"), with periodic comment
+// heartbeats so intermediaries keep the connection alive. The stream ends
+// when the client disconnects or the server closes.
 func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	s.reqEvents.Add(1)
 	flusher, ok := w.(http.Flusher)
@@ -60,15 +60,11 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 		case <-heartbeat.C:
 			fmt.Fprint(w, ": ping\n\n")
 			flusher.Flush()
-		case ev, ok := <-ch:
+		case f, ok := <-ch:
 			if !ok {
 				return // hub closed (server shutting down)
 			}
-			data, err := json.Marshal(toEventJSON(ev))
-			if err != nil {
-				continue
-			}
-			fmt.Fprintf(w, "event: %s\ndata: %s\n\n", ev.Type, data)
+			fmt.Fprintf(w, "event: %s\ndata: %s\n\n", f.event, f.data)
 			flusher.Flush()
 		}
 	}

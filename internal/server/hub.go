@@ -1,58 +1,84 @@
 package server
 
 import (
+	"encoding/json"
 	"sync"
 	"sync/atomic"
 
 	"github.com/datacron-project/datacron/internal/model"
 )
 
-// hub fans recognised complex events out to SSE subscribers. Publishing
-// never blocks: a subscriber whose buffer is full loses the event (counted
-// in dropped), so a stalled client cannot backpressure the ingest workers.
+// frame is one server-sent event: an event class name plus its JSON
+// payload, marshalled once at publish time regardless of subscriber count.
+type frame struct {
+	event string
+	data  []byte
+}
+
+// hub fans SSE frames — recognised complex events and forecast updates —
+// out to subscribers. Publishing never blocks: a subscriber whose buffer is
+// full loses the frame (counted in dropped), so a stalled client cannot
+// backpressure the ingest workers.
 type hub struct {
-	mu      sync.Mutex
-	subs    map[int]chan model.Event
-	nextID  int
-	buf     int
-	closed  bool
+	mu     sync.Mutex
+	subs   map[int]chan frame
+	nextID int
+	buf    int
+	closed bool
+
 	dropped atomic.Int64
-	// published counts events fanned out (once per event, not per
+	// published counts frames fanned out (once per frame, not per
 	// subscriber).
 	published atomic.Int64
 }
 
 func newHub(buf int) *hub {
-	return &hub{subs: make(map[int]chan model.Event), buf: buf}
+	return &hub{subs: make(map[int]chan frame), buf: buf}
 }
 
-// publish delivers a batch of events to every subscriber.
-func (h *hub) publish(evs []model.Event) {
-	h.published.Add(int64(len(evs)))
+// publishEvents delivers a batch of recognised complex events; each event's
+// SSE class is its CER type. With no subscribers the marshalling is
+// skipped entirely — this runs on the ingest workers' event callback, and
+// a headless deployment should not pay JSON cost per detection.
+func (h *hub) publishEvents(evs []model.Event) {
+	if h.subscribers() == 0 {
+		h.published.Add(int64(len(evs)))
+		return
+	}
+	for _, ev := range evs {
+		data, err := json.Marshal(toEventJSON(ev))
+		if err != nil {
+			continue
+		}
+		h.publish(frame{event: ev.Type, data: data})
+	}
+}
+
+// publish delivers one frame to every subscriber.
+func (h *hub) publish(f frame) {
+	h.published.Add(1)
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	if h.closed {
 		return
 	}
-	for _, ev := range evs {
-		for _, ch := range h.subs {
-			select {
-			case ch <- ev:
-			default:
-				h.dropped.Add(1)
-			}
+	for _, ch := range h.subs {
+		select {
+		case ch <- f:
+		default:
+			h.dropped.Add(1)
 		}
 	}
 }
 
 // subscribe registers a new subscriber and returns its channel and an
 // unsubscribe function.
-func (h *hub) subscribe() (<-chan model.Event, func()) {
+func (h *hub) subscribe() (<-chan frame, func()) {
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	id := h.nextID
 	h.nextID++
-	ch := make(chan model.Event, h.buf)
+	ch := make(chan frame, h.buf)
 	if h.closed {
 		close(ch)
 		return ch, func() {}

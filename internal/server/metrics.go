@@ -60,6 +60,17 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	gaugef("datacron_event_subscribers", float64(s.hub.subscribers()))
 	gaugef("datacron_store_triples", float64(s.p.Store.Len()))
 
+	// Online forecasting: warm-state volume, learned-model volume and the
+	// SSE forecast fan-out (only when the hub is running).
+	if fh := s.p.ForecastHub; fh != nil {
+		routeCells, knnPoints := fh.ModelStats()
+		count("datacron_forecast_observed_total", fh.Observed())
+		count("datacron_forecast_sse_published_total", s.forecastPublished.Load())
+		gaugef("datacron_forecast_entities", float64(fh.Entities()))
+		gaugef("datacron_forecast_route_trained_cells", float64(routeCells))
+		gaugef("datacron_forecast_knn_indexed_points", float64(knnPoints))
+	}
+
 	// Durability: WAL position, snapshot progress and what the boot-time
 	// recovery replayed or had to skip.
 	if s.wal != nil {
@@ -101,6 +112,8 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		{"/query", s.reqQuery.Load()},
 		{"/range", s.reqRange.Load()},
 		{"/events", s.reqEvents.Load()},
+		{"/forecast", s.reqForecast.Load()},
+		{"/forecast/batch", s.reqForecastBatch.Load()},
 		{"/snapshot", s.reqSnapshot.Load()},
 	} {
 		fmt.Fprintf(&b, "datacron_http_requests_total{path=\"%s\"} %d\n", rc.path, rc.n)

@@ -12,13 +12,18 @@
 //	                 group-committed before the batch is acknowledged.
 //	POST /query    — stSPARQL-lite query, JSON result.
 //	GET  /range    — spatiotemporal range query over the anchored nodes.
-//	GET  /events   — server-sent event stream of recognised complex events.
+//	GET  /events   — server-sent event stream of recognised complex events
+//	                 and (when forecasting is on) "forecast" frames.
+//	GET  /forecast — predicted future location of one entity: point +
+//	                 uncertainty radius, method-tagged (online forecasting).
+//	GET  /forecast/batch — forecasts for every live entity.
 //	POST /snapshot — write a full pipeline snapshot (durable mode only).
 //	GET  /healthz  — liveness and basic counters.
 //	GET  /metrics  — Prometheus-style text metrics.
 //
-// See DESIGN.md §7 for the endpoint reference with examples and §8 for the
-// durability and recovery protocol.
+// See DESIGN.md §7 for the endpoint reference with examples, §8 for the
+// durability and recovery protocol, and §9 for the online forecasting
+// subsystem.
 package server
 
 import (
@@ -57,6 +62,13 @@ type Config struct {
 	// Recovery, when non-nil, carries the boot-time recovery stats so
 	// /metrics can expose what the restart replayed and skipped.
 	Recovery *core.RecoveryStats
+
+	// ForecastInterval, when > 0 and the pipeline has a ForecastHub,
+	// publishes a batch forecast as SSE "forecast" frames every interval.
+	ForecastInterval time.Duration
+	// ForecastSSEHorizon is the horizon of those published forecasts
+	// (default 10 minutes).
+	ForecastSSEHorizon time.Duration
 }
 
 // Server serves a pipeline over HTTP. Create with New, attach via Handler,
@@ -83,6 +95,13 @@ type Server struct {
 	lastRateTime  time.Time
 
 	reqIngest, reqQuery, reqRange, reqEvents, reqSnapshot atomic.Int64
+	reqForecast, reqForecastBatch                         atomic.Int64
+
+	// Forecast SSE ticker lifecycle + fan-out counter.
+	stopTicker        chan struct{}
+	closeOnce         sync.Once
+	tickerWG          sync.WaitGroup
+	forecastPublished atomic.Int64
 }
 
 // New builds the serving layer over cfg.Pipeline and starts the ingest
@@ -104,15 +123,26 @@ func New(cfg Config) *Server {
 	s.ing = s.p.NewIngestor(core.IngestorConfig{
 		Workers:  cfg.Workers,
 		QueueLen: cfg.QueueLen,
-		OnEvents: s.hub.publish,
+		OnEvents: s.hub.publishEvents,
 	})
 	s.mux.HandleFunc("POST /ingest", s.handleIngest)
 	s.mux.HandleFunc("POST /query", s.handleQuery)
 	s.mux.HandleFunc("GET /range", s.handleRange)
 	s.mux.HandleFunc("GET /events", s.handleEvents)
+	s.mux.HandleFunc("GET /forecast", s.handleForecast)
+	s.mux.HandleFunc("GET /forecast/batch", s.handleForecastBatch)
 	s.mux.HandleFunc("POST /snapshot", s.handleSnapshot)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.stopTicker = make(chan struct{})
+	if cfg.ForecastInterval > 0 && s.p.ForecastHub != nil {
+		horizon := cfg.ForecastSSEHorizon
+		if horizon <= 0 {
+			horizon = 10 * time.Minute
+		}
+		s.tickerWG.Add(1)
+		go s.runForecastTicker(cfg.ForecastInterval, horizon)
+	}
 	return s
 }
 
@@ -123,9 +153,11 @@ func (s *Server) Handler() http.Handler { return s.mux }
 // and benchmarks).
 func (s *Server) Ingestor() *core.Ingestor { return s.ing }
 
-// Close drains the ingest queues, stops the workers and disconnects event
-// subscribers.
+// Close drains the ingest queues, stops the workers, stops the forecast
+// ticker and disconnects event subscribers. Safe to call more than once.
 func (s *Server) Close() {
+	s.closeOnce.Do(func() { close(s.stopTicker) })
+	s.tickerWG.Wait()
 	s.ing.Close()
 	s.hub.close()
 }

@@ -386,7 +386,7 @@ func TestHubSlowSubscriber(t *testing.T) {
 	}
 	done := make(chan struct{})
 	go func() {
-		h.publish(evs) // must not block even though nobody reads
+		h.publishEvents(evs) // must not block even though nobody reads
 		close(done)
 	}()
 	select {

@@ -126,7 +126,6 @@ func (s *Sharded) AddAnchored(key string, pt geo.Point, ts int64, node rdf.Term,
 	sh.cells[cell] = append(sh.cells[cell], entryIdx)
 }
 
-
 // RangeResult is one spatiotemporal range query hit.
 type RangeResult struct {
 	Node rdf.ID

@@ -4,11 +4,11 @@ import "sort"
 
 // WindowResult is the aggregate produced when an event-time window fires.
 type WindowResult[A any] struct {
-	Key      string
-	StartTS  int64 // window start (inclusive)
-	EndTS    int64 // window end (exclusive)
-	Agg      A
-	Count    int
+	Key     string
+	StartTS int64 // window start (inclusive)
+	EndTS   int64 // window end (exclusive)
+	Agg     A
+	Count   int
 }
 
 // windowState accumulates one (key, window) pane.

@@ -83,10 +83,10 @@ func SectorName(cell int) string { return fmt.Sprintf("SECTOR-%d", cell) }
 
 // flightScript is one generated flight.
 type flightScript struct {
-	entity  model.Entity
-	from    Airport
-	to      Airport
-	depMS   int64
+	entity    model.Entity
+	from      Airport
+	to        Airport
+	depMS     int64
 	cruiseAlt float64 // metres
 	cruiseSpd float64 // m/s
 	holdAt    int64   // if >0, hold near destination from this time...

@@ -293,10 +293,10 @@ func TestScoreDetections(t *testing.T) {
 		{Type: "rendezvous", Entity: "C", Other: "D", StartTS: 0, EndTS: 100000},
 	}
 	det := []model.Event{
-		{Type: "loitering", Entity: "A", StartTS: 50000, EndTS: 150000}, // hit
-		{Type: "loitering", Entity: "Z", StartTS: 0, EndTS: 100000},     // false positive
+		{Type: "loitering", Entity: "A", StartTS: 50000, EndTS: 150000},             // hit
+		{Type: "loitering", Entity: "Z", StartTS: 0, EndTS: 100000},                 // false positive
 		{Type: "rendezvous", Entity: "D", Other: "C", StartTS: 10000, EndTS: 90000}, // hit (swapped pair)
-		{Type: "speeding", Entity: "A", StartTS: 0, EndTS: 1},           // ignored type
+		{Type: "speeding", Entity: "A", StartTS: 0, EndTS: 1},                       // ignored type
 	}
 	p, r, f1 := ScoreDetections(truth, det)
 	if math.Abs(p-2.0/3.0) > 1e-9 {
