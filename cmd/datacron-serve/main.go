@@ -49,6 +49,7 @@ import (
 	"github.com/datacron-project/datacron/internal/core"
 	"github.com/datacron-project/datacron/internal/model"
 	"github.com/datacron-project/datacron/internal/server"
+	"github.com/datacron-project/datacron/internal/store"
 	"github.com/datacron-project/datacron/internal/synth"
 	"github.com/datacron-project/datacron/internal/wal"
 )
@@ -69,6 +70,11 @@ func main() {
 		dataDir = flag.String("data-dir", "", "durability directory (WAL + snapshots); empty = in-memory only")
 		fsync   = flag.Bool("fsync", false, "fsync the WAL on every commit: survives power loss, not just kill -9 (default flushes to the OS, which a process crash cannot lose)")
 		segMB   = flag.Int64("segment-mb", 64, "WAL segment roll size in MiB")
+
+		sealTriples = flag.Int("seal-triples", 250_000, "seal a shard head into an immutable segment once it holds this many triples (0 = no size trigger)")
+		sealAfter   = flag.Duration("seal-after", 0, "seal a shard head once its oldest anchor is this much older than the stream clock (0 = no age trigger)")
+		retention   = flag.Duration("retention", 0, "drop sealed segments whose newest anchor is older than the stream clock minus this window (0 = keep forever)")
+		maintainEv  = flag.Duration("maintain-interval", 15*time.Second, "background tier-maintenance cadence (0 = only POST /seal maintains)")
 
 		fcast         = flag.Bool("forecast", true, "online forecasting: serve GET /forecast and /forecast/batch")
 		fcastGrid     = flag.Int("forecast-grid", 96, "route-network/KNN grid resolution (cells per side)")
@@ -156,6 +162,12 @@ func main() {
 		Pipeline: p, Workers: *workers, QueueLen: *queue,
 		WAL: walLog, DataDir: *dataDir, Recovery: recovery,
 		ForecastInterval: *fcastInterval,
+		Tier: store.TierPolicy{
+			SealTriples: *sealTriples,
+			SealAfter:   *sealAfter,
+			Retention:   *retention,
+		},
+		MaintainInterval: *maintainEv,
 	})
 	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
 
@@ -175,7 +187,7 @@ func main() {
 	}
 	log.Printf("serving %s on %s (shards=%d workers=%d queue=%d %s)",
 		dom, *addr, *shards, srv.Ingestor().Workers(), *queue, durable)
-	log.Printf("endpoints: POST /ingest, POST /query, GET /range, GET /events, GET /forecast, GET /forecast/batch, POST /snapshot, GET /healthz, GET /metrics")
+	log.Printf("endpoints: POST /ingest, POST /query, GET /range, GET /events, GET /forecast, GET /forecast/batch, POST /snapshot, POST /seal, GET /healthz, GET /metrics")
 	if err := httpSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
 		log.Fatal(err)
 	}

@@ -22,10 +22,14 @@ import (
 // Durability layout under a --data-dir:
 //
 //	<data-dir>/wal/wal-<firstLSN>.seg      the write-ahead wire log
+//	<data-dir>/segments/seg-*.seg          sealed immutable store segments,
+//	                                       written once at first snapshot
 //	<data-dir>/snapshots/snap-<cutLSN>/    full pipeline snapshots
 //	    MANIFEST.json                      cut + replay floor + config check
 //	    state.json                         counters, operator state, offsets
-//	    shard-NNN.nt / shard-NNN.anchors   per-shard store serialisation
+//	    shard-NNN.nt / shard-NNN.anchors   per-shard mutable-tier data
+//	    shard-NNN.segments                 per-shard sealed-segment list
+//	    seg-*.seg                          hard links into ../../segments/
 //
 // A snapshot is taken under the Ingestor's barrier, so it is an atomic cut
 // of the whole pipeline: every wire line is either fully reflected
@@ -34,15 +38,28 @@ import (
 // the manifest's replay floor, skipping records at or below their entity's
 // applied offset — so recovery cost is snapshot-load + tail, not the whole
 // log, and no record is ever applied twice.
+//
+// Snapshots are incremental with respect to the tiered store (format v2):
+// sealed segments are serialised once into <data-dir>/segments and
+// hard-linked into each snapshot, so steady-state snapshots rewrite only
+// the head tier and state.json. Format v1 snapshots (flat per-shard files,
+// written by earlier builds) are still read.
 
-// snapshotFormatVersion guards against loading a future layout.
-const snapshotFormatVersion = 1
+// snapshotFormatVersion is the layout this build writes;
+// minSnapshotReadVersion..snapshotFormatVersion are accepted on recovery.
+const (
+	snapshotFormatVersion  = 2
+	minSnapshotReadVersion = 1
+)
 
 // WALDir returns the write-ahead log directory under dataDir.
 func WALDir(dataDir string) string { return filepath.Join(dataDir, "wal") }
 
 // SnapshotsDir returns the snapshot root under dataDir.
 func SnapshotsDir(dataDir string) string { return filepath.Join(dataDir, "snapshots") }
+
+// SegmentsDir returns the shared sealed-segment cache under dataDir.
+func SegmentsDir(dataDir string) string { return filepath.Join(dataDir, "segments") }
 
 // manifest is the MANIFEST.json of one snapshot.
 type manifest struct {
@@ -52,6 +69,9 @@ type manifest struct {
 	Shards        int    `json:"shards"`
 	Domain        string `json:"domain"`
 	CreatedUnixMS int64  `json:"createdUnixMS"`
+	// Segments counts the sealed segment files the snapshot references
+	// (informational; 0 for v1 layouts).
+	Segments int `json:"segments,omitempty"`
 }
 
 // frontState is the serialisable per-entity operator state of an ingest
@@ -103,7 +123,10 @@ type SnapshotInfo struct {
 	CutLSN     uint64
 	ReplayFrom uint64
 	Triples    int
-	Took       time.Duration
+	// Segments is the number of sealed segment files the snapshot
+	// references (written once, hard-linked on later snapshots).
+	Segments int
+	Took     time.Duration
 }
 
 // WriteSnapshot writes an atomic full-pipeline snapshot under dataDir.
@@ -163,9 +186,11 @@ func (p *Pipeline) WriteSnapshot(dataDir string, ing *Ingestor, log *wal.Log) (S
 
 	// Serialise everything under the barrier, then release before the
 	// rename (the files are final; only the directory swap remains).
+	segments := 0
 	err = func() error {
 		defer release()
-		if err := p.Store.WriteSnapshot(tmp); err != nil {
+		segments, err = p.Store.WriteSnapshotTiered(tmp, SegmentsDir(dataDir))
+		if err != nil {
 			return err
 		}
 		st := pipelineState{
@@ -199,6 +224,7 @@ func (p *Pipeline) WriteSnapshot(dataDir string, ing *Ingestor, log *wal.Log) (S
 			Shards:        p.Store.NumShards(),
 			Domain:        p.cfg.Domain.String(),
 			CreatedUnixMS: time.Now().UnixMilli(),
+			Segments:      segments,
 		})
 	}()
 	if err != nil {
@@ -212,15 +238,66 @@ func (p *Pipeline) WriteSnapshot(dataDir string, ing *Ingestor, log *wal.Log) (S
 	if err := os.Rename(tmp, final); err != nil {
 		return SnapshotInfo{}, fmt.Errorf("core: snapshot: %w", err)
 	}
-	// Older snapshots and fully-covered WAL segments are now disposable.
+	// Older snapshots, fully-covered WAL segments and store-segment files
+	// no snapshot references are now disposable.
 	pruneSnapshots(snapRoot, cut)
+	gcSegmentCache(SegmentsDir(dataDir), final)
 	if log != nil && replayFrom > 1 {
 		_, _ = log.RemoveSegmentsBefore(replayFrom)
 	}
 	return SnapshotInfo{
 		Dir: final, CutLSN: cut, ReplayFrom: replayFrom,
-		Triples: p.Store.Len(), Took: time.Since(start),
+		Triples: p.Store.Len(), Segments: segments, Took: time.Since(start),
 	}, nil
+}
+
+// gcSegmentCache removes sealed-segment files in the shared cache that the
+// (single retained) snapshot does not reference — segments dropped by
+// retention since they were last serialised, stale files from a crashed
+// snapshot attempt, and orphaned .tmp files from a crash mid-write. The
+// reference set is read from the snapshot's shard-NNN.segments lists, the
+// on-disk truth, so a segment retired from memory between the cut and this
+// sweep is still kept for the snapshot that links it. snapDir == "" means
+// "no snapshot exists": nothing is referenced and the cache is cleared.
+//
+// Recovery runs this sweep too (before any new seal can happen): segment
+// ids restart from the recovered maximum, so a stale cache file from a
+// crashed pre-recovery snapshot could otherwise collide with a freshly
+// issued id and be hard-linked — with the wrong content — into a later
+// snapshot.
+func gcSegmentCache(segCache, snapDir string) {
+	referenced := make(map[string]bool)
+	if snapDir != "" {
+		ents, err := os.ReadDir(snapDir)
+		if err != nil {
+			return
+		}
+		for _, e := range ents {
+			if !strings.HasSuffix(e.Name(), ".segments") {
+				continue
+			}
+			data, err := os.ReadFile(filepath.Join(snapDir, e.Name()))
+			if err != nil {
+				return // cannot establish the reference set; keep everything
+			}
+			for _, name := range strings.Fields(string(data)) {
+				referenced[name] = true
+			}
+		}
+	}
+	cached, err := os.ReadDir(segCache)
+	if err != nil {
+		return
+	}
+	for _, e := range cached {
+		name := e.Name()
+		if !strings.HasPrefix(name, "seg-") {
+			continue
+		}
+		if strings.HasSuffix(name, ".tmp") || (strings.HasSuffix(name, ".seg") && !referenced[name]) {
+			_ = os.Remove(filepath.Join(segCache, name))
+		}
+	}
 }
 
 // writeJSON writes v as indented JSON to path.
@@ -326,13 +403,21 @@ func (p *Pipeline) Recover(dataDir string) (RecoveryStats, error) {
 	applied := make(map[string]uint64)
 	from := uint64(1)
 
-	if dir, cut, ok := latestSnapshot(SnapshotsDir(dataDir)); ok {
+	dir, cut, haveSnap := latestSnapshot(SnapshotsDir(dataDir))
+	if !haveSnap {
+		dir = ""
+	}
+	// Sweep the segment cache against the snapshot actually being loaded
+	// before anything can seal: a crashed snapshot attempt may have left
+	// files whose ids the recovered counter will re-issue.
+	gcSegmentCache(SegmentsDir(dataDir), dir)
+	if haveSnap {
 		var m manifest
 		if err := readJSON(filepath.Join(dir, "MANIFEST.json"), &m); err != nil {
 			return rs, fmt.Errorf("core: recover: manifest: %w", err)
 		}
-		if m.Version != snapshotFormatVersion {
-			return rs, fmt.Errorf("core: recover: snapshot format v%d, this build reads v%d", m.Version, snapshotFormatVersion)
+		if m.Version < minSnapshotReadVersion || m.Version > snapshotFormatVersion {
+			return rs, fmt.Errorf("core: recover: snapshot format v%d, this build reads v%d–v%d", m.Version, minSnapshotReadVersion, snapshotFormatVersion)
 		}
 		if m.Shards != p.Store.NumShards() {
 			return rs, fmt.Errorf("core: recover: snapshot has %d shards, pipeline has %d — restart with -shards %d", m.Shards, p.Store.NumShards(), m.Shards)

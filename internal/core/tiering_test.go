@@ -1,0 +1,399 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/datacron-project/datacron/internal/store"
+	"github.com/datacron-project/datacron/internal/wal"
+)
+
+// fixedQuery is the recovery-equality probe: a spatiotemporally-bounded
+// join whose rows must be bit-identical across restart.
+const fixedQuery = `SELECT ?n ?t WHERE {
+	?n rdf:type dat:SemanticNode .
+	?n dat:timestamp ?t .
+	FILTER st:during(?t, 0, 4000000000000)
+} LIMIT 50`
+
+func runFixedQuery(t *testing.T, p *Pipeline) string {
+	t.Helper()
+	res, err := p.Engine.Execute(fixedQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	for _, row := range res.Rows {
+		for _, term := range row {
+			b.WriteString(term.String())
+			b.WriteByte('\t')
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// TestTieredDurableRecovery is the kill -9 walkthrough with sealed
+// segments: serial logged ingest with a forced seal mid-stream, a v2
+// snapshot, more ingest, then recovery — the restored pipeline must match
+// the uninterrupted one byte-for-byte (canonical dump, counters, fixed
+// query), restore the tier structure, and have the v2 artifacts on disk.
+func TestTieredDurableRecovery(t *testing.T) {
+	sc := durableWorld(t)
+	dataDir := t.TempDir()
+	log, err := wal.Open(WALDir(dataDir), wal.Options{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p1 := newPrimed(sc)
+	sealAt := len(sc.WireTimed) * 4 / 10
+	cutAt := len(sc.WireTimed) * 6 / 10
+	var info SnapshotInfo
+	for i, tl := range sc.WireTimed {
+		if _, err := p1.IngestLineLogged(log, tl); err != nil {
+			t.Fatal(err)
+		}
+		if i == sealAt {
+			if st := p1.MaintainStore(nil, store.TierPolicy{}, true); st.Sealed == 0 {
+				t.Fatal("forced seal sealed nothing")
+			}
+		}
+		if i == cutAt {
+			if err := log.Commit(); err != nil {
+				t.Fatal(err)
+			}
+			if info, err = p1.WriteSnapshot(dataDir, nil, log); err != nil {
+				t.Fatal(err)
+			}
+			if info.Segments == 0 {
+				t.Fatalf("v2 snapshot references no segments: %+v", info)
+			}
+		}
+	}
+	if err := log.Close(); err != nil {
+		t.Fatal(err)
+	}
+	wantNT := exportNT(t, p1)
+	wantSnap := p1.Stats.Snapshot()
+	wantQuery := runFixedQuery(t, p1)
+	wantTiers := p1.Store.TierStats()
+
+	// v2 artifacts on disk: manifest v2, per-shard segment lists, hard
+	// links into the shared cache.
+	var m manifest
+	if err := readJSON(filepath.Join(info.Dir, "MANIFEST.json"), &m); err != nil {
+		t.Fatal(err)
+	}
+	if m.Version != 2 || m.Segments != info.Segments {
+		t.Fatalf("manifest = %+v", m)
+	}
+	if _, err := os.Stat(filepath.Join(info.Dir, "shard-000.segments")); err != nil {
+		t.Fatalf("segment list missing: %v", err)
+	}
+	cache, err := os.ReadDir(SegmentsDir(dataDir))
+	if err != nil || len(cache) == 0 {
+		t.Fatalf("segment cache empty: %v", err)
+	}
+
+	p2 := newPrimed(sc)
+	rs, err := p2.Recover(dataDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs.SnapshotLSN == 0 || rs.Replayed == 0 {
+		t.Fatalf("recovery stats: %+v", rs)
+	}
+	if got := p2.Stats.Snapshot(); got != wantSnap {
+		t.Errorf("recovered counters = %+v, want %+v", got, wantSnap)
+	}
+	if got := exportNT(t, p2); !bytes.Equal(got, wantNT) {
+		t.Error("recovered canonical dump differs from uninterrupted run")
+	}
+	if got := runFixedQuery(t, p2); got != wantQuery {
+		t.Errorf("recovered query result differs:\n%s\nvs\n%s", got, wantQuery)
+	}
+	gotTiers := p2.Store.TierStats()
+	if gotTiers.Segments != wantTiers.Segments || gotTiers.SealedTriples != wantTiers.SealedTriples {
+		t.Errorf("tier structure not restored: %+v vs %+v", gotTiers, wantTiers)
+	}
+	// The stream clock survived recovery: a retention pass on the restored
+	// pipeline can age out the sealed history.
+	if p2.Store.MaxAnchorTS() == 0 {
+		t.Fatal("stream clock lost across recovery")
+	}
+	if st := p2.MaintainStore(nil, store.TierPolicy{Retention: time.Millisecond}, false); st.Dropped == 0 {
+		t.Error("retention on the recovered store dropped nothing")
+	}
+
+	// A second snapshot from the recovered pipeline reuses the cached
+	// segment files (write-once): same inode, higher link count.
+	log2, err := wal.Open(WALDir(dataDir), wal.Options{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer log2.Close()
+	p3 := newPrimed(sc)
+	if _, err := p3.Recover(dataDir); err != nil {
+		t.Fatal(err)
+	}
+	before := map[string]os.FileInfo{}
+	for _, e := range cache {
+		fi, err := os.Stat(filepath.Join(SegmentsDir(dataDir), e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		before[e.Name()] = fi
+	}
+	info3, err := p3.WriteSnapshot(dataDir, nil, log2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info3.Segments == 0 {
+		t.Fatal("second snapshot lost the segments")
+	}
+	for name, fi := range before {
+		fi2, err := os.Stat(filepath.Join(info3.Dir, name))
+		if err != nil {
+			t.Fatalf("segment %s not linked into second snapshot: %v", name, err)
+		}
+		if !os.SameFile(fi, fi2) {
+			t.Errorf("segment %s was rewritten, not linked", name)
+		}
+	}
+}
+
+// TestV1SnapshotRecovery checks read-compat: a flat v1 snapshot (the PR-3
+// layout) still recovers, and sealing the flat-loaded store afterwards
+// preserves content.
+func TestV1SnapshotRecovery(t *testing.T) {
+	sc := durableWorld(t)
+	dataDir := t.TempDir()
+	log, err := wal.Open(WALDir(dataDir), wal.Options{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p1 := newPrimed(sc)
+	for _, tl := range sc.WireTimed {
+		if _, err := p1.IngestLineLogged(log, tl); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := log.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	info, err := p1.WriteSnapshot(dataDir, nil, log)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := log.Close(); err != nil {
+		t.Fatal(err)
+	}
+	wantNT := exportNT(t, p1)
+	wantSnap := p1.Stats.Snapshot()
+	wantQuery := runFixedQuery(t, p1)
+
+	// Downgrade the snapshot in place to the v1 layout: flat store files,
+	// no segment artifacts, version 1 manifest.
+	ents, err := os.ReadDir(info.Dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range ents {
+		if strings.HasSuffix(e.Name(), ".segments") || strings.HasSuffix(e.Name(), ".seg") {
+			if err := os.Remove(filepath.Join(info.Dir, e.Name())); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if err := p1.Store.WriteSnapshot(info.Dir); err != nil {
+		t.Fatal(err)
+	}
+	var m manifest
+	if err := readJSON(filepath.Join(info.Dir, "MANIFEST.json"), &m); err != nil {
+		t.Fatal(err)
+	}
+	m.Version, m.Segments = 1, 0
+	if err := writeJSON(filepath.Join(info.Dir, "MANIFEST.json"), m); err != nil {
+		t.Fatal(err)
+	}
+
+	p2 := newPrimed(sc)
+	rs, err := p2.Recover(dataDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs.SnapshotLSN == 0 {
+		t.Fatal("v1 snapshot not loaded")
+	}
+	if got := p2.Stats.Snapshot(); got != wantSnap {
+		t.Errorf("v1-recovered counters = %+v, want %+v", got, wantSnap)
+	}
+	if got := exportNT(t, p2); !bytes.Equal(got, wantNT) {
+		t.Error("v1-recovered canonical dump differs")
+	}
+	if got := runFixedQuery(t, p2); got != wantQuery {
+		t.Error("v1-recovered query result differs")
+	}
+	// The flat-loaded store self-heals on its first seal: anchored data
+	// tiers into a segment, dimension residue migrates to the global tier,
+	// and content is unchanged.
+	if st := p2.MaintainStore(nil, store.TierPolicy{}, true); st.Sealed == 0 {
+		t.Fatal("seal after v1 load sealed nothing")
+	}
+	if got := exportNT(t, p2); !bytes.Equal(got, wantNT) {
+		t.Error("sealing the v1-loaded store changed content")
+	}
+	if got := runFixedQuery(t, p2); got != wantQuery {
+		t.Error("sealing the v1-loaded store changed query results")
+	}
+}
+
+// TestRecoverySweepsStaleSegmentCache plants leftovers of a crashed
+// snapshot attempt — a completed segment file whose id the recovered
+// counter will re-issue, and a torn .tmp — and checks recovery sweeps both
+// before any new seal can collide with them, while keeping every file the
+// loaded snapshot references.
+func TestRecoverySweepsStaleSegmentCache(t *testing.T) {
+	sc := durableWorld(t)
+	dataDir := t.TempDir()
+	log, err := wal.Open(WALDir(dataDir), wal.Options{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p1 := newPrimed(sc)
+	for _, tl := range sc.WireTimed[:len(sc.WireTimed)/2] {
+		if _, err := p1.IngestLineLogged(log, tl); err != nil {
+			t.Fatal(err)
+		}
+	}
+	p1.MaintainStore(nil, store.TierPolicy{}, true)
+	if _, err := p1.WriteSnapshot(dataDir, nil, log); err != nil {
+		t.Fatal(err)
+	}
+	if err := log.Close(); err != nil {
+		t.Fatal(err)
+	}
+	referenced := p1.Store.SegmentFiles()
+	if len(referenced) == 0 {
+		t.Fatal("no referenced segments")
+	}
+	// A crashed later snapshot left a completed file with the next id and a
+	// torn temp file.
+	stale := filepath.Join(SegmentsDir(dataDir), fmt.Sprintf("seg-%016x.seg", len(referenced)+1))
+	torn := filepath.Join(SegmentsDir(dataDir), fmt.Sprintf("seg-%016x.seg.tmp", len(referenced)+2))
+	for _, f := range []string{stale, torn} {
+		if err := os.WriteFile(f, []byte("bogus pre-crash content"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	p2 := newPrimed(sc)
+	if _, err := p2.Recover(dataDir); err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range []string{stale, torn} {
+		if _, err := os.Stat(f); !os.IsNotExist(err) {
+			t.Errorf("stale cache file %s survived recovery", filepath.Base(f))
+		}
+	}
+	for _, name := range referenced {
+		if _, err := os.Stat(filepath.Join(SegmentsDir(dataDir), name)); err != nil {
+			t.Errorf("referenced segment %s swept: %v", name, err)
+		}
+	}
+	// The re-issued id now serialises the real segment, and recovery from
+	// it round-trips.
+	log2, err := wal.Open(WALDir(dataDir), wal.Options{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer log2.Close()
+	for _, tl := range sc.WireTimed[len(sc.WireTimed)/2:] {
+		if _, err := p2.IngestLineLogged(log2, tl); err != nil {
+			t.Fatal(err)
+		}
+	}
+	p2.MaintainStore(nil, store.TierPolicy{}, true)
+	if _, err := p2.WriteSnapshot(dataDir, nil, log2); err != nil {
+		t.Fatal(err)
+	}
+	want := exportNT(t, p2)
+	p3 := newPrimed(sc)
+	if _, err := p3.Recover(dataDir); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(exportNT(t, p3), want) {
+		t.Error("recovery after id reuse differs — stale cache content leaked into a snapshot")
+	}
+}
+
+// TestSnapshotGCSweepsRetiredSegments checks that segment files dropped by
+// retention disappear from the shared cache after the next snapshot, while
+// files the latest snapshot references stay.
+func TestSnapshotGCSweepsRetiredSegments(t *testing.T) {
+	sc := durableWorld(t)
+	dataDir := t.TempDir()
+	log, err := wal.Open(WALDir(dataDir), wal.Options{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer log.Close()
+	p := newPrimed(sc)
+	third := len(sc.WireTimed) / 3
+	ingest := func(from, to int) {
+		for _, tl := range sc.WireTimed[from:to] {
+			if _, err := p.IngestLineLogged(log, tl); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	ingest(0, third)
+	p.MaintainStore(nil, store.TierPolicy{}, true)
+	if _, err := p.WriteSnapshot(dataDir, nil, log); err != nil {
+		t.Fatal(err)
+	}
+	gen1 := map[string]bool{}
+	for _, name := range p.Store.SegmentFiles() {
+		gen1[name] = true
+	}
+	if len(gen1) == 0 {
+		t.Fatal("no first-generation segments")
+	}
+
+	ingest(third, 2*third)
+	p.MaintainStore(nil, store.TierPolicy{}, true)
+	// Retention drops the first generation (older than the last third).
+	streamSpan := p.Store.MaxAnchorTS()
+	_ = streamSpan
+	st := p.MaintainStore(nil, store.TierPolicy{Retention: 20 * time.Minute}, false)
+	if st.Dropped == 0 {
+		t.Fatal("retention dropped nothing; widen the test windows")
+	}
+	if _, err := p.WriteSnapshot(dataDir, nil, log); err != nil {
+		t.Fatal(err)
+	}
+
+	cache, err := os.ReadDir(SegmentsDir(dataDir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	live := map[string]bool{}
+	for _, name := range p.Store.SegmentFiles() {
+		live[name] = true
+	}
+	for _, e := range cache {
+		if gen1[e.Name()] && !live[e.Name()] {
+			t.Errorf("retired segment %s still in cache after snapshot GC", e.Name())
+		}
+	}
+	for name := range live {
+		if _, err := os.Stat(filepath.Join(SegmentsDir(dataDir), name)); err != nil {
+			t.Errorf("live segment %s missing from cache: %v", name, err)
+		}
+	}
+}

@@ -1,7 +1,7 @@
-// Package experiments implements the E1–E12 evaluation harness defined in
+// Package experiments implements the E1–E13 evaluation harness defined in
 // DESIGN.md §4: each experiment reifies one verbatim claim of the paper
-// into a measured table (E11/E12 extend the suite to the serving layer's
-// durability and online-forecasting subsystems). The same functions back
+// into a measured table (E11–E13 extend the suite to the serving layer's
+// durability, online-forecasting and tiered-storage subsystems). The same functions back
 // the root bench_test.go benchmarks and the cmd/datacron-bench report
 // tool. Pass quick=true for test-sized workloads, quick=false for the full
 // experiment scale.
@@ -89,5 +89,6 @@ func All(quick bool) []*Table {
 		E10EndToEnd(quick),
 		E11Durability(quick),
 		E12OnlineForecast(quick),
+		E13Tiering(quick),
 	}
 }

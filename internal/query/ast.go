@@ -116,8 +116,15 @@ type CmpFilter struct {
 // Vars implements Filter.
 func (f CmpFilter) Vars() []string { return []string{f.Var} }
 
-// String implements fmt.Stringer.
-func (f CmpFilter) String() string { return fmt.Sprintf("FILTER (?%s %s %s)", f.Var, f.Op, f.Value) }
+// String implements fmt.Stringer, rendering a form the parser accepts:
+// numeric literals print raw, anything else as a quoted string.
+func (f CmpFilter) String() string {
+	val := f.Value.String()
+	if _, ok := f.Value.Float(); ok {
+		val = f.Value.Value
+	}
+	return fmt.Sprintf("FILTER (?%s %s %s)", f.Var, f.Op, val)
+}
 
 // Eval implements Filter: numeric when both sides parse as numbers,
 // lexicographic otherwise.
@@ -179,9 +186,10 @@ type WithinFilter struct {
 // Vars implements Filter.
 func (f WithinFilter) Vars() []string { return []string{f.LonVar, f.LatVar} }
 
-// String implements fmt.Stringer.
+// String implements fmt.Stringer (parser-canonical form).
 func (f WithinFilter) String() string {
-	return fmt.Sprintf("FILTER st:within(?%s, ?%s, %v)", f.LonVar, f.LatVar, f.Box)
+	return fmt.Sprintf("FILTER st:within(?%s, ?%s, %g, %g, %g, %g)",
+		f.LonVar, f.LatVar, f.Box.MinLon, f.Box.MinLat, f.Box.MaxLon, f.Box.MaxLat)
 }
 
 // Eval implements Filter.
@@ -225,9 +233,10 @@ type DWithinFilter struct {
 // Vars implements Filter.
 func (f DWithinFilter) Vars() []string { return []string{f.LonVar, f.LatVar} }
 
-// String implements fmt.Stringer.
+// String implements fmt.Stringer (parser-canonical form).
 func (f DWithinFilter) String() string {
-	return fmt.Sprintf("FILTER st:dwithin(?%s, ?%s, %v, %.0fm)", f.LonVar, f.LatVar, f.Center, f.DistM)
+	return fmt.Sprintf("FILTER st:dwithin(?%s, ?%s, %g, %g, %g)",
+		f.LonVar, f.LatVar, f.Center.Lon, f.Center.Lat, f.DistM)
 }
 
 // Eval implements Filter.

@@ -12,9 +12,11 @@ import (
 	"github.com/datacron-project/datacron/internal/store"
 )
 
-// Engine evaluates queries over a sharded store: the plan orders patterns
-// greedily by bound-slot count, shard candidates come from the spatial and
-// temporal FILTER bounds via the partitioner, every candidate shard is
+// Engine evaluates queries over a sharded store: each shard's plan orders
+// patterns greedily by bound-slot count with per-shard predicate
+// cardinalities as the tiebreak, shard candidates come from the spatial and
+// temporal FILTER bounds via the partitioner, the same bounds prune whole
+// sealed segments inside each candidate shard, every candidate shard is
 // evaluated independently in parallel (global triples are replicated so the
 // evaluation never crosses shards), and rows are merged with set semantics.
 type Engine struct {
@@ -32,7 +34,11 @@ type Result struct {
 	Vars          []string
 	Rows          [][]rdf.Term
 	ShardsVisited int
-	Elapsed       time.Duration
+	// SegmentsPruned counts sealed segments skipped across the visited
+	// shards because their anchor time range or bounding box cannot
+	// intersect the query's FILTER bounds.
+	SegmentsPruned int
+	Elapsed        time.Duration
 }
 
 // Execute parses and runs a query string.
@@ -47,14 +53,17 @@ func (e *Engine) Execute(src string) (*Result, error) {
 // Run evaluates a parsed query.
 func (e *Engine) Run(q *Query) (*Result, error) {
 	start := time.Now()
-	plan := planPatterns(q.Patterns)
 	vars := q.Vars
 	if len(vars) == 0 {
 		vars = allVars(q.Patterns)
 	}
 
-	// Shard pruning from spatiotemporal filter bounds.
+	// Shard pruning from spatiotemporal filter bounds; the same bounds
+	// prune sealed segments inside each shard.
 	candidates := e.candidates(q)
+	box, hasBox := q.SpatialBounds()
+	from, to, hasTime := q.TimeBounds()
+	vb := store.ViewBounds{Box: box, HasBox: hasBox, From: from, To: to, HasTime: hasTime}
 
 	par := e.Parallelism
 	if par <= 0 || par > len(candidates) {
@@ -67,9 +76,16 @@ func (e *Engine) Run(q *Query) (*Result, error) {
 	var mu sync.Mutex
 	seen := make(map[string]struct{})
 	var rows [][]rdf.Term
-	e.st.EachShardSubset(candidates, par, func(i int, st *rdf.Store) {
-		local := evalShard(st, plan, q.Filters)
+	segsPruned := 0
+	e.st.EachShardView(candidates, par, vb, func(i int, v *rdf.View, pruned int) {
+		// Plan per shard: predicate cardinalities differ across shards and
+		// change as segments seal and age out.
+		plan := planPatterns(q.Patterns, v)
+		local := evalShard(v, plan, q.Filters)
 		if len(local) == 0 {
+			mu.Lock()
+			segsPruned += pruned
+			mu.Unlock()
 			return
 		}
 		// Decode and key rows outside the merge lock so parallel shards
@@ -81,9 +97,9 @@ func (e *Engine) Run(q *Query) (*Result, error) {
 		decoded := make([]keyedRow, 0, len(local))
 		for _, b := range local {
 			row := make([]rdf.Term, len(vars))
-			for j, v := range vars {
-				if id, ok := b[v]; ok {
-					t, _ := st.Dict().Decode(id)
+			for j, vn := range vars {
+				if id, ok := b[vn]; ok {
+					t, _ := v.Dict().Decode(id)
 					row[j] = t
 				}
 			}
@@ -91,6 +107,7 @@ func (e *Engine) Run(q *Query) (*Result, error) {
 		}
 		mu.Lock()
 		defer mu.Unlock()
+		segsPruned += pruned
 		for _, kr := range decoded {
 			if _, dup := seen[kr.key]; dup {
 				continue
@@ -106,13 +123,18 @@ func (e *Engine) Run(q *Query) (*Result, error) {
 	}
 	if q.Count {
 		return &Result{
-			Vars:          []string{"count"},
-			Rows:          [][]rdf.Term{{rdf.NewLong(int64(len(rows)))}},
-			ShardsVisited: len(candidates),
-			Elapsed:       time.Since(start),
+			Vars:           []string{"count"},
+			Rows:           [][]rdf.Term{{rdf.NewLong(int64(len(rows)))}},
+			ShardsVisited:  len(candidates),
+			SegmentsPruned: segsPruned,
+			Elapsed:        time.Since(start),
 		}, nil
 	}
-	return &Result{Vars: vars, Rows: rows, ShardsVisited: len(candidates), Elapsed: time.Since(start)}, nil
+	return &Result{
+		Vars: vars, Rows: rows,
+		ShardsVisited: len(candidates), SegmentsPruned: segsPruned,
+		Elapsed: time.Since(start),
+	}, nil
 }
 
 // candidates returns the shard indexes to evaluate.
@@ -137,14 +159,18 @@ type binding map[string]rdf.ID
 
 // planPatterns orders patterns greedily: start from the most-bound pattern,
 // then repeatedly pick the pattern with the most slots bound given already
-// planned variables (preferring connected patterns avoids Cartesian blowup).
-func planPatterns(patterns []TriplePattern) []TriplePattern {
+// planned variables (preferring connected patterns avoids Cartesian
+// blowup). Ties are broken by estimated cardinality from the graph's
+// per-tier predicate statistics — with g == nil the planner falls back to
+// the purely structural heuristic.
+func planPatterns(patterns []TriplePattern, g rdf.Graph) []TriplePattern {
 	remaining := append([]TriplePattern(nil), patterns...)
 	bound := map[string]bool{}
 	var plan []TriplePattern
 	for len(remaining) > 0 {
 		bestIdx := 0
 		bestScore := -1
+		bestCard := 0
 		for i, tp := range remaining {
 			score := tp.boundCount(bound) * 2
 			// Prefer patterns connected to the bound set.
@@ -153,8 +179,10 @@ func planPatterns(patterns []TriplePattern) []TriplePattern {
 					score++
 				}
 			}
-			if score > bestScore {
+			card := estimateCard(tp, g)
+			if score > bestScore || (score == bestScore && card < bestCard) {
 				bestScore = score
+				bestCard = card
 				bestIdx = i
 			}
 		}
@@ -168,8 +196,27 @@ func planPatterns(patterns []TriplePattern) []TriplePattern {
 	return plan
 }
 
-// evalShard evaluates the planned BGP + filters on one shard.
-func evalShard(st *rdf.Store, plan []TriplePattern, filters []Filter) []binding {
+// estimateCard estimates how many triples a pattern can match on g: the
+// predicate cardinality when the predicate is a known constant (0 when the
+// shard has never seen it — nothing can match, evaluate first and finish),
+// the graph size otherwise.
+func estimateCard(tp TriplePattern, g rdf.Graph) int {
+	if g == nil {
+		return 0
+	}
+	if !tp.P.IsVar {
+		id, ok := g.Dict().Lookup(tp.P.Term)
+		if !ok {
+			return 0
+		}
+		return g.PredCard(id)
+	}
+	return g.Len()
+}
+
+// evalShard evaluates the planned BGP + filters on one shard's merged
+// tier view.
+func evalShard(st rdf.Graph, plan []TriplePattern, filters []Filter) []binding {
 	bindings := []binding{{}}
 	applied := make([]bool, len(filters))
 	boundVars := map[string]bool{}
@@ -256,7 +303,7 @@ func evalShard(st *rdf.Store, plan []TriplePattern, filters []Filter) []binding 
 // resolve turns a pattern slot into (id, varName) under a binding. ok is
 // false when the slot is a constant unknown to the shard's dictionary
 // (no triple can match).
-func resolve(st *rdf.Store, pt PatternTerm, b binding) (rdf.ID, string, bool) {
+func resolve(st rdf.Graph, pt PatternTerm, b binding) (rdf.ID, string, bool) {
 	if !pt.IsVar {
 		id, ok := st.Dict().Lookup(pt.Term)
 		if !ok {

@@ -93,7 +93,7 @@ func (l *lexer) next() (token, error) {
 		tok := token{kind: tokString, text: l.src[l.pos+1 : i], pos: start}
 		l.pos = i + 1
 		return tok, nil
-	case c == '{' || c == '}' || c == '(' || c == ')' || c == ',':
+	case c == '{' || c == '}' || c == '(' || c == ')' || c == ',' || c == '*':
 		l.pos++
 		return token{kind: tokPunct, text: string(c), pos: start}, nil
 	case c == '.':
@@ -210,10 +210,19 @@ func (p *parser) parseQuery() (*Query, error) {
 		q.Count = true
 		p.advance()
 	}
-	// Projection; no variables means SELECT * (all pattern variables).
-	for p.cur.kind == tokVar {
+	// Projection: an explicit * or no variables selects all pattern
+	// variables.
+	if p.cur.kind == tokPunct && p.cur.text == "*" {
+		p.advance()
+	}
+	// advance() keeps the stale token on a lexer error, so the loop must
+	// also watch p.err or a mid-projection error would spin forever.
+	for p.err == nil && p.cur.kind == tokVar {
 		q.Vars = append(q.Vars, p.cur.text)
 		p.advance()
+	}
+	if p.err != nil {
+		return nil, p.err
 	}
 	if err := p.expectIdent("WHERE"); err != nil {
 		return nil, err

@@ -1,6 +1,7 @@
 package query
 
 import (
+	"fmt"
 	"strings"
 	"testing"
 
@@ -379,10 +380,37 @@ func TestPlannerOrdersBoundFirst(t *testing.T) {
 		?n dat:ofMovingObject ?v .
 		?v rdf:type dat:Vessel .
 	}`)
-	plan := planPatterns(q.Patterns)
+	plan := planPatterns(q.Patterns, nil)
 	// The type pattern has 2 constants vs 1: must come first.
 	if plan[0].P.Term.Value != rdf.RDFType {
 		t.Errorf("plan order: %v first", plan[0])
+	}
+}
+
+func TestPlannerPrefersLowCardinalityPredicate(t *testing.T) {
+	// Two patterns with identical structure (1 constant each): the one
+	// whose predicate is rarer in this shard must be evaluated first.
+	s := store.NewSharded(partition.NewHash(1), worldBox)
+	rare := rdf.NewIRI(onto.NS + "rare")
+	common := rdf.NewIRI(onto.NS + "common")
+	var triples []onto.TripleT
+	triples = append(triples, onto.TripleT{S: rdf.NewIRI("e:a"), P: rare, O: rdf.NewLiteral("x")})
+	for i := 0; i < 50; i++ {
+		triples = append(triples, onto.TripleT{
+			S: rdf.NewIRI(fmt.Sprintf("e:%d", i)), P: common, O: rdf.NewLiteral("y"),
+		})
+	}
+	s.AddGlobal(triples)
+	q := MustParse(`SELECT ?a ?b WHERE { ?a dat:common ?b . ?a dat:rare ?b . }`)
+	plan := planPatterns(q.Patterns, s.View(0))
+	if plan[0].P.Term != rare {
+		t.Errorf("plan order: %v first, want the rare predicate", plan[0])
+	}
+	// Unknown predicates estimate to zero and plan first of all.
+	q2 := MustParse(`SELECT ?a ?b WHERE { ?a dat:common ?b . ?a dat:unseen ?b . }`)
+	plan2 := planPatterns(q2.Patterns, s.View(0))
+	if plan2[0].P.Term.Value != onto.NS+"unseen" {
+		t.Errorf("plan order: %v first, want the unseen predicate", plan2[0])
 	}
 }
 

@@ -1,0 +1,117 @@
+package rdf
+
+// Graph is the read interface shared by the mutable Store (head tier),
+// the immutable Segment (sealed tier) and the View that merges them. The
+// query layer evaluates against Graph, so it is oblivious to how a shard
+// tiers its data.
+type Graph interface {
+	// FindID streams triples matching the pattern (Wildcard = any) to fn;
+	// fn returning false stops iteration early.
+	FindID(s, p, o ID, fn func(Triple) bool)
+	// Dict returns the dictionary the graph's IDs are encoded against.
+	Dict() *Dictionary
+	// Len returns the number of triples.
+	Len() int
+	// PredCard returns the number of triples with predicate p (an exact
+	// count for Store and Segment, a sum for View) — the statistic the
+	// query planner orders patterns by.
+	PredCard(p ID) int
+}
+
+// View is the merged read path over the tiers of one shard: typically
+// [global dimension store, mutable head, sealed segments...]. It implements
+// Graph by iterating its parts in order. A View holds no locks; the caller
+// must guarantee the parts are quiescent or immutable for the View's
+// lifetime (the sharded store builds views under the shard read lock).
+//
+// A View does not deduplicate across parts: the tiering write path keeps
+// tiers disjoint, and the consumers that must be canonical anyway
+// (row-level set semantics in the query engine, sorted-line dedup in
+// WriteNTriples) dedup at their level.
+type View struct {
+	dict  *Dictionary
+	parts []Graph
+}
+
+// NewView returns a view over parts sharing dict.
+func NewView(dict *Dictionary, parts ...Graph) *View {
+	return &View{dict: dict, parts: parts}
+}
+
+// Parts returns the underlying graphs, outermost (global) first.
+func (v *View) Parts() []Graph { return v.parts }
+
+// Dict implements Graph.
+func (v *View) Dict() *Dictionary { return v.dict }
+
+// Len implements Graph: the sum over parts.
+func (v *View) Len() int {
+	n := 0
+	for _, g := range v.parts {
+		n += g.Len()
+	}
+	return n
+}
+
+// PredCard implements Graph: the sum over parts.
+func (v *View) PredCard(p ID) int {
+	n := 0
+	for _, g := range v.parts {
+		n += g.PredCard(p)
+	}
+	return n
+}
+
+// FindID implements Graph, preserving early-stop across parts.
+func (v *View) FindID(s, p, o ID, fn func(Triple) bool) {
+	stopped := false
+	wrap := func(t Triple) bool {
+		if !fn(t) {
+			stopped = true
+			return false
+		}
+		return true
+	}
+	for _, g := range v.parts {
+		g.FindID(s, p, o, wrap)
+		if stopped {
+			return
+		}
+	}
+}
+
+// Find is the Term-level convenience over FindID; nil pattern slots match
+// anything.
+func (v *View) Find(s, p, o *Term, fn func(s, p, o Term) bool) {
+	findTerms(v, s, p, o, fn)
+}
+
+// findTerms implements the Term-level Find over any Graph.
+func findTerms(g Graph, s, p, o *Term, fn func(s, p, o Term) bool) {
+	dict := g.Dict()
+	enc := func(t *Term) (ID, bool) {
+		if t == nil {
+			return Wildcard, true
+		}
+		id, ok := dict.Lookup(*t)
+		return id, ok
+	}
+	sid, ok := enc(s)
+	if !ok {
+		return
+	}
+	pid, ok := enc(p)
+	if !ok {
+		return
+	}
+	oid, ok := enc(o)
+	if !ok {
+		return
+	}
+	g.FindID(sid, pid, oid, func(t Triple) bool {
+		ts, _ := dict.Decode(t.S)
+		tp, _ := dict.Decode(t.P)
+		to, _ := dict.Decode(t.O)
+		return fn(ts, tp, to)
+	})
+}

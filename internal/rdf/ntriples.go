@@ -8,22 +8,26 @@ import (
 	"strings"
 )
 
-// WriteNTriples serialises the store's triples to w in canonical N-Triples
-// form: lines are sorted lexicographically, so two stores holding the same
-// graph produce byte-identical output regardless of insertion order or
-// dictionary state.
-func WriteNTriples(w io.Writer, st *Store) error {
-	lines := make([]string, 0, st.Len())
-	st.FindID(Wildcard, Wildcard, Wildcard, func(t Triple) bool {
-		s, _ := st.dict.Decode(t.S)
-		p, _ := st.dict.Decode(t.P)
-		o, _ := st.dict.Decode(t.O)
+// WriteNTriples serialises a graph's triples to w in canonical N-Triples
+// form: lines are sorted lexicographically and deduplicated, so two graphs
+// holding the same triples produce byte-identical output regardless of
+// insertion order, dictionary state or tier layout.
+func WriteNTriples(w io.Writer, g Graph) error {
+	dict := g.Dict()
+	lines := make([]string, 0, g.Len())
+	g.FindID(Wildcard, Wildcard, Wildcard, func(t Triple) bool {
+		s, _ := dict.Decode(t.S)
+		p, _ := dict.Decode(t.P)
+		o, _ := dict.Decode(t.O)
 		lines = append(lines, fmt.Sprintf("%s %s %s .\n", s, p, o))
 		return true
 	})
 	sort.Strings(lines)
 	bw := bufio.NewWriter(w)
-	for _, line := range lines {
+	for i, line := range lines {
+		if i > 0 && line == lines[i-1] {
+			continue
+		}
 		if _, err := bw.WriteString(line); err != nil {
 			return fmt.Errorf("rdf: write: %w", err)
 		}

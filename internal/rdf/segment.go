@@ -1,0 +1,175 @@
+package rdf
+
+import "sort"
+
+// Segment is a sealed, immutable triple set: a single sorted triple array
+// plus two permutation indexes, giving binary-search access paths for every
+// bound-slot combination at a fraction of the head store's map-of-maps
+// footprint (~20 bytes per triple vs several hundred). Segments are
+// produced by sealing a shard's head and are never modified afterwards, so
+// they can be read without locks, shared across snapshots, and dropped
+// wholesale by retention.
+type Segment struct {
+	dict *Dictionary
+	tri  []Triple // sorted by (S, P, O), deduplicated
+	pos  []uint32 // indexes into tri, sorted by (P, O, S)
+	osp  []uint32 // indexes into tri, sorted by (O, S, P)
+	pred map[ID]int
+}
+
+// NewSegment builds a segment from triples (copied; any order, duplicates
+// collapsed).
+func NewSegment(dict *Dictionary, triples []Triple) *Segment {
+	tri := append([]Triple(nil), triples...)
+	sort.Slice(tri, func(i, j int) bool { return lessSPO(tri[i], tri[j]) })
+	// Collapse duplicates in place.
+	w := 0
+	for i, t := range tri {
+		if i > 0 && t == tri[w-1] {
+			continue
+		}
+		tri[w] = t
+		w++
+	}
+	tri = tri[:w]
+
+	seg := &Segment{
+		dict: dict,
+		tri:  tri,
+		pos:  make([]uint32, len(tri)),
+		osp:  make([]uint32, len(tri)),
+		pred: make(map[ID]int),
+	}
+	for i := range tri {
+		seg.pos[i] = uint32(i)
+		seg.osp[i] = uint32(i)
+		seg.pred[tri[i].P]++
+	}
+	sort.Slice(seg.pos, func(i, j int) bool { return lessPOS(tri[seg.pos[i]], tri[seg.pos[j]]) })
+	sort.Slice(seg.osp, func(i, j int) bool { return lessOSP(tri[seg.osp[i]], tri[seg.osp[j]]) })
+	return seg
+}
+
+func lessSPO(a, b Triple) bool {
+	if a.S != b.S {
+		return a.S < b.S
+	}
+	if a.P != b.P {
+		return a.P < b.P
+	}
+	return a.O < b.O
+}
+
+func lessPOS(a, b Triple) bool {
+	if a.P != b.P {
+		return a.P < b.P
+	}
+	if a.O != b.O {
+		return a.O < b.O
+	}
+	return a.S < b.S
+}
+
+func lessOSP(a, b Triple) bool {
+	if a.O != b.O {
+		return a.O < b.O
+	}
+	if a.S != b.S {
+		return a.S < b.S
+	}
+	return a.P < b.P
+}
+
+// Dict implements Graph.
+func (g *Segment) Dict() *Dictionary { return g.dict }
+
+// Len implements Graph.
+func (g *Segment) Len() int { return len(g.tri) }
+
+// PredCard implements Graph.
+func (g *Segment) PredCard(p ID) int { return g.pred[p] }
+
+// PredHistogram returns a copy of the per-predicate triple counts (the
+// per-segment statistic snapshots persist).
+func (g *Segment) PredHistogram() map[ID]int {
+	out := make(map[ID]int, len(g.pred))
+	for k, v := range g.pred {
+		out[k] = v
+	}
+	return out
+}
+
+// Triples returns the segment's triples in (S,P,O) order. The returned
+// slice is the segment's own storage: callers must not modify it.
+func (g *Segment) Triples() []Triple { return g.tri }
+
+// FindID implements Graph via binary search on the access path matching the
+// bound slots.
+func (g *Segment) FindID(s, p, o ID, fn func(Triple) bool) {
+	switch {
+	case s != Wildcard:
+		// SPO order: range scan of the prefix (s[, p[, o]]). With p
+		// unbound, O is only sorted within each (S,P) group, so a bound o
+		// filters the scan instead of ending it.
+		lo := sort.Search(len(g.tri), func(i int) bool {
+			return !lessSPO(g.tri[i], Triple{s, p, o})
+		})
+		for i := lo; i < len(g.tri); i++ {
+			t := g.tri[i]
+			if t.S != s {
+				return
+			}
+			if p != Wildcard {
+				if t.P != p {
+					return
+				}
+				if o != Wildcard {
+					if t.O != o {
+						return
+					}
+					fn(t)
+					return
+				}
+			} else if o != Wildcard && t.O != o {
+				continue
+			}
+			if !fn(t) {
+				return
+			}
+		}
+	case p != Wildcard:
+		// POS order: range scan of the prefix (p[, o]).
+		lo := sort.Search(len(g.pos), func(i int) bool {
+			return !lessPOS(g.tri[g.pos[i]], Triple{Wildcard, p, o})
+		})
+		for i := lo; i < len(g.pos); i++ {
+			t := g.tri[g.pos[i]]
+			if t.P != p || (o != Wildcard && t.O != o) {
+				return
+			}
+			if !fn(t) {
+				return
+			}
+		}
+	case o != Wildcard:
+		// OSP order: range scan of the prefix (o).
+		lo := sort.Search(len(g.osp), func(i int) bool {
+			return !lessOSP(g.tri[g.osp[i]], Triple{Wildcard, Wildcard, o})
+		})
+		for i := lo; i < len(g.osp); i++ {
+			t := g.tri[g.osp[i]]
+			if t.O != o {
+				return
+			}
+			if !fn(t) {
+				return
+			}
+		}
+	default:
+		for _, t := range g.tri {
+			if !fn(t) {
+				return
+			}
+		}
+	}
+}

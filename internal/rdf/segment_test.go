@@ -1,0 +1,189 @@
+package rdf
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// randomTriples builds a reproducible triple soup with repeated subjects,
+// predicates and objects so every access path has multi-element ranges.
+func randomTriples(n int, seed int64) []Triple {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]Triple, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, Triple{
+			S: ID(rng.Intn(50) + 1),
+			P: ID(rng.Intn(8) + 1),
+			O: ID(rng.Intn(80) + 1),
+		})
+	}
+	return out
+}
+
+func collect(g Graph, s, p, o ID) []Triple {
+	var out []Triple
+	g.FindID(s, p, o, func(t Triple) bool {
+		out = append(out, t)
+		return true
+	})
+	sort.Slice(out, func(i, j int) bool { return lessSPO(out[i], out[j]) })
+	return out
+}
+
+// TestSegmentFindParity checks every bound-slot combination against the map
+// store over the same triples.
+func TestSegmentFindParity(t *testing.T) {
+	dict := NewDictionary()
+	triples := randomTriples(3000, 7)
+	st := NewStore(dict)
+	for _, tr := range triples {
+		st.AddID(tr.S, tr.P, tr.O)
+	}
+	seg := NewSegment(dict, triples)
+	if seg.Len() != st.Len() {
+		t.Fatalf("segment len %d, store len %d", seg.Len(), st.Len())
+	}
+	w := ID(Wildcard)
+	patterns := [][3]ID{
+		{w, w, w},
+		{5, w, w}, {w, 3, w}, {w, w, 9},
+		{5, 3, w}, {5, w, 9}, {w, 3, 9},
+		{5, 3, 9},
+		{51, w, w}, {w, 9, w}, {w, w, 81}, // out-of-range ids match nothing
+	}
+	for _, pat := range patterns {
+		a := collect(st, pat[0], pat[1], pat[2])
+		b := collect(seg, pat[0], pat[1], pat[2])
+		if len(a) != len(b) {
+			t.Fatalf("pattern %v: store %d, segment %d triples", pat, len(a), len(b))
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("pattern %v: triple %d differs: %v vs %v", pat, i, a[i], b[i])
+			}
+		}
+	}
+	// Exhaustive single-subject / single-predicate / single-object parity.
+	for id := ID(1); id <= 80; id++ {
+		for _, pat := range [][3]ID{{id, w, w}, {w, id, w}, {w, w, id}} {
+			a := collect(st, pat[0], pat[1], pat[2])
+			b := collect(seg, pat[0], pat[1], pat[2])
+			if fmt.Sprint(a) != fmt.Sprint(b) {
+				t.Fatalf("pattern %v: parity broken", pat)
+			}
+		}
+	}
+}
+
+func TestSegmentEarlyStop(t *testing.T) {
+	dict := NewDictionary()
+	seg := NewSegment(dict, randomTriples(500, 3))
+	n := 0
+	seg.FindID(Wildcard, Wildcard, Wildcard, func(Triple) bool {
+		n++
+		return n < 10
+	})
+	if n != 10 {
+		t.Errorf("early stop visited %d", n)
+	}
+}
+
+func TestSegmentPredCard(t *testing.T) {
+	dict := NewDictionary()
+	triples := randomTriples(2000, 11)
+	st := NewStore(dict)
+	for _, tr := range triples {
+		st.AddID(tr.S, tr.P, tr.O)
+	}
+	seg := NewSegment(dict, triples)
+	for p := ID(1); p <= 8; p++ {
+		if seg.PredCard(p) != st.PredCard(p) {
+			t.Errorf("pred %d: segment card %d, store card %d", p, seg.PredCard(p), st.PredCard(p))
+		}
+	}
+}
+
+// TestViewMergesParts checks the merged view over a head store and two
+// segments behaves like one store holding the union.
+func TestViewMergesParts(t *testing.T) {
+	dict := NewDictionary()
+	all := randomTriples(1500, 13)
+	union := NewStore(dict)
+	for _, tr := range all {
+		union.AddID(tr.S, tr.P, tr.O)
+	}
+	segA := NewSegment(dict, all[:500])
+	segB := NewSegment(dict, all[500:1000])
+	head := NewStore(dict)
+	for _, tr := range all[1000:] {
+		head.AddID(tr.S, tr.P, tr.O)
+	}
+	v := NewView(dict, head, segA, segB)
+
+	// The union dedups; the view may see a triple in two parts. Compare as
+	// sets.
+	seen := map[Triple]bool{}
+	v.FindID(Wildcard, Wildcard, Wildcard, func(tr Triple) bool {
+		seen[tr] = true
+		return true
+	})
+	if len(seen) != union.Len() {
+		t.Fatalf("view distinct triples %d, union %d", len(seen), union.Len())
+	}
+	union.FindID(Wildcard, Wildcard, Wildcard, func(tr Triple) bool {
+		if !seen[tr] {
+			t.Fatalf("union triple %v missing from view", tr)
+		}
+		return true
+	})
+	// Early stop crosses part boundaries.
+	n := 0
+	v.FindID(Wildcard, Wildcard, Wildcard, func(Triple) bool {
+		n++
+		return n < 600 // beyond segA's 500
+	})
+	if n != 600 {
+		t.Errorf("early stop across parts visited %d", n)
+	}
+	// PredCard sums parts.
+	for p := ID(1); p <= 8; p++ {
+		want := head.PredCard(p) + segA.PredCard(p) + segB.PredCard(p)
+		if v.PredCard(p) != want {
+			t.Errorf("view PredCard(%d) = %d, want %d", p, v.PredCard(p), want)
+		}
+	}
+}
+
+func TestStoreHasIDAndSortedLists(t *testing.T) {
+	st := NewStore(nil)
+	// Insert out of order with duplicates.
+	for _, o := range []ID{9, 3, 7, 3, 1, 9, 5} {
+		st.AddID(1, 2, o)
+	}
+	if st.Len() != 5 {
+		t.Fatalf("len = %d, want 5 (dups collapsed)", st.Len())
+	}
+	var got []ID
+	st.FindID(1, 2, Wildcard, func(t Triple) bool {
+		got = append(got, t.O)
+		return true
+	})
+	if !sort.SliceIsSorted(got, func(i, j int) bool { return got[i] < got[j] }) {
+		t.Errorf("objects not sorted: %v", got)
+	}
+	for _, o := range []ID{1, 3, 5, 7, 9} {
+		if !st.HasID(1, 2, o) {
+			t.Errorf("HasID(1,2,%d) = false", o)
+		}
+	}
+	for _, o := range []ID{2, 4, 10} {
+		if st.HasID(1, 2, o) {
+			t.Errorf("HasID(1,2,%d) = true", o)
+		}
+	}
+	if st.PredCard(2) != 5 || st.PredCard(3) != 0 {
+		t.Errorf("PredCard = %d/%d", st.PredCard(2), st.PredCard(3))
+	}
+}

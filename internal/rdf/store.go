@@ -76,11 +76,16 @@ type Triple struct{ S, P, O ID }
 // indexes so that any bound-variable combination has an efficient access
 // path. A Store is safe for concurrent reads; writes must be externally
 // serialised (the sharded store gives each shard a single writer).
+//
+// In the tiered shard layout (store.Sharded) a Store is the mutable *head*
+// tier; sealed history lives in immutable Segments and both are read
+// through a View.
 type Store struct {
 	dict *Dictionary
 	spo  map[ID]map[ID][]ID
 	pos  map[ID]map[ID][]ID
 	osp  map[ID]map[ID][]ID
+	pred map[ID]int // predicate → triple count (planner statistics)
 	n    int
 }
 
@@ -95,6 +100,7 @@ func NewStore(dict *Dictionary) *Store {
 		spo:  make(map[ID]map[ID][]ID),
 		pos:  make(map[ID]map[ID][]ID),
 		osp:  make(map[ID]map[ID][]ID),
+		pred: make(map[ID]int),
 	}
 }
 
@@ -103,6 +109,10 @@ func (st *Store) Dict() *Dictionary { return st.dict }
 
 // Len returns the number of triples.
 func (st *Store) Len() int { return st.n }
+
+// PredCard returns the number of triples with predicate p, the planner's
+// selectivity statistic. Implements Graph.
+func (st *Store) PredCard(p ID) int { return st.pred[p] }
 
 // Add encodes and inserts a triple; duplicates are ignored.
 func (st *Store) Add(s, p, o Term) {
@@ -114,11 +124,24 @@ func (st *Store) AddID(s, p, o ID) {
 	if addIndex(st.spo, s, p, o) {
 		addIndex(st.pos, p, o, s)
 		addIndex(st.osp, o, s, p)
+		st.pred[p]++
 		st.n++
 	}
 }
 
-// addIndex appends c under (a,b) unless already present; reports insertion.
+// HasID reports whether the triple is present.
+func (st *Store) HasID(s, p, o ID) bool {
+	list := st.spo[s][p]
+	i := sort.Search(len(list), func(k int) bool { return list[k] >= o })
+	return i < len(list) && list[i] == o
+}
+
+// addIndex inserts c into the sorted list under (a,b) unless already
+// present; reports insertion. Lists are kept sorted so the duplicate check
+// is a binary search instead of a linear scan — on high-degree keys (every
+// subject of a popular predicate lands in one pos list) the old scan made
+// ingest quadratic in list length. IDs are assigned in first-sight order,
+// so the common case appends at the tail and moves nothing.
 func addIndex(idx map[ID]map[ID][]ID, a, b, c ID) bool {
 	m, ok := idx[a]
 	if !ok {
@@ -126,12 +149,14 @@ func addIndex(idx map[ID]map[ID][]ID, a, b, c ID) bool {
 		idx[a] = m
 	}
 	list := m[b]
-	for _, x := range list {
-		if x == c {
-			return false
-		}
+	i := sort.Search(len(list), func(k int) bool { return list[k] >= c })
+	if i < len(list) && list[i] == c {
+		return false
 	}
-	m[b] = append(list, c)
+	list = append(list, 0)
+	copy(list[i+1:], list[i:])
+	list[i] = c
+	m[b] = list
 	return true
 }
 
@@ -213,31 +238,7 @@ func (st *Store) FindID(s, p, o ID, fn func(Triple) bool) {
 // Find is the Term-level convenience over FindID; nil pattern slots match
 // anything.
 func (st *Store) Find(s, p, o *Term, fn func(s, p, o Term) bool) {
-	enc := func(t *Term) (ID, bool) {
-		if t == nil {
-			return Wildcard, true
-		}
-		id, ok := st.dict.Lookup(*t)
-		return id, ok
-	}
-	sid, ok := enc(s)
-	if !ok {
-		return
-	}
-	pid, ok := enc(p)
-	if !ok {
-		return
-	}
-	oid, ok := enc(o)
-	if !ok {
-		return
-	}
-	st.FindID(sid, pid, oid, func(t Triple) bool {
-		ts, _ := st.dict.Decode(t.S)
-		tp, _ := st.dict.Decode(t.P)
-		to, _ := st.dict.Decode(t.O)
-		return fn(ts, tp, to)
-	})
+	findTerms(st, s, p, o, fn)
 }
 
 // Triples returns all triples, ordered by (S,P,O) id for deterministic

@@ -43,3 +43,37 @@ func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
 		TookMS:     info.Took.Milliseconds(),
 	})
 }
+
+// sealResponse is the POST /seal body: what the pass did plus the tier
+// layout it left behind.
+type sealResponse struct {
+	Sealed         int   `json:"sealed"`
+	SealedTriples  int   `json:"sealedTriples"`
+	Dropped        int   `json:"dropped"`
+	DroppedTriples int   `json:"droppedTriples"`
+	HeadTriples    int   `json:"headTriples"`
+	Segments       int   `json:"segments"`
+	SegmentTriples int   `json:"segmentTriples"`
+	MaxAnchorTS    int64 `json:"maxAnchorTS"`
+}
+
+// handleSeal forces a tier-maintenance pass: every non-empty shard head is
+// sealed into an immutable segment and the retention window (if any) is
+// applied, all under the ingest barrier. Operators use it to persist a
+// compact tier layout before a snapshot or to verify retention is
+// bounding memory.
+func (s *Server) handleSeal(w http.ResponseWriter, r *http.Request) {
+	s.reqSeal.Add(1)
+	st := s.maintain(true)
+	tiers := s.p.Store.TierStats()
+	writeJSON(w, http.StatusOK, sealResponse{
+		Sealed:         st.Sealed,
+		SealedTriples:  st.SealedTriples,
+		Dropped:        st.Dropped,
+		DroppedTriples: st.DroppedTriples,
+		HeadTriples:    tiers.HeadTriples,
+		Segments:       tiers.Segments,
+		SegmentTriples: tiers.SealedTriples,
+		MaxAnchorTS:    s.p.Store.MaxAnchorTS(),
+	})
+}

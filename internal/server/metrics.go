@@ -59,6 +59,20 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	gaugef("datacron_ingest_pending", float64(s.ing.Pending()))
 	gaugef("datacron_event_subscribers", float64(s.hub.subscribers()))
 	gaugef("datacron_store_triples", float64(s.p.Store.Len()))
+	gaugef("datacron_dict_terms", float64(s.p.Store.Dict().Len()))
+
+	// Tiered storage: head vs sealed volume, live segments, and the
+	// lifetime seal/retention counters operators watch to confirm that a
+	// retention window actually bounds memory.
+	tiers := s.p.Store.TierStats()
+	gaugef("datacron_store_segments", float64(tiers.Segments))
+	gaugef("datacron_store_head_triples", float64(tiers.HeadTriples))
+	gaugef("datacron_store_sealed_triples", float64(tiers.SealedTriples))
+	gaugef("datacron_store_global_triples", float64(tiers.GlobalTriples))
+	gaugef("datacron_store_max_anchor_ts", float64(s.p.Store.MaxAnchorTS()))
+	count("datacron_store_seals_total", tiers.Seals)
+	count("datacron_store_segments_dropped_total", tiers.SegmentsDropped)
+	count("datacron_store_triples_dropped_total", tiers.TriplesDropped)
 
 	// Online forecasting: warm-state volume, learned-model volume and the
 	// SSE forecast fan-out (only when the hub is running).
@@ -115,6 +129,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		{"/forecast", s.reqForecast.Load()},
 		{"/forecast/batch", s.reqForecastBatch.Load()},
 		{"/snapshot", s.reqSnapshot.Load()},
+		{"/seal", s.reqSeal.Load()},
 	} {
 		fmt.Fprintf(&b, "datacron_http_requests_total{path=\"%s\"} %d\n", rc.path, rc.n)
 	}

@@ -18,10 +18,11 @@ type queryRequest struct {
 
 // queryResponse is the JSON result of POST /query.
 type queryResponse struct {
-	Vars          []string   `json:"vars"`
-	Rows          [][]string `json:"rows"`
-	ShardsVisited int        `json:"shardsVisited"`
-	ElapsedUS     int64      `json:"elapsedUs"`
+	Vars           []string   `json:"vars"`
+	Rows           [][]string `json:"rows"`
+	ShardsVisited  int        `json:"shardsVisited"`
+	SegmentsPruned int        `json:"segmentsPruned"`
+	ElapsedUS      int64      `json:"elapsedUs"`
 }
 
 // handleQuery runs one stSPARQL-lite query against the store. Safe while
@@ -52,10 +53,11 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	out := queryResponse{
-		Vars:          res.Vars,
-		Rows:          make([][]string, len(res.Rows)),
-		ShardsVisited: res.ShardsVisited,
-		ElapsedUS:     res.Elapsed.Microseconds(),
+		Vars:           res.Vars,
+		Rows:           make([][]string, len(res.Rows)),
+		ShardsVisited:  res.ShardsVisited,
+		SegmentsPruned: res.SegmentsPruned,
+		ElapsedUS:      res.Elapsed.Microseconds(),
 	}
 	for i, row := range res.Rows {
 		cells := make([]string, len(row))

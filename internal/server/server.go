@@ -18,6 +18,9 @@
 //	                 uncertainty radius, method-tagged (online forecasting).
 //	GET  /forecast/batch — forecasts for every live entity.
 //	POST /snapshot — write a full pipeline snapshot (durable mode only).
+//	POST /seal     — force a tier-maintenance pass: seal every non-empty
+//	                 shard head into an immutable segment and apply the
+//	                 retention window.
 //	GET  /healthz  — liveness and basic counters.
 //	GET  /metrics  — Prometheus-style text metrics.
 //
@@ -33,6 +36,7 @@ import (
 	"time"
 
 	"github.com/datacron-project/datacron/internal/core"
+	"github.com/datacron-project/datacron/internal/store"
 	"github.com/datacron-project/datacron/internal/stream"
 	"github.com/datacron-project/datacron/internal/wal"
 )
@@ -69,6 +73,14 @@ type Config struct {
 	// ForecastSSEHorizon is the horizon of those published forecasts
 	// (default 10 minutes).
 	ForecastSSEHorizon time.Duration
+
+	// Tier is the store's seal/retention policy; POST /seal applies it on
+	// demand (force-sealing every non-empty head) and the background
+	// maintenance pass applies it periodically.
+	Tier store.TierPolicy
+	// MaintainInterval is the cadence of the background tier-maintenance
+	// pass (0 = only POST /seal maintains; ignored when Tier is inactive).
+	MaintainInterval time.Duration
 }
 
 // Server serves a pipeline over HTTP. Create with New, attach via Handler,
@@ -89,13 +101,16 @@ type Server struct {
 	snapshots       atomic.Int64
 	lastSnapshotLSN atomic.Uint64
 
+	// maintMu serialises tier-maintenance passes (ticker vs POST /seal).
+	maintMu sync.Mutex
+
 	// rateMu guards the since-last-scrape ingest rate window.
 	rateMu        sync.Mutex
 	lastRateCount int64
 	lastRateTime  time.Time
 
 	reqIngest, reqQuery, reqRange, reqEvents, reqSnapshot atomic.Int64
-	reqForecast, reqForecastBatch                         atomic.Int64
+	reqForecast, reqForecastBatch, reqSeal                atomic.Int64
 
 	// Forecast SSE ticker lifecycle + fan-out counter.
 	stopTicker        chan struct{}
@@ -132,6 +147,7 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("GET /forecast", s.handleForecast)
 	s.mux.HandleFunc("GET /forecast/batch", s.handleForecastBatch)
 	s.mux.HandleFunc("POST /snapshot", s.handleSnapshot)
+	s.mux.HandleFunc("POST /seal", s.handleSeal)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.stopTicker = make(chan struct{})
@@ -143,7 +159,34 @@ func New(cfg Config) *Server {
 		s.tickerWG.Add(1)
 		go s.runForecastTicker(cfg.ForecastInterval, horizon)
 	}
+	if cfg.MaintainInterval > 0 && cfg.Tier.Active() {
+		s.tickerWG.Add(1)
+		go s.runMaintainTicker(cfg.MaintainInterval)
+	}
 	return s
+}
+
+// runMaintainTicker applies the tier policy periodically until Close.
+func (s *Server) runMaintainTicker(interval time.Duration) {
+	defer s.tickerWG.Done()
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.stopTicker:
+			return
+		case <-t.C:
+			s.maintain(false)
+		}
+	}
+}
+
+// maintain runs one serialised tier-maintenance pass under the ingest
+// barrier.
+func (s *Server) maintain(force bool) store.MaintainStats {
+	s.maintMu.Lock()
+	defer s.maintMu.Unlock()
+	return s.p.MaintainStore(s.ing, s.cfg.Tier, force)
 }
 
 // Handler returns the HTTP handler.

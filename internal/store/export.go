@@ -15,7 +15,8 @@ func (s *Sharded) ExportNT(w io.Writer) error {
 	union := rdf.NewStore(s.dict)
 	for _, sh := range s.shards {
 		sh.mu.RLock()
-		sh.rdf.FindID(rdf.Wildcard, rdf.Wildcard, rdf.Wildcard, func(t rdf.Triple) bool {
+		v, _ := sh.viewLocked(ViewBounds{})
+		v.FindID(rdf.Wildcard, rdf.Wildcard, rdf.Wildcard, func(t rdf.Triple) bool {
 			union.AddID(t.S, t.P, t.O)
 			return true
 		})

@@ -1,16 +1,24 @@
 // Package store implements the parallel spatiotemporal RDF store of the
 // datAcron architecture: interlinked RDF data "stored in parallel RDF
 // stores, using sophisticated RDF partitioning algorithms" (§2). A Sharded
-// store owns N independent rdf.Stores (the shards), places each
-// spatiotemporally-anchored graph fragment with a partition.Partitioner,
-// replicates global (dimension) triples to every shard so per-shard query
-// evaluation never needs cross-shard joins, and maintains a per-shard
-// spatiotemporal grid index over the anchored nodes for range queries.
+// store owns N independent shards, places each spatiotemporally-anchored
+// graph fragment with a partition.Partitioner, replicates global
+// (dimension) triples to every shard so per-shard query evaluation never
+// needs cross-shard joins, and maintains a per-shard spatiotemporal grid
+// index over the anchored nodes for range queries.
+//
+// Each shard is tiered (DESIGN.md §10): a small mutable head (rdf.Store)
+// absorbs writes, sealed immutable segments (rdf.Segment) hold history in
+// dense sorted arrays with per-segment statistics, and a never-sealed
+// global store holds the replicated dimension triples. Sealing and
+// time-based retention run through Maintain; readers see the merged tiers
+// through rdf.View.
 package store
 
 import (
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"github.com/datacron-project/datacron/internal/geo"
 	"github.com/datacron-project/datacron/internal/onto"
@@ -23,19 +31,37 @@ type Sharded struct {
 	part   partition.Partitioner
 	dict   *rdf.Dictionary // shared across shards
 	shards []*Shard
+
+	// nextSegID hands out globally-unique segment ids (also across
+	// restarts: recovery advances it past every loaded segment).
+	nextSegID atomic.Uint64
+	// maxTS is the newest anchor timestamp ingested — the store's stream
+	// clock, against which seal age and retention windows are measured.
+	maxTS atomic.Int64
+
+	// Lifetime tier-maintenance counters (for /metrics).
+	seals          atomic.Int64
+	segsDropped    atomic.Int64
+	triplesDropped atomic.Int64
 }
 
-// Shard is one partition: an RDF store plus a spatiotemporal index over the
-// graph fragments anchored in it. Writes to a shard are serialised by its
-// write lock; readers (range scans, per-shard query evaluation) take the
-// read lock, so the store is safe for concurrent ingest and querying — the
-// serving layer's core requirement.
+// Shard is one partition: a tiered RDF store plus a spatiotemporal index
+// over the graph fragments anchored in it. Writes to a shard are serialised
+// by its write lock; readers (range scans, per-shard query evaluation) take
+// the read lock, so the store is safe for concurrent ingest and querying —
+// the serving layer's core requirement.
 type Shard struct {
-	mu      sync.RWMutex
-	rdf     *rdf.Store
-	grid    geo.Grid
-	entries []anchor
+	mu sync.RWMutex
+	// global holds replicated dimension triples (entities, areas,
+	// vocabulary). It is never sealed and never retained away.
+	global *rdf.Store
+	// head is the mutable tier: anchored fragments since the last seal.
+	head    *rdf.Store
+	entries []anchor        // head anchors, in insertion order
 	cells   map[int][]int32 // grid cell → indexes into entries
+	// segs are the sealed immutable segments, oldest first.
+	segs []*segment
+	grid geo.Grid
 }
 
 // anchor is one spatiotemporally-anchored node.
@@ -52,9 +78,10 @@ func NewSharded(part partition.Partitioner, worldBox geo.BBox) *Sharded {
 	shards := make([]*Shard, part.Shards())
 	for i := range shards {
 		shards[i] = &Shard{
-			rdf:   rdf.NewStore(dict),
-			grid:  geo.NewGrid(worldBox, 64, 64),
-			cells: make(map[int][]int32),
+			global: rdf.NewStore(dict),
+			head:   rdf.NewStore(dict),
+			grid:   geo.NewGrid(worldBox, 64, 64),
+			cells:  make(map[int][]int32),
 		}
 	}
 	return &Sharded{part: part, dict: dict, shards: shards}
@@ -69,28 +96,76 @@ func (s *Sharded) Partitioner() partition.Partitioner { return s.part }
 // NumShards returns the shard count.
 func (s *Sharded) NumShards() int { return len(s.shards) }
 
-// Shard returns shard i's RDF store (for query evaluation).
-func (s *Sharded) Shard(i int) *rdf.Store { return s.shards[i].rdf }
+// MaxAnchorTS returns the newest anchor timestamp ingested (the stream
+// clock retention windows are measured against); 0 before the first anchor.
+func (s *Sharded) MaxAnchorTS() int64 { return s.maxTS.Load() }
 
-// Len returns the total number of triples across shards (global triples are
-// counted once per shard they are replicated to).
+// View returns a merged read view over shard i's tiers
+// (global + head + sealed segments). The view holds no lock: it is for
+// single-threaded use (tests, tools); concurrent readers should go through
+// EachShardParallel / EachShardSubset / EachShardView, which hold the shard
+// read lock across fn.
+func (s *Sharded) View(i int) *rdf.View {
+	sh := s.shards[i]
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	v, _ := sh.viewLocked(ViewBounds{})
+	return v
+}
+
+// ViewBounds carries a query's spatiotemporal bounds for segment pruning:
+// a sealed segment whose anchor time range or bounding box cannot
+// intersect the query is skipped entirely, the same way the partitioner
+// prunes whole shards.
+type ViewBounds struct {
+	Box      geo.BBox
+	HasBox   bool
+	From, To int64
+	HasTime  bool
+}
+
+// viewLocked builds the merged view under the caller-held shard lock,
+// returning the number of segments pruned by vb.
+func (sh *Shard) viewLocked(vb ViewBounds) (*rdf.View, int) {
+	parts := make([]rdf.Graph, 0, 2+len(sh.segs))
+	parts = append(parts, sh.global, sh.head)
+	pruned := 0
+	for _, seg := range sh.segs {
+		if seg.prunedBy(vb) {
+			pruned++
+			continue
+		}
+		parts = append(parts, seg.g)
+	}
+	return rdf.NewView(sh.global.Dict(), parts...), pruned
+}
+
+// Len returns the total number of triples across shards and tiers (global
+// triples are counted once per shard they are replicated to).
 func (s *Sharded) Len() int {
 	n := 0
 	for _, sh := range s.shards {
 		sh.mu.RLock()
-		n += sh.rdf.Len()
+		n += sh.global.Len() + sh.head.Len()
+		for _, seg := range sh.segs {
+			n += seg.g.Len()
+		}
 		sh.mu.RUnlock()
 	}
 	return n
 }
 
-// ShardLoads returns the number of anchored fragments per shard, the load
-// measure used by E3's balance metric.
+// ShardLoads returns the number of anchored fragments per shard (all
+// tiers), the load measure used by E3's balance metric.
 func (s *Sharded) ShardLoads() []int {
 	out := make([]int, len(s.shards))
 	for i, sh := range s.shards {
 		sh.mu.RLock()
-		out[i] = len(sh.entries)
+		n := len(sh.entries)
+		for _, seg := range sh.segs {
+			n += len(seg.entries)
+		}
+		out[i] = n
 		sh.mu.RUnlock()
 	}
 	return out
@@ -102,28 +177,34 @@ func (s *Sharded) AddGlobal(triples []onto.TripleT) {
 	for _, sh := range s.shards {
 		sh.mu.Lock()
 		for _, t := range triples {
-			sh.rdf.Add(t.S, t.P, t.O)
+			sh.global.Add(t.S, t.P, t.O)
 		}
 		sh.mu.Unlock()
 	}
 }
 
 // AddAnchored places a graph fragment anchored at (key, pt, ts): its
-// triples go to the shard the partitioner assigns and node is registered in
-// that shard's spatiotemporal index.
+// triples go to the head tier of the shard the partitioner assigns and
+// node is registered in that shard's spatiotemporal index.
 func (s *Sharded) AddAnchored(key string, pt geo.Point, ts int64, node rdf.Term, triples []onto.TripleT) {
 	idx := s.part.Assign(key, pt, ts)
 	sh := s.shards[idx]
 	sh.mu.Lock()
-	defer sh.mu.Unlock()
 	for _, t := range triples {
-		sh.rdf.Add(t.S, t.P, t.O)
+		sh.head.Add(t.S, t.P, t.O)
 	}
-	id := sh.rdf.Dict().Encode(node)
+	id := sh.head.Dict().Encode(node)
 	entryIdx := int32(len(sh.entries))
 	sh.entries = append(sh.entries, anchor{pt: pt, ts: ts, node: id})
 	cell := sh.grid.CellID(pt)
 	sh.cells[cell] = append(sh.cells[cell], entryIdx)
+	sh.mu.Unlock()
+	for {
+		cur := s.maxTS.Load()
+		if ts <= cur || s.maxTS.CompareAndSwap(cur, ts) {
+			return
+		}
+	}
 }
 
 // RangeResult is one spatiotemporal range query hit.
@@ -197,32 +278,46 @@ func (s *Sharded) RangeQueryN(box geo.BBox, fromTS, toTS int64, limit int) (resu
 	return results, visited, truncated
 }
 
-// rangeLocal scans one shard's grid index under the shard's read lock,
-// stopping after max hits when max > 0.
+// rangeLocal scans one shard's grid indexes (sealed segments oldest first,
+// then the head) under the shard's read lock, stopping after max hits when
+// max > 0. Segment time bounds prune whole segments before their cells are
+// touched.
 func (sh *Shard) rangeLocal(box geo.BBox, fromTS, toTS int64, shardIdx, max int) []RangeResult {
 	sh.mu.RLock()
 	defer sh.mu.RUnlock()
 	var out []RangeResult
-	for _, cell := range sh.grid.CellsIn(box) {
-		for _, ei := range sh.cells[cell] {
-			e := sh.entries[ei]
-			if e.ts < fromTS || e.ts > toTS || !box.Contains(e.pt) {
-				continue
-			}
-			out = append(out, RangeResult{Node: e.node, Pt: e.pt, TS: e.ts, Shard: shardIdx})
-			if max > 0 && len(out) >= max {
-				return out
+	scan := func(entries []anchor, cells map[int][]int32) bool {
+		for _, cell := range sh.grid.CellsIn(box) {
+			for _, ei := range cells[cell] {
+				e := entries[ei]
+				if e.ts < fromTS || e.ts > toTS || !box.Contains(e.pt) {
+					continue
+				}
+				out = append(out, RangeResult{Node: e.node, Pt: e.pt, TS: e.ts, Shard: shardIdx})
+				if max > 0 && len(out) >= max {
+					return false
+				}
 			}
 		}
+		return true
 	}
+	for _, seg := range sh.segs {
+		if len(seg.entries) == 0 || seg.maxTS < fromTS || seg.minTS > toTS || !seg.box.Intersects(box) {
+			continue
+		}
+		if !scan(seg.entries, seg.cells) {
+			return out
+		}
+	}
+	scan(sh.entries, sh.cells)
 	return out
 }
 
-// EachShardParallel runs fn over every shard concurrently and waits. fn
-// receives the shard index and its RDF store; it must treat the store as
-// read-only. Each invocation holds the shard's read lock, so it is safe to
-// run while ingest is in flight (writes to that shard wait for fn).
-func (s *Sharded) EachShardParallel(fn func(i int, st *rdf.Store)) {
+// EachShardParallel runs fn over every shard's merged view concurrently
+// and waits. fn must treat the view as read-only. Each invocation holds
+// the shard's read lock, so it is safe to run while ingest is in flight
+// (writes to that shard wait for fn).
+func (s *Sharded) EachShardParallel(fn func(i int, v *rdf.View)) {
 	var wg sync.WaitGroup
 	wg.Add(len(s.shards))
 	for i, sh := range s.shards {
@@ -230,7 +325,8 @@ func (s *Sharded) EachShardParallel(fn func(i int, st *rdf.Store)) {
 			defer wg.Done()
 			sh.mu.RLock()
 			defer sh.mu.RUnlock()
-			fn(i, sh.rdf)
+			v, _ := sh.viewLocked(ViewBounds{})
+			fn(i, v)
 		}(i, sh)
 	}
 	wg.Wait()
@@ -238,8 +334,16 @@ func (s *Sharded) EachShardParallel(fn func(i int, st *rdf.Store)) {
 
 // EachShardSubset runs fn over the given shard indexes with bounded
 // parallelism and waits. Like EachShardParallel, fn runs under the shard's
-// read lock and must treat the store as read-only.
-func (s *Sharded) EachShardSubset(shardIdxs []int, parallelism int, fn func(i int, st *rdf.Store)) {
+// read lock and must treat the view as read-only.
+func (s *Sharded) EachShardSubset(shardIdxs []int, parallelism int, fn func(i int, v *rdf.View)) {
+	s.EachShardView(shardIdxs, parallelism, ViewBounds{}, func(i int, v *rdf.View, _ int) { fn(i, v) })
+}
+
+// EachShardView is EachShardSubset with segment pruning: each shard's view
+// excludes sealed segments whose anchor time range or bounding box cannot
+// intersect vb, and fn additionally receives the number of segments pruned
+// for that shard.
+func (s *Sharded) EachShardView(shardIdxs []int, parallelism int, vb ViewBounds, fn func(i int, v *rdf.View, prunedSegs int)) {
 	if parallelism < 1 {
 		parallelism = 1
 	}
@@ -256,7 +360,8 @@ func (s *Sharded) EachShardSubset(shardIdxs []int, parallelism int, fn func(i in
 			for i := range work {
 				sh := s.shards[i]
 				sh.mu.RLock()
-				fn(i, sh.rdf)
+				v, pruned := sh.viewLocked(vb)
+				fn(i, v, pruned)
 				sh.mu.RUnlock()
 			}
 		}()

@@ -105,7 +105,7 @@ func TestGlobalTriplesReplicated(t *testing.T) {
 	obj := onto.EntityIRI(e.ID)
 	for i := 0; i < s.NumShards(); i++ {
 		found := false
-		s.Shard(i).Find(&obj, &onto.PredName, nil, func(_, _, o rdf.Term) bool {
+		s.View(i).Find(&obj, &onto.PredName, nil, func(_, _, o rdf.Term) bool {
 			found = o.Value == "TEST SHIP"
 			return false
 		})
@@ -124,7 +124,7 @@ func TestAnchoredTriplesColocated(t *testing.T) {
 	holders := 0
 	for i := 0; i < s.NumShards(); i++ {
 		n := 0
-		s.Shard(i).Find(&node, nil, nil, func(_, _, _ rdf.Term) bool { n++; return true })
+		s.View(i).Find(&node, nil, nil, func(_, _, _ rdf.Term) bool { n++; return true })
 		if n > 0 {
 			holders++
 			if n < 8 {
@@ -179,7 +179,7 @@ func TestEachShardParallelAndSubset(t *testing.T) {
 	s.AddEntity(model.Entity{ID: "x", Name: "N"})
 	var mu sync.Mutex
 	seen := map[int]bool{}
-	s.EachShardParallel(func(i int, st *rdf.Store) {
+	s.EachShardParallel(func(i int, st *rdf.View) {
 		mu.Lock()
 		seen[i] = st.Len() > 0
 		mu.Unlock()
@@ -188,7 +188,7 @@ func TestEachShardParallelAndSubset(t *testing.T) {
 		t.Errorf("visited %d shards", len(seen))
 	}
 	count := 0
-	s.EachShardSubset([]int{1, 3}, 2, func(i int, st *rdf.Store) {
+	s.EachShardSubset([]int{1, 3}, 2, func(i int, st *rdf.View) {
 		mu.Lock()
 		count++
 		mu.Unlock()
@@ -198,7 +198,7 @@ func TestEachShardParallelAndSubset(t *testing.T) {
 	}
 	// Degenerate parallelism clamps.
 	count = 0
-	s.EachShardSubset([]int{0}, 0, func(i int, st *rdf.Store) { mu.Lock(); count++; mu.Unlock() })
+	s.EachShardSubset([]int{0}, 0, func(i int, st *rdf.View) { mu.Lock(); count++; mu.Unlock() })
 	if count != 1 {
 		t.Error("clamped parallelism broke subset execution")
 	}
