@@ -75,3 +75,9 @@ func BenchmarkE9Hotspots(b *testing.B) { runExperiment(b, experiments.E9Hotspots
 // BenchmarkE10EndToEnd regenerates E10: the full wire-to-analytics pipeline
 // latency budget ("coherent Big Data solution", §2, under ms latency, §4).
 func BenchmarkE10EndToEnd(b *testing.B) { runExperiment(b, experiments.E10EndToEnd) }
+
+// BenchmarkE14Synopses regenerates E14: trajectory-synopsis compression
+// ratio vs reconstruction RMSE and the tap's ingest overhead ("high rates
+// of data compression without affecting the quality of analytics", §2 — the
+// synopses half of the claim).
+func BenchmarkE14Synopses(b *testing.B) { runExperiment(b, experiments.E14Synopses) }

@@ -1,4 +1,4 @@
-// datacron-bench runs the experiment suite E1–E13 (DESIGN.md §4) and prints
+// datacron-bench runs the experiment suite E1–E14 (DESIGN.md §4) and prints
 // every result table; use it to regenerate the numbers in EXPERIMENTS.md.
 //
 //	datacron-bench            # full scale (minutes)
@@ -49,6 +49,7 @@ func main() {
 		{"E11", experiments.E11Durability},
 		{"E12", experiments.E12OnlineForecast},
 		{"E13", experiments.E13Tiering},
+		{"E14", experiments.E14Synopses},
 	}
 	for _, e := range all {
 		if len(want) > 0 && !want[e.id] {

@@ -20,6 +20,15 @@
 // "forecast" SSE frames on /events. Forecast state is part of snapshots
 // and survives kill -9.
 //
+// Online trajectory synopses (-synopses, on by default) compress the gated
+// stream into per-entity critical points (stop, turn, speed change, gap
+// start/end — thresholds flag- and domain-configurable): GET /synopses/{id}
+// serves one entity's synopsis, GET /synopses/batch the fleet summary with
+// the raw-vs-critical compression statistics, and -synopses-interval
+// streams newly detected points as "synopsis" SSE frames. Synopsis state is
+// part of snapshots and survives kill -9. -forecast-synopsis-history feeds
+// the forecast hub from the compressed stream instead of the raw one.
+//
 // By default the daemon primes the world (areas of interest and entity
 // registry) from the same deterministic generator datacron-gen uses, so a
 // generated wire file POSTed to /ingest produces the scripted complex
@@ -50,6 +59,7 @@ import (
 	"github.com/datacron-project/datacron/internal/model"
 	"github.com/datacron-project/datacron/internal/server"
 	"github.com/datacron-project/datacron/internal/store"
+	"github.com/datacron-project/datacron/internal/synopses"
 	"github.com/datacron-project/datacron/internal/synth"
 	"github.com/datacron-project/datacron/internal/wal"
 )
@@ -81,6 +91,16 @@ func main() {
 		fcastHistory  = flag.Int("forecast-history", 32, "per-entity kinematic history ring (reports)")
 		fcastHorizon  = flag.Duration("forecast-horizon", time.Hour, "maximum accepted forecast horizon")
 		fcastInterval = flag.Duration("forecast-interval", 0, "publish SSE \"forecast\" frames for all live entities at this interval (0 = off)")
+		fcastSynopsis = flag.Bool("forecast-synopsis-history", false, "feed the forecast hub only critical points (model memory scales with the synopsis, not the raw stream)")
+
+		synOn       = flag.Bool("synopses", true, "online trajectory synopses: serve GET /synopses/{id} and /synopses/batch")
+		synRing     = flag.Int("synopses-ring", 512, "per-entity critical point ring (points)")
+		synStop     = flag.Float64("synopses-stop-speed", 0, "stop detection speed threshold in m/s (0 = domain default)")
+		synStopDur  = flag.Duration("synopses-stop-duration", 0, "sustained low speed before a stop point emits (0 = domain default)")
+		synTurn     = flag.Float64("synopses-turn-deg", 0, "cumulative course change that emits a turn point (0 = domain default)")
+		synSpeed    = flag.Float64("synopses-speed-frac", 0, "fractional speed change that emits a speed-change point (0 = domain default)")
+		synGap      = flag.Duration("synopses-gap", 0, "report silence that emits gap-start/gap-end points (0 = domain default)")
+		synInterval = flag.Duration("synopses-interval", 0, "publish SSE \"synopsis\" frames for newly detected critical points at this interval (0 = off)")
 	)
 	flag.Parse()
 
@@ -93,11 +113,23 @@ func main() {
 	p := core.New(core.Config{
 		Domain: dom, Shards: *shards,
 		Forecast: core.ForecastConfig{
-			Enabled:    *fcast,
-			GridCols:   *fcastGrid,
-			GridRows:   *fcastGrid,
-			HistoryLen: *fcastHistory,
-			MaxHorizon: *fcastHorizon,
+			Enabled:         *fcast,
+			GridCols:        *fcastGrid,
+			GridRows:        *fcastGrid,
+			HistoryLen:      *fcastHistory,
+			MaxHorizon:      *fcastHorizon,
+			SynopsisHistory: *fcastSynopsis,
+		},
+		Synopses: core.SynopsesConfig{
+			Enabled: *synOn,
+			RingLen: *synRing,
+			Thresholds: synopses.Config{
+				StopSpeedMS:     *synStop,
+				StopMinDuration: *synStopDur,
+				TurnDeg:         *synTurn,
+				SpeedDeltaFrac:  *synSpeed,
+				GapDuration:     *synGap,
+			},
 		},
 	})
 	if *prime {
@@ -162,6 +194,7 @@ func main() {
 		Pipeline: p, Workers: *workers, QueueLen: *queue,
 		WAL: walLog, DataDir: *dataDir, Recovery: recovery,
 		ForecastInterval: *fcastInterval,
+		SynopsesInterval: *synInterval,
 		Tier: store.TierPolicy{
 			SealTriples: *sealTriples,
 			SealAfter:   *sealAfter,
@@ -187,7 +220,7 @@ func main() {
 	}
 	log.Printf("serving %s on %s (shards=%d workers=%d queue=%d %s)",
 		dom, *addr, *shards, srv.Ingestor().Workers(), *queue, durable)
-	log.Printf("endpoints: POST /ingest, POST /query, GET /range, GET /events, GET /forecast, GET /forecast/batch, POST /snapshot, POST /seal, GET /healthz, GET /metrics")
+	log.Printf("endpoints: POST /ingest, POST /query, GET /range, GET /events, GET /forecast, GET /forecast/batch, GET /synopses/{id}, GET /synopses/batch, POST /snapshot, POST /seal, GET /healthz, GET /metrics")
 	if err := httpSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
 		log.Fatal(err)
 	}

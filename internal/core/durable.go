@@ -115,6 +115,9 @@ type pipelineState struct {
 	// pipeline without a hub is silently ignored, and vice versa — the WAL
 	// tail replay then rebuilds what it can).
 	Forecast *forecastHubState `json:"forecast,omitempty"`
+	// Synopses carries the trajectory-synopses hub, with the same
+	// nil-tolerant semantics as Forecast.
+	Synopses *synopsisHubState `json:"synopses,omitempty"`
 }
 
 // SnapshotInfo describes a completed snapshot.
@@ -213,6 +216,10 @@ func (p *Pipeline) WriteSnapshot(dataDir string, ing *Ingestor, log *wal.Log) (S
 		if p.ForecastHub != nil {
 			fs := p.ForecastHub.exportState()
 			st.Forecast = &fs
+		}
+		if p.SynopsisHub != nil {
+			ss := p.SynopsisHub.exportState()
+			st.Synopses = &ss
 		}
 		if err := writeJSON(filepath.Join(tmp, "state.json"), st); err != nil {
 			return err
@@ -445,6 +452,9 @@ func (p *Pipeline) Recover(dataDir string) (RecoveryStats, error) {
 		}
 		if p.ForecastHub != nil && st.Forecast != nil {
 			p.ForecastHub.restoreState(*st.Forecast)
+		}
+		if p.SynopsisHub != nil && st.Synopses != nil {
+			p.SynopsisHub.restoreState(*st.Synopses)
 		}
 		p.Density.RestoreCounts(st.Density)
 		for k, v := range st.Applied {

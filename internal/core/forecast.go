@@ -40,6 +40,15 @@ type ForecastConfig struct {
 	KinematicMinHistory int
 	RouteMinHistory     int
 	KNNMinHistory       int
+
+	// SynopsisHistory feeds the hub only the reports that produced
+	// critical points (the synopses subsystem's compressed stream) instead
+	// of every gated report, so history rings and the shared models grow
+	// with critical points, not raw points. Setting it forces
+	// Config.Synopses.Enabled. Trade-off: coarser history lowers the
+	// effective model-selection rungs an entity reaches for the same
+	// traffic, in exchange for an order of magnitude less warm state.
+	SynopsisHistory bool
 }
 
 func (c ForecastConfig) withDefaults() ForecastConfig {

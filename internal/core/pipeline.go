@@ -56,6 +56,11 @@ type Config struct {
 	// Forecast configures the online forecasting subsystem; the zero value
 	// leaves it off and Pipeline.ForecastHub nil.
 	Forecast ForecastConfig
+	// Synopses configures the online trajectory-synopses subsystem; the
+	// zero value leaves it off and Pipeline.SynopsisHub nil. It is forced
+	// on when Forecast.SynopsisHistory is set (the forecast hub then needs
+	// the critical point stream to exist).
+	Synopses SynopsesConfig
 }
 
 func (c Config) withDefaults() Config {
@@ -90,6 +95,9 @@ func (c Config) withDefaults() Config {
 	if c.HotspotGridRows <= 0 {
 		c.HotspotGridRows = 48
 	}
+	if c.Forecast.SynopsisHistory {
+		c.Synopses.Enabled = true
+	}
 	return c
 }
 
@@ -111,6 +119,10 @@ type Pipeline struct {
 	// Config.Forecast.Enabled): warm per-entity history plus incrementally
 	// trained shared models, fed from the gated report stream.
 	ForecastHub *ForecastHub
+	// SynopsisHub is the online trajectory-synopses subsystem (nil unless
+	// Config.Synopses.Enabled): per-entity critical point detection over
+	// the same gated report stream, with compression accounting.
+	SynopsisHub *SynopsisHub
 
 	// serial is the front-end used by the single-goroutine IngestLine path.
 	serial front
@@ -216,6 +228,9 @@ func New(cfg Config) *Pipeline {
 	if cfg.Forecast.Enabled {
 		p.ForecastHub = NewForecastHub(cfg.Box, cfg.Forecast)
 	}
+	if cfg.Synopses.Enabled {
+		p.SynopsisHub = NewSynopsisHub(cfg.Domain, cfg.Synopses)
+	}
 	p.Stats.Latency = stream.NewLatencyHist()
 	p.Stats.StoreLatency = stream.NewLatencyHist()
 	p.Stats.CERLatency = stream.NewLatencyHist()
@@ -290,12 +305,21 @@ func (p *Pipeline) ingest(f *front, tl synth.TimedLine) ([]model.Event, error) {
 		atomic.AddInt64(&p.Stats.Gated, 1)
 		return nil, nil
 	}
-	// Online forecasting taps the gated stream (post-tracker, pre-
-	// compression: suppressed reports still carry kinematic evidence). The
-	// hub does its own locking; because this runs inside the worker's
-	// per-line critical section, the snapshot barrier quiesces it.
+	// Online synopses and forecasting tap the gated stream (post-tracker,
+	// pre-compression: suppressed reports still carry kinematic evidence).
+	// The hubs do their own locking; because this runs inside the worker's
+	// per-line critical section, the snapshot barrier quiesces both. The
+	// synopsis tap runs first so the forecast hub's synopsis-history mode
+	// can consume only the reports that produced critical points — model
+	// memory then scales with critical points, not raw points.
+	critical := 0
+	if p.SynopsisHub != nil {
+		critical = p.SynopsisHub.Observe(pos)
+	}
 	if p.ForecastHub != nil {
-		p.ForecastHub.Observe(pos)
+		if !p.cfg.Forecast.SynopsisHistory || critical > 0 {
+			p.ForecastHub.Observe(pos)
+		}
 	}
 	stored := true
 	if !p.cfg.DisableCompression && !f.filter.Keep(pos) {

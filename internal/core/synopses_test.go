@@ -1,0 +1,302 @@
+package core
+
+import (
+	"errors"
+	"reflect"
+	"sort"
+	"testing"
+	"time"
+
+	"github.com/datacron-project/datacron/internal/model"
+	"github.com/datacron-project/datacron/internal/synth"
+	"github.com/datacron-project/datacron/internal/wal"
+)
+
+// synopsesWorld is a maritime scenario with the mobility features the
+// detector keys on: port calls (stops), waypoint routes (turns) and
+// scripted AIS gaps.
+func synopsesWorld(t testing.TB) *synth.Scenario {
+	t.Helper()
+	return synth.GenMaritime(synth.MaritimeConfig{
+		Seed: 777, Vessels: 12, Duration: 2 * time.Hour,
+		Rendezvous: -1, Loiterers: 2, GapProb: 0.2, OutlierProb: 0.001,
+	})
+}
+
+// ingestAll runs the whole wire stream through the serial path.
+func ingestAll(t testing.TB, p *Pipeline, sc *synth.Scenario) {
+	t.Helper()
+	for _, tl := range sc.WireTimed {
+		if _, err := p.IngestLine(tl); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestSynopsisHubCompressesStream is the subsystem acceptance in miniature:
+// the hub sees every gated report, emits an order of magnitude fewer
+// critical points, and serves consistent per-entity synopses.
+func TestSynopsisHubCompressesStream(t *testing.T) {
+	sc := synopsesWorld(t)
+	p := New(Config{Domain: model.Maritime, Synopses: SynopsesConfig{Enabled: true}})
+	p.InstallAreas(sc.Areas)
+	p.InstallEntities(sc.Entities)
+	ingestAll(t, p, sc)
+
+	hub := p.SynopsisHub
+	if hub == nil {
+		t.Fatal("SynopsisHub not constructed")
+	}
+	st := hub.Stats()
+	gated := p.Stats.Snapshot()
+	if st.Observed != gated.Decoded-gated.Gated {
+		t.Errorf("hub observed %d, want every gated report (%d)", st.Observed, gated.Decoded-gated.Gated)
+	}
+	if st.Critical == 0 {
+		t.Fatal("no critical points on a scenario with stops, turns and gaps")
+	}
+	if r := st.Ratio(); r < 5 {
+		t.Errorf("compression ratio = %.1f, want ≥ 5x on synthetic maritime traffic", r)
+	}
+	var perKind int64
+	for _, n := range st.ByKind {
+		perKind += n
+	}
+	if perKind != st.Critical {
+		t.Errorf("per-kind counters sum to %d, total says %d", perKind, st.Critical)
+	}
+
+	// Per-entity reads agree with the batch view.
+	sums := hub.Summaries()
+	if len(sums) != st.Entities || len(sums) == 0 {
+		t.Fatalf("summaries = %d entities, stats say %d", len(sums), st.Entities)
+	}
+	if !sort.SliceIsSorted(sums, func(i, j int) bool { return sums[i].Entity < sums[j].Entity }) {
+		t.Error("summaries not sorted by entity")
+	}
+	var raw, critical int64
+	for _, s := range sums {
+		raw += s.Raw
+		critical += s.Critical
+		es, err := hub.Synopsis(s.Entity)
+		if err != nil {
+			t.Fatalf("Synopsis(%s): %v", s.Entity, err)
+		}
+		if es.Raw != s.Raw || es.Critical != s.Critical || int64(len(es.Points))+es.Evicted != es.Critical {
+			t.Errorf("entity %s: detail %+v disagrees with summary %+v", s.Entity, es, s)
+		}
+		for i := 1; i < len(es.Points); i++ {
+			if es.Points[i].Pos.TS < es.Points[i-1].Pos.TS {
+				t.Errorf("entity %s: ring out of time order at %d", s.Entity, i)
+			}
+		}
+	}
+	if raw != st.Observed || critical != st.Critical {
+		t.Errorf("entity totals raw=%d critical=%d, hub says %d/%d", raw, critical, st.Observed, st.Critical)
+	}
+
+	if _, err := hub.Synopsis("999999999"); !errors.Is(err, ErrNoSynopsis) {
+		t.Errorf("unknown entity error = %v, want ErrNoSynopsis", err)
+	}
+}
+
+// TestSynopsisRingBound: an entity exceeding RingLen keeps only the newest
+// points, counts the overflow, and lifetime accounting stays exact.
+func TestSynopsisRingBound(t *testing.T) {
+	hub := NewSynopsisHub(model.Maritime, SynopsesConfig{Enabled: true, RingLen: 4})
+	// Alternate speed levels hard enough that every other report is a
+	// speed change.
+	for i := 0; i < 100; i++ {
+		speed := 5.0
+		if i%2 == 1 {
+			speed = 15.0
+		}
+		hub.Observe(model.Position{EntityID: "V", TS: int64(i+1) * 10_000, SpeedMS: speed, CourseDeg: 90})
+	}
+	es, err := hub.Synopsis("V")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(es.Points) != 4 {
+		t.Fatalf("ring = %d points, want the 4-point bound", len(es.Points))
+	}
+	if es.Evicted == 0 || es.Critical != int64(len(es.Points))+es.Evicted {
+		t.Errorf("accounting: %+v", es)
+	}
+	// The ring holds the newest points.
+	if last := es.Points[len(es.Points)-1].Pos.TS; last != 100*10_000 {
+		t.Errorf("newest ring point TS = %d, want 1000000", last)
+	}
+}
+
+// TestSynopsisFanoutGating: the SSE pending queue only accumulates once a
+// drainer exists (EnableFanout) — a daemon without a synopses interval must
+// not pay queue maintenance on the ingest path — and the compression ratio
+// reads observed:1 while no critical point has been detected (a low ratio
+// must mean weak compression, never perfect compression).
+func TestSynopsisFanoutGating(t *testing.T) {
+	hub := NewSynopsisHub(model.Maritime, SynopsesConfig{Enabled: true})
+	critical := func(i int) {
+		speed := 5.0
+		if i%2 == 1 {
+			speed = 15.0
+		}
+		hub.Observe(model.Position{EntityID: "V", TS: int64(i+1) * 10_000, SpeedMS: speed, CourseDeg: 90})
+	}
+	for i := 0; i < 10; i++ {
+		critical(i)
+	}
+	if st := hub.Stats(); st.Critical == 0 {
+		t.Fatal("track produced no critical points; test is vacuous")
+	}
+	if got := hub.DrainPending(); got != nil {
+		t.Errorf("pending queued %d points with fan-out disabled", len(got))
+	}
+	hub.EnableFanout()
+	for i := 10; i < 20; i++ {
+		critical(i)
+	}
+	if got := hub.DrainPending(); len(got) == 0 {
+		t.Error("no pending points after EnableFanout")
+	}
+
+	// Ratio semantics at zero critical points: a steadily cruising entity
+	// reads observed:1, not 0.
+	cruise := NewSynopsisHub(model.Maritime, SynopsesConfig{Enabled: true})
+	for i := 0; i < 50; i++ {
+		cruise.Observe(model.Position{EntityID: "C", TS: int64(i+1) * 10_000, SpeedMS: 8, CourseDeg: 90})
+	}
+	st := cruise.Stats()
+	if st.Critical != 0 {
+		t.Fatalf("cruise emitted %d critical points", st.Critical)
+	}
+	if st.Ratio() != float64(st.Observed) || st.Ratio() == 0 {
+		t.Errorf("zero-critical ratio = %v, want observed (%d):1", st.Ratio(), st.Observed)
+	}
+	es, err := cruise.Synopsis("C")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if es.Ratio() != float64(es.Raw) {
+		t.Errorf("zero-critical entity ratio = %v, want raw (%d):1", es.Ratio(), es.Raw)
+	}
+}
+
+// TestSynopsisStaleEviction: entities silent past the staleness horizon are
+// dropped on the periodic sweep.
+func TestSynopsisStaleEviction(t *testing.T) {
+	hub := NewSynopsisHub(model.Maritime, SynopsesConfig{Enabled: true, MaxStale: time.Minute})
+	hub.Observe(model.Position{EntityID: "OLD", TS: 1000, SpeedMS: 8, CourseDeg: 90})
+	// Fresh entity advances stream time far past OLD's horizon and trips
+	// the sweep counter.
+	for i := 0; i < evictCheckEvery; i++ {
+		hub.Observe(model.Position{
+			EntityID: "NEW", TS: int64(10*time.Minute.Milliseconds()) + int64(i)*1000,
+			SpeedMS: 8, CourseDeg: 90,
+		})
+	}
+	if _, err := hub.Synopsis("OLD"); !errors.Is(err, ErrNoSynopsis) {
+		t.Errorf("stale entity still present: err = %v", err)
+	}
+	if _, err := hub.Synopsis("NEW"); err != nil {
+		t.Errorf("live entity evicted: %v", err)
+	}
+}
+
+// TestSynopsisFedForecastHistory: with Forecast.SynopsisHistory the
+// forecast hub consumes only critical-point reports — its warm state scales
+// with the synopsis, not the raw stream — and synopses are forced on.
+func TestSynopsisFedForecastHistory(t *testing.T) {
+	sc := synopsesWorld(t)
+
+	full := New(Config{Domain: model.Maritime, Forecast: ForecastConfig{Enabled: true}})
+	full.InstallAreas(sc.Areas)
+	full.InstallEntities(sc.Entities)
+	ingestAll(t, full, sc)
+
+	fed := New(Config{Domain: model.Maritime, Forecast: ForecastConfig{Enabled: true, SynopsisHistory: true}})
+	if fed.SynopsisHub == nil {
+		t.Fatal("SynopsisHistory must force the synopses subsystem on")
+	}
+	fed.InstallAreas(sc.Areas)
+	fed.InstallEntities(sc.Entities)
+	ingestAll(t, fed, sc)
+
+	fullObs, fedObs := full.ForecastHub.Observed(), fed.ForecastHub.Observed()
+	if fedObs == 0 {
+		t.Fatal("synopsis-fed forecast hub observed nothing")
+	}
+	if fedObs*2 > fullObs {
+		t.Errorf("synopsis-fed hub observed %d of %d raw reports — not compressed", fedObs, fullObs)
+	}
+	// The fed hub must still be able to forecast a live entity.
+	all, err := fed.ForecastHub.ForecastAll(10 * time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) == 0 {
+		t.Error("no forecastable entities in synopsis-fed mode")
+	}
+}
+
+// TestSynopsisDurableRecovery: serial logged ingest with a mid-stream
+// snapshot, crash, recover + tail replay — the recovered hub must export
+// bit-identical state to the uninterrupted run.
+func TestSynopsisDurableRecovery(t *testing.T) {
+	sc := synopsesWorld(t)
+	dataDir := t.TempDir()
+	cfg := Config{Domain: model.Maritime, Synopses: SynopsesConfig{Enabled: true}}
+
+	log, err := wal.Open(WALDir(dataDir), wal.Options{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p1 := New(cfg)
+	p1.InstallAreas(sc.Areas)
+	p1.InstallEntities(sc.Entities)
+	cutAt := len(sc.WireTimed) * 6 / 10
+	for i, tl := range sc.WireTimed {
+		if _, err := p1.IngestLineLogged(log, tl); err != nil {
+			t.Fatal(err)
+		}
+		if i == cutAt {
+			if err := log.Commit(); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := p1.WriteSnapshot(dataDir, nil, log); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if err := log.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	p2 := New(cfg)
+	p2.InstallAreas(sc.Areas)
+	p2.InstallEntities(sc.Entities)
+	rs, err := p2.Recover(dataDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs.SnapshotLSN == 0 || rs.Replayed == 0 {
+		t.Fatalf("recovery did not exercise snapshot + tail: %+v", rs)
+	}
+
+	want, got := p1.SynopsisHub.exportState(), p2.SynopsisHub.exportState()
+	if !reflect.DeepEqual(want, got) {
+		t.Errorf("recovered synopsis state diverges: %d vs %d entities, observed %d vs %d, critical %d vs %d",
+			len(want.Entities), len(got.Entities), want.Observed, got.Observed, want.Critical, got.Critical)
+	}
+	// And the serving read path agrees entity by entity.
+	for _, s := range p1.SynopsisHub.Summaries() {
+		a, errA := p1.SynopsisHub.Synopsis(s.Entity)
+		b, errB := p2.SynopsisHub.Synopsis(s.Entity)
+		if errA != nil || errB != nil {
+			t.Fatalf("synopsis(%s): %v / %v", s.Entity, errA, errB)
+		}
+		if !reflect.DeepEqual(a, b) {
+			t.Errorf("entity %s synopsis diverges after recovery", s.Entity)
+		}
+	}
+}

@@ -249,3 +249,37 @@ func TestE12ForecastShapeAndTrends(t *testing.T) {
 		t.Errorf("5-minute serving error %f m implausibly high", errs[0])
 	}
 }
+
+func TestE14SynopsesCompressionAndFidelity(t *testing.T) {
+	tab := E14Synopses(true)
+	if len(tab.Rows) != 7 {
+		t.Fatalf("rows = %d: %s", len(tab.Rows), tab)
+	}
+	raw := cell(t, tab, 0, 1)
+	critical := cell(t, tab, 1, 1)
+	if raw == 0 || critical == 0 {
+		t.Fatalf("degenerate measurement: raw=%v critical=%v", raw, critical)
+	}
+	// The acceptance bar: ≥ 5x point compression on synthetic maritime
+	// traffic.
+	if ratio := raw / critical; ratio < 5 {
+		t.Errorf("compression ratio = %.1f, want ≥ 5", ratio)
+	}
+	// Synopsis-reconstructed RMSE is reported and plausible: above zero,
+	// and not worse than the raw noise floor by more than an order of
+	// magnitude (the reconstruction interpolates the same lanes).
+	recRMSE, err := strconv.ParseFloat(strings.TrimSuffix(tab.Rows[3][1], " m"), 64)
+	if err != nil {
+		t.Fatalf("reconstruction RMSE cell %q: %v", tab.Rows[3][1], err)
+	}
+	rawRMSE, err := strconv.ParseFloat(strings.TrimSuffix(tab.Rows[4][1], " m"), 64)
+	if err != nil {
+		t.Fatalf("raw RMSE cell %q: %v", tab.Rows[4][1], err)
+	}
+	if recRMSE <= 0 || rawRMSE <= 0 {
+		t.Fatalf("RMSE rows empty: rec=%v raw=%v", recRMSE, rawRMSE)
+	}
+	if recRMSE > 10*rawRMSE+500 {
+		t.Errorf("reconstruction RMSE %.0f m implausibly far above the %.0f m noise floor", recRMSE, rawRMSE)
+	}
+}

@@ -37,13 +37,32 @@ func TestCountQuery(t *testing.T) {
 	if n, _ := res.Rows[0][0].Int(); n != 1 {
 		t.Errorf("filtered count = %d, want 1", n)
 	}
-	// COUNT respects LIMIT (applied before counting, like a subquery cap).
+	// COUNT is independent of LIMIT: it reports the distinct matching rows,
+	// not the truncated row set. (A LIMIT lower than the match count used to
+	// make COUNT echo the limit back — a measurement bug, pinned here.)
 	res, err = e.Execute(`SELECT COUNT ?n WHERE { ?n rdf:type dat:SemanticNode . } LIMIT 4`)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if n, _ := res.Rows[0][0].Int(); n != 4 {
-		t.Errorf("limited count = %d, want 4", n)
+	if n, _ := res.Rows[0][0].Int(); n != 11 {
+		t.Errorf("count under LIMIT 4 = %d, want the full distinct count 11", n)
+	}
+	// A LIMIT above the match count changes nothing either.
+	res, err = e.Execute(`SELECT COUNT ?n WHERE { ?n rdf:type dat:SemanticNode . } LIMIT 400`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n, _ := res.Rows[0][0].Int(); n != 11 {
+		t.Errorf("count under LIMIT 400 = %d, want 11", n)
+	}
+	// LIMIT still truncates the rows of the non-aggregate form of the same
+	// query — only the count itself ignores it.
+	res, err = e.Execute(`SELECT ?n WHERE { ?n rdf:type dat:SemanticNode . } LIMIT 4`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 4 {
+		t.Errorf("non-aggregate rows under LIMIT 4 = %d, want 4", len(res.Rows))
 	}
 }
 

@@ -118,13 +118,18 @@ func (e *Engine) Run(q *Query) (*Result, error) {
 	})
 
 	sortRows(rows)
+	// COUNT reports the number of distinct matching rows; LIMIT truncates
+	// the rows a non-aggregate query returns. Counting after truncation
+	// would make `SELECT COUNT ... LIMIT n` answer min(count, n), which is
+	// the limit echoed back, not a measurement.
+	distinct := len(rows)
 	if q.Limit > 0 && len(rows) > q.Limit {
 		rows = rows[:q.Limit]
 	}
 	if q.Count {
 		return &Result{
 			Vars:           []string{"count"},
-			Rows:           [][]rdf.Term{{rdf.NewLong(int64(len(rows)))}},
+			Rows:           [][]rdf.Term{{rdf.NewLong(int64(distinct))}},
 			ShardsVisited:  len(candidates),
 			SegmentsPruned: segsPruned,
 			Elapsed:        time.Since(start),
@@ -274,15 +279,26 @@ func evalShard(st rdf.Graph, plan []TriplePattern, filters []Filter) []binding {
 				continue
 			}
 			st.FindID(sid, pid, oid, func(t rdf.Triple) bool {
+				// A variable repeated in one pattern must match itself: the
+				// first occurrence binds, every later occurrence (S, P or O)
+				// must equal the id already bound in this row, otherwise the
+				// row is skipped. Without the guard on S and P a pattern like
+				// `?x ?x ?o` silently rebound ?x and returned rows where the
+				// two occurrences differ.
 				nb := cloneBinding(b)
 				if sv != "" {
+					if prev, exists := nb[sv]; exists && prev != t.S {
+						return true
+					}
 					nb[sv] = t.S
 				}
 				if pv != "" {
+					if prev, exists := nb[pv]; exists && prev != t.P {
+						return true
+					}
 					nb[pv] = t.P
 				}
 				if ov != "" {
-					// A variable repeated in one pattern must match itself.
 					if prev, exists := nb[ov]; exists && prev != t.O {
 						return true
 					}

@@ -1,0 +1,132 @@
+package query
+
+import (
+	"fmt"
+	"sort"
+	"testing"
+
+	"github.com/datacron-project/datacron/internal/onto"
+	"github.com/datacron-project/datacron/internal/partition"
+	"github.com/datacron-project/datacron/internal/rdf"
+	"github.com/datacron-project/datacron/internal/store"
+)
+
+// repeatedVarStore holds triples crafted so every slot pair has exactly one
+// self-consistent match plus decoys that a rebinding bug would wrongly
+// return: a triple where S==P, one where S==O, one where P==O, one where all
+// three coincide, and triples whose slots all differ.
+func repeatedVarStore(t testing.TB) *store.Sharded {
+	t.Helper()
+	s := store.NewSharded(partition.NewHash(4), worldBox)
+	iri := func(n string) rdf.Term { return rdf.NewIRI("http://ex/" + n) }
+	s.AddGlobal([]onto.TripleT{
+		{S: iri("a"), P: iri("a"), O: iri("x")}, // S==P
+		{S: iri("b"), P: iri("p"), O: iri("b")}, // S==O
+		{S: iri("c"), P: iri("q"), O: iri("q")}, // P==O
+		{S: iri("d"), P: iri("d"), O: iri("d")}, // S==P==O
+		// Decoys: every slot distinct. A rebinding bug returns these too.
+		{S: iri("e"), P: iri("r"), O: iri("y")},
+		{S: iri("f"), P: iri("s"), O: iri("z")},
+	})
+	return s
+}
+
+// queryRows runs src and returns each row as "v1|v2|..." sorted.
+func queryRows(t testing.TB, e *Engine, src string) []string {
+	t.Helper()
+	res, err := e.Execute(src)
+	if err != nil {
+		t.Fatalf("Execute(%q): %v", src, err)
+	}
+	out := make([]string, 0, len(res.Rows))
+	for _, row := range res.Rows {
+		cells := ""
+		for i, c := range row {
+			if i > 0 {
+				cells += "|"
+			}
+			cells += c.String()
+		}
+		out = append(out, cells)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// TestRepeatedVariableSelfConsistency pins the join semantics of a variable
+// repeated inside one pattern: every occurrence must bind to the same term.
+// The S and P slots used to rebind silently (only O had the guard), so
+// `?x ?x ?o` returned rows where the two ?x occurrences differed.
+func TestRepeatedVariableSelfConsistency(t *testing.T) {
+	e := NewEngine(repeatedVarStore(t))
+	for _, tc := range []struct {
+		name  string
+		query string
+		want  []string
+	}{
+		{
+			name:  "S==P",
+			query: `SELECT ?x ?o WHERE { ?x ?x ?o . }`,
+			want: []string{
+				"<http://ex/a>|<http://ex/x>",
+				"<http://ex/d>|<http://ex/d>",
+			},
+		},
+		{
+			name:  "S==O",
+			query: `SELECT ?x ?p WHERE { ?x ?p ?x . }`,
+			want: []string{
+				"<http://ex/b>|<http://ex/p>",
+				"<http://ex/d>|<http://ex/d>",
+			},
+		},
+		{
+			name:  "P==O",
+			query: `SELECT ?s ?x WHERE { ?s ?x ?x . }`,
+			want: []string{
+				"<http://ex/c>|<http://ex/q>",
+				"<http://ex/d>|<http://ex/d>",
+			},
+		},
+		{
+			name:  "S==P==O",
+			query: `SELECT ?x WHERE { ?x ?x ?x . }`,
+			want:  []string{"<http://ex/d>"},
+		},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			got := queryRows(t, e, tc.query)
+			if fmt.Sprint(got) != fmt.Sprint(tc.want) {
+				t.Errorf("rows = %v, want %v", got, tc.want)
+			}
+		})
+	}
+}
+
+// TestRepeatedVariableAcrossPatterns checks the complementary path: a
+// variable bound by an earlier pattern constrains a later pattern's S/P/O
+// slots through resolve (constant lookup), which the repeated-slot fix must
+// not disturb.
+func TestRepeatedVariableAcrossPatterns(t *testing.T) {
+	e := NewEngine(repeatedVarStore(t))
+	// ?x is bound to subjects by the first pattern and reused as the
+	// predicate slot of the second: only d satisfies both.
+	got := queryRows(t, e, `SELECT ?x WHERE { ?x ?x ?o . ?s ?x ?x . }`)
+	want := []string{"<http://ex/d>"}
+	if fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Errorf("rows = %v, want %v", got, want)
+	}
+}
+
+// TestRepeatedVariableCount keeps the aggregate path honest over the fixed
+// join: COUNT sees only self-consistent rows.
+func TestRepeatedVariableCount(t *testing.T) {
+	e := NewEngine(repeatedVarStore(t))
+	res, err := e.Execute(`SELECT COUNT ?x WHERE { ?x ?x ?o . }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n, _ := res.Rows[0][0].Int(); n != 2 {
+		t.Errorf("count = %d, want 2 (a and d only)", n)
+	}
+}

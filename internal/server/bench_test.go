@@ -108,6 +108,26 @@ func BenchmarkServerIngestForecast(b *testing.B) {
 	b.ReportMetric(float64(p.ForecastHub.Observed()), "observed")
 }
 
+// BenchmarkServerIngestSynopses is the serving path with the trajectory
+// synopses hub tapping every gated report (per-entity critical point
+// detection + ring maintenance + compression accounting). The acceptance
+// bar for the synopses subsystem is < 15% regression against
+// BenchmarkServerIngest.
+func BenchmarkServerIngestSynopses(b *testing.B) {
+	batches := benchBatches(b)
+	p := core.New(core.Config{
+		Domain:   model.Maritime,
+		Synopses: core.SynopsesConfig{Enabled: true},
+	})
+	p.InstallAreas(benchWorld.sc.Areas)
+	p.InstallEntities(benchWorld.sc.Entities)
+	srv := New(Config{Pipeline: p, QueueLen: 1 << 16})
+	runIngestBench(b, srv, batches)
+	st := p.SynopsisHub.Stats()
+	b.ReportMetric(float64(st.Observed), "observed")
+	b.ReportMetric(st.Ratio(), "compression")
+}
+
 // BenchmarkServerIngestWAL is the durable path in the daemon's default
 // mode: every accepted line is framed/CRC'd into the write-ahead log and
 // each batch is group-committed (flushed to the OS — kill -9 durable)

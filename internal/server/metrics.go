@@ -5,6 +5,8 @@ import (
 	"net/http"
 	"strings"
 	"time"
+
+	"github.com/datacron-project/datacron/internal/synopses"
 )
 
 // healthResponse is the GET /healthz body.
@@ -85,6 +87,23 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		gaugef("datacron_forecast_knn_indexed_points", float64(knnPoints))
 	}
 
+	// Trajectory synopses: the raw-vs-critical volume reduction, per-kind
+	// detection counters and the SSE fan-out (only when the hub is
+	// running).
+	if sh := s.p.SynopsisHub; sh != nil {
+		st := sh.Stats()
+		count("datacron_synopses_observed_total", st.Observed)
+		count("datacron_synopses_critical_total", st.Critical)
+		count("datacron_synopses_sse_published_total", s.synopsesPublished.Load())
+		count("datacron_synopses_sse_dropped_total", st.PendingDropped)
+		gaugef("datacron_synopses_entities", float64(st.Entities))
+		gaugef("datacron_synopses_compression_ratio", st.Ratio())
+		fmt.Fprintf(&b, "# TYPE datacron_synopses_critical_kind_total counter\n")
+		for k, n := range st.ByKind {
+			fmt.Fprintf(&b, "datacron_synopses_critical_kind_total{kind=%q} %d\n", synopses.Kind(k).String(), n)
+		}
+	}
+
 	// Durability: WAL position, snapshot progress and what the boot-time
 	// recovery replayed or had to skip.
 	if s.wal != nil {
@@ -128,6 +147,8 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		{"/events", s.reqEvents.Load()},
 		{"/forecast", s.reqForecast.Load()},
 		{"/forecast/batch", s.reqForecastBatch.Load()},
+		{"/synopses/{id}", s.reqSynopsis.Load()},
+		{"/synopses/batch", s.reqSynopsesBatch.Load()},
 		{"/snapshot", s.reqSnapshot.Load()},
 		{"/seal", s.reqSeal.Load()},
 	} {

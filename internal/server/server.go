@@ -17,6 +17,11 @@
 //	GET  /forecast — predicted future location of one entity: point +
 //	                 uncertainty radius, method-tagged (online forecasting).
 //	GET  /forecast/batch — forecasts for every live entity.
+//	GET  /synopses/{id} — one entity's trajectory synopsis: its critical
+//	                 points (stop/turn/speed-change/gap) + compression
+//	                 accounting.
+//	GET  /synopses/batch — per-entity synopsis summaries + hub-wide
+//	                 compression statistics.
 //	POST /snapshot — write a full pipeline snapshot (durable mode only).
 //	POST /seal     — force a tier-maintenance pass: seal every non-empty
 //	                 shard head into an immutable segment and apply the
@@ -74,6 +79,11 @@ type Config struct {
 	// (default 10 minutes).
 	ForecastSSEHorizon time.Duration
 
+	// SynopsesInterval, when > 0 and the pipeline has a SynopsisHub,
+	// drains newly detected critical points every interval and publishes
+	// each as an SSE "synopsis" frame.
+	SynopsesInterval time.Duration
+
 	// Tier is the store's seal/retention policy; POST /seal applies it on
 	// demand (force-sealing every non-empty head) and the background
 	// maintenance pass applies it periodically.
@@ -111,12 +121,14 @@ type Server struct {
 
 	reqIngest, reqQuery, reqRange, reqEvents, reqSnapshot atomic.Int64
 	reqForecast, reqForecastBatch, reqSeal                atomic.Int64
+	reqSynopsis, reqSynopsesBatch                         atomic.Int64
 
-	// Forecast SSE ticker lifecycle + fan-out counter.
+	// SSE ticker lifecycle + fan-out counters (forecast + synopsis).
 	stopTicker        chan struct{}
 	closeOnce         sync.Once
 	tickerWG          sync.WaitGroup
 	forecastPublished atomic.Int64
+	synopsesPublished atomic.Int64
 }
 
 // New builds the serving layer over cfg.Pipeline and starts the ingest
@@ -146,6 +158,8 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("GET /events", s.handleEvents)
 	s.mux.HandleFunc("GET /forecast", s.handleForecast)
 	s.mux.HandleFunc("GET /forecast/batch", s.handleForecastBatch)
+	s.mux.HandleFunc("GET /synopses/batch", s.handleSynopsesBatch)
+	s.mux.HandleFunc("GET /synopses/{id}", s.handleSynopsis)
 	s.mux.HandleFunc("POST /snapshot", s.handleSnapshot)
 	s.mux.HandleFunc("POST /seal", s.handleSeal)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
@@ -158,6 +172,13 @@ func New(cfg Config) *Server {
 		}
 		s.tickerWG.Add(1)
 		go s.runForecastTicker(cfg.ForecastInterval, horizon)
+	}
+	if cfg.SynopsesInterval > 0 && s.p.SynopsisHub != nil {
+		// Queueing for SSE fan-out only happens once a drainer exists;
+		// without an interval the ingest path skips it entirely.
+		s.p.SynopsisHub.EnableFanout()
+		s.tickerWG.Add(1)
+		go s.runSynopsesTicker(cfg.SynopsesInterval)
 	}
 	if cfg.MaintainInterval > 0 && cfg.Tier.Active() {
 		s.tickerWG.Add(1)

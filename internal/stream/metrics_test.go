@@ -63,6 +63,92 @@ func TestLatencyHistReservoirSpill(t *testing.T) {
 	}
 }
 
+// TestLatencyHistPercentileBounds pins the index arithmetic at the
+// percentile boundaries: p=0 is the minimum, p=100 the maximum (never an
+// out-of-range index), a single sample answers every percentile, and no
+// samples answer 0.
+func TestLatencyHistPercentileBounds(t *testing.T) {
+	empty := NewLatencyHist()
+	for _, p := range []float64{0, 50, 100} {
+		if got := empty.Percentile(p); got != 0 {
+			t.Errorf("empty p%g = %v, want 0", p, got)
+		}
+	}
+
+	single := NewLatencyHist()
+	single.Observe(7 * time.Millisecond)
+	for _, p := range []float64{0, 1, 50, 99, 100} {
+		if got := single.Percentile(p); got != 7*time.Millisecond {
+			t.Errorf("single-sample p%g = %v, want 7ms", p, got)
+		}
+	}
+
+	h := NewLatencyHist()
+	for i := 1; i <= 10; i++ {
+		h.Observe(time.Duration(i) * time.Millisecond)
+	}
+	if got := h.Percentile(0); got != time.Millisecond {
+		t.Errorf("p0 = %v, want the minimum 1ms", got)
+	}
+	if got := h.Percentile(100); got != 10*time.Millisecond {
+		t.Errorf("p100 = %v, want the maximum 10ms", got)
+	}
+	// Out-of-domain p values clamp instead of indexing out of range.
+	if got := h.Percentile(-5); got != time.Millisecond {
+		t.Errorf("p-5 = %v, want clamp to minimum", got)
+	}
+	if got := h.Percentile(250); got != 10*time.Millisecond {
+		t.Errorf("p250 = %v, want clamp to maximum", got)
+	}
+}
+
+// TestLatencyHistJustPastCap drives the reservoir exactly one sample past
+// maxLatencySamples — the first Observe that takes the replacement path —
+// and checks the transition invariants: the reservoir stays capped, the
+// total count keeps advancing, and every percentile still answers a value
+// that was actually observed.
+func TestLatencyHistJustPastCap(t *testing.T) {
+	h := NewLatencyHist()
+	for i := 1; i <= maxLatencySamples; i++ {
+		h.Observe(time.Duration(i) * time.Microsecond)
+	}
+	if got := h.Samples(); got != maxLatencySamples {
+		t.Fatalf("at the cap: Samples = %d, want %d", got, maxLatencySamples)
+	}
+	if got := h.Percentile(100); got != maxLatencySamples*time.Microsecond {
+		t.Errorf("exact p100 at the cap = %v, want %v", got, maxLatencySamples*time.Microsecond)
+	}
+
+	h.Observe((maxLatencySamples + 1) * time.Microsecond)
+	if got := h.Samples(); got != maxLatencySamples {
+		t.Errorf("one past the cap: Samples = %d, want %d (reservoir must not grow)", got, maxLatencySamples)
+	}
+	if got := h.Count(); got != maxLatencySamples+1 {
+		t.Errorf("one past the cap: Count = %d, want %d", got, maxLatencySamples+1)
+	}
+	// Whether or not the new sample displaced one, every percentile must
+	// come from the observed range and stay monotone.
+	lo, hi := h.Percentile(0), h.Percentile(100)
+	if lo < time.Microsecond || hi > (maxLatencySamples+1)*time.Microsecond {
+		t.Errorf("extremes out of observed range: p0=%v p100=%v", lo, hi)
+	}
+	if p50 := h.Percentile(50); p50 < lo || p50 > hi {
+		t.Errorf("p50=%v outside [p0=%v, p100=%v]", p50, lo, hi)
+	}
+
+	// A short burst past the cap keeps the same invariants (several
+	// replacement-path iterations, not just the first).
+	for i := 0; i < 1000; i++ {
+		h.Observe(time.Duration(i%100+1) * time.Microsecond)
+	}
+	if got := h.Samples(); got != maxLatencySamples {
+		t.Errorf("burst past the cap: Samples = %d, want %d", got, maxLatencySamples)
+	}
+	if got := h.Count(); got != maxLatencySamples+1001 {
+		t.Errorf("burst past the cap: Count = %d, want %d", got, maxLatencySamples+1001)
+	}
+}
+
 // TestLatencyHistSmall keeps exactness below the reservoir bound.
 func TestLatencyHistSmall(t *testing.T) {
 	h := NewLatencyHist()

@@ -138,21 +138,30 @@ func Features(tr *model.Trajectory) []Kinematics {
 
 // FillGaps returns a copy of tr with interior gaps larger than step filled
 // by great-circle interpolation at the given step. Used to regularise
-// trajectories before grid-based analytics.
+// trajectories before grid-based analytics. Consecutive reports sharing a
+// timestamp collapse to the first (keep-first, matching Trajectory.Dedup),
+// so the output is strictly time-increasing even on raw feeds that repeat
+// timestamps.
 func FillGaps(tr *model.Trajectory, step time.Duration) *model.Trajectory {
 	if tr.Len() < 2 || step <= 0 {
 		return tr.Clone()
 	}
 	stepMS := step.Milliseconds()
 	out := &model.Trajectory{EntityID: tr.EntityID, Domain: tr.Domain}
+	emit := func(p model.Position) {
+		if n := len(out.Points); n > 0 && p.TS <= out.Points[n-1].TS {
+			return
+		}
+		out.Points = append(out.Points, p)
+	}
 	for i := 0; i < tr.Len()-1; i++ {
 		a, b := tr.Points[i], tr.Points[i+1]
-		out.Points = append(out.Points, a)
+		emit(a)
 		for ts := a.TS + stepMS; ts < b.TS; ts += stepMS {
 			p, _ := tr.At(ts)
-			out.Points = append(out.Points, p)
+			emit(p)
 		}
 	}
-	out.Points = append(out.Points, tr.Points[tr.Len()-1])
+	emit(tr.Points[tr.Len()-1])
 	return out
 }

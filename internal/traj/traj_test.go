@@ -165,6 +165,60 @@ func TestFillGaps(t *testing.T) {
 	}
 }
 
+// TestFillGapsEdgeCases pins the boundary behaviour: tiny inputs pass
+// through, consecutive reports sharing a timestamp collapse to the first
+// (they used to be emitted twice), and a gap exactly equal to the step gets
+// no interpolated point.
+func TestFillGapsEdgeCases(t *testing.T) {
+	mk := func(tss ...int64) *model.Trajectory {
+		tr := &model.Trajectory{EntityID: "V"}
+		for i, ts := range tss {
+			tr.Points = append(tr.Points, model.Position{
+				EntityID: "V", TS: ts, Pt: geo.Pt(23+float64(i)*0.01, 37),
+			})
+		}
+		return tr
+	}
+	for _, tc := range []struct {
+		name    string
+		in      *model.Trajectory
+		step    time.Duration
+		wantTSs []int64
+	}{
+		{"zero points", mk(), time.Second, nil},
+		{"one point", mk(5000), time.Second, []int64{5000}},
+		{"equal TS pair", mk(1000, 1000), time.Second, []int64{1000}},
+		{"equal TS run mid-trajectory", mk(0, 1000, 1000, 1000, 2000), time.Second, []int64{0, 1000, 2000}},
+		{"equal TS at the end", mk(0, 1000, 1000), time.Second, []int64{0, 1000}},
+		{"gap == step", mk(0, 1000), time.Second, []int64{0, 1000}},
+		{"gap just over step", mk(0, 1500), time.Second, []int64{0, 1000, 1500}},
+		{"gap of two steps", mk(0, 2000), time.Second, []int64{0, 1000, 2000}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			got := FillGaps(tc.in, tc.step)
+			var gotTSs []int64
+			for _, p := range got.Points {
+				gotTSs = append(gotTSs, p.TS)
+			}
+			if len(gotTSs) != len(tc.wantTSs) {
+				t.Fatalf("timestamps = %v, want %v", gotTSs, tc.wantTSs)
+			}
+			for i := range gotTSs {
+				if gotTSs[i] != tc.wantTSs[i] {
+					t.Fatalf("timestamps = %v, want %v", gotTSs, tc.wantTSs)
+				}
+			}
+			// Strictly increasing output is the invariant downstream
+			// grid analytics rely on.
+			for i := 1; i < len(got.Points); i++ {
+				if got.Points[i].TS <= got.Points[i-1].TS {
+					t.Fatalf("non-increasing TS at %d: %v", i, gotTSs)
+				}
+			}
+		})
+	}
+}
+
 func TestReconstructSyntheticWorld(t *testing.T) {
 	sc := synth.GenMaritime(synth.MaritimeConfig{Seed: 13, Vessels: 10, Duration: time.Hour, GapProb: 0.99})
 	segs := Reconstruct(sc.Positions, DefaultMaritime())
