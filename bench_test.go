@@ -81,3 +81,8 @@ func BenchmarkE10EndToEnd(b *testing.B) { runExperiment(b, experiments.E10EndToE
 // of data compression without affecting the quality of analytics", §2 — the
 // synopses half of the claim).
 func BenchmarkE14Synopses(b *testing.B) { runExperiment(b, experiments.E14Synopses) }
+
+// BenchmarkE15Observability regenerates E15: the ingest-path cost of
+// sampled stage tracing (bar: default sampling < 5% over the untraced
+// baseline) with the per-stage latency breakdown the tracer buys.
+func BenchmarkE15Observability(b *testing.B) { runExperiment(b, experiments.E15Observability) }

@@ -1,4 +1,4 @@
-// datacron-bench runs the experiment suite E1–E14 (DESIGN.md §4) and prints
+// datacron-bench runs the experiment suite E1–E15 (DESIGN.md §4) and prints
 // every result table; use it to regenerate the numbers in EXPERIMENTS.md.
 //
 //	datacron-bench            # full scale (minutes)
@@ -50,6 +50,7 @@ func main() {
 		{"E12", experiments.E12OnlineForecast},
 		{"E13", experiments.E13Tiering},
 		{"E14", experiments.E14Synopses},
+		{"E15", experiments.E15Observability},
 	}
 	for _, e := range all {
 		if len(want) > 0 && !want[e.id] {

@@ -1,0 +1,165 @@
+// datacron-benchjson turns `go test -json -bench` output into a compact
+// benchmark snapshot for the repo's perf trajectory: one JSON document with
+// ns/op, B/op, allocs/op and every custom metric (lines/sec, compression,
+// wal-records, ...) per benchmark, sorted for stable diffs. CI runs it on
+// the bench-smoke step and uploads the result; committed snapshots live at
+// the repo root as BENCH_<n>.json, one per recorded PR, so a regression
+// shows up as a diff between consecutive snapshots rather than a feeling.
+//
+//	go test -json -bench . -benchtime 1x -benchmem -run '^$' ./... \
+//	  | datacron-benchjson -out BENCH_2.json
+//
+// Plain (non -json) `go test -bench` output is accepted too: lines that do
+// not parse as test2json events are treated as raw benchmark output.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// event is the subset of test2json's output record we need.
+type event struct {
+	Action  string `json:"Action"`
+	Package string `json:"Package"`
+	Output  string `json:"Output"`
+}
+
+// result is one benchmark's parsed numbers. Metrics holds the custom
+// b.ReportMetric units beyond the standard three.
+type result struct {
+	Package     string             `json:"package,omitempty"`
+	Name        string             `json:"name"`
+	Procs       int                `json:"procs,omitempty"`
+	Iterations  int64              `json:"iterations"`
+	NsPerOp     float64            `json:"ns_per_op"`
+	BytesPerOp  *float64           `json:"bytes_per_op,omitempty"`
+	AllocsPerOp *float64           `json:"allocs_per_op,omitempty"`
+	Metrics     map[string]float64 `json:"metrics,omitempty"`
+}
+
+// snapshot is the whole document.
+type snapshot struct {
+	Generated  string   `json:"generated"`
+	GoVersion  string   `json:"go"`
+	GOOS       string   `json:"goos"`
+	GOARCH     string   `json:"goarch"`
+	CPU        string   `json:"cpu,omitempty"`
+	Benchmarks []result `json:"benchmarks"`
+}
+
+func main() {
+	out := flag.String("out", "", "write the snapshot here (default stdout)")
+	flag.Parse()
+
+	snap := snapshot{
+		Generated: time.Now().UTC().Format(time.RFC3339),
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+	}
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		pkg, text := "", line
+		if strings.HasPrefix(line, "{") {
+			var ev event
+			if err := json.Unmarshal([]byte(line), &ev); err == nil {
+				if ev.Action != "output" {
+					continue
+				}
+				pkg, text = ev.Package, strings.TrimRight(ev.Output, "\n")
+			}
+		}
+		if cpu, ok := strings.CutPrefix(strings.TrimSpace(text), "cpu: "); ok {
+			snap.CPU = cpu
+			continue
+		}
+		if r, ok := parseBenchLine(text); ok {
+			r.Package = pkg
+			snap.Benchmarks = append(snap.Benchmarks, r)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, "datacron-benchjson: read stdin:", err)
+		os.Exit(1)
+	}
+	sort.Slice(snap.Benchmarks, func(i, j int) bool {
+		a, b := snap.Benchmarks[i], snap.Benchmarks[j]
+		if a.Package != b.Package {
+			return a.Package < b.Package
+		}
+		return a.Name < b.Name
+	})
+
+	enc, err := json.MarshalIndent(snap, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "datacron-benchjson:", err)
+		os.Exit(1)
+	}
+	enc = append(enc, '\n')
+	if *out == "" {
+		os.Stdout.Write(enc)
+		return
+	}
+	if err := os.WriteFile(*out, enc, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "datacron-benchjson:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "datacron-benchjson: wrote %d benchmarks to %s\n", len(snap.Benchmarks), *out)
+}
+
+// parseBenchLine parses one `go test -bench` result line:
+//
+//	BenchmarkName-8  	  1177	  1921907 ns/op	  264617 lines/sec	  0 B/op	  3 allocs/op
+//
+// Returns ok=false for anything that is not a benchmark result.
+func parseBenchLine(line string) (result, bool) {
+	if !strings.HasPrefix(line, "Benchmark") {
+		return result{}, false
+	}
+	fields := strings.Fields(line)
+	// Name, iterations, then value/unit pairs.
+	if len(fields) < 4 || len(fields)%2 != 0 {
+		return result{}, false
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return result{}, false
+	}
+	r := result{Name: fields[0], Iterations: iters}
+	if i := strings.LastIndex(r.Name, "-"); i > 0 {
+		if procs, err := strconv.Atoi(r.Name[i+1:]); err == nil {
+			r.Name, r.Procs = r.Name[:i], procs
+		}
+	}
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return result{}, false
+		}
+		switch unit := fields[i+1]; unit {
+		case "ns/op":
+			r.NsPerOp = v
+		case "B/op":
+			r.BytesPerOp = &v
+		case "allocs/op":
+			r.AllocsPerOp = &v
+		default:
+			if r.Metrics == nil {
+				r.Metrics = map[string]float64{}
+			}
+			r.Metrics[unit] = v
+		}
+	}
+	return r, true
+}

@@ -1,0 +1,36 @@
+package main
+
+import "testing"
+
+func TestParseBenchLine(t *testing.T) {
+	r, ok := parseBenchLine("BenchmarkServerIngest-4 \t    1177\t   1921907 ns/op\t    264617 lines/sec\t       0 rejected\t  512 B/op\t       3 allocs/op")
+	if !ok {
+		t.Fatal("line did not parse")
+	}
+	if r.Name != "BenchmarkServerIngest" || r.Procs != 4 || r.Iterations != 1177 {
+		t.Fatalf("header parse: %+v", r)
+	}
+	if r.NsPerOp != 1921907 {
+		t.Fatalf("ns/op = %v", r.NsPerOp)
+	}
+	if r.BytesPerOp == nil || *r.BytesPerOp != 512 || r.AllocsPerOp == nil || *r.AllocsPerOp != 3 {
+		t.Fatalf("benchmem parse: %+v", r)
+	}
+	if r.Metrics["lines/sec"] != 264617 || r.Metrics["rejected"] != 0 {
+		t.Fatalf("custom metrics: %v", r.Metrics)
+	}
+}
+
+func TestParseBenchLineRejectsNoise(t *testing.T) {
+	for _, line := range []string{
+		"goos: linux",
+		"BenchmarkFoo", // header echo without results
+		"PASS",
+		"ok  \tgithub.com/x\t1.2s",
+		"Benchmarking is fun",
+	} {
+		if _, ok := parseBenchLine(line); ok {
+			t.Fatalf("parsed non-result line %q", line)
+		}
+	}
+}

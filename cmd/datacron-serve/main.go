@@ -29,6 +29,15 @@
 // part of snapshots and survives kill -9. -forecast-synopsis-history feeds
 // the forecast hub from the compressed stream instead of the raw one.
 //
+// Observability (see OPERATIONS.md "Observability"): logs are structured
+// (log/slog, -log-level / -log-format json), every request carries an
+// X-Request-ID, sampled per-line pipeline spans are served at
+// GET /debug/trace (-trace-sample, 0 = off), slow queries at
+// GET /debug/slowlog (-slow-query threshold), and -debug-addr starts a
+// separate pprof listener. The daemon binds -addr immediately but
+// GET /readyz answers 503 until recovery finishes; /healthz is pure
+// liveness.
+//
 // By default the daemon primes the world (areas of interest and entity
 // registry) from the same deterministic generator datacron-gen uses, so a
 // generated wire file POSTed to /ingest produces the scripted complex
@@ -49,14 +58,18 @@ import (
 	"context"
 	"errors"
 	"flag"
-	"log"
+	"fmt"
+	"net"
 	"net/http"
+	"net/http/pprof"
+	"os"
 	"os/signal"
 	"syscall"
 	"time"
 
 	"github.com/datacron-project/datacron/internal/core"
 	"github.com/datacron-project/datacron/internal/model"
+	"github.com/datacron-project/datacron/internal/obs"
 	"github.com/datacron-project/datacron/internal/server"
 	"github.com/datacron-project/datacron/internal/store"
 	"github.com/datacron-project/datacron/internal/synopses"
@@ -65,8 +78,6 @@ import (
 )
 
 func main() {
-	log.SetFlags(0)
-	log.SetPrefix("datacron-serve: ")
 	var (
 		addr    = flag.String("addr", ":8080", "listen address")
 		domain  = flag.String("domain", "maritime", "maritime or aviation")
@@ -80,6 +91,13 @@ func main() {
 		dataDir = flag.String("data-dir", "", "durability directory (WAL + snapshots); empty = in-memory only")
 		fsync   = flag.Bool("fsync", false, "fsync the WAL on every commit: survives power loss, not just kill -9 (default flushes to the OS, which a process crash cannot lose)")
 		segMB   = flag.Int64("segment-mb", 64, "WAL segment roll size in MiB")
+
+		logLevel  = flag.String("log-level", "info", "log level: debug, info, warn, error")
+		logFormat = flag.String("log-format", "text", "log format: text or json")
+		debugAddr = flag.String("debug-addr", "", "separate pprof/debug listen address (empty = off); never expose publicly")
+		traceEv   = flag.Int("trace-sample", obs.DefaultSampleEvery, "trace every Nth ingest line through the pipeline stages (GET /debug/trace; 0 = tracing off)")
+		traceRing = flag.Int("trace-ring", obs.DefaultTraceRing, "bounded span ring size for GET /debug/trace")
+		slowQuery = flag.Duration("slow-query", obs.DefaultSlowQuery, "log queries at or over this duration with their plan facts (GET /debug/slowlog; negative = off)")
 
 		sealTriples = flag.Int("seal-triples", 250_000, "seal a shard head into an immutable segment once it holds this many triples (0 = no size trigger)")
 		sealAfter   = flag.Duration("seal-after", 0, "seal a shard head once its oldest anchor is this much older than the stream clock (0 = no age trigger)")
@@ -104,14 +122,25 @@ func main() {
 	)
 	flag.Parse()
 
+	logger := obs.NewLogger(os.Stderr, *logLevel, *logFormat)
+	fatal := func(msg string, err error) {
+		logger.Error(msg, "err", err)
+		os.Exit(1)
+	}
+
 	dom := model.Maritime
 	if *domain == "aviation" {
 		dom = model.Aviation
 	} else if *domain != "maritime" {
-		log.Fatalf("unknown domain %q", *domain)
+		fatal("unknown domain", fmt.Errorf("%q (want maritime or aviation)", *domain))
 	}
 	p := core.New(core.Config{
 		Domain: dom, Shards: *shards,
+		Trace: obs.TraceConfig{
+			Enabled:     *traceEv > 0,
+			SampleEvery: *traceEv,
+			RingSize:    *traceRing,
+		},
 		Forecast: core.ForecastConfig{
 			Enabled:         *fcast,
 			GridCols:        *fcastGrid,
@@ -132,6 +161,46 @@ func main() {
 			},
 		},
 	})
+
+	// Bind the listener before the (possibly long) recovery replay so probes
+	// get answers immediately: /healthz says the process is alive, /readyz
+	// says 503 starting until the swap below. The SwitchHandler atomically
+	// replaces this bootstrap surface with the full API once recovery is
+	// done.
+	ready := obs.NewReadiness("recovering: snapshot load + wal replay")
+	sw := &obs.SwitchHandler{}
+	boot := http.NewServeMux()
+	boot.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_, _ = w.Write([]byte(`{"status":"ok","phase":"starting"}` + "\n"))
+	})
+	boot.Handle("GET /readyz", ready)
+	sw.Set(boot)
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fatal("listen", err)
+	}
+	httpSrv := &http.Server{Handler: sw}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- httpSrv.Serve(ln) }()
+
+	if *debugAddr != "" {
+		// pprof gets its own mux on its own listener so profiling is never
+		// reachable through the public port.
+		dbg := http.NewServeMux()
+		dbg.HandleFunc("/debug/pprof/", pprof.Index)
+		dbg.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		dbg.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		dbg.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		dbg.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		go func() {
+			logger.Info("pprof listening", "component", "debug", "addr", *debugAddr)
+			if err := http.ListenAndServe(*debugAddr, dbg); err != nil {
+				logger.Error("pprof listener failed", "component", "debug", "err", err)
+			}
+		}()
+	}
+
 	if *prime {
 		// A minimal-duration scenario carries the full area set and entity
 		// registry without generating traffic.
@@ -143,7 +212,7 @@ func main() {
 		}
 		p.InstallAreas(sc.Areas)
 		p.InstallEntities(sc.Entities)
-		log.Printf("primed %s world: %d areas, %d entities", dom, len(sc.Areas), len(sc.Entities))
+		logger.Info("primed world", "domain", dom.String(), "areas", len(sc.Areas), "entities", len(sc.Entities))
 	}
 
 	// Durable mode: recover (snapshot + WAL tail) before serving, then
@@ -153,18 +222,24 @@ func main() {
 		recovery *core.RecoveryStats
 	)
 	if *dataDir != "" {
+		rlog := obs.Component(logger, "recovery")
 		rs, err := p.Recover(*dataDir)
 		if err != nil {
-			log.Fatalf("recovery failed: %v", err)
+			fatal("recovery failed", err)
 		}
 		recovery = &rs
-		log.Printf("recovered: snapshot lsn=%d (%d triples, %d anchors), replayed %d lines (skipped %d already applied, %d events) in %v",
-			rs.SnapshotLSN, rs.SnapshotTriples, rs.SnapshotAnchors, rs.Replayed, rs.SkippedApplied, rs.Events, rs.Took.Round(time.Millisecond))
+		rlog.Info("recovered",
+			"snapshotLSN", rs.SnapshotLSN, "snapshotTriples", rs.SnapshotTriples,
+			"snapshotAnchors", rs.SnapshotAnchors, "replayed", rs.Replayed,
+			"skippedApplied", rs.SkippedApplied, "events", rs.Events,
+			"took", rs.Took.Round(time.Millisecond))
 		if rs.TailTruncatedBytes > 0 {
-			log.Printf("recovery: dropped %d torn bytes at the log tail (unacknowledged partial write)", rs.TailTruncatedBytes)
+			rlog.Info("dropped torn bytes at the log tail (unacknowledged partial write)",
+				"bytes", rs.TailTruncatedBytes)
 		}
 		if rs.CorruptStopped {
-			log.Printf("recovery: WARNING: mid-log corruption — stopped at the last valid record, %d bytes skipped", rs.SkippedBytes)
+			rlog.Warn("mid-log corruption: stopped at the last valid record",
+				"skippedBytes", rs.SkippedBytes)
 		}
 		var err2 error
 		walLog, err2 = wal.Open(core.WALDir(*dataDir), wal.Options{
@@ -172,7 +247,7 @@ func main() {
 			NoSync:       !*fsync,
 		})
 		if err2 != nil {
-			log.Fatalf("open wal: %v", err2)
+			fatal("open wal", err2)
 		}
 		defer walLog.Close()
 		if rs.CorruptStopped {
@@ -184,9 +259,9 @@ func main() {
 			// disk damage either way.
 			info, err := p.WriteSnapshot(*dataDir, nil, walLog)
 			if err != nil {
-				log.Fatalf("recovery: cannot seal corrupt log with a snapshot: %v — refusing to serve durably", err)
+				fatal("cannot seal corrupt log with a snapshot — refusing to serve durably", err)
 			}
-			log.Printf("recovery: sealed corrupt log: snapshot lsn=%d, new replay floor=%d", info.CutLSN, info.ReplayFrom)
+			rlog.Info("sealed corrupt log", "snapshotLSN", info.CutLSN, "replayFloor", info.ReplayFrom)
 		}
 	}
 
@@ -201,14 +276,24 @@ func main() {
 			Retention:   *retention,
 		},
 		MaintainInterval: *maintainEv,
+		Logger:           obs.Component(logger, "server"),
+		Readiness:        ready,
+		SlowQuery:        *slowQuery,
 	})
-	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+
+	// Swap the bootstrap surface for the full API and open the gate: from
+	// here /readyz says ready and load balancers may admit traffic.
+	sw.Set(srv.Handler())
+	ready.MarkReady()
 
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()
 	go func() {
 		<-ctx.Done()
-		log.Print("shutting down")
+		// Fail readiness first so balancers drain before in-flight requests
+		// are cut off.
+		ready.SetNotReady("shutting down")
+		logger.Info("shutting down")
 		shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 		defer cancel()
 		_ = httpSrv.Shutdown(shutdownCtx)
@@ -218,12 +303,14 @@ func main() {
 	if *dataDir != "" {
 		durable = "data-dir=" + *dataDir
 	}
-	log.Printf("serving %s on %s (shards=%d workers=%d queue=%d %s)",
-		dom, *addr, *shards, srv.Ingestor().Workers(), *queue, durable)
-	log.Printf("endpoints: POST /ingest, POST /query, GET /range, GET /events, GET /forecast, GET /forecast/batch, GET /synopses/{id}, GET /synopses/batch, POST /snapshot, POST /seal, GET /healthz, GET /metrics")
-	if err := httpSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
-		log.Fatal(err)
+	logger.Info("serving",
+		"domain", dom.String(), "addr", *addr,
+		"shards", *shards, "workers", srv.Ingestor().Workers(), "queue", *queue,
+		"durability", durable, "traceSample", *traceEv, "slowQuery", *slowQuery)
+	logger.Debug("endpoints: POST /ingest, POST /query, GET /range, GET /events, GET /forecast, GET /forecast/batch, GET /synopses/{id}, GET /synopses/batch, POST /snapshot, POST /seal, GET /healthz, GET /readyz, GET /metrics, GET /debug/trace, GET /debug/slowlog")
+	if err := <-serveErr; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fatal("serve", err)
 	}
 	srv.Close()
-	log.Print(p.Report())
+	fmt.Fprintln(os.Stderr, p.Report())
 }

@@ -11,6 +11,7 @@ package core
 
 import (
 	"fmt"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -22,6 +23,7 @@ import (
 	"github.com/datacron-project/datacron/internal/hotspot"
 	"github.com/datacron-project/datacron/internal/insitu"
 	"github.com/datacron-project/datacron/internal/model"
+	"github.com/datacron-project/datacron/internal/obs"
 	"github.com/datacron-project/datacron/internal/onto"
 	"github.com/datacron-project/datacron/internal/partition"
 	"github.com/datacron-project/datacron/internal/query"
@@ -61,6 +63,10 @@ type Config struct {
 	// on when Forecast.SynopsisHistory is set (the forecast hub then needs
 	// the critical point stream to exist).
 	Synopses SynopsesConfig
+	// Trace configures sampled per-stage ingest tracing (Pipeline.Tracer);
+	// the zero value leaves it off. Unsampled lines pay one atomic
+	// increment.
+	Trace obs.TraceConfig
 }
 
 func (c Config) withDefaults() Config {
@@ -123,6 +129,13 @@ type Pipeline struct {
 	// Config.Synopses.Enabled): per-entity critical point detection over
 	// the same gated report stream, with compression accounting.
 	SynopsisHub *SynopsisHub
+	// Tracer records sampled per-stage spans of the ingest pipeline (nil
+	// unless Config.Trace.Enabled); /debug/trace serves its ring.
+	Tracer *obs.Tracer
+	// Watermark tracks stream time (max observed event timestamp) across
+	// every ingested line, so operators can see the daemon fall behind its
+	// sources. Always on: a Note is two atomics.
+	Watermark obs.Watermark
 
 	// serial is the front-end used by the single-goroutine IngestLine path.
 	serial front
@@ -231,6 +244,9 @@ func New(cfg Config) *Pipeline {
 	if cfg.Synopses.Enabled {
 		p.SynopsisHub = NewSynopsisHub(cfg.Domain, cfg.Synopses)
 	}
+	if cfg.Trace.Enabled {
+		p.Tracer = obs.NewTracer(cfg.Trace)
+	}
 	p.Stats.Latency = stream.NewLatencyHist()
 	p.Stats.StoreLatency = stream.NewLatencyHist()
 	p.Stats.CERLatency = stream.NewLatencyHist()
@@ -279,9 +295,16 @@ func (p *Pipeline) IngestLine(tl synth.TimedLine) ([]model.Event, error) {
 func (p *Pipeline) ingest(f *front, tl synth.TimedLine) ([]model.Event, error) {
 	t0 := time.Now()
 	atomic.AddInt64(&p.Stats.Lines, 1)
+	p.Watermark.Note(tl.TS)
+	// Sampled stage tracing: lt is nil for unsampled lines (the common
+	// case) and every method is a nil-safe no-op then, so the hot path
+	// pays one atomic increment. Outcome strings on always-taken branches
+	// must be constants — anything computed belongs under `if lt != nil`.
+	lt := p.Tracer.StartLine()
 	var pos model.Position
 	var ok bool
 	var err error
+	lt.Begin(obs.StageDecode)
 	switch p.cfg.Domain {
 	case model.Maritime:
 		pos, ok, err = p.decodeAIS(f, tl)
@@ -289,6 +312,8 @@ func (p *Pipeline) ingest(f *front, tl synth.TimedLine) ([]model.Event, error) {
 		pos, ok, err = p.decodeSBS(f, tl)
 	}
 	if err != nil {
+		lt.End("error")
+		lt.Finish("bad-line")
 		atomic.AddInt64(&p.Stats.BadLines, 1)
 		if p.cfg.StrictWire {
 			return nil, err
@@ -296,15 +321,25 @@ func (p *Pipeline) ingest(f *front, tl synth.TimedLine) ([]model.Event, error) {
 		return nil, nil
 	}
 	if !ok {
+		// Multi-sentence fragment, static message, or a track still fusing:
+		// consumed, but no position report came out.
+		lt.End("no-position")
+		lt.Finish("no-position")
 		return nil, nil
 	}
+	lt.End("")
+	lt.SetEntity(pos.EntityID)
 	atomic.AddInt64(&p.Stats.Decoded, 1)
 
 	// In-situ processing: noise gate then threshold compression.
+	lt.Begin(obs.StageGate)
 	if !f.gate.Accept(pos) {
+		lt.End("gated")
+		lt.Finish("gated")
 		atomic.AddInt64(&p.Stats.Gated, 1)
 		return nil, nil
 	}
+	lt.End("")
 	// Online synopses and forecasting tap the gated stream (post-tracker,
 	// pre-compression: suppressed reports still carry kinematic evidence).
 	// The hubs do their own locking; because this runs inside the worker's
@@ -314,17 +349,29 @@ func (p *Pipeline) ingest(f *front, tl synth.TimedLine) ([]model.Event, error) {
 	// memory then scales with critical points, not raw points.
 	critical := 0
 	if p.SynopsisHub != nil {
+		lt.Begin(obs.StageSynopsis)
 		critical = p.SynopsisHub.Observe(pos)
+		if critical > 0 {
+			lt.End("critical-point")
+		} else {
+			lt.End("")
+		}
 	}
 	if p.ForecastHub != nil {
 		if !p.cfg.Forecast.SynopsisHistory || critical > 0 {
+			lt.Begin(obs.StageForecast)
 			p.ForecastHub.Observe(pos)
+			lt.End("")
 		}
 	}
+	lt.Begin(obs.StageCompress)
 	stored := true
 	if !p.cfg.DisableCompression && !f.filter.Keep(pos) {
 		stored = false
 		atomic.AddInt64(&p.Stats.Suppressed, 1)
+		lt.End("suppressed")
+	} else {
+		lt.End("kept")
 	}
 
 	// Transformation + parallel RDF store (only kept reports are stored —
@@ -332,13 +379,16 @@ func (p *Pipeline) ingest(f *front, tl synth.TimedLine) ([]model.Event, error) {
 	// own per-shard locking, so fronts write in parallel.
 	if stored {
 		atomic.AddInt64(&p.Stats.Kept, 1)
+		lt.Begin(obs.StageStore)
 		st0 := time.Now()
 		p.Store.AddPositionRecord(pos)
 		p.Stats.StoreLatency.Observe(time.Since(st0))
+		lt.End("")
 	}
 
 	// Analytics on the full gated stream: CER + density. The suite keeps
 	// cross-entity state (proximity pairing), so this stage is serialised.
+	lt.Begin(obs.StageCER)
 	p.analyticsMu.Lock()
 	p.Density.Add(pos.Pt)
 	var events []model.Event
@@ -353,6 +403,19 @@ func (p *Pipeline) ingest(f *front, tl synth.TimedLine) ([]model.Event, error) {
 			p.Store.AddEvent(ev)
 		}
 		atomic.AddInt64(&p.Stats.Detections, int64(len(events)))
+	}
+	if lt != nil {
+		// Dynamic outcomes are built only for sampled lines.
+		cerOut := ""
+		if n := len(events); n > 0 {
+			cerOut = "events=" + strconv.Itoa(n)
+		}
+		lt.End(cerOut)
+		overall := "suppressed"
+		if stored {
+			overall = "stored"
+		}
+		lt.Finish(overall)
 	}
 	p.Stats.Latency.Observe(time.Since(t0))
 	return events, nil

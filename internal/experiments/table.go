@@ -1,8 +1,8 @@
-// Package experiments implements the E1–E14 evaluation harness defined in
+// Package experiments implements the E1–E15 evaluation harness defined in
 // DESIGN.md §4: each experiment reifies one verbatim claim of the paper
-// into a measured table (E11–E14 extend the suite to the serving layer's
-// durability, online-forecasting, tiered-storage and trajectory-synopses
-// subsystems). The same functions back
+// into a measured table (E11–E15 extend the suite to the serving layer's
+// durability, online-forecasting, tiered-storage, trajectory-synopses and
+// observability subsystems). The same functions back
 // the root bench_test.go benchmarks and the cmd/datacron-bench report
 // tool. Pass quick=true for test-sized workloads, quick=false for the full
 // experiment scale.
@@ -92,5 +92,6 @@ func All(quick bool) []*Table {
 		E12OnlineForecast(quick),
 		E13Tiering(quick),
 		E14Synopses(quick),
+		E15Observability(quick),
 	}
 }

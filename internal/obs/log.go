@@ -1,0 +1,48 @@
+package obs
+
+import (
+	"io"
+	"log/slog"
+	"strings"
+)
+
+// NewLogger builds the daemon's structured logger. level is one of debug,
+// info, warn, error (default info); format is text or json (default text).
+// Unrecognised values fall back to the default rather than failing — a
+// mistyped log flag must never keep the daemon from starting. Component
+// loggers hang off the root via Component.
+func NewLogger(w io.Writer, level, format string) *slog.Logger {
+	var lv slog.Level
+	switch strings.ToLower(level) {
+	case "debug":
+		lv = slog.LevelDebug
+	case "warn", "warning":
+		lv = slog.LevelWarn
+	case "error":
+		lv = slog.LevelError
+	default:
+		lv = slog.LevelInfo
+	}
+	opts := &slog.HandlerOptions{Level: lv}
+	var h slog.Handler
+	if strings.ToLower(format) == "json" {
+		h = slog.NewJSONHandler(w, opts)
+	} else {
+		h = slog.NewTextHandler(w, opts)
+	}
+	return slog.New(h)
+}
+
+// Component returns a child logger tagged with the subsystem name, so every
+// line carries component=server / component=recovery / ... and a json log
+// pipeline can route on it. A nil root returns a silent logger.
+func Component(root *slog.Logger, name string) *slog.Logger {
+	if root == nil {
+		return Discard()
+	}
+	return root.With(slog.String("component", name))
+}
+
+// Discard returns a logger that drops everything — the default wherever a
+// caller passed no logger, so library code never nil-checks.
+func Discard() *slog.Logger { return slog.New(slog.DiscardHandler) }

@@ -1,0 +1,89 @@
+package obs
+
+import (
+	"fmt"
+	"strings"
+)
+
+// MetricsWriter renders Prometheus text exposition format (version 0.0.4)
+// with the hygiene rules a strict scraper checks: every family carries a
+// # HELP line, # TYPE appears exactly once per family and never for a
+// family that ends up with no samples (vector families emit their header
+// lazily on the first sample), and label values are escaped.
+type MetricsWriter struct {
+	b    strings.Builder
+	seen map[string]bool
+}
+
+// NewMetricsWriter returns an empty writer.
+func NewMetricsWriter() *MetricsWriter {
+	return &MetricsWriter{seen: make(map[string]bool)}
+}
+
+// header emits the HELP/TYPE preamble once per family.
+func (w *MetricsWriter) header(name, help, typ string) {
+	if w.seen[name] {
+		return
+	}
+	w.seen[name] = true
+	help = strings.ReplaceAll(help, "\\", `\\`)
+	help = strings.ReplaceAll(help, "\n", `\n`)
+	fmt.Fprintf(&w.b, "# HELP %s %s\n", name, help)
+	fmt.Fprintf(&w.b, "# TYPE %s %s\n", name, typ)
+}
+
+// Counter emits one unlabelled counter sample.
+func (w *MetricsWriter) Counter(name, help string, v int64) {
+	w.header(name, help, "counter")
+	fmt.Fprintf(&w.b, "%s %d\n", name, v)
+}
+
+// Gauge emits one unlabelled gauge sample.
+func (w *MetricsWriter) Gauge(name, help string, v float64) {
+	w.header(name, help, "gauge")
+	fmt.Fprintf(&w.b, "%s %g\n", name, v)
+}
+
+// Vec starts a labelled family of the given type ("counter" or "gauge").
+// The HELP/TYPE header is only written when the first sample arrives, so an
+// empty vector contributes nothing — per the exposition-format rule that a
+// # TYPE line must be followed by samples.
+func (w *MetricsWriter) Vec(typ, name, help string) *Vec {
+	return &Vec{w: w, typ: typ, name: name, help: help}
+}
+
+// Vec is one labelled metric family.
+type Vec struct {
+	w    *MetricsWriter
+	typ  string
+	name string
+	help string
+}
+
+// Add emits one sample with label pairs given as k1, v1, k2, v2, ...
+func (v *Vec) Add(value float64, kv ...string) {
+	v.w.header(v.name, v.help, v.typ)
+	var lb strings.Builder
+	for i := 0; i+1 < len(kv); i += 2 {
+		if lb.Len() > 0 {
+			lb.WriteByte(',')
+		}
+		fmt.Fprintf(&lb, "%s=%q", kv[i], escapeLabel(kv[i+1]))
+	}
+	fmt.Fprintf(&v.w.b, "%s{%s} %g\n", v.name, lb.String(), value)
+}
+
+// escapeLabel escapes a label value per the exposition format (the %q quoting
+// already handles quotes and backslashes; newlines become \n through it too,
+// so this normalises the rare control characters %q would render as \x..).
+func escapeLabel(s string) string {
+	return strings.Map(func(r rune) rune {
+		if r == '\r' {
+			return -1
+		}
+		return r
+	}, s)
+}
+
+// String returns the rendered exposition text.
+func (w *MetricsWriter) String() string { return w.b.String() }

@@ -21,7 +21,6 @@ type snapshotResponse struct {
 // segments removed. Concurrent requests are serialised; the second one
 // simply snapshots again at a later cut.
 func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
-	s.reqSnapshot.Add(1)
 	if s.cfg.DataDir == "" {
 		writeJSON(w, http.StatusConflict, snapshotResponse{Error: "server is not running with a data directory"})
 		return
@@ -63,7 +62,6 @@ type sealResponse struct {
 // compact tier layout before a snapshot or to verify retention is
 // bounding memory.
 func (s *Server) handleSeal(w http.ResponseWriter, r *http.Request) {
-	s.reqSeal.Add(1)
 	st := s.maintain(true)
 	tiers := s.p.Store.TierStats()
 	writeJSON(w, http.StatusOK, sealResponse{

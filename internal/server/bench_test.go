@@ -12,6 +12,7 @@ import (
 
 	"github.com/datacron-project/datacron/internal/core"
 	"github.com/datacron-project/datacron/internal/model"
+	"github.com/datacron-project/datacron/internal/obs"
 	"github.com/datacron-project/datacron/internal/synth"
 	"github.com/datacron-project/datacron/internal/wal"
 )
@@ -89,6 +90,24 @@ func BenchmarkServerIngest(b *testing.B) {
 	batches := benchBatches(b)
 	srv := New(Config{Pipeline: benchPipeline(b), QueueLen: 1 << 16})
 	runIngestBench(b, srv, batches)
+}
+
+// BenchmarkServerIngestTraced is the serving path with sampled stage
+// tracing at the default 1:64 rate — the daemon's out-of-the-box
+// configuration. The acceptance bar for the observability layer is < 5%
+// regression against BenchmarkServerIngest (E15 measures the same pair
+// through the ingestor directly).
+func BenchmarkServerIngestTraced(b *testing.B) {
+	batches := benchBatches(b)
+	p := core.New(core.Config{
+		Domain: model.Maritime,
+		Trace:  obs.TraceConfig{Enabled: true},
+	})
+	p.InstallAreas(benchWorld.sc.Areas)
+	p.InstallEntities(benchWorld.sc.Entities)
+	srv := New(Config{Pipeline: p, QueueLen: 1 << 16})
+	runIngestBench(b, srv, batches)
+	b.ReportMetric(float64(p.Tracer.Sampled()), "sampled")
 }
 
 // BenchmarkServerIngestForecast is the serving path with the online

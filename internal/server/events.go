@@ -36,7 +36,6 @@ func toEventJSON(ev model.Event) eventJSON {
 // heartbeats so intermediaries keep the connection alive. The stream ends
 // when the client disconnects or the server closes.
 func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
-	s.reqEvents.Add(1)
 	flusher, ok := w.(http.Flusher)
 	if !ok {
 		http.Error(w, "streaming unsupported", http.StatusInternalServerError)

@@ -84,7 +84,6 @@ func (s *Server) hubOr503(w http.ResponseWriter) *core.ForecastHub {
 // to 10m and is capped by the hub's MaxHorizon (400 beyond it); an unknown
 // entity is 404.
 func (s *Server) handleForecast(w http.ResponseWriter, r *http.Request) {
-	s.reqForecast.Add(1)
 	fh := s.hubOr503(w)
 	if fh == nil {
 		return
@@ -119,7 +118,6 @@ type forecastBatchResponse struct {
 // entity id — the feed for hotspot-style consumers that want the predicted
 // traffic picture rather than one vessel.
 func (s *Server) handleForecastBatch(w http.ResponseWriter, r *http.Request) {
-	s.reqForecastBatch.Add(1)
 	fh := s.hubOr503(w)
 	if fh == nil {
 		return

@@ -41,7 +41,6 @@ type ingestResponse struct {
 // been fully processed — useful when a client wants read-your-writes
 // consistency for a following query.
 func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
-	s.reqIngest.Add(1)
 	resp := ingestResponse{}
 	sc := bufio.NewScanner(r.Body)
 	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)

@@ -1,11 +1,12 @@
 package server
 
 import (
-	"fmt"
 	"net/http"
-	"strings"
+	"strconv"
 	"time"
 
+	"github.com/datacron-project/datacron/internal/obs"
+	"github.com/datacron-project/datacron/internal/stream"
 	"github.com/datacron-project/datacron/internal/synopses"
 )
 
@@ -19,8 +20,9 @@ type healthResponse struct {
 	Subscribers int    `json:"subscribers"`
 }
 
-// handleHealthz reports liveness plus the counters a load balancer or
-// probe wants at a glance.
+// handleHealthz reports liveness plus the counters a probe wants at a
+// glance. It stays truthful-but-alive during recovery and draining — use
+// GET /readyz for load-balancer admission.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	snap := s.p.Stats.Snapshot()
 	writeJSON(w, http.StatusOK, healthResponse{
@@ -33,58 +35,103 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
-// handleMetrics renders Prometheus-style text metrics: ingest counters and
-// rate, worker queue depths, per-shard loads, compression ratio, event
-// fan-out counters and HTTP request counts.
+// quantiles are the latency percentiles exported per histogram.
+var quantiles = []struct {
+	p     float64
+	label string
+}{{50, "0.5"}, {95, "0.95"}, {99, "0.99"}}
+
+// addQuantiles emits one gauge sample per exported percentile of h, with
+// the given extra label, skipping empty histograms entirely (so the family
+// header never appears without samples).
+func addQuantiles(v *obs.Vec, h *stream.LatencyHist, labelKey, labelVal string) {
+	if h == nil || h.Count() == 0 {
+		return
+	}
+	for _, q := range quantiles {
+		v.Add(h.Percentile(q.p).Seconds(), labelKey, labelVal, "quantile", q.label)
+	}
+}
+
+// handleMetrics renders Prometheus text metrics (version 0.0.4, with HELP
+// lines and no headers for empty families): ingest counters and rate,
+// stream-time watermark and lag, worker queue depths, per-shard loads, tier
+// layout, per-stage and per-endpoint latency quantiles, compression ratio,
+// event fan-out, durability progress and build identity. See OPERATIONS.md
+// "/metrics field reference" for the full table — the conformance test
+// cross-checks that every documented metric is emitted.
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	snap := s.p.Stats.Snapshot()
-	var b strings.Builder
-	count := func(name string, v int64) {
-		fmt.Fprintf(&b, "# TYPE %s counter\n%s %d\n", name, name, v)
-	}
-	gaugef := func(name string, v float64) {
-		fmt.Fprintf(&b, "# TYPE %s gauge\n%s %g\n", name, name, v)
-	}
+	mw := obs.NewMetricsWriter()
 
-	count("datacron_ingest_lines_total", snap.Lines)
-	count("datacron_ingest_bad_lines_total", snap.BadLines)
-	count("datacron_ingest_decoded_total", snap.Decoded)
-	count("datacron_ingest_gated_total", snap.Gated)
-	count("datacron_ingest_stored_total", snap.Kept)
-	count("datacron_ingest_suppressed_total", snap.Suppressed)
-	count("datacron_ingest_rejected_total", s.ing.Rejected())
-	count("datacron_detections_total", snap.Detections)
-	count("datacron_events_published_total", s.hub.published.Load())
-	count("datacron_events_dropped_total", s.hub.dropped.Load())
-	gaugef("datacron_compression_ratio", s.p.Stats.CompressionRatio())
-	gaugef("datacron_ingest_rate_lines_per_sec", s.ingestRate())
-	gaugef("datacron_ingest_pending", float64(s.ing.Pending()))
-	gaugef("datacron_event_subscribers", float64(s.hub.subscribers()))
-	gaugef("datacron_store_triples", float64(s.p.Store.Len()))
-	gaugef("datacron_dict_terms", float64(s.p.Store.Dict().Len()))
+	// Build identity + uptime first, so a scrape of a sick daemon still
+	// says what is running.
+	mw.Vec("gauge", "datacron_build_info", "Build identity; the value is always 1.").
+		Add(1, "version", obs.Version, "domain", s.p.Domain().String())
+	mw.Gauge("datacron_uptime_seconds", "Seconds since process start.", time.Since(s.start).Seconds())
+
+	mw.Counter("datacron_ingest_lines_total", "Wire lines processed by the pipeline.", snap.Lines)
+	mw.Counter("datacron_ingest_bad_lines_total", "Malformed lines skipped (counted, never fatal).", snap.BadLines)
+	mw.Counter("datacron_ingest_decoded_total", "Lines that decoded to a position report.", snap.Decoded)
+	mw.Counter("datacron_ingest_gated_total", "Reports dropped by the noise gate.", snap.Gated)
+	mw.Counter("datacron_ingest_stored_total", "Reports stored after threshold compression.", snap.Kept)
+	mw.Counter("datacron_ingest_suppressed_total", "Reports suppressed by compression.", snap.Suppressed)
+	mw.Counter("datacron_ingest_rejected_total", "Lines shed by backpressure (429s).", s.ing.Rejected())
+	mw.Counter("datacron_detections_total", "Complex events detected.", snap.Detections)
+	mw.Counter("datacron_events_published_total", "SSE frames fanned out to subscribers.", s.hub.published.Load())
+	mw.Counter("datacron_events_dropped_total", "SSE frames dropped on slow subscribers.", s.hub.dropped.Load())
+	mw.Gauge("datacron_compression_ratio", "Decoded-past-gate : stored.", s.p.Stats.CompressionRatio())
+	mw.Gauge("datacron_ingest_rate_lines_per_sec", "Accepted rate since the previous scrape.", s.ingestRate())
+	mw.Gauge("datacron_ingest_pending", "Lines accepted but not yet fully processed.", float64(s.ing.Pending()))
+	mw.Gauge("datacron_event_subscribers", "Live /events connections.", float64(s.hub.subscribers()))
+	mw.Gauge("datacron_store_triples", "Store volume across all tiers.", float64(s.p.Store.Len()))
+	mw.Gauge("datacron_dict_terms", "Distinct terms interned in the shared dictionary.", float64(s.p.Store.Dict().Len()))
+
+	// Stream time: the watermark is the newest event timestamp any line
+	// carried; the lag is wall clock minus watermark (large while replaying
+	// history — that is the point); idle is how long ingest has been silent.
+	now := time.Now()
+	mw.Gauge("datacron_stream_watermark_ms", "Stream-time watermark: newest event timestamp observed (unix ms).", float64(s.p.Watermark.StreamMS()))
+	mw.Gauge("datacron_ingest_lag_seconds", "Wall clock minus the stream-time watermark.", float64(s.p.Watermark.LagMS(now))/1000)
+	mw.Gauge("datacron_ingest_idle_seconds", "Seconds since the last ingested line.", float64(s.p.Watermark.IdleMS(now))/1000)
+
+	// End-to-end ingest latency over every line (not sampled).
+	addQuantiles(mw.Vec("gauge", "datacron_ingest_latency_seconds",
+		"End-to-end per-line pipeline latency quantiles (all lines)."),
+		s.p.Stats.Latency, "path", "/ingest")
+
+	// Per-stage latency from the sampled tracer.
+	if tr := s.p.Tracer; tr != nil {
+		stageVec := mw.Vec("gauge", "datacron_stage_latency_seconds",
+			"Sampled per-stage pipeline latency quantiles (see /debug/trace).")
+		for _, st := range obs.Stages() {
+			addQuantiles(stageVec, tr.StageHist(st), "stage", st.String())
+		}
+		mw.Counter("datacron_trace_sampled_total", "Ingest lines traced by the sampler.", tr.Sampled())
+	}
 
 	// Tiered storage: head vs sealed volume, live segments, and the
 	// lifetime seal/retention counters operators watch to confirm that a
 	// retention window actually bounds memory.
 	tiers := s.p.Store.TierStats()
-	gaugef("datacron_store_segments", float64(tiers.Segments))
-	gaugef("datacron_store_head_triples", float64(tiers.HeadTriples))
-	gaugef("datacron_store_sealed_triples", float64(tiers.SealedTriples))
-	gaugef("datacron_store_global_triples", float64(tiers.GlobalTriples))
-	gaugef("datacron_store_max_anchor_ts", float64(s.p.Store.MaxAnchorTS()))
-	count("datacron_store_seals_total", tiers.Seals)
-	count("datacron_store_segments_dropped_total", tiers.SegmentsDropped)
-	count("datacron_store_triples_dropped_total", tiers.TriplesDropped)
+	mw.Gauge("datacron_store_segments", "Live sealed segments across shards.", float64(tiers.Segments))
+	mw.Gauge("datacron_store_head_triples", "Store volume in mutable heads.", float64(tiers.HeadTriples))
+	mw.Gauge("datacron_store_sealed_triples", "Store volume in sealed segments.", float64(tiers.SealedTriples))
+	mw.Gauge("datacron_store_global_triples", "Store volume in the never-retained global tier.", float64(tiers.GlobalTriples))
+	mw.Gauge("datacron_store_max_anchor_ts", "The stream clock (newest anchor timestamp) retention measures against.", float64(s.p.Store.MaxAnchorTS()))
+	mw.Counter("datacron_store_seals_total", "Heads sealed into segments since start.", tiers.Seals)
+	mw.Counter("datacron_store_segments_dropped_total", "Segments aged out by retention.", tiers.SegmentsDropped)
+	mw.Counter("datacron_store_triples_dropped_total", "Triples aged out by retention.", tiers.TriplesDropped)
 
 	// Online forecasting: warm-state volume, learned-model volume and the
 	// SSE forecast fan-out (only when the hub is running).
 	if fh := s.p.ForecastHub; fh != nil {
 		routeCells, knnPoints := fh.ModelStats()
-		count("datacron_forecast_observed_total", fh.Observed())
-		count("datacron_forecast_sse_published_total", s.forecastPublished.Load())
-		gaugef("datacron_forecast_entities", float64(fh.Entities()))
-		gaugef("datacron_forecast_route_trained_cells", float64(routeCells))
-		gaugef("datacron_forecast_knn_indexed_points", float64(knnPoints))
+		mw.Counter("datacron_forecast_observed_total", "Gated reports consumed by the forecast hub.", fh.Observed())
+		mw.Counter("datacron_forecast_sse_published_total", "forecast SSE frames published by the ticker.", s.forecastPublished.Load())
+		mw.Gauge("datacron_forecast_entities", "Entities with warm forecast history.", float64(fh.Entities()))
+		mw.Gauge("datacron_forecast_route_trained_cells", "Route-network cells with learned traffic.", float64(routeCells))
+		mw.Gauge("datacron_forecast_knn_indexed_points", "Stream-fed KNN index size.", float64(knnPoints))
 	}
 
 	// Trajectory synopses: the raw-vs-critical volume reduction, per-kind
@@ -92,71 +139,66 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	// running).
 	if sh := s.p.SynopsisHub; sh != nil {
 		st := sh.Stats()
-		count("datacron_synopses_observed_total", st.Observed)
-		count("datacron_synopses_critical_total", st.Critical)
-		count("datacron_synopses_sse_published_total", s.synopsesPublished.Load())
-		count("datacron_synopses_sse_dropped_total", st.PendingDropped)
-		gaugef("datacron_synopses_entities", float64(st.Entities))
-		gaugef("datacron_synopses_compression_ratio", st.Ratio())
-		fmt.Fprintf(&b, "# TYPE datacron_synopses_critical_kind_total counter\n")
+		mw.Counter("datacron_synopses_observed_total", "Gated reports consumed by the synopsis hub.", st.Observed)
+		mw.Counter("datacron_synopses_critical_total", "Critical points detected (lifetime).", st.Critical)
+		mw.Counter("datacron_synopses_sse_published_total", "synopsis SSE frames published by the ticker.", s.synopsesPublished.Load())
+		mw.Counter("datacron_synopses_sse_dropped_total", "Critical points dropped off the bounded fan-out queue.", st.PendingDropped)
+		mw.Gauge("datacron_synopses_entities", "Entities with synopsis state.", float64(st.Entities))
+		mw.Gauge("datacron_synopses_compression_ratio", "Observed : critical — the volume-reduction scoreboard.", st.Ratio())
+		kindVec := mw.Vec("counter", "datacron_synopses_critical_kind_total", "Critical points by kind.")
 		for k, n := range st.ByKind {
-			fmt.Fprintf(&b, "datacron_synopses_critical_kind_total{kind=%q} %d\n", synopses.Kind(k).String(), n)
+			kindVec.Add(float64(n), "kind", synopses.Kind(k).String())
 		}
 	}
 
 	// Durability: WAL position, snapshot progress and what the boot-time
 	// recovery replayed or had to skip.
 	if s.wal != nil {
-		gaugef("datacron_wal_appended_lsn", float64(s.wal.Appended()))
-		gaugef("datacron_wal_durable_lsn", float64(s.wal.Durable()))
-		gaugef("datacron_wal_segments", float64(s.wal.Segments()))
+		mw.Gauge("datacron_wal_appended_lsn", "Last assigned log sequence number.", float64(s.wal.Appended()))
+		mw.Gauge("datacron_wal_durable_lsn", "Last group-committed LSN.", float64(s.wal.Durable()))
+		mw.Gauge("datacron_wal_segments", "WAL segment files on disk.", float64(s.wal.Segments()))
 	}
-	count("datacron_snapshots_total", s.snapshots.Load())
-	gaugef("datacron_snapshot_last_lsn", float64(s.lastSnapshotLSN.Load()))
+	mw.Counter("datacron_snapshots_total", "Snapshots taken this process.", s.snapshots.Load())
+	mw.Gauge("datacron_snapshot_last_lsn", "Cut LSN of the last snapshot.", float64(s.lastSnapshotLSN.Load()))
 	if rec := s.cfg.Recovery; rec != nil {
-		count("datacron_recovery_replayed_total", rec.Replayed)
-		count("datacron_recovery_skipped_applied_total", rec.SkippedApplied)
-		count("datacron_recovery_events_total", rec.Events)
-		gaugef("datacron_recovery_snapshot_lsn", float64(rec.SnapshotLSN))
-		gaugef("datacron_recovery_tail_truncated_bytes", float64(rec.TailTruncatedBytes))
-		gaugef("datacron_recovery_skipped_bytes", float64(rec.SkippedBytes))
+		mw.Counter("datacron_recovery_replayed_total", "Lines replayed from the WAL tail at boot.", rec.Replayed)
+		mw.Counter("datacron_recovery_skipped_applied_total", "Scanned records already covered by snapshot offsets.", rec.SkippedApplied)
+		mw.Counter("datacron_recovery_events_total", "Events re-detected during replay.", rec.Events)
+		mw.Gauge("datacron_recovery_snapshot_lsn", "Cut of the snapshot recovery loaded (0 = none).", float64(rec.SnapshotLSN))
+		mw.Gauge("datacron_recovery_tail_truncated_bytes", "Torn tail dropped at boot (normal after kill -9).", float64(rec.TailTruncatedBytes))
+		mw.Gauge("datacron_recovery_skipped_bytes", "Bytes skipped past mid-log corruption.", float64(rec.SkippedBytes))
 		corrupt := 0.0
 		if rec.CorruptStopped {
 			corrupt = 1
 		}
-		gaugef("datacron_recovery_corrupt_stopped", corrupt)
+		mw.Gauge("datacron_recovery_corrupt_stopped", "1 when mid-log corruption stopped replay early. Alert on this.", corrupt)
 	}
 
-	fmt.Fprintf(&b, "# TYPE datacron_ingest_queue_depth gauge\n")
+	queueVec := mw.Vec("gauge", "datacron_ingest_queue_depth", "Per-worker ingest queue depth.")
 	for i, d := range s.ing.QueueDepths() {
-		fmt.Fprintf(&b, "datacron_ingest_queue_depth{worker=\"%d\"} %d\n", i, d)
+		queueVec.Add(float64(d), "worker", strconv.Itoa(i))
 	}
-	fmt.Fprintf(&b, "# TYPE datacron_shard_load gauge\n")
+	shardVec := mw.Vec("gauge", "datacron_shard_load", "Triples per store shard.")
 	for i, l := range s.p.Store.ShardLoads() {
-		fmt.Fprintf(&b, "datacron_shard_load{shard=\"%d\"} %d\n", i, l)
+		shardVec.Add(float64(l), "shard", strconv.Itoa(i))
 	}
 
-	fmt.Fprintf(&b, "# TYPE datacron_http_requests_total counter\n")
-	for _, rc := range []struct {
-		path string
-		n    int64
-	}{
-		{"/ingest", s.reqIngest.Load()},
-		{"/query", s.reqQuery.Load()},
-		{"/range", s.reqRange.Load()},
-		{"/events", s.reqEvents.Load()},
-		{"/forecast", s.reqForecast.Load()},
-		{"/forecast/batch", s.reqForecastBatch.Load()},
-		{"/synopses/{id}", s.reqSynopsis.Load()},
-		{"/synopses/batch", s.reqSynopsesBatch.Load()},
-		{"/snapshot", s.reqSnapshot.Load()},
-		{"/seal", s.reqSeal.Load()},
-	} {
-		fmt.Fprintf(&b, "datacron_http_requests_total{path=\"%s\"} %d\n", rc.path, rc.n)
+	// HTTP serving: request/error counts and latency quantiles per
+	// endpoint, from the route wrapper.
+	reqVec := mw.Vec("counter", "datacron_http_requests_total", "Requests per endpoint.")
+	errVec := mw.Vec("counter", "datacron_http_errors_total", "5xx responses per endpoint.")
+	latVec := mw.Vec("gauge", "datacron_http_request_latency_seconds", "Per-endpoint request latency quantiles.")
+	s.endpoints.Each(func(label string, e *obs.Endpoint) {
+		reqVec.Add(float64(e.Requests.Load()), "path", label)
+		errVec.Add(float64(e.Errors.Load()), "path", label)
+		addQuantiles(latVec, e.Latency, "path", label)
+	})
+	if s.slowLog != nil {
+		mw.Counter("datacron_slow_queries_total", "Queries over the slow-query threshold (see /debug/slowlog).", s.slowLog.Fired())
 	}
 
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
-	_, _ = w.Write([]byte(b.String()))
+	_, _ = w.Write([]byte(mw.String()))
 }
 
 // ingestRate returns accepted lines/sec since the previous /metrics scrape

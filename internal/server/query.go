@@ -8,6 +8,7 @@ import (
 	"strings"
 
 	"github.com/datacron-project/datacron/internal/geo"
+	"github.com/datacron-project/datacron/internal/obs"
 )
 
 // queryRequest is the JSON form of POST /query; a text/plain body is the
@@ -28,7 +29,6 @@ type queryResponse struct {
 // handleQuery runs one stSPARQL-lite query against the store. Safe while
 // ingest is in flight: shard evaluation takes per-shard read locks.
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
-	s.reqQuery.Add(1)
 	body, err := io.ReadAll(io.LimitReader(r.Body, 1<<20))
 	if err != nil {
 		http.Error(w, "read body: "+err.Error(), http.StatusBadRequest)
@@ -51,6 +51,20 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
+	}
+	if s.slowLog != nil {
+		// Record over-threshold queries with the plan facts that explain
+		// them: how much the planner could prune, and what came back.
+		shards := len(s.p.Store.ShardLoads())
+		s.slowLog.Observe(obs.SlowQuery{
+			RequestID:      r.Header.Get(obs.RequestIDHeader),
+			Query:          src,
+			DurationUS:     res.Elapsed.Microseconds(),
+			Rows:           len(res.Rows),
+			ShardsVisited:  res.ShardsVisited,
+			ShardsPruned:   shards - res.ShardsVisited,
+			SegmentsPruned: res.SegmentsPruned,
+		})
 	}
 	out := queryResponse{
 		Vars:           res.Vars,
@@ -97,7 +111,6 @@ const maxRangeLimit = 100_000
 // The limit (default 10000, max 100000) bounds the scan itself, not just
 // the response.
 func (s *Server) handleRange(w http.ResponseWriter, r *http.Request) {
-	s.reqRange.Add(1)
 	q := r.URL.Query()
 	world := s.p.WorldBox()
 	minLon, err := floatParam(q.Get("minlon"), world.MinLon)

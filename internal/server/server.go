@@ -35,12 +35,14 @@
 package server
 
 import (
+	"log/slog"
 	"net/http"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"github.com/datacron-project/datacron/internal/core"
+	"github.com/datacron-project/datacron/internal/obs"
 	"github.com/datacron-project/datacron/internal/store"
 	"github.com/datacron-project/datacron/internal/stream"
 	"github.com/datacron-project/datacron/internal/wal"
@@ -91,6 +93,18 @@ type Config struct {
 	// MaintainInterval is the cadence of the background tier-maintenance
 	// pass (0 = only POST /seal maintains; ignored when Tier is inactive).
 	MaintainInterval time.Duration
+
+	// Logger receives the server's structured log (slow queries, lifecycle
+	// events). nil = discard.
+	Logger *slog.Logger
+	// Readiness gates GET /readyz (503 until marked ready). nil = a server
+	// that is ready as soon as it exists — callers with a recovery phase
+	// pass their own gate and mark it ready after replay.
+	Readiness *obs.Readiness
+	// SlowQuery is the slow-query log threshold: any POST /query at or
+	// over it is recorded with its plan facts and served at
+	// GET /debug/slowlog. 0 = obs.DefaultSlowQuery; negative disables.
+	SlowQuery time.Duration
 }
 
 // Server serves a pipeline over HTTP. Create with New, attach via Handler,
@@ -119,9 +133,12 @@ type Server struct {
 	lastRateCount int64
 	lastRateTime  time.Time
 
-	reqIngest, reqQuery, reqRange, reqEvents, reqSnapshot atomic.Int64
-	reqForecast, reqForecastBatch, reqSeal                atomic.Int64
-	reqSynopsis, reqSynopsesBatch                         atomic.Int64
+	// Observability: structured log, readiness gate, per-endpoint request
+	// accounting (counts + latency histograms) and the slow-query log.
+	logger    *slog.Logger
+	ready     *obs.Readiness
+	endpoints *obs.EndpointStats
+	slowLog   *obs.SlowLog
 
 	// SSE ticker lifecycle + fan-out counters (forecast + synopsis).
 	stopTicker        chan struct{}
@@ -138,13 +155,22 @@ func New(cfg Config) *Server {
 		cfg.SubscriberBuffer = 64
 	}
 	s := &Server{
-		cfg:   cfg,
-		p:     cfg.Pipeline,
-		hub:   newHub(cfg.SubscriberBuffer),
-		mux:   http.NewServeMux(),
-		meter: stream.NewMeter(),
-		start: time.Now(),
-		wal:   cfg.WAL,
+		cfg:       cfg,
+		p:         cfg.Pipeline,
+		hub:       newHub(cfg.SubscriberBuffer),
+		mux:       http.NewServeMux(),
+		meter:     stream.NewMeter(),
+		start:     time.Now(),
+		wal:       cfg.WAL,
+		logger:    cfg.Logger,
+		ready:     cfg.Readiness,
+		endpoints: obs.NewEndpointStats(),
+	}
+	if s.logger == nil {
+		s.logger = obs.Discard()
+	}
+	if cfg.SlowQuery >= 0 {
+		s.slowLog = obs.NewSlowLog(cfg.SlowQuery, 0, s.logger)
 	}
 	s.lastRateTime = s.start
 	s.ing = s.p.NewIngestor(core.IngestorConfig{
@@ -152,18 +178,21 @@ func New(cfg Config) *Server {
 		QueueLen: cfg.QueueLen,
 		OnEvents: s.hub.publishEvents,
 	})
-	s.mux.HandleFunc("POST /ingest", s.handleIngest)
-	s.mux.HandleFunc("POST /query", s.handleQuery)
-	s.mux.HandleFunc("GET /range", s.handleRange)
-	s.mux.HandleFunc("GET /events", s.handleEvents)
-	s.mux.HandleFunc("GET /forecast", s.handleForecast)
-	s.mux.HandleFunc("GET /forecast/batch", s.handleForecastBatch)
-	s.mux.HandleFunc("GET /synopses/batch", s.handleSynopsesBatch)
-	s.mux.HandleFunc("GET /synopses/{id}", s.handleSynopsis)
-	s.mux.HandleFunc("POST /snapshot", s.handleSnapshot)
-	s.mux.HandleFunc("POST /seal", s.handleSeal)
-	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
-	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.handle("POST /ingest", "/ingest", s.handleIngest)
+	s.handle("POST /query", "/query", s.handleQuery)
+	s.handle("GET /range", "/range", s.handleRange)
+	s.handle("GET /events", "/events", s.handleEvents)
+	s.handle("GET /forecast", "/forecast", s.handleForecast)
+	s.handle("GET /forecast/batch", "/forecast/batch", s.handleForecastBatch)
+	s.handle("GET /synopses/batch", "/synopses/batch", s.handleSynopsesBatch)
+	s.handle("GET /synopses/{id}", "/synopses/{id}", s.handleSynopsis)
+	s.handle("POST /snapshot", "/snapshot", s.handleSnapshot)
+	s.handle("POST /seal", "/seal", s.handleSeal)
+	s.handle("GET /healthz", "/healthz", s.handleHealthz)
+	s.handle("GET /metrics", "/metrics", s.handleMetrics)
+	s.handle("GET /readyz", "/readyz", s.handleReadyz)
+	s.handle("GET /debug/trace", "/debug/trace", s.handleDebugTrace)
+	s.handle("GET /debug/slowlog", "/debug/slowlog", s.handleDebugSlowlog)
 	s.stopTicker = make(chan struct{})
 	if cfg.ForecastInterval > 0 && s.p.ForecastHub != nil {
 		horizon := cfg.ForecastSSEHorizon
@@ -185,6 +214,22 @@ func New(cfg Config) *Server {
 		go s.runMaintainTicker(cfg.MaintainInterval)
 	}
 	return s
+}
+
+// handle registers a route through the observability wrapper: every request
+// gets an X-Request-ID (generated or propagated), and its status + latency
+// feed the per-endpoint histograms behind the
+// datacron_http_request_latency_seconds metrics. label is the endpoint name
+// used in metric labels (the pattern minus the method).
+func (s *Server) handle(pattern, label string, fn http.HandlerFunc) {
+	ep := s.endpoints.Register(label)
+	s.mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
+		obs.EnsureRequestID(w, r)
+		sr := &obs.StatusRecorder{ResponseWriter: w}
+		start := time.Now()
+		fn(sr, r)
+		ep.Observe(time.Since(start), sr.Status)
+	})
 }
 
 // runMaintainTicker applies the tier policy periodically until Close.

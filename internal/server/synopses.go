@@ -77,7 +77,6 @@ func (s *Server) synopsesOr503(w http.ResponseWriter) *core.SynopsisHub {
 // oldest first, ring-bounded) and the raw-vs-critical compression
 // accounting. An entity the hub has never seen is 404.
 func (s *Server) handleSynopsis(w http.ResponseWriter, r *http.Request) {
-	s.reqSynopsis.Add(1)
 	sh := s.synopsesOr503(w)
 	if sh == nil {
 		return
@@ -127,7 +126,6 @@ type synopsesBatchResponse struct {
 // (sorted by entity id, without the point payload) plus the hub-wide
 // compression statistics — the volume-reduction scoreboard.
 func (s *Server) handleSynopsesBatch(w http.ResponseWriter, r *http.Request) {
-	s.reqSynopsesBatch.Add(1)
 	sh := s.synopsesOr503(w)
 	if sh == nil {
 		return
