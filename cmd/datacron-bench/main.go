@@ -4,16 +4,26 @@
 //	datacron-bench            # full scale (minutes)
 //	datacron-bench -quick     # test scale (seconds)
 //	datacron-bench -only E3,E6
+//
+// With -ingest-url it is instead a load driver against a live daemon's
+// POST /ingest, in either wire format:
+//
+//	datacron-bench -ingest-url http://localhost:8080 -ingest-format binary \
+//	  -ingest-lines 500000 -ingest-batch 512
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
+	"net/http"
 	"strings"
 	"time"
 
 	"github.com/datacron-project/datacron/internal/experiments"
+	"github.com/datacron-project/datacron/internal/synth"
+	"github.com/datacron-project/datacron/internal/wire"
 )
 
 func main() {
@@ -22,8 +32,20 @@ func main() {
 	var (
 		quick = flag.Bool("quick", false, "run test-scale workloads")
 		only  = flag.String("only", "", "comma-separated experiment ids (e.g. E1,E6); empty = all")
+
+		ingestURL    = flag.String("ingest-url", "", "drive POST /ingest on this base URL instead of running experiments")
+		ingestFormat = flag.String("ingest-format", "text", "ingest wire format: text | binary")
+		ingestLines  = flag.Int("ingest-lines", 200_000, "total lines to post (-ingest-url mode)")
+		ingestBatch  = flag.Int("ingest-batch", 512, "lines per request (-ingest-url mode)")
 	)
 	flag.Parse()
+
+	if *ingestURL != "" {
+		if err := runIngestDriver(*ingestURL, *ingestFormat, *ingestLines, *ingestBatch); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
 
 	want := map[string]bool{}
 	for _, id := range strings.Split(*only, ",") {
@@ -60,4 +82,88 @@ func main() {
 		tab := e.fn(*quick)
 		fmt.Printf("%s\n(%s in %v)\n\n", tab, e.id, time.Since(start).Round(time.Millisecond))
 	}
+}
+
+// runIngestDriver posts a synthetic AIS wire stream to a live daemon's
+// POST /ingest and reports sustained lines/sec. The same pre-rendered
+// batches drive both formats, so a text-vs-binary pair of runs against the
+// same daemon isolates the wire-format cost.
+func runIngestDriver(baseURL, format string, lines, batch int) error {
+	if batch <= 0 || lines <= 0 {
+		return fmt.Errorf("-ingest-lines and -ingest-batch must be positive")
+	}
+	var contentType string
+	switch format {
+	case "text":
+		contentType = "text/plain"
+	case "binary":
+		contentType = wire.ContentType
+	default:
+		return fmt.Errorf("-ingest-format %q: want text or binary", format)
+	}
+
+	log.Printf("rendering %s batches of %d lines", format, batch)
+	sc := synth.GenMaritime(synth.MaritimeConfig{Seed: 99, Vessels: 40, Duration: 2 * time.Hour})
+	var bodies []string
+	for i := 0; i < len(sc.WireTimed); i += batch {
+		end := i + batch
+		if end > len(sc.WireTimed) {
+			end = len(sc.WireTimed)
+		}
+		tls := sc.WireTimed[i:end]
+		if format == "binary" {
+			var e wire.Encoder
+			for _, tl := range tls {
+				e.Add(tl.TS, tl.Line)
+			}
+			bodies = append(bodies, string(e.AppendFrame(nil)))
+		} else {
+			var b strings.Builder
+			for _, tl := range tls {
+				fmt.Fprintf(&b, "%d %s\n", tl.TS, tl.Line)
+			}
+			bodies = append(bodies, b.String())
+		}
+	}
+
+	client := &http.Client{Timeout: 30 * time.Second}
+	url := strings.TrimRight(baseURL, "/") + "/ingest"
+	var accepted, rejected, requests int
+	start := time.Now()
+	for sent := 0; sent < lines; {
+		body := bodies[requests%len(bodies)]
+		n := batch
+		if requests%len(bodies) == len(bodies)-1 {
+			n = len(sc.WireTimed) - (len(bodies)-1)*batch
+		}
+		resp, err := client.Post(url, contentType, strings.NewReader(body))
+		if err != nil {
+			return fmt.Errorf("post: %w", err)
+		}
+		var ir struct {
+			Accepted int    `json:"accepted"`
+			Rejected int    `json:"rejected"`
+			Error    string `json:"error,omitempty"`
+		}
+		err = json.NewDecoder(resp.Body).Decode(&ir)
+		resp.Body.Close()
+		if err != nil {
+			return fmt.Errorf("decode response (status %d): %w", resp.StatusCode, err)
+		}
+		if ir.Error != "" {
+			return fmt.Errorf("server: %s", ir.Error)
+		}
+		requests++
+		accepted += ir.Accepted
+		rejected += ir.Rejected
+		sent += n
+		if resp.StatusCode == http.StatusTooManyRequests {
+			time.Sleep(50 * time.Millisecond)
+		}
+	}
+	el := time.Since(start)
+	log.Printf("%s: %d requests, %d accepted, %d rejected in %v — %.0f lines/sec",
+		format, requests, accepted, rejected, el.Round(time.Millisecond),
+		float64(accepted)/el.Seconds())
+	return nil
 }

@@ -11,6 +11,18 @@
 //
 // Plain (non -json) `go test -bench` output is accepted too: lines that do
 // not parse as test2json events are treated as raw benchmark output.
+//
+// With -diff it compares two snapshots instead of reading stdin and can
+// gate CI on a regression budget:
+//
+//	datacron-benchjson -diff -bench 'ServerIngest$|QueryBlockScan' \
+//	  -max-regress 20 BENCH_2.json bench-snapshot.json
+//
+// ns/op regressions (slower) and lines/sec regressions (less throughput)
+// count against the budget; other custom metrics are reported but not
+// gated, since their direction is benchmark-specific. A gated benchmark
+// missing from the new snapshot fails too — deleting a perf gate should be
+// a visible act.
 package main
 
 import (
@@ -19,6 +31,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"regexp"
 	"runtime"
 	"sort"
 	"strconv"
@@ -58,7 +71,22 @@ type snapshot struct {
 
 func main() {
 	out := flag.String("out", "", "write the snapshot here (default stdout)")
+	diff := flag.Bool("diff", false, "compare two snapshot files (old new) instead of reading stdin")
+	benchRe := flag.String("bench", ".", "-diff: regexp of benchmark names to compare")
+	maxRegress := flag.Float64("max-regress", 0, "-diff: fail when a compared benchmark regresses more than this percentage (0 = report only)")
 	flag.Parse()
+
+	if *diff {
+		if flag.NArg() != 2 {
+			fmt.Fprintln(os.Stderr, "datacron-benchjson: -diff wants exactly two snapshot files: old new")
+			os.Exit(2)
+		}
+		if err := runDiff(flag.Arg(0), flag.Arg(1), *benchRe, *maxRegress); err != nil {
+			fmt.Fprintln(os.Stderr, "datacron-benchjson:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	snap := snapshot{
 		Generated: time.Now().UTC().Format(time.RFC3339),
@@ -66,32 +94,53 @@ func main() {
 		GOOS:      runtime.GOOS,
 		GOARCH:    runtime.GOARCH,
 	}
-	sc := bufio.NewScanner(os.Stdin)
-	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
-	for sc.Scan() {
-		line := sc.Text()
-		pkg, text := "", line
-		if strings.HasPrefix(line, "{") {
-			var ev event
-			if err := json.Unmarshal([]byte(line), &ev); err == nil {
-				if ev.Action != "output" {
-					continue
-				}
-				pkg, text = ev.Package, strings.TrimRight(ev.Output, "\n")
-			}
-		}
+	consume := func(pkg, text string) {
 		if cpu, ok := strings.CutPrefix(strings.TrimSpace(text), "cpu: "); ok {
 			snap.CPU = cpu
-			continue
+			return
 		}
 		if r, ok := parseBenchLine(text); ok {
 			r.Package = pkg
 			snap.Benchmarks = append(snap.Benchmarks, r)
 		}
 	}
+	// test2json splits a benchmark's result line across output events when
+	// the run is slow (the name flushes before the numbers), so per-package
+	// chunks are reassembled into lines before parsing.
+	partial := map[string]string{}
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		if strings.HasPrefix(line, "{") {
+			var ev event
+			if err := json.Unmarshal([]byte(line), &ev); err == nil {
+				if ev.Action != "output" {
+					continue
+				}
+				buf := partial[ev.Package] + ev.Output
+				for {
+					nl := strings.IndexByte(buf, '\n')
+					if nl < 0 {
+						break
+					}
+					consume(ev.Package, buf[:nl])
+					buf = buf[nl+1:]
+				}
+				partial[ev.Package] = buf
+				continue
+			}
+		}
+		consume("", line)
+	}
 	if err := sc.Err(); err != nil {
 		fmt.Fprintln(os.Stderr, "datacron-benchjson: read stdin:", err)
 		os.Exit(1)
+	}
+	for pkg, rest := range partial {
+		if rest != "" {
+			consume(pkg, rest)
+		}
 	}
 	sort.Slice(snap.Benchmarks, func(i, j int) bool {
 		a, b := snap.Benchmarks[i], snap.Benchmarks[j]
@@ -162,4 +211,93 @@ func parseBenchLine(line string) (result, bool) {
 		}
 	}
 	return r, true
+}
+
+// loadSnapshot reads one snapshot file.
+func loadSnapshot(path string) (*snapshot, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var snap snapshot
+	if err := json.Unmarshal(raw, &snap); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &snap, nil
+}
+
+// benchKey identifies one benchmark across snapshots.
+func benchKey(r result) string {
+	if r.Package == "" {
+		return r.Name
+	}
+	return r.Package + " " + r.Name
+}
+
+// runDiff compares the benchmarks of two snapshots whose names match re
+// and enforces the regression budget.
+func runDiff(oldPath, newPath, re string, maxRegress float64) error {
+	rx, err := regexp.Compile(re)
+	if err != nil {
+		return fmt.Errorf("-bench %q: %w", re, err)
+	}
+	oldSnap, err := loadSnapshot(oldPath)
+	if err != nil {
+		return err
+	}
+	newSnap, err := loadSnapshot(newPath)
+	if err != nil {
+		return err
+	}
+	newBy := make(map[string]result, len(newSnap.Benchmarks))
+	for _, r := range newSnap.Benchmarks {
+		newBy[benchKey(r)] = r
+	}
+
+	pct := func(regress float64) string { return fmt.Sprintf("%+.1f%%", regress) }
+	var failures []string
+	compared := 0
+	for _, oldR := range oldSnap.Benchmarks {
+		if !rx.MatchString(oldR.Name) {
+			continue
+		}
+		newR, ok := newBy[benchKey(oldR)]
+		if !ok {
+			failures = append(failures, fmt.Sprintf("%s: missing from %s", oldR.Name, newPath))
+			continue
+		}
+		compared++
+		// ns/op: higher is a regression.
+		if oldR.NsPerOp > 0 {
+			regress := (newR.NsPerOp - oldR.NsPerOp) / oldR.NsPerOp * 100
+			fmt.Printf("%-55s ns/op     %14.0f -> %14.0f  %s\n", oldR.Name, oldR.NsPerOp, newR.NsPerOp, pct(regress))
+			if maxRegress > 0 && regress > maxRegress {
+				failures = append(failures, fmt.Sprintf("%s: ns/op regressed %s (budget %.0f%%)", oldR.Name, pct(regress), maxRegress))
+			}
+		}
+		// lines/sec: lower is a regression. Other metrics are informational.
+		for unit, oldV := range oldR.Metrics {
+			newV, okM := newR.Metrics[unit]
+			if !okM || oldV == 0 {
+				continue
+			}
+			if unit == "lines/sec" {
+				regress := (oldV - newV) / oldV * 100
+				fmt.Printf("%-55s %-9s %14.0f -> %14.0f  %s\n", oldR.Name, unit, oldV, newV, pct(regress))
+				if maxRegress > 0 && regress > maxRegress {
+					failures = append(failures, fmt.Sprintf("%s: %s regressed %s (budget %.0f%%)", oldR.Name, unit, pct(regress), maxRegress))
+				}
+			} else {
+				fmt.Printf("%-55s %-9s %14.2f -> %14.2f\n", oldR.Name, unit, oldV, newV)
+			}
+		}
+	}
+	if compared == 0 && len(failures) == 0 {
+		return fmt.Errorf("no benchmark in %s matches -bench %q", oldPath, re)
+	}
+	if len(failures) > 0 {
+		return fmt.Errorf("%d regression(s):\n  %s", len(failures), strings.Join(failures, "\n  "))
+	}
+	fmt.Printf("ok: %d benchmark(s) within budget\n", compared)
+	return nil
 }

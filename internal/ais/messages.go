@@ -327,29 +327,61 @@ func (PositionReport) aisMessage() {}
 func (StaticVoyage) aisMessage()   {}
 func (StaticB) aisMessage()        {}
 
+// PeekType returns the 6-bit message type at the reader's start without
+// consuming it, or -1 when fewer than 6 bits remain. The parallel ingest
+// path dispatches on it and calls the concrete Decode* function, avoiding
+// the interface boxing of Decode.
+func PeekType(r *BitReader) int {
+	if r.err != nil || r.Remaining() < 6 {
+		return -1
+	}
+	peek := *r
+	return int(peek.Uint(6))
+}
+
+// DecodePositionReport decodes a Class A (1/2/3) or Class B (18) position
+// report payload.
+func DecodePositionReport(r *BitReader) (PositionReport, error) {
+	switch t := PeekType(r); t {
+	case 1, 2, 3:
+		return decodePositionA(r)
+	case TypePositionB:
+		return decodePositionB(r)
+	default:
+		return PositionReport{}, fmt.Errorf("ais: message type %d is not a position report", t)
+	}
+}
+
+// DecodeStaticVoyage decodes a type 5 static-and-voyage payload.
+func DecodeStaticVoyage(r *BitReader) (StaticVoyage, error) {
+	if t := PeekType(r); t != TypeStaticVoyage {
+		return StaticVoyage{}, fmt.Errorf("ais: message type %d is not static voyage data", t)
+	}
+	return decodeStaticVoyage(r)
+}
+
+// DecodeStaticB decodes a type 24 Class B static payload (either part).
+func DecodeStaticB(r *BitReader) (StaticB, error) {
+	if t := PeekType(r); t != TypeStaticB {
+		return StaticB{}, fmt.Errorf("ais: message type %d is not Class B static data", t)
+	}
+	return decodeStaticB(r)
+}
+
 // Decode dispatches a de-armored payload to the right message decoder.
 func Decode(r *BitReader) (Decoded, error) {
 	if r.Remaining() < 6 {
 		return nil, fmt.Errorf("ais: payload too short (%d bits)", r.Remaining())
 	}
-	// Peek the type without consuming: copy reader state.
-	peek := *r
-	msgType := int(peek.Uint(6))
-	switch msgType {
-	case 1, 2, 3:
-		m, err := decodePositionA(r)
+	switch msgType := PeekType(r); msgType {
+	case 1, 2, 3, TypePositionB:
+		m, err := DecodePositionReport(r)
 		if err != nil {
 			return nil, err
 		}
 		return m, nil
 	case TypeStaticVoyage:
 		m, err := decodeStaticVoyage(r)
-		if err != nil {
-			return nil, err
-		}
-		return m, nil
-	case TypePositionB:
-		m, err := decodePositionB(r)
 		if err != nil {
 			return nil, err
 		}

@@ -23,11 +23,44 @@ type Sentence struct {
 // Checksum returns the NMEA checksum of body (the text between '!'/'$' and
 // '*') as two upper-case hex digits.
 func Checksum(body string) string {
+	return fmt.Sprintf("%02X", xorChecksum(body))
+}
+
+// xorChecksum computes the NMEA checksum byte of body.
+func xorChecksum(body string) byte {
 	var cs byte
 	for i := 0; i < len(body); i++ {
 		cs ^= body[i]
 	}
-	return fmt.Sprintf("%02X", cs)
+	return cs
+}
+
+// hexVal decodes one checksum hex digit case-insensitively; ok is false for
+// non-hex bytes.
+func hexVal(c byte) (byte, bool) {
+	switch {
+	case c >= '0' && c <= '9':
+		return c - '0', true
+	case c >= 'A' && c <= 'F':
+		return c - 'A' + 10, true
+	case c >= 'a' && c <= 'f':
+		return c - 'a' + 10, true
+	}
+	return 0, false
+}
+
+// trimCRLF strips trailing carriage returns and newlines without the
+// cutset scan (or allocation risk) of strings.TrimRight.
+func trimCRLF(line string) string {
+	for len(line) > 0 {
+		switch line[len(line)-1] {
+		case '\r', '\n':
+			line = line[:len(line)-1]
+		default:
+			return line
+		}
+	}
+	return line
 }
 
 // FormatSentence renders s as a full AIVDM sentence with checksum.
@@ -40,10 +73,14 @@ func FormatSentence(s Sentence) string {
 	return "!" + body + "*" + Checksum(body)
 }
 
-// ParseSentence parses and checksum-verifies one AIVDM/AIVDO sentence.
+// ParseSentence parses and checksum-verifies one AIVDM/AIVDO sentence. The
+// checksum must be the final two characters of the line: trailing bytes
+// after the two hex digits are a framing error, not ignorable padding (they
+// would otherwise let a corrupted tail ride in on a valid-looking line).
+// The hot path performs no allocations for well-formed input.
 func ParseSentence(line string) (Sentence, error) {
 	var s Sentence
-	line = strings.TrimRight(line, "\r\n")
+	line = trimCRLF(line)
 	if len(line) < 2 || (line[0] != '!' && line[0] != '$') {
 		return s, fmt.Errorf("ais: not an NMEA sentence: %.20q", line)
 	}
@@ -51,14 +88,27 @@ func ParseSentence(line string) (Sentence, error) {
 	if star < 0 || star+3 > len(line) {
 		return s, fmt.Errorf("ais: missing checksum: %.40q", line)
 	}
-	body := line[1:star]
-	want := strings.ToUpper(line[star+1 : star+3])
-	if got := Checksum(body); got != want {
-		return s, fmt.Errorf("ais: checksum mismatch: got %s want %s", got, want)
+	if star+3 != len(line) {
+		return s, fmt.Errorf("ais: trailing bytes after checksum: %.40q", line)
 	}
-	fields := strings.Split(body, ",")
-	if len(fields) != 7 {
-		return s, fmt.Errorf("ais: expected 7 fields, got %d", len(fields))
+	body := line[1:star]
+	hi, ok1 := hexVal(line[star+1])
+	lo, ok2 := hexVal(line[star+2])
+	want := hi<<4 | lo
+	if got := xorChecksum(body); !ok1 || !ok2 || got != want {
+		return s, fmt.Errorf("ais: checksum mismatch: got %02X want %s", got, line[star+1:star+3])
+	}
+	if c := strings.Count(body, ",") + 1; c != 7 {
+		return s, fmt.Errorf("ais: expected 7 fields, got %d", c)
+	}
+	var fields [7]string
+	for i, start := 0, 0; i < 7; i++ {
+		end := start + strings.IndexByte(body[start:], ',')
+		if i == 6 {
+			end = len(body)
+		}
+		fields[i] = body[start:end]
+		start = end + 1
 	}
 	if fields[0] != "AIVDM" && fields[0] != "AIVDO" {
 		return s, fmt.Errorf("ais: unsupported talker %q", fields[0])
@@ -116,6 +166,11 @@ func ToSentences(payload string, fillBits, seqID int, channel string) []string {
 // concurrent use; the stream engine gives each source its own assembler.
 type Assembler struct {
 	pending map[int][]Sentence // keyed by SeqID
+
+	// r is the scratch reader handed out by Push; it is overwritten by the
+	// next completed message, which is fine because the pipeline consumes a
+	// reader before pushing the next line.
+	r BitReader
 }
 
 // NewAssembler returns an empty assembler.
@@ -126,14 +181,18 @@ func NewAssembler() *Assembler {
 // Push parses one line and returns a complete de-armored payload reader when
 // the line completes a message, or (nil, nil) when more fragments are
 // pending. Fragments of abandoned messages are dropped when a new message
-// reuses their sequence id.
+// reuses their sequence id. The returned reader is only valid until the
+// next Push.
 func (a *Assembler) Push(line string) (*BitReader, error) {
 	s, err := ParseSentence(line)
 	if err != nil {
 		return nil, err
 	}
 	if s.Total == 1 {
-		return NewBitReader(s.Payload, s.FillBits)
+		if err := a.r.Reset(s.Payload, s.FillBits); err != nil {
+			return nil, err
+		}
+		return &a.r, nil
 	}
 	key := s.SeqID
 	frags := a.pending[key]
@@ -154,5 +213,8 @@ func (a *Assembler) Push(line string) (*BitReader, error) {
 	for _, f := range frags {
 		payload.WriteString(f.Payload)
 	}
-	return NewBitReader(payload.String(), s.FillBits)
+	if err := a.r.Reset(payload.String(), s.FillBits); err != nil {
+		return nil, err
+	}
+	return &a.r, nil
 }

@@ -5,6 +5,55 @@ import (
 	"strings"
 )
 
+// routeFields is the prefix of an AIVDM line that routing decisions need,
+// scanned without allocation.
+type routeFields struct {
+	total   string // field 1, raw text
+	seq     string // field 3
+	channel string // field 4
+	payload string // field 5
+}
+
+// splitRoute scans the comma-separated fields routing needs. ok is false
+// when the line is not recognisably AIVDM.
+func splitRoute(line string) (routeFields, bool) {
+	var f routeFields
+	line = trimCRLF(line)
+	if len(line) < 2 || (line[0] != '!' && line[0] != '$') {
+		return f, false
+	}
+	rest := line[1:]
+	// Fields: AIVDM,total,num,seq,chan,payload,fill*CS
+	for i := 0; i < 5; i++ {
+		c := strings.IndexByte(rest, ',')
+		if c < 0 {
+			return f, false
+		}
+		field := rest[:c]
+		rest = rest[c+1:]
+		switch i {
+		case 0:
+			if field != "AIVDM" && field != "AIVDO" {
+				return f, false
+			}
+		case 1:
+			f.total = field
+		case 3:
+			f.seq = field
+		case 4:
+			f.channel = field
+		}
+	}
+	// Field 5 runs to the next comma (or line end on truncated input, like
+	// the SplitN scan this replaces).
+	if c := strings.IndexByte(rest, ','); c >= 0 {
+		f.payload = rest[:c]
+	} else {
+		f.payload = rest
+	}
+	return f, true
+}
+
 // RoutingKey extracts a cheap per-entity routing key from one AIVDM line
 // without full decode or checksum verification: the 30-bit MMSI unpacked
 // from the first payload characters for single-sentence messages, or a
@@ -15,27 +64,61 @@ import (
 // compressor state stays single-writer) while different entities spread
 // across workers.
 //
+// The total field is canonicalised through the same integer parse
+// ParseSentence applies, so a non-canonical single-sentence total like "01"
+// routes by MMSI exactly like the "1" it decodes as — not as a fragment
+// key that could land the report on a worker that never assembles it.
+//
 // ok is false when the line is not recognisably AIVDM; such lines can be
 // routed anywhere (they will be counted as bad lines downstream).
 func RoutingKey(line string) (key string, ok bool) {
-	line = strings.TrimRight(line, "\r\n")
-	if len(line) < 2 || (line[0] != '!' && line[0] != '$') {
+	f, ok := splitRoute(line)
+	if !ok {
 		return "", false
 	}
-	// Fields: AIVDM,total,num,seq,chan,payload,fill*CS
-	fields := strings.SplitN(line[1:], ",", 7)
-	if len(fields) < 6 || (fields[0] != "AIVDM" && fields[0] != "AIVDO") {
+	total, err := strconv.Atoi(f.total)
+	if err != nil {
 		return "", false
 	}
-	if fields[1] != "1" {
+	if total != 1 {
 		// Multi-sentence: group fragments by sequence id + channel.
-		return FragmentKey(fields[3], fields[4]), true
+		return FragmentKey(f.seq, f.channel), true
 	}
-	mmsi, ok := payloadMMSI(fields[5])
+	mmsi, ok := payloadMMSI(f.payload)
 	if !ok {
 		return "", false
 	}
 	return strconv.FormatUint(uint64(mmsi), 10), true
+}
+
+// RouteHash returns fnv32a(RoutingKey(line)) — the exact worker-selection
+// hash of the parallel ingest front-end — without materialising the key
+// string, so the batched binary ingest path routes with zero allocations.
+// TestRouteHashMatchesKey pins the equivalence.
+func RouteHash(line string) (h uint32, ok bool) {
+	f, ok := splitRoute(line)
+	if !ok {
+		return 0, false
+	}
+	total, err := strconv.Atoi(f.total)
+	if err != nil {
+		return 0, false
+	}
+	if total != 1 {
+		h = fnvString(fnvOffset, "seq:")
+		if n, err := strconv.Atoi(f.seq); err == nil {
+			h = fnvInt(h, int64(n))
+		} else {
+			h = fnvString(h, f.seq)
+		}
+		h = fnvString(h, ":")
+		return fnvString(h, f.channel), true
+	}
+	mmsi, ok := payloadMMSI(f.payload)
+	if !ok {
+		return 0, false
+	}
+	return fnvInt(fnvOffset, int64(mmsi)), true
 }
 
 // FragmentKey is the routing key of a multi-sentence fragment group. The
@@ -48,6 +131,48 @@ func FragmentKey(seq, channel string) string {
 		seq = strconv.Itoa(n)
 	}
 	return "seq:" + seq + ":" + channel
+}
+
+// FNV-1a, 32-bit — in lockstep with the key hash in internal/core
+// (workerIndex). Inlined rather than hash/fnv so hashing a key never
+// copies it to a []byte.
+const (
+	fnvOffset uint32 = 2166136261
+	fnvPrime  uint32 = 16777619
+)
+
+func fnvString(h uint32, s string) uint32 {
+	for i := 0; i < len(s); i++ {
+		h = (h ^ uint32(s[i])) * fnvPrime
+	}
+	return h
+}
+
+// fnvInt hashes the canonical strconv.Itoa rendering of v without building
+// the string.
+func fnvInt(h uint32, v int64) uint32 {
+	var buf [20]byte
+	i := len(buf)
+	u := uint64(v)
+	if v < 0 {
+		u = uint64(-v)
+	}
+	for {
+		i--
+		buf[i] = byte('0' + u%10)
+		u /= 10
+		if u == 0 {
+			break
+		}
+	}
+	if v < 0 {
+		i--
+		buf[i] = '-'
+	}
+	for ; i < len(buf); i++ {
+		h = (h ^ uint32(buf[i])) * fnvPrime
+	}
+	return h
 }
 
 // payloadMMSI unpacks the MMSI (bits 8..37) from the first seven armored

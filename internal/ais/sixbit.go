@@ -94,47 +94,68 @@ func armorChar(v byte) byte {
 
 // dearmorChar maps an AIVDM payload character back to its six-bit value.
 func dearmorChar(c byte) (byte, error) {
-	v := int(c) - 48
+	v := dearmorTab[c]
 	if v < 0 {
-		return 0, fmt.Errorf("ais: invalid payload character %q", c)
-	}
-	if v > 40 {
-		v -= 8
-	}
-	if v < 0 || v > 63 {
 		return 0, fmt.Errorf("ais: invalid payload character %q", c)
 	}
 	return byte(v), nil
 }
 
-// BitReader consumes a de-armored payload bit by bit.
+// dearmorTab maps every byte to its six-bit value, or -1 outside the
+// armored alphabet. A table lookup lets the bit reader validate the payload
+// once and then extract bit fields straight from the armored characters.
+var dearmorTab = func() (t [256]int8) {
+	for c := range t {
+		t[c] = -1
+		v := c - 48
+		if v > 40 {
+			v -= 8
+		}
+		if v >= 0 && v <= 63 && c >= 48 {
+			t[c] = int8(v)
+		}
+	}
+	return t
+}()
+
+// BitReader consumes an armored payload bit by bit, extracting fields
+// directly from the six-bit characters — no intermediate decoded buffer is
+// allocated, so resetting a reader over a new payload is allocation-free.
 type BitReader struct {
-	bits []bool
-	pos  int
-	err  error
+	payload string
+	nbits   int
+	pos     int
+	err     error
 }
 
 // NewBitReader de-armors an AIVDM payload into a reader. fillBits trailing
 // bits are discarded.
 func NewBitReader(payload string, fillBits int) (*BitReader, error) {
-	bits := make([]bool, 0, len(payload)*6)
+	r := new(BitReader)
+	if err := r.Reset(payload, fillBits); err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+// Reset points the reader at a new payload, validating every armored
+// character up front so reads never have to re-check.
+func (r *BitReader) Reset(payload string, fillBits int) error {
 	for i := 0; i < len(payload); i++ {
-		v, err := dearmorChar(payload[i])
-		if err != nil {
-			return nil, err
-		}
-		for j := 5; j >= 0; j-- {
-			bits = append(bits, v>>uint(j)&1 == 1)
+		if dearmorTab[payload[i]] < 0 {
+			return fmt.Errorf("ais: invalid payload character %q", payload[i])
 		}
 	}
-	if fillBits < 0 || fillBits > 5 || fillBits > len(bits) {
-		return nil, fmt.Errorf("ais: invalid fill bits %d", fillBits)
+	n := len(payload) * 6
+	if fillBits < 0 || fillBits > 5 || fillBits > n {
+		return fmt.Errorf("ais: invalid fill bits %d", fillBits)
 	}
-	return &BitReader{bits: bits[:len(bits)-fillBits]}, nil
+	*r = BitReader{payload: payload, nbits: n - fillBits}
+	return nil
 }
 
 // Remaining returns the number of unread bits.
-func (r *BitReader) Remaining() int { return len(r.bits) - r.pos }
+func (r *BitReader) Remaining() int { return r.nbits - r.pos }
 
 // Err returns the first out-of-bounds read error, if any.
 func (r *BitReader) Err() error { return r.err }
@@ -145,18 +166,24 @@ func (r *BitReader) Uint(n int) uint64 {
 	if r.err != nil {
 		return 0
 	}
-	if r.pos+n > len(r.bits) {
+	if r.pos+n > r.nbits {
 		r.err = fmt.Errorf("ais: payload truncated at bit %d (want %d more)", r.pos, n)
 		return 0
 	}
 	var v uint64
-	for i := 0; i < n; i++ {
-		v <<= 1
-		if r.bits[r.pos+i] {
-			v |= 1
+	pos, rem := r.pos, n
+	for rem > 0 {
+		c := uint64(dearmorTab[r.payload[pos/6]])
+		off := pos % 6
+		take := 6 - off
+		if take > rem {
+			take = rem
 		}
+		v = v<<uint(take) | c>>uint(6-off-take)&(1<<uint(take)-1)
+		pos += take
+		rem -= take
 	}
-	r.pos += n
+	r.pos = pos
 	return v
 }
 

@@ -2,7 +2,6 @@ package core
 
 import (
 	"errors"
-	"hash/fnv"
 	"runtime"
 	"strconv"
 	"sync"
@@ -46,6 +45,9 @@ type Ingestor struct {
 	closed   bool
 	rejected atomic.Int64
 	inflight atomic.Int64
+
+	// batchPool recycles Batch values (NewBatch/Flush).
+	batchPool sync.Pool
 }
 
 // worker is one ingest goroutine and its queue-side bookkeeping.
@@ -66,11 +68,14 @@ type worker struct {
 	applied map[string]uint64 // routing key → highest fully-applied LSN
 }
 
-// item is one queued wire line; lsn is 0 for non-logged submissions.
+// item is one queued wire line (lsn is 0 for non-logged submissions), or —
+// when recs is non-nil — a batch of non-logged lines staged by a Batch,
+// delivered in one channel send.
 type item struct {
-	tl  synth.TimedLine
-	key string
-	lsn uint64
+	tl   synth.TimedLine
+	key  string
+	lsn  uint64
+	recs *[]synth.TimedLine
 }
 
 // IngestorConfig tunes the parallel front-end; the zero value uses
@@ -159,42 +164,95 @@ func (p *Pipeline) NewIngestor(cfg IngestorConfig) *Ingestor {
 }
 
 // run is one worker: it drains its queue, processing each line under its
-// snapshot lock so snapshots land between lines, never inside one.
+// snapshot lock so snapshots land between lines, never inside one. Batch
+// items are unpacked and processed line by line under the same per-line
+// locking, so a snapshot barrier can still land between any two lines of a
+// batch.
 func (ing *Ingestor) run(w *worker) {
 	defer ing.wg.Done()
 	for it := range w.q {
-		w.snapMu.Lock()
-		// Errors are already counted in Stats.BadLines; the parallel path
-		// never runs strict (a daemon must survive malformed input).
-		evs, _ := ing.p.ingest(&w.front, it.tl)
-		if it.lsn > 0 {
-			if cur := w.applied[it.key]; it.lsn > cur {
-				w.applied[it.key] = it.lsn
+		if it.recs != nil {
+			n := int64(len(*it.recs))
+			for _, tl := range *it.recs {
+				ing.processLine(w, item{tl: tl})
 			}
-			w.qmu.Lock()
-			// Logged items leave the LSN FIFO in arrival order.
-			if len(w.lsns) > 0 && w.lsns[0] == it.lsn {
-				w.lsns = w.lsns[1:]
-				if len(w.lsns) == 0 {
-					w.lsns = nil // let the drained backlog be collected
-				}
-			}
-			w.qmu.Unlock()
+			*it.recs = (*it.recs)[:0]
+			recsPool.Put(it.recs)
+			w.reserved.Add(-n)
+			ing.inflight.Add(-n)
+			continue
 		}
-		w.snapMu.Unlock()
-		if len(evs) > 0 && ing.onEvents != nil {
-			ing.onEvents(evs)
-		}
+		ing.processLine(w, it)
 		w.reserved.Add(-1)
 		ing.inflight.Add(-1)
 	}
 }
 
-// workerIndex routes a key to a worker by FNV-1a hash.
+// processLine runs one line through the pipeline under the worker's
+// snapshot lock and maintains the logged-line bookkeeping.
+func (ing *Ingestor) processLine(w *worker, it item) {
+	w.snapMu.Lock()
+	// Errors are already counted in Stats.BadLines; the parallel path
+	// never runs strict (a daemon must survive malformed input).
+	evs, _ := ing.p.ingest(&w.front, it.tl)
+	if it.lsn > 0 {
+		if cur := w.applied[it.key]; it.lsn > cur {
+			w.applied[it.key] = it.lsn
+		}
+		w.qmu.Lock()
+		// Logged items leave the LSN FIFO in arrival order.
+		if len(w.lsns) > 0 && w.lsns[0] == it.lsn {
+			w.lsns = w.lsns[1:]
+			if len(w.lsns) == 0 {
+				w.lsns = nil // let the drained backlog be collected
+			}
+		}
+		w.qmu.Unlock()
+	}
+	w.snapMu.Unlock()
+	if len(evs) > 0 && ing.onEvents != nil {
+		ing.onEvents(evs)
+	}
+}
+
+// workerIndex routes a key to a worker by FNV-1a hash, inlined so hashing
+// never copies the key to a []byte.
 func workerIndex(key string, n int) int {
-	h := fnv.New32a()
-	h.Write([]byte(key))
-	return int(h.Sum32() % uint32(n))
+	return int(fnv32a(key) % uint32(n))
+}
+
+// FNV-1a, 32-bit — in lockstep with ais.RouteHash / adsb.RouteHash (the
+// hash-only routing used by the batched binary ingest path) and pinned by
+// TestRouteHashMatchesWorkerIndex.
+const (
+	fnvOffset uint32 = 2166136261
+	fnvPrime  uint32 = 16777619
+)
+
+func fnv32a(s string) uint32 {
+	h := fnvOffset
+	for i := 0; i < len(s); i++ {
+		h = (h ^ uint32(s[i])) * fnvPrime
+	}
+	return h
+}
+
+// routeHash returns fnv32a(routingKey(line)) without materialising the key
+// string — the allocation-free worker selection of the batched binary
+// ingest path. Unrecognisable lines hash the raw line, mirroring
+// routingKey's fallback.
+func (p *Pipeline) routeHash(line string) uint32 {
+	switch p.cfg.Domain {
+	case model.Maritime:
+		if h, ok := ais.RouteHash(line); ok {
+			return h
+		}
+	case model.Aviation:
+		if h, ok := adsb.RouteHash(line); ok {
+			return h
+		}
+	}
+	return fnv32a(line)
 }
 
 // multiSentenceKey reconstructs the routing key of a multi-sentence AIS
@@ -333,6 +391,95 @@ func (ing *Ingestor) Submit(tl synth.TimedLine) bool {
 		return false
 	}
 	return ing.Enqueue(res, tl)
+}
+
+// recsPool recycles the per-worker staging slices that Batch hands off to
+// workers, so steady-state batched ingest allocates nothing per line.
+var recsPool = sync.Pool{New: func() any { return new([]synth.TimedLine) }}
+
+// Batch stages many non-logged lines and delivers them with one channel
+// send per destination worker, amortising the per-line submission cost
+// (hashing aside, Submit pays a channel operation and two atomics per
+// line). Routing, per-entity ordering and backpressure semantics are
+// identical to Submit: Add reserves one queue slot per line on the owning
+// worker and fails fast when that worker is saturated. A Batch is not safe
+// for concurrent use and is consumed by Flush.
+type Batch struct {
+	ing   *Ingestor
+	per   []*[]synth.TimedLine // staged lines, indexed by worker
+	count int
+}
+
+// NewBatch returns an empty (pooled) batch.
+func (ing *Ingestor) NewBatch() *Batch {
+	b, _ := ing.batchPool.Get().(*Batch)
+	if b == nil {
+		b = &Batch{ing: ing, per: make([]*[]synth.TimedLine, len(ing.workers))}
+	}
+	return b
+}
+
+// Add stages one line for the worker that owns its entity, reserving the
+// queue slot immediately. It returns false — and drops the line, counted
+// in Rejected — when that worker is saturated.
+func (b *Batch) Add(tl synth.TimedLine) bool {
+	ing := b.ing
+	idx := int(ing.p.routeHash(tl.Line) % uint32(len(ing.workers)))
+	w := ing.workers[idx]
+	if w.reserved.Add(1) > int64(cap(w.q)) {
+		w.reserved.Add(-1)
+		ing.rejected.Add(1)
+		return false
+	}
+	recs := b.per[idx]
+	if recs == nil {
+		recs = recsPool.Get().(*[]synth.TimedLine)
+		b.per[idx] = recs
+	}
+	*recs = append(*recs, tl)
+	b.count++
+	return true
+}
+
+// Flush delivers the staged lines — one channel send per worker — and
+// recycles the batch. It returns the number of lines handed off; when the
+// ingestor has been closed since Add, staged lines are dropped, counted in
+// Rejected, and Flush returns 0. The reserved slots guarantee the sends
+// cannot block (a worker holds at most cap(q) reserved lines, so its
+// channel holds at most cap(q) items).
+func (b *Batch) Flush() int {
+	ing := b.ing
+	ing.mu.RLock()
+	if ing.closed {
+		ing.mu.RUnlock()
+		for i, recs := range b.per {
+			if recs == nil {
+				continue
+			}
+			n := int64(len(*recs))
+			ing.workers[i].reserved.Add(-n)
+			ing.rejected.Add(n)
+			*recs = (*recs)[:0]
+			recsPool.Put(recs)
+			b.per[i] = nil
+		}
+		b.count = 0
+		ing.batchPool.Put(b)
+		return 0
+	}
+	for i, recs := range b.per {
+		if recs == nil {
+			continue
+		}
+		ing.inflight.Add(int64(len(*recs)))
+		ing.workers[i].q <- item{recs: recs}
+		b.per[i] = nil
+	}
+	ing.mu.RUnlock()
+	n := b.count
+	b.count = 0
+	ing.batchPool.Put(b)
+	return n
 }
 
 // Barrier pauses every worker at a line boundary and returns a release

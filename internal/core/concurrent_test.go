@@ -1,0 +1,155 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"github.com/datacron-project/datacron/internal/model"
+	"github.com/datacron-project/datacron/internal/synth"
+)
+
+// The hash-only routing of the batched binary ingest path must select the
+// same worker as the key-string routing of Reserve/Submit, for every line —
+// including garbage that falls back to hashing the raw line. A mismatch
+// would silently split one entity's reports across two fronts.
+func TestRouteHashMatchesWorkerIndex(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		cfg  Config
+		gen  func() []string
+	}{
+		{"maritime", Config{Domain: model.Maritime}, func() []string {
+			sc := synth.GenMaritime(synth.MaritimeConfig{Seed: 21, Vessels: 25, Duration: 30 * time.Minute})
+			return sc.WireLines
+		}},
+		{"aviation", Config{Domain: model.Aviation}, func() []string {
+			sc := synth.GenAviation(synth.AviationConfig{Seed: 22, Flights: 15, Duration: 30 * time.Minute})
+			return sc.WireLines
+		}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			p := New(tc.cfg)
+			lines := append(tc.gen(),
+				"", "garbage", "!AIVDM,1,1", "MSG,3", "!AIVDM,x,1,,A,177KQJ5000G?tO`K>RA1wUbN0TKH,0*00")
+			const workers = 7
+			for _, line := range lines {
+				key := p.routingKey(line)
+				want := workerIndex(key, workers)
+				got := int(p.routeHash(line) % uint32(workers))
+				if got != want {
+					t.Fatalf("routeHash(%q) selects worker %d, routingKey (%q) selects %d", line, got, key, want)
+				}
+			}
+		})
+	}
+}
+
+// Batched submission must process exactly the same lines as per-line Submit
+// and deliver identical pipeline counters.
+func TestBatchMatchesSubmit(t *testing.T) {
+	sc := synth.GenMaritime(synth.MaritimeConfig{Seed: 31, Vessels: 12, Duration: 30 * time.Minute})
+	run := func(submit func(ing *Ingestor, tls []synth.TimedLine) int) (StatsSnapshot, int) {
+		p := New(Config{Domain: model.Maritime})
+		p.InstallAreas(sc.Areas)
+		p.InstallEntities(sc.Entities)
+		ing := p.NewIngestor(IngestorConfig{Workers: 4, QueueLen: 1 << 16})
+		accepted := submit(ing, sc.WireTimed)
+		if !ing.Quiesce(30 * time.Second) {
+			t.Fatal("quiesce timeout")
+		}
+		ing.Close()
+		return p.Stats.Snapshot(), accepted
+	}
+	perLine, nLine := run(func(ing *Ingestor, tls []synth.TimedLine) int {
+		n := 0
+		for _, tl := range tls {
+			if ing.Submit(tl) {
+				n++
+			}
+		}
+		return n
+	})
+	batched, nBatch := run(func(ing *Ingestor, tls []synth.TimedLine) int {
+		n := 0
+		for len(tls) > 0 {
+			chunk := tls
+			if len(chunk) > 97 {
+				chunk = chunk[:97]
+			}
+			tls = tls[len(chunk):]
+			b := ing.NewBatch()
+			for _, tl := range chunk {
+				if b.Add(tl) {
+					n++
+				}
+			}
+			if got := b.Flush(); got != len(chunk) {
+				t.Fatalf("Flush handed off %d of %d staged lines", got, len(chunk))
+			}
+		}
+		return n
+	})
+	if nLine != len(sc.WireTimed) || nBatch != len(sc.WireTimed) {
+		t.Fatalf("accepted %d (submit) / %d (batch) of %d lines", nLine, nBatch, len(sc.WireTimed))
+	}
+	if perLine != batched {
+		t.Errorf("counters diverge:\nsubmit: %+v\nbatch:  %+v", perLine, batched)
+	}
+}
+
+// Flush after Close must drop staged lines, release the reserved slots and
+// count them as rejected — never send on a closed channel.
+func TestBatchFlushAfterClose(t *testing.T) {
+	sc := synth.GenMaritime(synth.MaritimeConfig{Seed: 33, Vessels: 3, Duration: 5 * time.Minute})
+	p := New(Config{Domain: model.Maritime})
+	ing := p.NewIngestor(IngestorConfig{Workers: 2, QueueLen: 64})
+	b := ing.NewBatch()
+	staged := 0
+	for _, tl := range sc.WireTimed[:20] {
+		if b.Add(tl) {
+			staged++
+		}
+	}
+	ing.Close()
+	if got := b.Flush(); got != 0 {
+		t.Fatalf("Flush after Close handed off %d lines", got)
+	}
+	if got := ing.Rejected(); got != int64(staged) {
+		t.Errorf("Rejected = %d, want %d", got, staged)
+	}
+	for i, w := range ing.workers {
+		if r := w.reserved.Load(); r != 0 {
+			t.Errorf("worker %d still holds %d reserved slots", i, r)
+		}
+	}
+}
+
+// Batch.Add must respect per-worker backpressure exactly like Reserve.
+func TestBatchBackpressure(t *testing.T) {
+	p := New(Config{Domain: model.Maritime})
+	ing := p.NewIngestor(IngestorConfig{Workers: 1, QueueLen: 8})
+	defer ing.Close()
+	// Stall the single worker by saturating it with a held barrier.
+	release := ing.Barrier()
+	b := ing.NewBatch()
+	line := synth.TimedLine{TS: 1, Line: "garbage routes somewhere deterministic"}
+	accepted := 0
+	for i := 0; i < 20; i++ {
+		if b.Add(line) {
+			accepted++
+		}
+	}
+	if accepted != 8 {
+		t.Errorf("accepted %d lines into a QueueLen=8 worker, want 8", accepted)
+	}
+	if got := ing.Rejected(); got != 12 {
+		t.Errorf("Rejected = %d, want 12", got)
+	}
+	if got := b.Flush(); got != 8 {
+		t.Errorf("Flush handed off %d, want 8", got)
+	}
+	release()
+	if !ing.Quiesce(30 * time.Second) {
+		t.Fatal("quiesce timeout")
+	}
+}

@@ -172,6 +172,12 @@ type front struct {
 	filter  *insitu.ThresholdFilter
 	asm     *ais.Assembler
 	tracker *adsb.Tracker
+	// ids caches the zero-padded entity-ID string per MMSI, so the decode
+	// hot path formats each entity's ID once instead of per report.
+	ids map[uint32]string
+	// tick drives the 1-in-latSampleEvery latency sampling of ingest;
+	// per-front, so no atomics.
+	tick uint32
 }
 
 func newFront(cfg Config) front {
@@ -180,7 +186,19 @@ func newFront(cfg Config) front {
 		filter:  insitu.NewThresholdFilter(cfg.Compression),
 		asm:     ais.NewAssembler(),
 		tracker: adsb.NewTracker(),
+		ids:     make(map[uint32]string),
 	}
+}
+
+// entityID returns the canonical nine-digit entity ID for an MMSI, cached
+// per front (each front is single-goroutine).
+func (f *front) entityID(mmsi uint32) string {
+	if id, ok := f.ids[mmsi]; ok {
+		return id
+	}
+	id := fmt.Sprintf("%09d", mmsi)
+	f.ids[mmsi] = id
+	return id
 }
 
 // Stats carries pipeline counters and latency histograms.
@@ -279,6 +297,11 @@ func (p *Pipeline) InstallEntities(entities []model.Entity) {
 	}
 }
 
+// latSampleEvery is the per-front sampling period of the ingest latency
+// histograms (total / store / CER). Counters stay exact; only the
+// clock-read-heavy timing observations are sampled.
+const latSampleEvery = 16
+
 // IngestLine consumes one wire line with its receiver timestamp and runs
 // the full architecture over it. It returns the complex events detected as
 // a consequence of this line. IngestLine must not be called concurrently
@@ -293,9 +316,15 @@ func (p *Pipeline) IngestLine(tl synth.TimedLine) ([]model.Event, error) {
 // each uses its own front and any two reports of the same entity always use
 // the same front.
 func (p *Pipeline) ingest(f *front, tl synth.TimedLine) ([]model.Event, error) {
+	// One clock read per line; the latency histograms sample 1 in
+	// latSampleEvery lines (per front, so replay determinism of the
+	// counters is untouched) — on single-core hosts the clock reads were a
+	// measurable share of the per-line budget.
+	f.tick++
+	sampled := f.tick%latSampleEvery == 0
 	t0 := time.Now()
 	atomic.AddInt64(&p.Stats.Lines, 1)
-	p.Watermark.Note(tl.TS)
+	p.Watermark.NoteAt(tl.TS, t0.UnixMilli())
 	// Sampled stage tracing: lt is nil for unsampled lines (the common
 	// case) and every method is a nil-safe no-op then, so the hot path
 	// pays one atomic increment. Outcome strings on always-taken branches
@@ -380,9 +409,13 @@ func (p *Pipeline) ingest(f *front, tl synth.TimedLine) ([]model.Event, error) {
 	if stored {
 		atomic.AddInt64(&p.Stats.Kept, 1)
 		lt.Begin(obs.StageStore)
-		st0 := time.Now()
-		p.Store.AddPositionRecord(pos)
-		p.Stats.StoreLatency.Observe(time.Since(st0))
+		if sampled {
+			st0 := time.Now()
+			p.Store.AddPositionRecord(pos)
+			p.Stats.StoreLatency.Observe(time.Since(st0))
+		} else {
+			p.Store.AddPositionRecord(pos)
+		}
 		lt.End("")
 	}
 
@@ -393,9 +426,13 @@ func (p *Pipeline) ingest(f *front, tl synth.TimedLine) ([]model.Event, error) {
 	p.Density.Add(pos.Pt)
 	var events []model.Event
 	if p.Suite != nil {
-		ct0 := time.Now()
-		events = p.Suite.Process(pos)
-		p.Stats.CERLatency.Observe(time.Since(ct0))
+		if sampled {
+			ct0 := time.Now()
+			events = p.Suite.Process(pos)
+			p.Stats.CERLatency.Observe(time.Since(ct0))
+		} else {
+			events = p.Suite.Process(pos)
+		}
 	}
 	p.analyticsMu.Unlock()
 	if len(events) > 0 {
@@ -417,7 +454,9 @@ func (p *Pipeline) ingest(f *front, tl synth.TimedLine) ([]model.Event, error) {
 		}
 		lt.Finish(overall)
 	}
-	p.Stats.Latency.Observe(time.Since(t0))
+	if sampled {
+		p.Stats.Latency.Observe(time.Since(t0))
+	}
 	return events, nil
 }
 
@@ -432,13 +471,31 @@ func (p *Pipeline) decodeAIS(f *front, tl synth.TimedLine) (model.Position, bool
 	if r == nil {
 		return model.Position{}, false, nil
 	}
-	dec, err := ais.Decode(r)
-	if err != nil {
-		return model.Position{}, false, fmt.Errorf("core: ais decode: %w", err)
-	}
-	switch m := dec.(type) {
-	case ais.StaticVoyage:
-		id := fmt.Sprintf("%09d", m.MMSI)
+	// Dispatch on the peeked message type instead of ais.Decode so the
+	// dominant case — position reports — skips the interface boxing of the
+	// Decoded return value.
+	switch ais.PeekType(r) {
+	case 1, 2, 3, ais.TypePositionB:
+		m, err := ais.DecodePositionReport(r)
+		if err != nil {
+			return model.Position{}, false, fmt.Errorf("core: ais decode: %w", err)
+		}
+		pos := model.Position{
+			EntityID:  f.entityID(m.MMSI),
+			Domain:    model.Maritime,
+			TS:        tl.TS,
+			Pt:        geo.Pt(m.Lon, m.Lat),
+			SpeedMS:   geo.Knots(orZero(m.SOG)),
+			CourseDeg: orZero(m.COG),
+			Status:    navStatusFromAIS(m.NavStatus),
+		}
+		return pos, true, nil
+	case ais.TypeStaticVoyage:
+		m, err := ais.DecodeStaticVoyage(r)
+		if err != nil {
+			return model.Position{}, false, fmt.Errorf("core: ais decode: %w", err)
+		}
+		id := f.entityID(m.MMSI)
 		p.entityMu.Lock()
 		known := p.entities[id]
 		if !known {
@@ -452,18 +509,12 @@ func (p *Pipeline) decodeAIS(f *front, tl synth.TimedLine) (model.Position, bool
 			})
 		}
 		return model.Position{}, false, nil
-	case ais.PositionReport:
-		pos := model.Position{
-			EntityID:  fmt.Sprintf("%09d", m.MMSI),
-			Domain:    model.Maritime,
-			TS:        tl.TS,
-			Pt:        geo.Pt(m.Lon, m.Lat),
-			SpeedMS:   geo.Knots(orZero(m.SOG)),
-			CourseDeg: orZero(m.COG),
-			Status:    navStatusFromAIS(m.NavStatus),
-		}
-		return pos, true, nil
 	default:
+		// Other types (Class B static, unsupported, too-short payloads) go
+		// through the generic decoder for its exact error surface.
+		if _, err := ais.Decode(r); err != nil {
+			return model.Position{}, false, fmt.Errorf("core: ais decode: %w", err)
+		}
 		return model.Position{}, false, nil
 	}
 }

@@ -43,6 +43,12 @@ type Watermark struct {
 
 // Note records one line's event timestamp (unix ms).
 func (w *Watermark) Note(tsMS int64) {
+	w.NoteAt(tsMS, time.Now().UnixMilli())
+}
+
+// NoteAt is Note with the wall clock supplied by the caller, for hot paths
+// that already hold a fresh reading.
+func (w *Watermark) NoteAt(tsMS, wallMS int64) {
 	for {
 		cur := w.streamMS.Load()
 		if tsMS <= cur {
@@ -52,7 +58,7 @@ func (w *Watermark) Note(tsMS int64) {
 			break
 		}
 	}
-	w.wallMS.Store(time.Now().UnixMilli())
+	w.wallMS.Store(wallMS)
 }
 
 // StreamMS returns the stream-time watermark (unix ms), 0 before any Note.

@@ -2,6 +2,7 @@ package query
 
 import (
 	"fmt"
+	"math"
 	"sort"
 	"strings"
 	"sync"
@@ -24,6 +25,11 @@ type Engine struct {
 	// Parallelism bounds concurrent shard evaluations; 0 means the number
 	// of candidate shards.
 	Parallelism int
+	// DisableBlockScan forces the per-triple FindID callback walk on sealed
+	// segments instead of the block path (numeric-column range scans driven
+	// by FILTER bounds). The flag exists for differential testing and as an
+	// emergency fallback; the block path is on by default.
+	DisableBlockScan bool
 }
 
 // NewEngine returns an engine over the given store.
@@ -73,6 +79,13 @@ func (e *Engine) Run(q *Query) (*Result, error) {
 		return &Result{Vars: vars, ShardsVisited: 0, Elapsed: time.Since(start)}, nil
 	}
 
+	// Numeric candidate bounds per variable, pushed into sealed-segment
+	// scans by the block path.
+	var bounds map[string]numBound
+	if !e.DisableBlockScan {
+		bounds = numericBounds(q.Filters)
+	}
+
 	var mu sync.Mutex
 	seen := make(map[string]struct{})
 	var rows [][]rdf.Term
@@ -81,7 +94,7 @@ func (e *Engine) Run(q *Query) (*Result, error) {
 		// Plan per shard: predicate cardinalities differ across shards and
 		// change as segments seal and age out.
 		plan := planPatterns(q.Patterns, v)
-		local := evalShard(v, plan, q.Filters)
+		local := evalShard(v, plan, q.Filters, bounds)
 		if len(local) == 0 {
 			mu.Lock()
 			segsPruned += pruned
@@ -219,9 +232,92 @@ func estimateCard(tp TriplePattern, g rdf.Graph) int {
 	return g.Len()
 }
 
+// numBound is the closed numeric candidate interval [Lo, Hi] for one
+// variable, derived from the query's spatiotemporal FILTERs.
+type numBound struct{ Lo, Hi float64 }
+
+// numericBounds derives per-variable candidate intervals from the filters
+// whose semantics make the pushdown sound: st:during and st:within both
+// reject any binding whose term does not parse as a number, so restricting
+// a pattern's object candidates to numeric values inside the (conjoined)
+// interval can only drop rows the filter would drop anyway — the exact
+// filter still runs on every surviving row, so the interval only needs to
+// be a superset. st:during bounds are int64; they are widened by one ulp
+// after the float64 conversion so values that round across the boundary
+// above 2^53 stay inside. Plain comparison FILTERs contribute nothing:
+// their string-comparison fallback accepts non-numeric bindings, which the
+// numeric column cannot represent.
+func numericBounds(filters []Filter) map[string]numBound {
+	var out map[string]numBound
+	clamp := func(v string, lo, hi float64) {
+		if out == nil {
+			out = make(map[string]numBound)
+		}
+		b, ok := out[v]
+		if !ok {
+			b = numBound{Lo: math.Inf(-1), Hi: math.Inf(1)}
+		}
+		b.Lo = math.Max(b.Lo, lo)
+		b.Hi = math.Min(b.Hi, hi)
+		out[v] = b
+	}
+	for _, f := range filters {
+		switch ff := f.(type) {
+		case DuringFilter:
+			clamp(ff.TSVar,
+				math.Nextafter(float64(ff.From), math.Inf(-1)),
+				math.Nextafter(float64(ff.To), math.Inf(1)))
+		case WithinFilter:
+			clamp(ff.LonVar, ff.Box.MinLon, ff.Box.MaxLon)
+			clamp(ff.LatVar, ff.Box.MinLat, ff.Box.MaxLat)
+		}
+	}
+	return out
+}
+
+// scanPattern streams the triples matching (s, p, o) to fn. With no bound
+// on the object variable it is exactly Graph.FindID. With a bound, views
+// dispatch per part (early-stop propagates across parts, mirroring
+// View.FindID) and sealed segments answer from their value-sorted numeric
+// column — a binary-search range scan instead of a walk over every triple
+// of the predicate. The mutable head store and the global store keep the
+// callback path: their triples are few and carry no sealed columns.
+func scanPattern(g rdf.Graph, s, p, o rdf.ID, ob *numBound, fn func(rdf.Triple) bool) {
+	if ob == nil {
+		g.FindID(s, p, o, fn)
+		return
+	}
+	switch gg := g.(type) {
+	case *rdf.View:
+		stopped := false
+		wrap := func(t rdf.Triple) bool {
+			if !fn(t) {
+				stopped = true
+				return false
+			}
+			return true
+		}
+		for _, part := range gg.Parts() {
+			scanPattern(part, s, p, o, ob, wrap)
+			if stopped {
+				return
+			}
+		}
+	case *rdf.Segment:
+		if s == rdf.Wildcard && p != rdf.Wildcard {
+			gg.NumericRange(p, ob.Lo, ob.Hi, fn)
+			return
+		}
+		gg.FindID(s, p, o, fn)
+	default:
+		g.FindID(s, p, o, fn)
+	}
+}
+
 // evalShard evaluates the planned BGP + filters on one shard's merged
-// tier view.
-func evalShard(st rdf.Graph, plan []TriplePattern, filters []Filter) []binding {
+// tier view. bounds (nil = block path off) carries the numeric candidate
+// intervals scanPattern pushes into sealed segments.
+func evalShard(st rdf.Graph, plan []TriplePattern, filters []Filter, bounds map[string]numBound) []binding {
 	bindings := []binding{{}}
 	applied := make([]bool, len(filters))
 	boundVars := map[string]bool{}
@@ -278,7 +374,17 @@ func evalShard(st rdf.Graph, plan []TriplePattern, filters []Filter) []binding {
 			if !ok {
 				continue
 			}
-			st.FindID(sid, pid, oid, func(t rdf.Triple) bool {
+			// Push the object variable's numeric interval into the scan when
+			// the slot is still unbound. A repeated variable inside the
+			// pattern is unaffected: the equality guard below still runs on
+			// every streamed triple.
+			var ob *numBound
+			if ov != "" && bounds != nil {
+				if nb, okB := bounds[ov]; okB {
+					ob = &nb
+				}
+			}
+			scanPattern(st, sid, pid, oid, ob, func(t rdf.Triple) bool {
 				// A variable repeated in one pattern must match itself: the
 				// first occurrence binds, every later occurrence (S, P or O)
 				// must equal the id already bound in this row, otherwise the

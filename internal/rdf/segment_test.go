@@ -2,6 +2,7 @@ package rdf
 
 import (
 	"fmt"
+	"math"
 	"math/rand"
 	"sort"
 	"testing"
@@ -74,6 +75,90 @@ func TestSegmentFindParity(t *testing.T) {
 				t.Fatalf("pattern %v: parity broken", pat)
 			}
 		}
+	}
+}
+
+// TestSegmentNumericRange checks the value-sorted column against a brute
+// force over the triple array: same triples for random [lo, hi] ranges,
+// boundary values included, non-numeric objects never surfaced.
+func TestSegmentNumericRange(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	dict := NewDictionary()
+	// Interleave numeric literals (some shared across triples), non-numeric
+	// literals, IRIs, and a numeric-looking plain string.
+	var triples []Triple
+	numericO := map[ID]float64{}
+	for i := 0; i < 4000; i++ {
+		s := dict.Encode(NewIRI(fmt.Sprintf("e:s%d", rng.Intn(200))))
+		p := dict.Encode(NewIRI(fmt.Sprintf("e:p%d", rng.Intn(6))))
+		var o ID
+		switch rng.Intn(4) {
+		case 0:
+			v := float64(rng.Intn(100)) / 4
+			o = dict.Encode(NewDouble(v))
+			numericO[o] = v
+		case 1:
+			v := int64(rng.Intn(1000))
+			o = dict.Encode(NewLong(v))
+			numericO[o] = float64(v)
+		case 2:
+			o = dict.Encode(NewLiteral(fmt.Sprintf("name-%d", rng.Intn(50))))
+		default:
+			o = dict.Encode(NewIRI(fmt.Sprintf("e:o%d", rng.Intn(40))))
+		}
+		triples = append(triples, Triple{s, p, o})
+	}
+	seg := NewSegment(dict, triples)
+
+	brute := func(p ID, lo, hi float64) map[Triple]bool {
+		out := map[Triple]bool{}
+		for _, tr := range seg.Triples() {
+			v, ok := numericO[tr.O]
+			if tr.P == p && ok && v >= lo && v <= hi {
+				out[tr] = true
+			}
+		}
+		return out
+	}
+	for trial := 0; trial < 200; trial++ {
+		p := dict.Encode(NewIRI(fmt.Sprintf("e:p%d", rng.Intn(7)))) // p6 has no triples
+		lo := float64(rng.Intn(1100)) - 50
+		hi := lo + float64(rng.Intn(300))
+		if trial%10 == 0 {
+			lo, hi = 25, 25 // exact boundary hit on shared values
+		}
+		want := brute(p, lo, hi)
+		got := map[Triple]bool{}
+		prev := math.Inf(-1)
+		seg.NumericRange(p, lo, hi, func(tr Triple) bool {
+			if got[tr] {
+				t.Fatalf("trial %d: duplicate triple %v", trial, tr)
+			}
+			got[tr] = true
+			if v := numericO[tr.O]; v < prev {
+				t.Fatalf("trial %d: values not ascending", trial)
+			} else {
+				prev = v
+			}
+			return true
+		})
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: p=%d [%g,%g]: got %d triples, want %d", trial, p, lo, hi, len(got), len(want))
+		}
+		for tr := range want {
+			if !got[tr] {
+				t.Fatalf("trial %d: missing %v", trial, tr)
+			}
+		}
+	}
+	// Early stop.
+	n := 0
+	seg.NumericRange(dict.Encode(NewIRI("e:p0")), math.Inf(-1), math.Inf(1), func(Triple) bool {
+		n++
+		return n < 5
+	})
+	if n != 5 {
+		t.Errorf("early stop visited %d", n)
 	}
 }
 

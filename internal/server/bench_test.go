@@ -15,17 +15,27 @@ import (
 	"github.com/datacron-project/datacron/internal/obs"
 	"github.com/datacron-project/datacron/internal/synth"
 	"github.com/datacron-project/datacron/internal/wal"
+	"github.com/datacron-project/datacron/internal/wire"
 )
 
-var benchWorld struct {
-	once    sync.Once
-	sc      *synth.Scenario
-	batches []string
+// benchBatch is one pre-rendered POST /ingest body.
+type benchBatch struct {
+	body        string
+	lines       int
+	contentType string
 }
 
-// benchBatches pre-renders the wire stream as POST bodies so the benchmark
-// measures serving, not generation.
-func benchBatches(b *testing.B) []string {
+var benchWorld struct {
+	once   sync.Once
+	sc     *synth.Scenario
+	text   []benchBatch
+	binary []benchBatch
+}
+
+// benchBatches pre-renders the wire stream as POST bodies — the same 512
+// lines per batch in both the text and the binary frame format — so the
+// benchmarks measure serving, not generation.
+func benchBatches(b *testing.B) []benchBatch {
 	benchWorld.once.Do(func() {
 		benchWorld.sc = synth.GenMaritime(synth.MaritimeConfig{
 			Seed: 99, Vessels: 40, Duration: 2 * time.Hour,
@@ -37,16 +47,35 @@ func benchBatches(b *testing.B) []string {
 			if end > len(tls) {
 				end = len(tls)
 			}
-			benchWorld.batches = append(benchWorld.batches, wireBody(tls[i:end]))
+			benchWorld.text = append(benchWorld.text, benchBatch{
+				body: wireBody(tls[i:end]), lines: end - i, contentType: "text/plain",
+			})
+			benchWorld.binary = append(benchWorld.binary, benchBatch{
+				body: string(frameBody(tls[i:end])), lines: end - i, contentType: wire.ContentType,
+			})
 		}
 	})
-	return benchWorld.batches
+	return benchWorld.text
+}
+
+func benchBinaryBatches(b *testing.B) []benchBatch {
+	benchBatches(b)
+	return benchWorld.binary
+}
+
+// frameBody renders timed lines as one binary ingest frame.
+func frameBody(tls []synth.TimedLine) []byte {
+	var e wire.Encoder
+	for _, tl := range tls {
+		e.Add(tl.TS, tl.Line)
+	}
+	return e.AppendFrame(nil)
 }
 
 // runIngestBench drives concurrent POST /ingest against a live server
 // (one op = one 512-line batch) and reports sustained lines/sec so later
 // PRs can track serving throughput.
-func runIngestBench(b *testing.B, srv *Server, batches []string) {
+func runIngestBench(b *testing.B, srv *Server, batches []benchBatch) {
 	ts := httptest.NewServer(srv.Handler())
 	defer func() { ts.Close(); srv.Close() }()
 	client := ts.Client()
@@ -58,14 +87,14 @@ func runIngestBench(b *testing.B, srv *Server, batches []string) {
 	b.ResetTimer()
 	b.RunParallel(func(pb *testing.PB) {
 		for pb.Next() {
-			body := batches[int(next.Add(1))%len(batches)]
-			resp, err := client.Post(ts.URL+"/ingest", "text/plain", strings.NewReader(body))
+			batch := batches[int(next.Add(1))%len(batches)]
+			resp, err := client.Post(ts.URL+"/ingest", batch.contentType, strings.NewReader(batch.body))
 			if err != nil {
 				b.Error(err)
 				return
 			}
 			resp.Body.Close()
-			lines.Add(int64(strings.Count(body, "\n")))
+			lines.Add(int64(batch.lines))
 		}
 	})
 	srv.Ingestor().Quiesce(0)
@@ -88,6 +117,16 @@ func benchPipeline(b *testing.B) *core.Pipeline {
 // BenchmarkServerIngest is the in-memory serving baseline.
 func BenchmarkServerIngest(b *testing.B) {
 	batches := benchBatches(b)
+	srv := New(Config{Pipeline: benchPipeline(b), QueueLen: 1 << 16})
+	runIngestBench(b, srv, batches)
+}
+
+// BenchmarkServerIngestBinary is the same stream through the binary frame
+// format: allocation-free frame decode, hash-only worker routing and one
+// channel send per worker per request. The acceptance bar for this PR is
+// ≥ 2× BenchmarkServerIngest lines/sec.
+func BenchmarkServerIngestBinary(b *testing.B) {
+	batches := benchBinaryBatches(b)
 	srv := New(Config{Pipeline: benchPipeline(b), QueueLen: 1 << 16})
 	runIngestBench(b, srv, batches)
 }

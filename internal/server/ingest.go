@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"github.com/datacron-project/datacron/internal/synth"
+	"github.com/datacron-project/datacron/internal/wire"
 )
 
 // ingestResponse reports what happened to one POST /ingest batch. Accepted
@@ -22,7 +23,12 @@ type ingestResponse struct {
 	Error    string `json:"error,omitempty"`
 }
 
-// handleIngest accepts a newline-separated batch of wire lines. Each line
+// handleIngest accepts a batch of wire lines in one of two body formats,
+// selected by Content-Type: the binary frame format of internal/wire
+// (application/x-datacron-frame, decoded by handleIngestBinary) or
+// newline-separated text, handled below.
+//
+// Text format: each line
 // is either "<unix-ms> <wire line>" (the datacron-gen wire file format) or
 // a bare wire line, which is stamped with the server receive time. Lines
 // are submitted in order to the per-entity ingest workers; at the first
@@ -41,6 +47,10 @@ type ingestResponse struct {
 // been fully processed — useful when a client wants read-your-writes
 // consistency for a following query.
 func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
+	if ct := r.Header.Get("Content-Type"); ct == wire.ContentType {
+		s.handleIngestBinary(w, r)
+		return
+	}
 	resp := ingestResponse{}
 	sc := bufio.NewScanner(r.Body)
 	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
@@ -86,6 +96,13 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusBadRequest, resp)
 		return
 	}
+	s.finishIngest(w, r, &resp)
+}
+
+// finishIngest is the shared tail of both ingest body formats: group-commit
+// the batch when durable, meter the accepted count, honour ?wait=1 and map
+// any shedding to 429 + Retry-After.
+func (s *Server) finishIngest(w http.ResponseWriter, r *http.Request, resp *ingestResponse) {
 	if s.wal != nil && resp.Accepted > 0 {
 		// Group commit: one (usually shared) fsync covers the batch. On
 		// failure nothing is acked — the client must retry the whole batch;

@@ -1,0 +1,119 @@
+package server
+
+import (
+	"bytes"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+
+	"github.com/datacron-project/datacron/internal/core"
+	"github.com/datacron-project/datacron/internal/synth"
+	"github.com/datacron-project/datacron/internal/wire"
+)
+
+// bodyPool recycles request-body buffers across binary ingest requests, so
+// a steady frame stream allocates no per-request body storage.
+var bodyPool = sync.Pool{New: func() any { return new(bytes.Buffer) }}
+
+// handleIngestBinary accepts the internal/wire binary batch format: one or
+// more CRC-checked frames back to back, each carrying varint-framed
+// (timestamp, wire line) records. Semantics mirror the text path with
+// records in place of lines: `accepted` counts records consumed in body
+// order (blank lines included) and is an exact resume offset; at the first
+// record shed by backpressure the remainder of the body counts as rejected;
+// in durable mode every accepted record is WAL-logged and the batch
+// group-committed before the ack. A malformed frame fails the request with
+// 400 after the accepted prefix was ingested (and, like a text body that
+// dies mid-read, not yet committed — the next committed batch covers it).
+//
+// Records with timestamp 0 are stamped with the server receive time, like
+// bare text lines.
+//
+// Without a WAL, records are delivered through the batched submit path:
+// worker selection hashes the routing key without materialising it, and
+// each worker receives one channel send per request instead of one per
+// line.
+func (s *Server) handleIngestBinary(w http.ResponseWriter, r *http.Request) {
+	resp := ingestResponse{}
+	bb := bodyPool.Get().(*bytes.Buffer)
+	bb.Reset()
+	defer bodyPool.Put(bb)
+	if _, err := bb.ReadFrom(r.Body); err != nil {
+		resp.Error = "read body: " + err.Error()
+		resp.Pending = s.ing.Pending()
+		writeJSON(w, http.StatusBadRequest, resp)
+		return
+	}
+	body := bb.Bytes()
+	now := time.Now().UnixMilli()
+
+	var batch *core.Batch
+	if s.wal == nil {
+		batch = s.ing.NewBatch()
+	}
+	var dec wire.Decoder
+	frames, records := 0, 0
+	shedding := false
+	for off := 0; off < len(body) && resp.Error == ""; {
+		n, err := dec.ResetText(body[off:])
+		if err != nil {
+			s.binBadFrames.Add(1)
+			resp.Error = "frame at byte " + strconv.Itoa(off) + ": " + err.Error()
+			break
+		}
+		off += n
+		frames++
+		for {
+			ts, line, ok := dec.NextText()
+			if !ok {
+				break
+			}
+			records++
+			if shedding {
+				resp.Rejected++
+				continue
+			}
+			if line == "" {
+				// Blank records are no-ops but still count toward the
+				// resume offset, like blank text lines.
+				resp.Accepted++
+				continue
+			}
+			if ts == 0 {
+				ts = now
+			}
+			tl := synth.TimedLine{TS: ts, Line: line}
+			var ok2 bool
+			if batch != nil {
+				ok2 = batch.Add(tl)
+			} else {
+				ok2 = s.submit(tl, &resp)
+			}
+			if ok2 {
+				resp.Accepted++
+			} else {
+				resp.Rejected++
+				shedding = true
+			}
+		}
+		if err := dec.Err(); err != nil {
+			s.binBadFrames.Add(1)
+			resp.Error = err.Error()
+		}
+	}
+	if batch != nil {
+		// Deliver the staged records — one channel send per worker — before
+		// any response is written, so `accepted` means handed off even on
+		// the 400 path.
+		batch.Flush()
+	}
+	s.binFrames.Add(int64(frames))
+	s.binRecords.Add(int64(records))
+	if resp.Error != "" {
+		resp.Pending = s.ing.Pending()
+		writeJSON(w, http.StatusBadRequest, resp)
+		return
+	}
+	s.finishIngest(w, r, &resp)
+}

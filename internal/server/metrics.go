@@ -77,6 +77,9 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	mw.Counter("datacron_ingest_stored_total", "Reports stored after threshold compression.", snap.Kept)
 	mw.Counter("datacron_ingest_suppressed_total", "Reports suppressed by compression.", snap.Suppressed)
 	mw.Counter("datacron_ingest_rejected_total", "Lines shed by backpressure (429s).", s.ing.Rejected())
+	mw.Counter("datacron_ingest_frames_total", "Binary ingest frames decoded.", s.binFrames.Load())
+	mw.Counter("datacron_ingest_frame_records_total", "Records carried by binary ingest frames.", s.binRecords.Load())
+	mw.Counter("datacron_ingest_bad_frames_total", "Binary ingest frames rejected as malformed.", s.binBadFrames.Load())
 	mw.Counter("datacron_detections_total", "Complex events detected.", snap.Detections)
 	mw.Counter("datacron_events_published_total", "SSE frames fanned out to subscribers.", s.hub.published.Load())
 	mw.Counter("datacron_events_dropped_total", "SSE frames dropped on slow subscribers.", s.hub.dropped.Load())

@@ -133,6 +133,12 @@ type Server struct {
 	lastRateCount int64
 	lastRateTime  time.Time
 
+	// Binary ingest accounting (frames decoded, records carried, frames
+	// rejected as malformed).
+	binFrames    atomic.Int64
+	binRecords   atomic.Int64
+	binBadFrames atomic.Int64
+
 	// Observability: structured log, readiness gate, per-endpoint request
 	// accounting (counts + latency histograms) and the slow-query log.
 	logger    *slog.Logger
