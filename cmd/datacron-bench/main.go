@@ -10,6 +10,12 @@
 //
 //	datacron-bench -ingest-url http://localhost:8080 -ingest-format binary \
 //	  -ingest-lines 500000 -ingest-batch 512
+//
+// Against a cluster, pass every coordinator comma-separated and the driver
+// round-robins batches across them (any node coordinates, so this spreads
+// the routing work, not just the ingest):
+//
+//	datacron-bench -ingest-url http://10.0.0.1:8080,http://10.0.0.2:8080
 package main
 
 import (
@@ -33,7 +39,7 @@ func main() {
 		quick = flag.Bool("quick", false, "run test-scale workloads")
 		only  = flag.String("only", "", "comma-separated experiment ids (e.g. E1,E6); empty = all")
 
-		ingestURL    = flag.String("ingest-url", "", "drive POST /ingest on this base URL instead of running experiments")
+		ingestURL    = flag.String("ingest-url", "", "drive POST /ingest on this base URL instead of running experiments; comma-separate several to round-robin cluster coordinators")
 		ingestFormat = flag.String("ingest-format", "text", "ingest wire format: text | binary")
 		ingestLines  = flag.Int("ingest-lines", 200_000, "total lines to post (-ingest-url mode)")
 		ingestBatch  = flag.Int("ingest-batch", 512, "lines per request (-ingest-url mode)")
@@ -127,7 +133,15 @@ func runIngestDriver(baseURL, format string, lines, batch int) error {
 	}
 
 	client := &http.Client{Timeout: 30 * time.Second}
-	url := strings.TrimRight(baseURL, "/") + "/ingest"
+	var urls []string
+	for _, u := range strings.Split(baseURL, ",") {
+		if u = strings.TrimSpace(u); u != "" {
+			urls = append(urls, strings.TrimRight(u, "/")+"/ingest")
+		}
+	}
+	if len(urls) == 0 {
+		return fmt.Errorf("-ingest-url is empty")
+	}
 	var accepted, rejected, requests int
 	start := time.Now()
 	for sent := 0; sent < lines; {
@@ -136,7 +150,7 @@ func runIngestDriver(baseURL, format string, lines, batch int) error {
 		if requests%len(bodies) == len(bodies)-1 {
 			n = len(sc.WireTimed) - (len(bodies)-1)*batch
 		}
-		resp, err := client.Post(url, contentType, strings.NewReader(body))
+		resp, err := client.Post(urls[requests%len(urls)], contentType, strings.NewReader(body))
 		if err != nil {
 			return fmt.Errorf("post: %w", err)
 		}

@@ -44,6 +44,19 @@
 // events. Use -prime=false for a blank world that learns entities from the
 // stream alone.
 //
+// With -cluster the daemon becomes one node of a multi-node cluster (see
+// OPERATIONS.md "Cluster mode" and DESIGN.md §14): -peers lists the static
+// membership, -advertise is this node's address as the peers reach it, and
+// every node owns a consistent-hash slice of the entity-key space. Any node
+// coordinates: POST /ingest routes each line to its owner over the binary
+// wire framing, POST /query, GET /forecast/batch and GET /synopses/batch
+// scatter-gather with results identical to a single node, and POST
+// /cluster/join / /cluster/leave rebalance hash ranges by shipping sealed
+// segments plus the head tail between nodes:
+//
+//	datacron-serve -addr :8080 -cluster -advertise 10.0.0.1:8080 \
+//	  -peers 10.0.0.1:8080,10.0.0.2:8080,10.0.0.3:8080 -data-dir /var/lib/datacron
+//
 // With -data-dir the daemon is durable: accepted wire lines are written to
 // a write-ahead log and group-committed before the HTTP ack, POST
 // /snapshot persists the full pipeline state, and a restart with the same
@@ -64,9 +77,11 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
+	"github.com/datacron-project/datacron/internal/cluster"
 	"github.com/datacron-project/datacron/internal/core"
 	"github.com/datacron-project/datacron/internal/model"
 	"github.com/datacron-project/datacron/internal/obs"
@@ -89,8 +104,14 @@ func main() {
 		vessels = flag.Int("vessels", 50, "world vessel count when priming (maritime)")
 		flights = flag.Int("flights", 40, "world flight count when priming (aviation)")
 		dataDir = flag.String("data-dir", "", "durability directory (WAL + snapshots); empty = in-memory only")
-		fsync   = flag.Bool("fsync", false, "fsync the WAL on every commit: survives power loss, not just kill -9 (default flushes to the OS, which a process crash cannot lose)")
-		segMB   = flag.Int64("segment-mb", 64, "WAL segment roll size in MiB")
+
+		clusterOn = flag.Bool("cluster", false, "cluster mode: own a consistent-hash slice of the entity space, forward and scatter-gather the rest (see -peers, -advertise)")
+		peers     = flag.String("peers", "", "comma-separated static member addresses (host:port), including this node")
+		advertise = flag.String("advertise", "", "this node's address as peers reach it (default: -addr when it carries a host)")
+		vnodes    = flag.Int("vnodes", 0, "consistent-hash virtual nodes per member (0 = default)")
+
+		fsync = flag.Bool("fsync", false, "fsync the WAL on every commit: survives power loss, not just kill -9 (default flushes to the OS, which a process crash cannot lose)")
+		segMB = flag.Int64("segment-mb", 64, "WAL segment roll size in MiB")
 
 		logLevel  = flag.String("log-level", "info", "log level: debug, info, warn, error")
 		logFormat = flag.String("log-format", "text", "log format: text or json")
@@ -265,9 +286,17 @@ func main() {
 		}
 	}
 
+	// In cluster mode the node's gauges ride on /metrics; the indirection
+	// exists because the cluster node wraps the server it reports for.
+	var cnode *cluster.Node
 	srv := server.New(server.Config{
 		Pipeline: p, Workers: *workers, QueueLen: *queue,
 		WAL: walLog, DataDir: *dataDir, Recovery: recovery,
+		ExtraMetrics: func(mw *obs.MetricsWriter) {
+			if cnode != nil {
+				cnode.WriteMetrics(mw)
+			}
+		},
 		ForecastInterval: *fcastInterval,
 		SynopsesInterval: *synInterval,
 		Tier: store.TierPolicy{
@@ -283,7 +312,42 @@ func main() {
 
 	// Swap the bootstrap surface for the full API and open the gate: from
 	// here /readyz says ready and load balancers may admit traffic.
-	sw.Set(srv.Handler())
+	handler := srv.Handler()
+	if *clusterOn {
+		self := *advertise
+		if self == "" {
+			if host, _, err := net.SplitHostPort(*addr); err != nil || host == "" {
+				fatal("cluster mode", fmt.Errorf("-advertise is required when -addr (%q) carries no host", *addr))
+			}
+			self = *addr
+		}
+		var members []string
+		for _, m := range strings.Split(*peers, ",") {
+			if m = strings.TrimSpace(m); m != "" {
+				members = append(members, m)
+			}
+		}
+		var cerr error
+		cnode, cerr = cluster.New(cluster.Config{
+			Self:     self,
+			Members:  members,
+			VNodes:   *vnodes,
+			Server:   srv,
+			Pipeline: p,
+			Logger:   obs.Component(logger, "cluster"),
+			Client:   &http.Client{Timeout: 30 * time.Second},
+		})
+		if cerr != nil {
+			fatal("cluster mode", cerr)
+		}
+		handler = cnode
+		ring, version := cnode.Ring()
+		logger.Info("cluster mode",
+			"self", self, "members", len(ring.Members()),
+			"vnodes", ring.VNodes(), "ringVersion", version,
+			"fingerprint", fmt.Sprintf("%016x", ring.Fingerprint()))
+	}
+	sw.Set(handler)
 	ready.MarkReady()
 
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)

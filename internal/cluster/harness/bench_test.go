@@ -1,0 +1,51 @@
+package harness
+
+import (
+	"testing"
+	"time"
+
+	"github.com/datacron-project/datacron/internal/core"
+	"github.com/datacron-project/datacron/internal/model"
+	"github.com/datacron-project/datacron/internal/server"
+	"github.com/datacron-project/datacron/internal/synth"
+)
+
+// BenchmarkClusterIngestForward measures the coordinator ingest path of a
+// 2-node in-process cluster: per-line ring routing, per-owner re-framing
+// into binary wire frames, the loopback HTTP forward to the owning peer and
+// the in-process self-share — the full overhead cluster mode adds over
+// single-node ingest (compare BenchmarkServerIngest).
+func BenchmarkClusterIngestForward(b *testing.B) {
+	sc := synth.GenMaritime(synth.MaritimeConfig{Seed: 99, Vessels: 40, Duration: time.Hour})
+	const batch = 512
+	var bodies []string
+	var sizes []int
+	for i := 0; i < len(sc.WireTimed); i += batch {
+		end := i + batch
+		if end > len(sc.WireTimed) {
+			end = len(sc.WireTimed)
+		}
+		bodies = append(bodies, WireBody(sc.WireTimed[i:end]))
+		sizes = append(sizes, end-i)
+	}
+
+	c := Start(b, Config{
+		Nodes:    2,
+		Scenario: sc,
+		Core:     core.Config{Domain: model.Maritime},
+		Server:   server.Config{Workers: 4, QueueLen: 1 << 16},
+	})
+
+	lines := 0
+	b.ResetTimer()
+	start := time.Now()
+	for i := 0; b.Loop(); i++ {
+		ir := c.Ingest(0, bodies[i%len(bodies)], false)
+		if ir.Rejected != 0 {
+			b.Fatalf("rejected %d lines with oversized queues: %+v", ir.Rejected, ir)
+		}
+		lines += sizes[i%len(bodies)]
+	}
+	c.QuiesceAll()
+	b.ReportMetric(float64(lines)/time.Since(start).Seconds(), "lines/sec")
+}

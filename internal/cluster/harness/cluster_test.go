@@ -1,0 +1,239 @@
+package harness
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/datacron-project/datacron/internal/core"
+	"github.com/datacron-project/datacron/internal/model"
+	"github.com/datacron-project/datacron/internal/server"
+	"github.com/datacron-project/datacron/internal/synth"
+)
+
+// goldenScenario is a world whose cluster-observable outputs are provably
+// partition-independent, so a scatter-gather cluster must match a single
+// node bit for bit:
+//
+//   - Rendezvous: -1 and Loiterers: -1 disable the scripted cross-entity
+//     and loitering traffic, so complex-event state never couples two
+//     entities that could land on different nodes, and no entity
+//     accumulates the sustained slow run that would move the Markov event
+//     probability off its exact-0 regime (guarded below).
+//   - ~15 vessels × 2h at 10s reporting ≈ 10.8k wire lines (≥ the 10k the
+//     acceptance criterion demands).
+func goldenScenario() *synth.Scenario {
+	return synth.GenMaritime(synth.MaritimeConfig{
+		Seed: 777, Vessels: 15, Duration: 2 * time.Hour,
+		Rendezvous: -1, Loiterers: -1, GapProb: 0.0005, OutlierProb: 0.002,
+	})
+}
+
+// goldenCore pins the forecast subsystem to its partition-independent
+// regime: RouteMinHistory/KNNMinHistory above HistoryLen keep the fallback
+// ladder on the per-entity dead-reckoning/kinematic rungs (the shared
+// route/KNN models are node-local and would diverge), and a MaxStale far
+// beyond the scenario duration makes every reporting entity "live" on its
+// owner regardless of node-local clocks.
+func goldenCore() core.Config {
+	return core.Config{
+		Domain: model.Maritime,
+		Forecast: core.ForecastConfig{
+			Enabled:    true,
+			HistoryLen: 32, RouteMinHistory: 33, KNNMinHistory: 33,
+			MaxStale: 24 * time.Hour,
+		},
+		Synopses: core.SynopsesConfig{
+			Enabled:  true,
+			MaxStale: 24 * time.Hour,
+		},
+	}
+}
+
+// queryResult is the vars+rows projection of a query response — the part
+// that must be identical between cluster and single node (elapsed time and
+// plan counters legitimately differ).
+type queryResult struct {
+	Vars []string   `json:"vars"`
+	Rows [][]string `json:"rows"`
+}
+
+// goldenQueries exercises global triples (replicated, must deduplicate),
+// anchored per-entity data (disjoint, must union), FILTER pushdown, COUNT
+// (must count the global distinct set once) and LIMIT (must truncate the
+// globally sorted set).
+var goldenQueries = []string{
+	`SELECT ?v WHERE { ?v rdf:type dat:Vessel . }`,
+	`SELECT ?n WHERE { ?n dat:speed ?s . FILTER (?s > 12) }`,
+	`SELECT COUNT WHERE { ?n rdf:type dat:SemanticNode . }`,
+	`SELECT COUNT ?n WHERE { ?n dat:speed ?s . FILTER (?s > 12) } LIMIT 4`,
+	`SELECT ?n WHERE { ?n rdf:type dat:SemanticNode . } LIMIT 57`,
+}
+
+// TestClusterGoldenBitIdentity is the tentpole acceptance test: a 3-node
+// cluster ingests a ≥10k-line stream through one coordinator, one node is
+// crashed kill -9 style mid-stream (acked lines still queued) and
+// restarted on its WAL, and at the end every scatter-gather read — /query
+// vars+rows, /forecast/batch and /synopses/batch byte for byte — matches a
+// single-node server fed the identical stream.
+func TestClusterGoldenBitIdentity(t *testing.T) {
+	sc := goldenScenario()
+	if len(sc.WireTimed) < 10_000 {
+		t.Fatalf("scenario has %d lines, want >= 10000", len(sc.WireTimed))
+	}
+
+	srvCfg := server.Config{Workers: 4, QueueLen: 1 << 16}
+	c := Start(t, Config{Nodes: 3, Scenario: sc, Core: goldenCore(), Server: srvCfg})
+
+	// Single-node reference over the same stream (plain server, no cluster
+	// wrapper — the comparison target the paper architecture defines).
+	refP := core.New(goldenCore())
+	refP.InstallAreas(sc.Areas)
+	refP.InstallEntities(sc.Entities)
+	refSrv := server.New(server.Config{Pipeline: refP, Workers: 4, QueueLen: 1 << 16})
+	ref := httptest.NewServer(refSrv.Handler())
+	t.Cleanup(func() { ref.Close(); refSrv.Close() })
+
+	const batch = 1000
+	killAfterBatch := 5
+	for i, sent := 0, 0; sent < len(sc.WireTimed); i++ {
+		end := sent + batch
+		if end > len(sc.WireTimed) {
+			end = len(sc.WireTimed)
+		}
+		body := WireBody(sc.WireTimed[sent:end])
+		ir := c.Ingest(0, body, false)
+		if ir.Rejected != 0 {
+			t.Fatalf("batch %d: cluster rejected %d lines with oversized queues: %+v", i, ir.Rejected, ir)
+		}
+		resp, err := ref.Client().Post(ref.URL+"/ingest", "text/plain", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		sent = end
+
+		if i == killAfterBatch {
+			// Kill -9 node 1 with acked lines potentially still queued,
+			// then restart it on the same address + data-dir: recovery
+			// replays the WAL tail and the stream continues.
+			c.Kill(1)
+			c.Restart(1)
+		}
+	}
+	c.QuiesceAll()
+	if !refSrv.Ingestor().Quiesce(30 * time.Second) {
+		t.Fatal("reference did not quiesce")
+	}
+
+	// /query: vars+rows identical through any coordinator.
+	for _, q := range goldenQueries {
+		refStatus, refBody := httpPost(t, ref.URL+"/query", "text/plain", q)
+		if refStatus != 200 {
+			t.Fatalf("reference query %q: %d %s", q, refStatus, refBody)
+		}
+		var want queryResult
+		mustDecode(t, refBody, &want)
+		for _, coord := range []int{0, 2} {
+			status, body := c.Query(coord, q)
+			if status != 200 {
+				t.Fatalf("cluster query %q via node %d: %d %s", q, coord, status, body)
+			}
+			if bytes.Contains(body, []byte(`"partial":true`)) {
+				t.Fatalf("cluster query %q degraded with all nodes up: %s", q, body)
+			}
+			var got queryResult
+			mustDecode(t, body, &got)
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("query %q via node %d diverged from single node:\n got %d rows: %.300s\nwant %d rows: %.300s",
+					q, coord, len(got.Rows), body, len(want.Rows), refBody)
+			}
+		}
+	}
+
+	// /forecast/batch: byte-identical. Guard first that the reference sits
+	// in the exact-0 event-probability regime this golden depends on.
+	refStatus, refFc := httpGet(t, ref.URL+"/forecast/batch?horizon=10m")
+	if refStatus != 200 {
+		t.Fatalf("reference forecast/batch: %d %s", refStatus, refFc)
+	}
+	var fb struct {
+		Count     int `json:"count"`
+		Forecasts []struct {
+			Entity    string  `json:"entity"`
+			EventProb float64 `json:"eventProb"`
+		} `json:"forecasts"`
+	}
+	mustDecode(t, refFc, &fb)
+	if fb.Count == 0 {
+		t.Fatal("reference forecast/batch is empty — golden is vacuous")
+	}
+	for _, f := range fb.Forecasts {
+		if f.EventProb != 0 {
+			t.Fatalf("entity %s has eventProb %v: scenario left the partition-independent regime", f.Entity, f.EventProb)
+		}
+	}
+	status, gotFc := c.Get(0, "/forecast/batch?horizon=10m")
+	if status != 200 {
+		t.Fatalf("cluster forecast/batch: %d %s", status, gotFc)
+	}
+	if !bytes.Equal(gotFc, refFc) {
+		t.Fatalf("forecast/batch diverged:\n got %.500s\nwant %.500s", gotFc, refFc)
+	}
+
+	// /synopses/batch: byte-identical (summed integer counters re-divide
+	// to the same float bits).
+	refStatus, refSy := httpGet(t, ref.URL+"/synopses/batch")
+	if refStatus != 200 {
+		t.Fatalf("reference synopses/batch: %d %s", refStatus, refSy)
+	}
+	status, gotSy := c.Get(0, "/synopses/batch")
+	if status != 200 {
+		t.Fatalf("cluster synopses/batch: %d %s", status, gotSy)
+	}
+	if !bytes.Equal(gotSy, refSy) {
+		t.Fatalf("synopses/batch diverged:\n got %.500s\nwant %.500s", gotSy, refSy)
+	}
+}
+
+var httpClient = http.Client{Timeout: 30 * time.Second}
+
+func httpPost(t *testing.T, url, contentType, body string) (int, []byte) {
+	t.Helper()
+	resp, err := (&httpClient).Post(url, contentType, strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, buf.Bytes()
+}
+
+func httpGet(t *testing.T, url string) (int, []byte) {
+	t.Helper()
+	resp, err := (&httpClient).Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, buf.Bytes()
+}
+
+func mustDecode(t *testing.T, b []byte, v any) {
+	t.Helper()
+	if err := json.Unmarshal(b, v); err != nil {
+		t.Fatalf("decode %T from %.200s: %v", v, b, err)
+	}
+}

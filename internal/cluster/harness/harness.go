@@ -1,0 +1,405 @@
+// Package harness is an in-process multi-node cluster fixture for
+// deterministic end-to-end tests: every node is a full durable server (own
+// pipeline, WAL, snapshots, temp data-dir) behind a real loopback listener,
+// wrapped by the cluster coordinator layer. The fixture drives kill
+// -9-equivalent crashes (listener torn down, process state abandoned,
+// nothing drained), restarts on the same address and data-dir, membership
+// changes, and partition-style forward failures — all under `go test
+// -race`.
+//
+// Node identity is the fixed loopback address each node first bound: a
+// restart re-listens on the same port, so the ring, the peers' forwards and
+// the WAL recovery all line up exactly as they would for a daemon restarted
+// on a machine.
+package harness
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/datacron-project/datacron/internal/cluster"
+	"github.com/datacron-project/datacron/internal/core"
+	"github.com/datacron-project/datacron/internal/obs"
+	"github.com/datacron-project/datacron/internal/server"
+	"github.com/datacron-project/datacron/internal/synth"
+	"github.com/datacron-project/datacron/internal/wal"
+)
+
+// Config parameterises a cluster fixture.
+type Config struct {
+	// Nodes is the initial member count.
+	Nodes int
+	// VNodes is the ring virtual-node count (0 = cluster.DefaultVNodes).
+	VNodes int
+	// Scenario, when non-nil, primes every node's world (areas + entity
+	// registry), exactly like datacron-serve -prime.
+	Scenario *synth.Scenario
+	// Core is the per-node pipeline template (Domain, Shards, Forecast,
+	// Synopses ...).
+	Core core.Config
+	// Server is the per-node serving template; Pipeline/WAL/DataDir/
+	// Recovery/ExtraMetrics are overwritten per node.
+	Server server.Config
+	// Configure, when non-nil, tweaks one node's server config before it
+	// starts (e.g. a tiny queue on one node for backpressure tests). It
+	// runs again on restart.
+	Configure func(i int, cfg *server.Config)
+}
+
+// Cluster is a running fixture.
+type Cluster struct {
+	t      testing.TB
+	cfg    Config
+	Nodes  []*Node
+	client *http.Client
+}
+
+// Node is one fixture member. Addr and DataDir are stable across
+// crash/restart cycles.
+type Node struct {
+	Addr    string
+	DataDir string
+	idx     int
+
+	// members is the static -peers list the node last booted with; a
+	// restart reuses it (a daemon's flags don't change when it crashes).
+	members []string
+
+	alive     bool
+	pipeline  *core.Pipeline
+	wlog      *wal.Log
+	srv       *server.Server
+	cnode     atomic.Pointer[cluster.Node]
+	httpSrv   *http.Server
+	failpoint atomic.Value // func(string) error
+
+	// Abandoned kill -9 victims, closed at test cleanup only (a real
+	// crashed process would have released them; here they just idle).
+	abandonedSrv []*server.Server
+	abandonedWAL []*wal.Log
+}
+
+// SetFailpoint installs (or, with nil, clears) the node's donor-handoff
+// failpoint. Survives crash/restart cycles — it models a fault injected at
+// the host, not in one process.
+func (n *Node) SetFailpoint(f func(step string) error) {
+	n.failpoint.Store(&f)
+}
+
+func (n *Node) runFailpoint(step string) error {
+	if p, _ := n.failpoint.Load().(*func(string) error); p != nil && *p != nil {
+		return (*p)(step)
+	}
+	return nil
+}
+
+// Pipeline exposes the node's current pipeline (nil while killed).
+func (n *Node) Pipeline() *core.Pipeline { return n.pipeline }
+
+// Start boots a cluster of cfg.Nodes members, all knowing each other from
+// the start (static -peers bootstrap). Cleanup is registered on t.
+func Start(t testing.TB, cfg Config) *Cluster {
+	t.Helper()
+	if cfg.Nodes <= 0 {
+		cfg.Nodes = 3
+	}
+	c := &Cluster{t: t, cfg: cfg, client: &http.Client{Timeout: 30 * time.Second}}
+	listeners := make([]net.Listener, cfg.Nodes)
+	members := make([]string, cfg.Nodes)
+	for i := range listeners {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatalf("pre-bind node %d: %v", i, err)
+		}
+		listeners[i] = ln
+		members[i] = ln.Addr().String()
+	}
+	for i := range members {
+		n := &Node{Addr: members[i], DataDir: t.TempDir(), idx: i}
+		c.Nodes = append(c.Nodes, n)
+	}
+	for i, n := range c.Nodes {
+		c.boot(n, listeners[i], members)
+	}
+	t.Cleanup(c.shutdown)
+	return c
+}
+
+// AddNode creates (but does not join) a fresh member: a running server that
+// only knows itself. Call Join to move its hash ranges onto it.
+func (c *Cluster) AddNode() *Node {
+	c.t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		c.t.Fatalf("pre-bind new node: %v", err)
+	}
+	n := &Node{Addr: ln.Addr().String(), DataDir: c.t.TempDir(), idx: len(c.Nodes)}
+	c.Nodes = append(c.Nodes, n)
+	c.boot(n, ln, []string{n.Addr})
+	return n
+}
+
+// boot assembles and starts one node on ln: primed pipeline, recovery from
+// its data-dir, fresh WAL handle, durable server, cluster wrapper.
+func (c *Cluster) boot(n *Node, ln net.Listener, members []string) {
+	c.t.Helper()
+	p := core.New(c.cfg.Core)
+	if sc := c.cfg.Scenario; sc != nil {
+		p.InstallAreas(sc.Areas)
+		p.InstallEntities(sc.Entities)
+	}
+	rs, err := p.Recover(n.DataDir)
+	if err != nil {
+		c.t.Fatalf("node %s recover: %v", n.Addr, err)
+	}
+	wlog, err := wal.Open(core.WALDir(n.DataDir), wal.Options{NoSync: true})
+	if err != nil {
+		c.t.Fatalf("node %s wal: %v", n.Addr, err)
+	}
+	scfg := c.cfg.Server
+	if c.cfg.Configure != nil {
+		c.cfg.Configure(n.idx, &scfg)
+	}
+	scfg.Pipeline, scfg.WAL, scfg.DataDir, scfg.Recovery = p, wlog, n.DataDir, &rs
+	scfg.ExtraMetrics = func(mw *obs.MetricsWriter) {
+		if cn := n.cnode.Load(); cn != nil {
+			cn.WriteMetrics(mw)
+		}
+	}
+	srv := server.New(scfg)
+	cn, err := cluster.New(cluster.Config{
+		Self:      n.Addr,
+		Members:   members,
+		VNodes:    c.cfg.VNodes,
+		Server:    srv,
+		Pipeline:  p,
+		Failpoint: n.runFailpoint,
+		Client:    &http.Client{Timeout: 10 * time.Second},
+	})
+	if err != nil {
+		c.t.Fatalf("node %s cluster: %v", n.Addr, err)
+	}
+	n.cnode.Store(cn)
+	hs := &http.Server{Handler: cn}
+	go func() { _ = hs.Serve(ln) }()
+	n.members = members
+	n.pipeline, n.wlog, n.srv, n.httpSrv, n.alive = p, wlog, srv, hs, true
+}
+
+// Kill crashes node i, kill -9 style: the listener and all connections are
+// torn down immediately and every bit of process state — queued ingest
+// lines, in-memory store, open WAL handle — is abandoned undrained.
+// Whatever was acked is exactly what the WAL must recover.
+func (c *Cluster) Kill(i int) {
+	c.t.Helper()
+	n := c.Nodes[i]
+	if !n.alive {
+		c.t.Fatalf("node %d already dead", i)
+	}
+	_ = n.httpSrv.Close()
+	n.abandonedSrv = append(n.abandonedSrv, n.srv)
+	n.abandonedWAL = append(n.abandonedWAL, n.wlog)
+	n.pipeline, n.wlog, n.srv, n.httpSrv, n.alive = nil, nil, nil, nil, false
+	n.cnode.Store(nil)
+}
+
+// Restart boots node i again on its original address and data-dir; recovery
+// replays the WAL tail over the newest snapshot. The node rejoins with the
+// same static membership it booted with.
+func (c *Cluster) Restart(i int) {
+	c.t.Helper()
+	n := c.Nodes[i]
+	if n.alive {
+		c.t.Fatalf("node %d still alive", i)
+	}
+	var ln net.Listener
+	var err error
+	for attempt := 0; attempt < 50; attempt++ {
+		ln, err = net.Listen("tcp", n.Addr)
+		if err == nil {
+			break
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if err != nil {
+		c.t.Fatalf("rebind %s: %v", n.Addr, err)
+	}
+	c.boot(n, ln, n.members)
+}
+
+func (c *Cluster) shutdown() {
+	for _, n := range c.Nodes {
+		if n.alive {
+			_ = n.httpSrv.Close()
+			n.srv.Close()
+			_ = n.wlog.Close()
+		}
+		for _, s := range n.abandonedSrv {
+			s.Close()
+		}
+		for _, l := range n.abandonedWAL {
+			_ = l.Close()
+		}
+	}
+}
+
+// URL returns node i's base URL.
+func (c *Cluster) URL(i int) string { return "http://" + c.Nodes[i].Addr }
+
+// QuiesceAll blocks until every live node's ingest queues are fully
+// drained — read-your-writes for the whole cluster.
+func (c *Cluster) QuiesceAll() {
+	c.t.Helper()
+	for _, n := range c.Nodes {
+		if n.alive {
+			if !n.srv.Ingestor().Quiesce(30 * time.Second) {
+				c.t.Fatalf("node %s did not quiesce", n.Addr)
+			}
+		}
+	}
+}
+
+// IngestResult is the decoded coordinator ingest response.
+type IngestResult struct {
+	Status   int
+	Accepted int                       `json:"accepted"`
+	Rejected int                       `json:"rejected"`
+	Error    string                    `json:"error"`
+	Owners   map[string]map[string]any `json:"owners"`
+}
+
+// Ingest POSTs a text wire body to node i's coordinator endpoint.
+func (c *Cluster) Ingest(i int, body string, wait bool) IngestResult {
+	c.t.Helper()
+	url := c.URL(i) + "/ingest"
+	if wait {
+		url += "?wait=1"
+	}
+	resp, err := c.client.Post(url, "text/plain", strings.NewReader(body))
+	if err != nil {
+		c.t.Fatalf("ingest via node %d: %v", i, err)
+	}
+	defer resp.Body.Close()
+	var ir IngestResult
+	if err := json.NewDecoder(resp.Body).Decode(&ir); err != nil {
+		c.t.Fatalf("ingest response: %v", err)
+	}
+	ir.Status = resp.StatusCode
+	return ir
+}
+
+// Get fetches path from node i and returns status + body.
+func (c *Cluster) Get(i int, path string) (int, []byte) {
+	c.t.Helper()
+	resp, err := c.client.Get(c.URL(i) + path)
+	if err != nil {
+		c.t.Fatalf("GET %s via node %d: %v", path, i, err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		c.t.Fatalf("GET %s body: %v", path, err)
+	}
+	return resp.StatusCode, b
+}
+
+// Post sends a body to path on node i and returns status + body.
+func (c *Cluster) Post(i int, path, contentType, body string) (int, []byte) {
+	c.t.Helper()
+	resp, err := c.client.Post(c.URL(i)+path, contentType, strings.NewReader(body))
+	if err != nil {
+		c.t.Fatalf("POST %s via node %d: %v", path, i, err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		c.t.Fatalf("POST %s body: %v", path, err)
+	}
+	return resp.StatusCode, b
+}
+
+// Query runs a query via node i's coordinator and returns the raw JSON.
+func (c *Cluster) Query(i int, src string) (int, []byte) {
+	c.t.Helper()
+	return c.Post(i, "/query", "text/plain", src)
+}
+
+// Join moves the new member's hash ranges onto it via node i as
+// coordinator and fails the test on error.
+func (c *Cluster) Join(i int, addr string) {
+	c.t.Helper()
+	status, body := c.Post(i, "/cluster/join", "application/json",
+		fmt.Sprintf(`{"node":%q}`, addr))
+	if status != http.StatusOK {
+		c.t.Fatalf("join %s: %d %s", addr, status, body)
+	}
+}
+
+// TryJoin is Join without the fatal: it returns the raw outcome so tests
+// can assert on orchestrated failures.
+func (c *Cluster) TryJoin(i int, addr string) (int, []byte) {
+	c.t.Helper()
+	return c.Post(i, "/cluster/join", "application/json",
+		fmt.Sprintf(`{"node":%q}`, addr))
+}
+
+// Leave retires addr via node i as coordinator.
+func (c *Cluster) Leave(i int, addr string) {
+	c.t.Helper()
+	status, body := c.Post(i, "/cluster/leave", "application/json",
+		fmt.Sprintf(`{"node":%q}`, addr))
+	if status != http.StatusOK {
+		c.t.Fatalf("leave %s: %d %s", addr, status, body)
+	}
+}
+
+// Census fetches node i's anchored-entity census.
+func (c *Cluster) Census(i int) map[string]int {
+	c.t.Helper()
+	status, body := c.Get(i, "/cluster/census")
+	if status != http.StatusOK {
+		c.t.Fatalf("census node %d: %d %s", i, status, body)
+	}
+	var cr struct {
+		Entities map[string]int `json:"entities"`
+	}
+	if err := json.Unmarshal(body, &cr); err != nil {
+		c.t.Fatalf("census decode: %v", err)
+	}
+	return cr.Entities
+}
+
+// RingInfo fetches node i's membership view.
+func (c *Cluster) RingInfo(i int) (version int64, fingerprint string, members []string) {
+	c.t.Helper()
+	status, body := c.Get(i, "/cluster/ring")
+	if status != http.StatusOK {
+		c.t.Fatalf("ring node %d: %d %s", i, status, body)
+	}
+	var rr struct {
+		Version     int64    `json:"version"`
+		Fingerprint string   `json:"fingerprint"`
+		Members     []string `json:"members"`
+	}
+	if err := json.Unmarshal(body, &rr); err != nil {
+		c.t.Fatalf("ring decode: %v", err)
+	}
+	return rr.Version, rr.Fingerprint, rr.Members
+}
+
+// WireBody renders timed lines in the datacron-gen wire file format.
+func WireBody(lines []synth.TimedLine) string {
+	var b bytes.Buffer
+	for _, tl := range lines {
+		fmt.Fprintf(&b, "%d %s\n", tl.TS, tl.Line)
+	}
+	return b.String()
+}

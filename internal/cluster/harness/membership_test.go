@@ -1,0 +1,281 @@
+package harness
+
+import (
+	"errors"
+	"net/http"
+	"regexp"
+	"strconv"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/datacron-project/datacron/internal/cluster"
+	"github.com/datacron-project/datacron/internal/core"
+	"github.com/datacron-project/datacron/internal/model"
+	"github.com/datacron-project/datacron/internal/server"
+	"github.com/datacron-project/datacron/internal/synth"
+)
+
+// membershipScenario is a moderate world for relocation tests: enough
+// entities that joins and leaves move several hash arcs.
+func membershipScenario() *synth.Scenario {
+	return synth.GenMaritime(synth.MaritimeConfig{
+		Seed: 909, Vessels: 24, Duration: 45 * time.Minute,
+	})
+}
+
+func startMembershipCluster(t *testing.T, nodes int) (*Cluster, *synth.Scenario) {
+	t.Helper()
+	sc := membershipScenario()
+	c := Start(t, Config{
+		Nodes:    nodes,
+		Scenario: sc,
+		Core:     core.Config{Domain: model.Maritime},
+		Server:   server.Config{Workers: 4, QueueLen: 1 << 16},
+	})
+	return c, sc
+}
+
+// seedAndSeal ingests most of the stream, force-seals every node (so a
+// later handoff ships real sealed segments), then ingests the rest as a
+// live head tail.
+func seedAndSeal(t *testing.T, c *Cluster, sc *synth.Scenario) {
+	t.Helper()
+	cut := len(sc.WireTimed) * 3 / 4
+	ir := c.Ingest(0, WireBody(sc.WireTimed[:cut]), true)
+	if ir.Rejected != 0 {
+		t.Fatalf("seed rejected %d lines: %+v", ir.Rejected, ir)
+	}
+	for i, n := range c.Nodes {
+		if n.alive {
+			if status, body := c.Post(i, "/seal", "", ""); status != http.StatusOK {
+				t.Fatalf("seal node %d: %d %s", i, status, body)
+			}
+		}
+	}
+	ir = c.Ingest(0, WireBody(sc.WireTimed[cut:]), true)
+	if ir.Rejected != 0 {
+		t.Fatalf("tail rejected %d lines: %+v", ir.Rejected, ir)
+	}
+	c.QuiesceAll()
+}
+
+// unionCensus merges the live nodes' censuses, failing on any entity held
+// by two nodes — the no-double-ownership half of the handoff invariant.
+func unionCensus(t *testing.T, c *Cluster) map[string]int {
+	t.Helper()
+	union := map[string]int{}
+	holder := map[string]string{}
+	for i, n := range c.Nodes {
+		if !n.alive {
+			continue
+		}
+		for e, count := range c.Census(i) {
+			if prev, dup := holder[e]; dup {
+				t.Fatalf("entity %s double-owned by %s and %s", e, prev, n.Addr)
+			}
+			holder[e] = n.Addr
+			union[e] = count
+		}
+	}
+	return union
+}
+
+// assertConverged checks the full post-change invariant set: every live
+// node agrees on ring version and fingerprint (via /cluster/ring AND the
+// /metrics gauges), every entity is held by exactly one node, that node is
+// its ring owner, and nothing was lost or duplicated against want.
+func assertConverged(t *testing.T, c *Cluster, wantVersion int64, want map[string]int) {
+	t.Helper()
+	var members []string
+	var fingerprint string
+	for i, n := range c.Nodes {
+		if !n.alive {
+			continue
+		}
+		v, fp, m := c.RingInfo(i)
+		if v != wantVersion {
+			t.Fatalf("node %s at ring version %d, want %d", n.Addr, v, wantVersion)
+		}
+		if fingerprint == "" {
+			fingerprint, members = fp, m
+		} else if fp != fingerprint {
+			t.Fatalf("node %s ring fingerprint %s, others %s", n.Addr, fp, fingerprint)
+		}
+		if gv := metricsGauge(t, c, i, "datacron_cluster_ring_version"); int64(gv) != wantVersion {
+			t.Fatalf("node %s /metrics ring version gauge %v, want %d", n.Addr, gv, wantVersion)
+		}
+	}
+
+	ring := cluster.NewRing(members, c.cfg.VNodes)
+	got := map[string]int{}
+	totalOwnedGauge := 0
+	for i, n := range c.Nodes {
+		if !n.alive {
+			continue
+		}
+		census := c.Census(i)
+		inRing := false
+		for _, m := range members {
+			if m == n.Addr {
+				inRing = true
+			}
+		}
+		for e, count := range census {
+			if !inRing {
+				t.Fatalf("departed node %s still holds entity %s", n.Addr, e)
+			}
+			if owner := ring.Owner(e); owner != n.Addr {
+				t.Fatalf("entity %s held by %s but owned by %s", e, n.Addr, owner)
+			}
+			if _, dup := got[e]; dup {
+				t.Fatalf("entity %s double-owned", e)
+			}
+			got[e] = count
+		}
+		totalOwnedGauge += int(metricsGauge(t, c, i, "datacron_cluster_owned_entities"))
+	}
+	if len(got) != len(want) {
+		t.Fatalf("cluster holds %d entities, want %d", len(got), len(want))
+	}
+	for e, count := range want {
+		if got[e] != count {
+			t.Fatalf("entity %s has %d fragments, want %d (lost or duplicated triples)", e, got[e], count)
+		}
+	}
+	if totalOwnedGauge != len(want) {
+		t.Fatalf("/metrics owned-entity gauges sum to %d, want %d", totalOwnedGauge, len(want))
+	}
+}
+
+// metricsGauge scrapes one unlabelled numeric sample from node i's
+// /metrics.
+func metricsGauge(t *testing.T, c *Cluster, i int, name string) float64 {
+	t.Helper()
+	status, body := c.Get(i, "/metrics")
+	if status != http.StatusOK {
+		t.Fatalf("metrics node %d: %d", i, status)
+	}
+	re := regexp.MustCompile(`(?m)^` + regexp.QuoteMeta(name) + ` (\S+)$`)
+	m := re.FindSubmatch(body)
+	if m == nil {
+		t.Fatalf("metrics node %d missing %s", i, name)
+	}
+	v, err := strconv.ParseFloat(string(m[1]), 64)
+	if err != nil {
+		t.Fatalf("metrics node %d %s: %v", i, name, err)
+	}
+	return v
+}
+
+// TestClusterJoinLeaveRelocation grows a seeded 3-node cluster to 4 by
+// joining a fresh node (sealed segments + head tail ship over), then
+// shrinks it back by retiring a founding member — asserting after each
+// change that ownership exactly matches the ring, with no entity lost,
+// duplicated or left on a departed node.
+func TestClusterJoinLeaveRelocation(t *testing.T) {
+	c, sc := startMembershipCluster(t, 3)
+	seedAndSeal(t, c, sc)
+	want := unionCensus(t, c)
+	if len(want) == 0 {
+		t.Fatal("no anchored entities — test is vacuous")
+	}
+
+	joiner := c.AddNode()
+	c.Join(0, joiner.Addr)
+	assertConverged(t, c, 2, want)
+
+	if moved := len(c.Census(joiner.idx)); moved > 0 {
+		t.Logf("join moved %d entities to %s", moved, joiner.Addr)
+	}
+
+	// Retire a founding member; its whole census must redistribute.
+	left := c.Nodes[1].Addr
+	c.Leave(0, left)
+	assertConverged(t, c, 3, want)
+	if n := len(c.Census(1)); n != 0 {
+		t.Fatalf("departed node %s still holds %d entities", left, n)
+	}
+
+	// The departed node also adopted the flip: its ring no longer contains
+	// it, so requests it still receives forward to the real owners.
+	v, _, members := c.RingInfo(1)
+	if v != 3 {
+		t.Fatalf("departed node at version %d, want 3", v)
+	}
+	for _, m := range members {
+		if m == left {
+			t.Fatalf("departed node still lists itself in the ring: %v", members)
+		}
+	}
+}
+
+// TestClusterMidHandoffDonorKill is the kill -9 handoff golden: a join is
+// frozen by a donor-side failpoint at the commit step (data fully staged on
+// the target, nothing committed, nothing dropped), the donor is crashed and
+// restarted from its WAL, the failpoint cleared, and the join retried. The
+// final state must show zero lost and zero double-owned entities and
+// agreeing ownership gauges on every node.
+func TestClusterMidHandoffDonorKill(t *testing.T) {
+	c, sc := startMembershipCluster(t, 3)
+	seedAndSeal(t, c, sc)
+	want := unionCensus(t, c)
+	if len(want) == 0 {
+		t.Fatal("no anchored entities — test is vacuous")
+	}
+
+	var fpHits atomic.Int64
+	c.Nodes[1].SetFailpoint(func(step string) error {
+		if step == "commit" {
+			fpHits.Add(1)
+			return errors.New("injected crash before commit")
+		}
+		return nil
+	})
+
+	joiner := c.AddNode()
+	status, body := c.TryJoin(0, joiner.Addr)
+	if status == http.StatusOK {
+		t.Fatalf("join succeeded through a failpointed donor: %s", body)
+	}
+	if fpHits.Load() == 0 {
+		t.Fatal("failpoint never fired — the join failed for some other reason")
+	}
+
+	// The donor crashed mid-handoff: its shipped-but-uncommitted data is
+	// stale staging on the target; the donor itself recovers everything
+	// from its WAL on restart.
+	c.Kill(1)
+	c.Restart(1)
+	c.Nodes[1].SetFailpoint(nil)
+
+	c.Join(0, joiner.Addr)
+	assertConverged(t, c, 2, want)
+}
+
+// TestClusterJoinIdempotentRetry re-joins an already-joined node: the
+// orchestration reports the membership unchanged and re-shipping installs
+// nothing (handoff idempotence at the API surface).
+func TestClusterJoinIdempotentRetry(t *testing.T) {
+	c, sc := startMembershipCluster(t, 2)
+	seedAndSeal(t, c, sc)
+	want := unionCensus(t, c)
+
+	joiner := c.AddNode()
+	c.Join(0, joiner.Addr)
+	assertConverged(t, c, 2, want)
+
+	status, body := c.TryJoin(0, joiner.Addr)
+	if status != http.StatusOK {
+		t.Fatalf("re-join: %d %s", status, body)
+	}
+	var cr struct {
+		Version int64 `json:"version"`
+		Already bool  `json:"already"`
+	}
+	mustDecode(t, body, &cr)
+	if !cr.Already || cr.Version != 2 {
+		t.Fatalf("re-join response = %s, want already at version 2", body)
+	}
+	assertConverged(t, c, 2, want)
+}

@@ -1,0 +1,227 @@
+package cluster
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"github.com/datacron-project/datacron/internal/wire"
+)
+
+// ownerIngest is one owning node's share of a coordinated ingest batch.
+type ownerIngest struct {
+	Lines    int    `json:"lines"`
+	Accepted int    `json:"accepted"`
+	Rejected int    `json:"rejected"`
+	Error    string `json:"error,omitempty"`
+}
+
+// clusterIngestResponse is the coordinator's POST /ingest body. Accepted
+// and Rejected are sums over the per-owner sub-batches; unlike single-node
+// mode, Accepted is NOT a resumable prefix offset of the original body —
+// sub-batches land on different owners, so each owner reports its own exact
+// prefix in Owners and a client that must avoid re-sending ingested lines
+// resumes per owner. Pending sums the owners' queue depths.
+type clusterIngestResponse struct {
+	Accepted int                    `json:"accepted"`
+	Rejected int                    `json:"rejected"`
+	Pending  int64                  `json:"pending"`
+	Error    string                 `json:"error,omitempty"`
+	Owners   map[string]ownerIngest `json:"owners,omitempty"`
+}
+
+// peerIngestResponse mirrors the single-node ingestResponse for decoding
+// sub-request results.
+type peerIngestResponse struct {
+	Accepted int    `json:"accepted"`
+	Rejected int    `json:"rejected"`
+	Pending  int64  `json:"pending"`
+	Error    string `json:"error,omitempty"`
+}
+
+// handleIngest is the coordinator ingest path: decode the batch (text lines
+// or binary frames, same formats as the single-node endpoint), route every
+// line to its owning node through the ring, re-frame each owner's share as
+// one binary wire frame, and dispatch all shares concurrently — the node's
+// own share in process, the rest as forwarded POST /ingest sub-requests.
+//
+// Backpressure propagates: any owner that sheds (429) or cannot be reached
+// makes the coordinator respond 429 with Retry-After, never silently
+// dropping the lines (the unreachable owner's share counts as rejected).
+func (n *Node) handleIngest(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(io.LimitReader(r.Body, 256<<20))
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, clusterIngestResponse{Error: "read body: " + err.Error()})
+		return
+	}
+	var lines []timedLine
+	var blank int
+	var decodeErr string
+	if r.Header.Get("Content-Type") == wire.ContentType {
+		lines, decodeErr = decodeFrames(body)
+	} else {
+		lines, blank = decodeTextLines(body)
+	}
+
+	ring, _ := n.Ring()
+	// Group lines per owning node, preserving arrival order within each
+	// owner (the per-entity workers there see the same order a direct
+	// client would have produced).
+	shares := make(map[string]*wire.Encoder)
+	counts := make(map[string]int)
+	order := []string{}
+	for _, tl := range lines {
+		key := n.cfg.Pipeline.RoutingKey(tl.line)
+		owner := n.cfg.Self
+		if key != "" {
+			owner = ring.Owner(key)
+		}
+		enc := shares[owner]
+		if enc == nil {
+			enc = &wire.Encoder{}
+			shares[owner] = enc
+			order = append(order, owner)
+		}
+		enc.Add(tl.ts, tl.line)
+		counts[owner]++
+		if owner != n.cfg.Self {
+			n.forwardedLines.Add(1)
+		}
+	}
+	sort.Strings(order)
+
+	path := "/ingest"
+	if r.URL.Query().Get("wait") == "1" {
+		path += "?wait=1"
+	}
+	// fanOut shares one body across members; ingest shares differ per
+	// owner, so each share is dispatched individually (still concurrent).
+	resp := clusterIngestResponse{Owners: make(map[string]ownerIngest, len(order))}
+	type shareResult struct {
+		owner string
+		pr    peerResponse
+	}
+	resCh := make(chan shareResult, len(order))
+	for _, owner := range order {
+		go func(owner string) {
+			frame := shares[owner].AppendFrame(nil)
+			resCh <- shareResult{owner, n.do(owner, http.MethodPost, path, wire.ContentType, frame, nil)}
+		}(owner)
+	}
+	for range order {
+		sr := <-resCh
+		oi := ownerIngest{Lines: counts[sr.owner]}
+		switch {
+		case sr.pr.err != nil:
+			// Partition-style failure: the owner is unreachable. Nothing
+			// was ingested there; the whole share is rejected and the
+			// client hears 429, not a silent drop.
+			oi.Rejected = oi.Lines
+			oi.Error = "forward: " + sr.pr.err.Error()
+			n.forwardErrors.Add(1)
+		case sr.pr.status == http.StatusAccepted || sr.pr.status == http.StatusTooManyRequests:
+			var pir peerIngestResponse
+			if err := json.Unmarshal(sr.pr.body, &pir); err != nil {
+				oi.Rejected = oi.Lines
+				oi.Error = "forward: bad response: " + err.Error()
+				n.forwardErrors.Add(1)
+				break
+			}
+			oi.Accepted, oi.Rejected, oi.Error = pir.Accepted, pir.Rejected, pir.Error
+			resp.Pending += pir.Pending
+		default:
+			oi.Rejected = oi.Lines
+			oi.Error = "forward: unexpected status " + strconv.Itoa(sr.pr.status) + ": " + strings.TrimSpace(string(sr.pr.body))
+			n.forwardErrors.Add(1)
+		}
+		resp.Accepted += oi.Accepted
+		resp.Rejected += oi.Rejected
+		if oi.Error != "" && resp.Error == "" {
+			resp.Error = sr.owner + ": " + oi.Error
+		}
+		resp.Owners[sr.owner] = oi
+	}
+	// Blank lines are coordinator-local no-ops, counted accepted as in
+	// single-node mode; a text decode never fails, but a malformed binary
+	// frame rejects its undecodable remainder.
+	resp.Accepted += blank
+	if decodeErr != "" && resp.Error == "" {
+		resp.Error = decodeErr
+	}
+
+	status := http.StatusAccepted
+	if decodeErr != "" {
+		status = http.StatusBadRequest
+	}
+	if resp.Rejected > 0 {
+		status = http.StatusTooManyRequests
+		w.Header().Set("Retry-After", "1")
+	}
+	writeJSON(w, status, resp)
+}
+
+// timedLine is one decoded ingest record.
+type timedLine struct {
+	ts   int64
+	line string
+}
+
+// decodeTextLines splits a newline-delimited ingest body, honouring the
+// optional "<unix-ms> " prefix exactly as the single-node endpoint does and
+// stamping bare lines with the coordinator receive time (the forwarded
+// frame carries the stamp, so the owner does not re-stamp on arrival).
+func decodeTextLines(body []byte) (lines []timedLine, blank int) {
+	now := time.Now().UnixMilli()
+	sc := bufio.NewScanner(bytes.NewReader(body))
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	for sc.Scan() {
+		raw := sc.Text()
+		if raw == "" {
+			blank++
+			continue
+		}
+		tl := timedLine{ts: now, line: raw}
+		if sp := strings.IndexByte(raw, ' '); sp > 0 {
+			if ts, err := strconv.ParseInt(raw[:sp], 10, 64); err == nil {
+				tl = timedLine{ts: ts, line: raw[sp+1:]}
+			}
+		}
+		lines = append(lines, tl)
+	}
+	return lines, blank
+}
+
+// decodeFrames drains every back-to-back binary frame in body. On a
+// structural error the records decoded so far are returned along with the
+// error text; the remainder is undecodable.
+func decodeFrames(body []byte) (lines []timedLine, decodeErr string) {
+	_, _, err := wire.EachFrameText(body, func(ts int64, line string) error {
+		if line == "" {
+			return nil
+		}
+		if ts == 0 {
+			ts = time.Now().UnixMilli()
+		}
+		lines = append(lines, timedLine{ts: ts, line: line})
+		return nil
+	})
+	if err != nil {
+		return lines, "frame decode: " + err.Error()
+	}
+	return lines, ""
+}
+
+// writeJSON renders v with the given status.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	_ = enc.Encode(v)
+}

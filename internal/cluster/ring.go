@@ -1,0 +1,150 @@
+// Package cluster lifts the single-process entity routing of PR 1 onto the
+// network: N datacron-serve nodes each own a consistent-hash slice of the
+// entity-key space. Ingest lines are forwarded to the owning node over the
+// internal/wire binary frame, reads scatter-gather across the membership,
+// and join/leave relocates a hash range by shipping sealed immutable
+// segments plus a head-replay tail (DESIGN.md §14).
+package cluster
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"strconv"
+)
+
+// DefaultVNodes is the virtual-node count per member: enough that the
+// expected imbalance between members stays within a few percent, small
+// enough that ring construction is trivially cheap on every membership
+// change.
+const DefaultVNodes = 64
+
+// Ring is an immutable consistent-hash ring over the cluster membership.
+// Every key maps to exactly one member (Owner); membership changes build a
+// new ring (WithJoined / WithLeft) rather than mutating, so a ring snapshot
+// can be read without locks. Construction is a pure function of the sorted
+// member list and the vnode count — two processes given the same inputs
+// agree on every ownership decision, which is what lets nodes route
+// independently without a coordination service.
+type Ring struct {
+	members []string // sorted, unique
+	vnodes  int
+	points  []ringPoint // sorted by (hash, member, index)
+}
+
+// ringPoint is one virtual node: the hash of "member#i".
+type ringPoint struct {
+	hash   uint64
+	member string
+}
+
+// NewRing builds a ring over members (order-insensitive; duplicates
+// collapse). vnodes <= 0 uses DefaultVNodes. An empty membership yields a
+// ring whose Owner returns "".
+func NewRing(members []string, vnodes int) *Ring {
+	if vnodes <= 0 {
+		vnodes = DefaultVNodes
+	}
+	uniq := make([]string, 0, len(members))
+	seen := make(map[string]bool, len(members))
+	for _, m := range members {
+		if m != "" && !seen[m] {
+			seen[m] = true
+			uniq = append(uniq, m)
+		}
+	}
+	sort.Strings(uniq)
+	r := &Ring{members: uniq, vnodes: vnodes, points: make([]ringPoint, 0, len(uniq)*vnodes)}
+	for _, m := range uniq {
+		for i := 0; i < vnodes; i++ {
+			r.points = append(r.points, ringPoint{hash: hashKey(m + "#" + strconv.Itoa(i)), member: m})
+		}
+	}
+	// Ties broken by member name so equal-hash collisions cannot make two
+	// processes disagree on an owner.
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].hash != r.points[j].hash {
+			return r.points[i].hash < r.points[j].hash
+		}
+		return r.points[i].member < r.points[j].member
+	})
+	return r
+}
+
+// hashKey is FNV-1a/64 with a murmur-style finalizer — stable across
+// processes and architectures. The finalizer matters: raw FNV of
+// near-identical strings ("host:9000#0", "host:9000#1", ...) clusters in
+// the high bits that the ring's ordering depends on, producing multi-x arc
+// imbalance; fmix64's avalanche restores uniform vnode placement.
+func hashKey(s string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(s))
+	x := h.Sum64()
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	x *= 0xc4ceb9fe1a85ec53
+	x ^= x >> 33
+	return x
+}
+
+// Owner returns the member owning key: the first virtual node at or after
+// the key's hash, wrapping. "" on an empty ring.
+func (r *Ring) Owner(key string) string {
+	if len(r.points) == 0 {
+		return ""
+	}
+	h := hashKey(key)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		i = 0
+	}
+	return r.points[i].member
+}
+
+// Members returns the sorted membership (a copy).
+func (r *Ring) Members() []string {
+	return append([]string(nil), r.members...)
+}
+
+// Has reports whether m is a member.
+func (r *Ring) Has(m string) bool {
+	i := sort.SearchStrings(r.members, m)
+	return i < len(r.members) && r.members[i] == m
+}
+
+// Size returns the member count.
+func (r *Ring) Size() int { return len(r.members) }
+
+// VNodes returns the per-member virtual-node count.
+func (r *Ring) VNodes() int { return r.vnodes }
+
+// WithJoined returns a new ring with m added (no-op copy if present).
+func (r *Ring) WithJoined(m string) *Ring {
+	return NewRing(append(r.Members(), m), r.vnodes)
+}
+
+// WithLeft returns a new ring with m removed (no-op copy if absent).
+func (r *Ring) WithLeft(m string) *Ring {
+	ms := r.Members()
+	out := ms[:0]
+	for _, x := range ms {
+		if x != m {
+			out = append(out, x)
+		}
+	}
+	return NewRing(out, r.vnodes)
+}
+
+// Fingerprint is a stable digest of the ring's ownership function — two
+// rings with equal fingerprints route every key identically. Used by the
+// membership protocol to assert agreement across nodes.
+func (r *Ring) Fingerprint() uint64 {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "v%d", r.vnodes)
+	for _, m := range r.members {
+		h.Write([]byte{0})
+		h.Write([]byte(m))
+	}
+	return h.Sum64()
+}

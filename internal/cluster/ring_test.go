@@ -1,0 +1,163 @@
+package cluster
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+func ringKeys(n int) []string {
+	keys := make([]string, n)
+	for i := range keys {
+		// Shaped like the real routing keys: 9-digit MMSIs.
+		keys[i] = fmt.Sprintf("%09d", 100000000+i*7919)
+	}
+	return keys
+}
+
+func ringMembers(n int) []string {
+	ms := make([]string, n)
+	for i := range ms {
+		ms[i] = fmt.Sprintf("127.0.0.1:%d", 9000+i)
+	}
+	return ms
+}
+
+// Every key maps to exactly one live member, for every membership size.
+func TestRingEveryKeyHasExactlyOneOwner(t *testing.T) {
+	keys := ringKeys(5000)
+	for n := 1; n <= 7; n++ {
+		r := NewRing(ringMembers(n), 0)
+		counts := map[string]int{}
+		for _, k := range keys {
+			owner := r.Owner(k)
+			if !r.Has(owner) {
+				t.Fatalf("n=%d: key %q owned by non-member %q", n, k, owner)
+			}
+			counts[owner]++
+			// Owner is a pure function: asking twice must agree.
+			if again := r.Owner(k); again != owner {
+				t.Fatalf("n=%d: key %q owner flapped %q -> %q", n, k, owner, again)
+			}
+		}
+		if len(counts) != n {
+			t.Fatalf("n=%d: only %d members own keys: %v", n, len(counts), counts)
+		}
+	}
+}
+
+// Ring construction is deterministic regardless of input order — the
+// cross-process agreement property the forward path relies on.
+func TestRingDeterministicAcrossInputOrder(t *testing.T) {
+	members := ringMembers(5)
+	keys := ringKeys(2000)
+	ref := NewRing(members, 0)
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 10; trial++ {
+		shuffled := append([]string(nil), members...)
+		rng.Shuffle(len(shuffled), func(i, j int) { shuffled[i], shuffled[j] = shuffled[j], shuffled[i] })
+		r := NewRing(shuffled, 0)
+		if r.Fingerprint() != ref.Fingerprint() {
+			t.Fatalf("fingerprint differs under input order %v", shuffled)
+		}
+		for _, k := range keys {
+			if r.Owner(k) != ref.Owner(k) {
+				t.Fatalf("owner of %q differs under input order %v", k, shuffled)
+			}
+		}
+	}
+}
+
+// The ownership function is pinned: if the vnode hashing ever changes, every
+// deployed cluster would re-route on upgrade, so a change here must be a
+// deliberate migration. (Golden values computed by this implementation.)
+func TestRingOwnershipGolden(t *testing.T) {
+	r := NewRing([]string{"a:1", "b:1", "c:1"}, 8)
+	golden := map[string]string{
+		"100000000": "c:1",
+		"100023757": "b:1",
+		"100071271": "a:1",
+	}
+	for k, want := range golden {
+		if got := r.Owner(k); got != want {
+			t.Errorf("Owner(%q) = %q, want %q (ownership function changed!)", k, got, want)
+		}
+	}
+}
+
+// Join moves roughly 1/N of the keys, and only ever onto the joining node;
+// leave moves exactly the departing node's keys, spread over survivors.
+func TestRingJoinLeaveRemapFraction(t *testing.T) {
+	keys := ringKeys(20000)
+	for _, n := range []int{3, 5, 8} {
+		members := ringMembers(n)
+		r := NewRing(members, 0)
+		joined := fmt.Sprintf("127.0.0.1:%d", 9900)
+		r2 := r.WithJoined(joined)
+		moved := 0
+		for _, k := range keys {
+			was, now := r.Owner(k), r2.Owner(k)
+			if was == now {
+				continue
+			}
+			if now != joined {
+				t.Fatalf("n=%d: key %q moved %q -> %q, not onto the joiner", n, k, was, now)
+			}
+			moved++
+		}
+		ideal := float64(len(keys)) / float64(n+1)
+		if f := float64(moved); f < 0.5*ideal || f > 2.0*ideal {
+			t.Errorf("n=%d: join moved %d keys, want ~%.0f (0.5x-2x)", n, moved, ideal)
+		}
+
+		// Leave: the inverse — exactly the joiner's keys move back.
+		r3 := r2.WithLeft(joined)
+		if r3.Fingerprint() != r.Fingerprint() {
+			t.Fatalf("n=%d: leave did not restore the ring", n)
+		}
+		for _, k := range keys {
+			if r2.Owner(k) != joined && r3.Owner(k) != r2.Owner(k) {
+				t.Fatalf("n=%d: leave moved key %q not owned by the leaver", n, k)
+			}
+		}
+	}
+}
+
+// Degenerate memberships behave: empty ring owns nothing, singleton owns
+// everything, duplicates collapse.
+func TestRingDegenerate(t *testing.T) {
+	if owner := NewRing(nil, 0).Owner("x"); owner != "" {
+		t.Errorf("empty ring owner = %q", owner)
+	}
+	solo := NewRing([]string{"only:1"}, 0)
+	for _, k := range ringKeys(100) {
+		if solo.Owner(k) != "only:1" {
+			t.Fatalf("singleton ring did not own %q", k)
+		}
+	}
+	dup := NewRing([]string{"a:1", "a:1", "b:1"}, 0)
+	if dup.Size() != 2 {
+		t.Errorf("duplicate members not collapsed: %v", dup.Members())
+	}
+	if got := NewRing([]string{"a:1", "b:1"}, 0).Fingerprint(); got != dup.Fingerprint() {
+		t.Errorf("fingerprint differs after duplicate collapse")
+	}
+}
+
+// Load spread with default vnodes: no member owns more than ~3x its fair
+// share over a large key population (a loose bound; catches gross hashing
+// regressions without flaking).
+func TestRingBalance(t *testing.T) {
+	keys := ringKeys(30000)
+	r := NewRing(ringMembers(5), 0)
+	counts := map[string]int{}
+	for _, k := range keys {
+		counts[r.Owner(k)]++
+	}
+	fair := len(keys) / 5
+	for m, c := range counts {
+		if c > 3*fair || c < fair/3 {
+			t.Errorf("member %s owns %d keys, fair share %d", m, c, fair)
+		}
+	}
+}

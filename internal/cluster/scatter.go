@@ -1,0 +1,313 @@
+package cluster
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"sort"
+	"strings"
+	"time"
+
+	"github.com/datacron-project/datacron/internal/query"
+	"github.com/datacron-project/datacron/internal/server"
+)
+
+// errorResponse is the scatter-gather error body (same {"error": ...} shape
+// as the single-node forecast/synopses error bodies).
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+// clusterQueryResponse is the coordinator's POST /query body: the
+// single-node queryResponse fields plus Partial, set when one or more nodes
+// could not contribute (their rows are simply absent — a degraded result,
+// never an error, as long as at least one node answered).
+type clusterQueryResponse struct {
+	Vars           []string   `json:"vars"`
+	Rows           [][]string `json:"rows"`
+	ShardsVisited  int        `json:"shardsVisited"`
+	SegmentsPruned int        `json:"segmentsPruned"`
+	ElapsedUS      int64      `json:"elapsedUs"`
+	Partial        bool       `json:"partial,omitempty"`
+}
+
+// peerQueryResponse mirrors the single-node queryResponse for decoding.
+type peerQueryResponse struct {
+	Vars           []string   `json:"vars"`
+	Rows           [][]string `json:"rows"`
+	ShardsVisited  int        `json:"shardsVisited"`
+	SegmentsPruned int        `json:"segmentsPruned"`
+}
+
+// handleQuery is the coordinator read path: parse the query once for
+// validation and for its COUNT/LIMIT clauses, fan the COUNT/LIMIT-stripped
+// query to every node (PartialQueryHeader), merge the distinct row sets
+// under the engine's own ordering, and apply COUNT/LIMIT once globally —
+// the coordinator-side half of the per-shard merge the engine already does
+// node-locally, so a cluster answer is bit-identical to a single node
+// holding the same data.
+func (n *Node) handleQuery(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	body, err := io.ReadAll(io.LimitReader(r.Body, 1<<20))
+	if err != nil {
+		http.Error(w, "read body: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	src := string(body)
+	if strings.Contains(r.Header.Get("Content-Type"), "application/json") {
+		var req struct {
+			Query string `json:"query"`
+		}
+		if err := json.Unmarshal(body, &req); err != nil {
+			http.Error(w, "bad json: "+err.Error(), http.StatusBadRequest)
+			return
+		}
+		src = req.Query
+	}
+	if strings.TrimSpace(src) == "" {
+		http.Error(w, "empty query", http.StatusBadRequest)
+		return
+	}
+	q, perr := query.Parse(src)
+	if perr != nil {
+		http.Error(w, perr.Error(), http.StatusBadRequest)
+		return
+	}
+
+	ring, _ := n.Ring()
+	results := n.fanOut(ring.Members(), http.MethodPost, "/query", "text/plain",
+		[]byte(src), map[string]string{server.PartialQueryHeader: "1"})
+
+	var partials [][][]string
+	var vars []string
+	resp := clusterQueryResponse{}
+	failures := 0
+	var firstFailure string
+	for _, pr := range results {
+		if pr.err != nil || pr.status != http.StatusOK {
+			failures++
+			if firstFailure == "" {
+				firstFailure = peerFailure(pr)
+			}
+			continue
+		}
+		var pqr peerQueryResponse
+		if err := json.Unmarshal(pr.body, &pqr); err != nil {
+			failures++
+			if firstFailure == "" {
+				firstFailure = pr.member + ": bad response: " + err.Error()
+			}
+			continue
+		}
+		vars = pqr.Vars
+		partials = append(partials, pqr.Rows)
+		resp.ShardsVisited += pqr.ShardsVisited
+		resp.SegmentsPruned += pqr.SegmentsPruned
+	}
+	if len(partials) == 0 {
+		writeJSON(w, http.StatusServiceUnavailable, errorResponse{Error: "no cluster node reachable: " + firstFailure})
+		return
+	}
+	rows := query.MergeStringRows(partials...)
+	resp.Vars, resp.Rows = query.ApplyCountLimit(vars, rows, q.Count, q.Limit)
+	if resp.Rows == nil {
+		resp.Rows = [][]string{}
+	}
+	resp.Partial = failures > 0
+	if resp.Partial {
+		n.scatterPartials.Add(1)
+	}
+	resp.ElapsedUS = time.Since(start).Microseconds()
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// forecastJSON, forecastBatch and the synopses shapes mirror the
+// single-node wire structs field for field (same names, order and
+// omitempty), so a complete cluster merge re-encodes byte-identically to a
+// single node over the same data — the property the golden harness test
+// pins.
+type forecastJSON struct {
+	Entity     string  `json:"entity"`
+	TS         int64   `json:"ts"`
+	Method     string  `json:"method"`
+	Lon        float64 `json:"lon"`
+	Lat        float64 `json:"lat"`
+	Alt        float64 `json:"alt,omitempty"`
+	RadiusM    float64 `json:"radiusM"`
+	HistoryLen int     `json:"historyLen"`
+	LastTS     int64   `json:"lastTS"`
+	EventProb  float64 `json:"eventProb"`
+}
+
+type forecastBatch struct {
+	HorizonMS int64          `json:"horizonMs"`
+	Count     int            `json:"count"`
+	Forecasts []forecastJSON `json:"forecasts"`
+	Partial   bool           `json:"partial,omitempty"`
+}
+
+// handleForecastBatch scatters GET /forecast/batch to every node and
+// concatenates the per-node forecast sets: each live entity's history lives
+// only on its owning node, so the sets are disjoint and the merge is a
+// sort by entity — exactly the order the single-node endpoint emits.
+func (n *Node) handleForecastBatch(w http.ResponseWriter, r *http.Request) {
+	ring, _ := n.Ring()
+	pathAndQuery := "/forecast/batch"
+	if r.URL.RawQuery != "" {
+		pathAndQuery += "?" + r.URL.RawQuery
+	}
+	results := n.fanOut(ring.Members(), http.MethodGet, pathAndQuery, "", nil, nil)
+
+	merged := forecastBatch{Forecasts: []forecastJSON{}}
+	ok, failures := 0, 0
+	var firstFail peerResponse
+	for _, pr := range results {
+		if pr.err != nil || pr.status != http.StatusOK {
+			failures++
+			if failures == 1 {
+				firstFail = pr
+			}
+			continue
+		}
+		var fb forecastBatch
+		if err := json.Unmarshal(pr.body, &fb); err != nil {
+			failures++
+			if failures == 1 {
+				firstFail = peerResponse{member: pr.member, err: err}
+			}
+			continue
+		}
+		ok++
+		merged.HorizonMS = fb.HorizonMS
+		merged.Forecasts = append(merged.Forecasts, fb.Forecasts...)
+	}
+	if ok == 0 {
+		n.relayFailure(w, firstFail)
+		return
+	}
+	sort.Slice(merged.Forecasts, func(i, j int) bool { return merged.Forecasts[i].Entity < merged.Forecasts[j].Entity })
+	merged.Count = len(merged.Forecasts)
+	merged.Partial = failures > 0
+	if merged.Partial {
+		n.scatterPartials.Add(1)
+	}
+	writeJSON(w, http.StatusOK, merged)
+}
+
+type synopsisSummaryJSON struct {
+	Entity   string  `json:"entity"`
+	Raw      int64   `json:"raw"`
+	Critical int64   `json:"critical"`
+	Ratio    float64 `json:"ratio"`
+	LastTS   int64   `json:"lastTS"`
+}
+
+type synopsesBatch struct {
+	Count    int                   `json:"count"`
+	Observed int64                 `json:"observed"`
+	Critical int64                 `json:"critical"`
+	Ratio    float64               `json:"ratio"`
+	ByKind   map[string]int64      `json:"byKind"`
+	Entities []synopsisSummaryJSON `json:"entities"`
+	Partial  bool                  `json:"partial,omitempty"`
+}
+
+// handleSynopsesBatch scatters GET /synopses/batch. Per-entity summaries
+// concatenate (disjoint ownership) and the hub-wide accounting re-derives
+// from the summed integer counters — Ratio is observed/critical over those
+// sums, the same expression the single-node hub evaluates, so the division
+// (and its float bits) match a single node holding the whole stream.
+func (n *Node) handleSynopsesBatch(w http.ResponseWriter, r *http.Request) {
+	ring, _ := n.Ring()
+	results := n.fanOut(ring.Members(), http.MethodGet, "/synopses/batch", "", nil, nil)
+
+	merged := synopsesBatch{ByKind: map[string]int64{}, Entities: []synopsisSummaryJSON{}}
+	ok, failures := 0, 0
+	var firstFail peerResponse
+	for _, pr := range results {
+		if pr.err != nil || pr.status != http.StatusOK {
+			failures++
+			if failures == 1 {
+				firstFail = pr
+			}
+			continue
+		}
+		var sb synopsesBatch
+		if err := json.Unmarshal(pr.body, &sb); err != nil {
+			failures++
+			if failures == 1 {
+				firstFail = peerResponse{member: pr.member, err: err}
+			}
+			continue
+		}
+		ok++
+		merged.Observed += sb.Observed
+		merged.Critical += sb.Critical
+		for k, v := range sb.ByKind {
+			merged.ByKind[k] += v
+		}
+		merged.Entities = append(merged.Entities, sb.Entities...)
+	}
+	if ok == 0 {
+		n.relayFailure(w, firstFail)
+		return
+	}
+	if merged.Critical == 0 {
+		merged.Ratio = float64(merged.Observed)
+	} else {
+		merged.Ratio = float64(merged.Observed) / float64(merged.Critical)
+	}
+	sort.Slice(merged.Entities, func(i, j int) bool { return merged.Entities[i].Entity < merged.Entities[j].Entity })
+	merged.Count = len(merged.Entities)
+	merged.Partial = failures > 0
+	if merged.Partial {
+		n.scatterPartials.Add(1)
+	}
+	writeJSON(w, http.StatusOK, merged)
+}
+
+// proxyByKey forwards a single-entity request (GET /forecast?entity=,
+// GET /synopses/{id}) to the entity's owning node and relays the response
+// verbatim — status, Content-Type and body — so single-entity semantics
+// (404 unknown, 400 bad params, 503 disabled) are exactly the single-node
+// ones.
+func (n *Node) proxyByKey(w http.ResponseWriter, r *http.Request, key string) {
+	if key == "" {
+		// Let the local handler produce its own 400/404 shape.
+		n.local.ServeHTTP(w, r)
+		return
+	}
+	ring, _ := n.Ring()
+	owner := ring.Owner(key)
+	pr := n.do(owner, r.Method, r.URL.RequestURI(), "", nil, nil)
+	if pr.err != nil {
+		n.forwardErrors.Add(1)
+		writeJSON(w, http.StatusBadGateway, errorResponse{Error: "owner " + owner + " unreachable: " + pr.err.Error()})
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(pr.status)
+	_, _ = w.Write(pr.body)
+}
+
+// relayFailure reproduces the first failed sub-response at the coordinator:
+// a transport error becomes 502, a peer's error status (e.g. the 503 of a
+// disabled subsystem, or 400 for a bad horizon) is relayed verbatim so
+// clients see single-node error semantics.
+func (n *Node) relayFailure(w http.ResponseWriter, pr peerResponse) {
+	if pr.err != nil {
+		writeJSON(w, http.StatusBadGateway, errorResponse{Error: peerFailure(pr)})
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(pr.status)
+	_, _ = w.Write(pr.body)
+}
+
+// peerFailure renders one failed sub-response for an error message.
+func peerFailure(pr peerResponse) string {
+	if pr.err != nil {
+		return pr.member + ": " + pr.err.Error()
+	}
+	return pr.member + ": status " + http.StatusText(pr.status)
+}

@@ -291,6 +291,12 @@ func (p *Pipeline) routingKey(line string) string {
 	return key
 }
 
+// RoutingKey exposes the per-entity routing identity of a wire line — the
+// key the cluster layer hashes onto the consistent-hash ring, kept in
+// lockstep with the in-process worker routing so "same entity, same worker"
+// extends to "same entity, same node".
+func (p *Pipeline) RoutingKey(line string) string { return p.routingKey(line) }
+
 // Reserve claims — without blocking — a queue slot on the worker that owns
 // line's entity. It returns ok=false when that worker is saturated
 // (backpressure; counted in Rejected) or the ingestor is closed. A

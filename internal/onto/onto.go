@@ -83,6 +83,36 @@ func WeatherIRI(cell int, ts int64) rdf.Term {
 	return rdf.NewIRI(res + fmt.Sprintf("weather/%d/%d", cell, ts))
 }
 
+// AnchorEntityID extracts the owning entity id from the IRI of an
+// entity-anchored resource — position nodes (NodeIRI) and events
+// (EventIRI). ok is false for anchors that belong to no entity (weather
+// observations) and for IRIs outside the resource namespace; those stay on
+// whichever cluster node created them.
+func AnchorEntityID(iri string) (string, bool) {
+	rest, found := strings.CutPrefix(iri, res)
+	if !found {
+		return "", false
+	}
+	switch {
+	case strings.HasPrefix(rest, "node/"):
+		// node/<entity>/<ts>
+		rest = rest[len("node/"):]
+		if i := strings.IndexByte(rest, '/'); i > 0 {
+			return rest[:i], true
+		}
+	case strings.HasPrefix(rest, "event/"):
+		// event/<type>/<entity>/<ts>
+		rest = rest[len("event/"):]
+		if i := strings.IndexByte(rest, '/'); i >= 0 {
+			rest = rest[i+1:]
+			if j := strings.IndexByte(rest, '/'); j > 0 {
+				return rest[:j], true
+			}
+		}
+	}
+	return "", false
+}
+
 // PositionTriples converts one position report to triples rooted at its
 // semantic node.
 func PositionTriples(p model.Position) []TripleT {

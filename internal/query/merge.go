@@ -1,0 +1,71 @@
+package query
+
+import (
+	"sort"
+	"strings"
+
+	"github.com/datacron-project/datacron/internal/rdf"
+)
+
+// Cross-node partial-result merging for the cluster layer (DESIGN.md §14).
+//
+// A coordinator runs the same query on every node with COUNT/LIMIT
+// stripped, receives each node's distinct sorted rows already stringified
+// by Term.String(), and merges them here. Because Run's own per-shard merge
+// keys rows on the NUL-joined Term.String() serialisation and sorts by the
+// same strings, merging stringified partials with these helpers is
+// associative with the in-process merge: a cluster of N nodes and a single
+// node holding the union produce identical rows, counts and limits.
+
+// MergeStringRows merges per-node partial rows under set semantics: rows
+// are deduplicated on their NUL-joined serialisation (the cross-shard row
+// key Run uses) and sorted lexicographically cell by cell, shorter row
+// first on tie — byte-compatible with Run's sortRows over Term.String()
+// values. Empty or nil partials are welcome and contribute nothing.
+func MergeStringRows(partials ...[][]string) [][]string {
+	seen := make(map[string]struct{})
+	var rows [][]string
+	for _, part := range partials {
+		for _, row := range part {
+			key := strings.Join(row, "\x00")
+			if _, dup := seen[key]; dup {
+				continue
+			}
+			seen[key] = struct{}{}
+			rows = append(rows, row)
+		}
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		a, b := rows[i], rows[j]
+		for k := 0; k < len(a) && k < len(b); k++ {
+			if a[k] != b[k] {
+				return a[k] < b[k]
+			}
+		}
+		return len(a) < len(b)
+	})
+	return rows
+}
+
+// ApplyCountLimit applies the coordinator-side COUNT/LIMIT semantics to a
+// merged distinct row set, mirroring Run exactly: the distinct count is
+// taken before any truncation (`SELECT COUNT ... LIMIT n` measures, it does
+// not echo the limit), and a COUNT result is a single xsd:long row under
+// the synthetic "count" variable.
+func ApplyCountLimit(vars []string, rows [][]string, count bool, limit int) ([]string, [][]string) {
+	distinct := len(rows)
+	if limit > 0 && len(rows) > limit {
+		rows = rows[:limit]
+	}
+	if count {
+		return []string{"count"}, [][]string{{CountTerm(distinct)}}
+	}
+	return vars, rows
+}
+
+// CountTerm renders a distinct-row count exactly as the engine does
+// (rdf.NewLong → Term.String()), so a coordinator COUNT response is
+// bit-identical to a single-node one.
+func CountTerm(n int) string {
+	return rdf.NewLong(int64(n)).String()
+}

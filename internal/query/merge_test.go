@@ -1,0 +1,122 @@
+package query
+
+import (
+	"reflect"
+	"testing"
+
+	"github.com/datacron-project/datacron/internal/rdf"
+)
+
+func TestMergeStringRows(t *testing.T) {
+	cases := []struct {
+		name     string
+		partials [][][]string
+		want     [][]string
+	}{
+		{
+			name:     "no partials",
+			partials: nil,
+			want:     nil,
+		},
+		{
+			name:     "all empty partials",
+			partials: [][][]string{{}, nil, {}},
+			want:     nil,
+		},
+		{
+			name: "disjoint partials union sorted",
+			partials: [][][]string{
+				{{"c"}, {"a"}},
+				{{"b"}},
+			},
+			want: [][]string{{"a"}, {"b"}, {"c"}},
+		},
+		{
+			name: "replicated rows deduplicate",
+			partials: [][][]string{
+				{{"x", "1"}, {"y", "2"}},
+				{{"x", "1"}, {"z", "3"}},
+				{{"y", "2"}},
+			},
+			want: [][]string{{"x", "1"}, {"y", "2"}, {"z", "3"}},
+		},
+		{
+			name: "one empty partial among full ones",
+			partials: [][][]string{
+				{{"b"}},
+				{},
+				{{"a"}},
+			},
+			want: [][]string{{"a"}, {"b"}},
+		},
+		{
+			name: "shorter row sorts first on shared prefix",
+			partials: [][][]string{
+				{{"a", "b"}},
+				{{"a"}},
+			},
+			want: [][]string{{"a"}, {"a", "b"}},
+		},
+		{
+			name: "cells differing beyond first column",
+			partials: [][][]string{
+				{{"a", "2"}},
+				{{"a", "1"}},
+			},
+			want: [][]string{{"a", "1"}, {"a", "2"}},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got := MergeStringRows(tc.partials...)
+			if !reflect.DeepEqual(got, tc.want) {
+				t.Fatalf("MergeStringRows = %v, want %v", got, tc.want)
+			}
+		})
+	}
+}
+
+func TestApplyCountLimit(t *testing.T) {
+	vars := []string{"n", "s"}
+	rows := [][]string{{"a", "1"}, {"b", "2"}, {"c", "3"}}
+	cases := []struct {
+		name     string
+		count    bool
+		limit    int
+		wantVars []string
+		wantRows [][]string
+	}{
+		{"plain passthrough", false, 0, vars, rows},
+		{"limit below size truncates", false, 2, vars, rows[:2]},
+		{"limit at size is a no-op", false, 3, vars, rows},
+		{"limit above size is a no-op", false, 400, vars, rows},
+		// COUNT measures the distinct set BEFORE any limit truncation —
+		// the same independent-of-LIMIT contract the engine pins in its
+		// own count tables.
+		{"count ignores limit", true, 2, []string{"count"}, [][]string{{CountTerm(3)}}},
+		{"count without limit", true, 0, []string{"count"}, [][]string{{CountTerm(3)}}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			gotVars, gotRows := ApplyCountLimit(vars, append([][]string{}, rows...), tc.count, tc.limit)
+			if !reflect.DeepEqual(gotVars, tc.wantVars) || !reflect.DeepEqual(gotRows, tc.wantRows) {
+				t.Fatalf("ApplyCountLimit(count=%v, limit=%d) = %v %v, want %v %v",
+					tc.count, tc.limit, gotVars, gotRows, tc.wantVars, tc.wantRows)
+			}
+		})
+	}
+
+	// Zero rows: COUNT is a "0"^^long row, not an empty result.
+	gotVars, gotRows := ApplyCountLimit(vars, nil, true, 5)
+	if gotVars[0] != "count" || len(gotRows) != 1 || gotRows[0][0] != CountTerm(0) {
+		t.Fatalf("empty COUNT = %v %v", gotVars, gotRows)
+	}
+}
+
+// TestCountTermMatchesEngine pins CountTerm to the engine's own rendering of
+// a count literal.
+func TestCountTermMatchesEngine(t *testing.T) {
+	if got, want := CountTerm(42), rdf.NewLong(42).String(); got != want {
+		t.Fatalf("CountTerm(42) = %q, want %q", got, want)
+	}
+}

@@ -199,6 +199,9 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	if s.slowLog != nil {
 		mw.Counter("datacron_slow_queries_total", "Queries over the slow-query threshold (see /debug/slowlog).", s.slowLog.Fired())
 	}
+	if s.cfg.ExtraMetrics != nil {
+		s.cfg.ExtraMetrics(mw)
+	}
 
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
 	_, _ = w.Write([]byte(mw.String()))

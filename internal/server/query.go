@@ -9,7 +9,15 @@ import (
 
 	"github.com/datacron-project/datacron/internal/geo"
 	"github.com/datacron-project/datacron/internal/obs"
+	"github.com/datacron-project/datacron/internal/query"
 )
+
+// PartialQueryHeader marks a scatter-gather sub-request from a cluster
+// coordinator: the node runs the query with COUNT/LIMIT stripped and
+// returns its full distinct row set, so the coordinator can merge partials
+// under set semantics and apply COUNT/LIMIT once, globally. (Counting or
+// truncating per node would under-count duplicates and over-truncate.)
+const PartialQueryHeader = "X-Datacron-Partial-Query"
 
 // queryRequest is the JSON form of POST /query; a text/plain body is the
 // query string itself.
@@ -47,7 +55,19 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "empty query", http.StatusBadRequest)
 		return
 	}
-	res, err := s.p.Engine.Execute(src)
+	var res *query.Result
+	if r.Header.Get(PartialQueryHeader) != "" {
+		q, perr := query.Parse(src)
+		if perr != nil {
+			http.Error(w, perr.Error(), http.StatusBadRequest)
+			return
+		}
+		q.Count = false
+		q.Limit = 0
+		res, err = s.p.Engine.Run(q)
+	} else {
+		res, err = s.p.Engine.Execute(src)
+	}
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return

@@ -105,6 +105,11 @@ type Config struct {
 	// over it is recorded with its plan facts and served at
 	// GET /debug/slowlog. 0 = obs.DefaultSlowQuery; negative disables.
 	SlowQuery time.Duration
+
+	// ExtraMetrics, when non-nil, is called at the end of every GET /metrics
+	// render to append caller-owned gauges (the cluster layer adds its ring
+	// and ownership gauges this way).
+	ExtraMetrics func(*obs.MetricsWriter)
 }
 
 // Server serves a pipeline over HTTP. Create with New, attach via Handler,

@@ -1,0 +1,341 @@
+package store
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"github.com/datacron-project/datacron/internal/geo"
+	"github.com/datacron-project/datacron/internal/onto"
+	"github.com/datacron-project/datacron/internal/rdf"
+)
+
+// Hash-range handoff for cluster membership changes (DESIGN.md §14).
+//
+// A donor streams its anchored data as a sequence of DATACRON-SEG v1
+// blocks — every sealed segment verbatim, plus one block per shard carrying
+// the mutable head (the "head-replay tail") — over a single writer. The
+// format is the sealed-segment snapshot format, so payloads are canonical
+// N-Triples + anchor lines: dictionary-independent text the receiving node
+// re-encodes into its own dictionary. The target filters each block by
+// anchor-node predicate (only fragments whose entity moved), installs
+// idempotently (a fragment already present is skipped, making retries and
+// re-ships safe), and the donor afterwards drops the moved fragments by
+// rebuilding the affected tiers — rebuilt segments take fresh ids, because
+// segment files are immutable and snapshot caches hard-link them by id.
+
+// HandoffFragment is one anchored graph fragment in transit between nodes:
+// term-level and self-contained (every triple is rooted at Node).
+type HandoffFragment struct {
+	Node    rdf.Term
+	Pt      geo.Point
+	TS      int64
+	Triples []onto.TripleT
+}
+
+// WriteHandoff streams every anchored fragment of the store to w as
+// DATACRON-SEG v1 blocks: all sealed segments first, then one head block
+// per non-empty shard. Global (dimension) triples are not shipped — the
+// receiving node learns its own. Each shard is written under its read lock;
+// for a consistent cut the caller quiesces ingest first (the cluster
+// handoff path does).
+func (s *Sharded) WriteHandoff(w io.Writer) error {
+	bw := bufio.NewWriterSize(w, 1<<16)
+	for i, sh := range s.shards {
+		if err := s.writeShardHandoff(bw, sh); err != nil {
+			return fmt.Errorf("store: handoff shard %d: %w", i, err)
+		}
+	}
+	return bw.Flush()
+}
+
+func (s *Sharded) writeShardHandoff(bw *bufio.Writer, sh *Shard) error {
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	for _, seg := range sh.segs {
+		if err := writeSegmentBlock(bw, seg.id, seg.g, seg.entries, seg.minTS, seg.maxTS, seg.box, s.dict); err != nil {
+			return err
+		}
+	}
+	if sh.head.Len() == 0 && len(sh.entries) == 0 {
+		return nil
+	}
+	minTS, maxTS, box := anchorStats(sh.entries)
+	return writeSegmentBlock(bw, 0, sh.head, sh.entries, minTS, maxTS, box, s.dict)
+}
+
+// writeSegmentBlock writes one DATACRON-SEG v1 block (the body of a sealed
+// segment file, shared with writeSegmentFile) for any graph + anchor set.
+func writeSegmentBlock(bw *bufio.Writer, id uint64, g rdf.Graph, entries []anchor, minTS, maxTS int64, box geo.BBox, dict *rdf.Dictionary) error {
+	meta := segMeta{
+		ID: id, Triples: g.Len(), Anchors: len(entries),
+		MinTS: minTS, MaxTS: maxTS,
+		MinLon: box.MinLon, MinLat: box.MinLat,
+		MaxLon: box.MaxLon, MaxLat: box.MaxLat,
+	}
+	mj, err := json.Marshal(meta)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(bw, "DATACRON-SEG v1\nMETA %s\nTRIPLES %d\n", mj, g.Len())
+	if err := rdf.WriteNTriples(bw, g); err != nil {
+		return err
+	}
+	fmt.Fprintf(bw, "ANCHORS %d\n", len(entries))
+	return writeAnchors(bw, entries, dict)
+}
+
+// ReadHandoff parses a handoff block stream, keeping only the fragments
+// whose anchor-node IRI passes keep. Triples not rooted at a kept anchor
+// (residue, other entities' fragments) are discarded — the donor retains
+// them. Returns the kept fragments; the stream ends at EOF between blocks.
+func ReadHandoff(r io.Reader, keep func(nodeIRI string) bool) ([]HandoffFragment, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+	var frags []HandoffFragment
+
+	for {
+		// Block header; clean EOF between blocks ends the stream.
+		if !sc.Scan() {
+			if err := sc.Err(); err != nil {
+				return nil, err
+			}
+			return frags, nil
+		}
+		if line := sc.Text(); line != "DATACRON-SEG v1" {
+			return nil, fmt.Errorf("store: handoff: expected block header, got %q", line)
+		}
+		expect := func(prefix string) (string, error) {
+			if !sc.Scan() {
+				if err := sc.Err(); err != nil {
+					return "", err
+				}
+				return "", fmt.Errorf("store: handoff: truncated block: missing %s", prefix)
+			}
+			line := sc.Text()
+			if !strings.HasPrefix(line, prefix) {
+				return "", fmt.Errorf("store: handoff: expected %q, got %q", prefix, line)
+			}
+			return strings.TrimSpace(strings.TrimPrefix(line, prefix)), nil
+		}
+		if _, err := expect("META "); err != nil {
+			return nil, err
+		}
+		nStr, err := expect("TRIPLES ")
+		if err != nil {
+			return nil, err
+		}
+		nTriples, err := strconv.Atoi(nStr)
+		if err != nil {
+			return nil, fmt.Errorf("store: handoff: triple count: %w", err)
+		}
+		// Group the block's triples by subject IRI; fragments are rooted at
+		// their anchor node, so this is a complete reconstruction.
+		bySubject := make(map[string][]onto.TripleT)
+		for k := 0; k < nTriples; k++ {
+			if !sc.Scan() {
+				return nil, fmt.Errorf("store: handoff: truncated block: %d/%d triples", k, nTriples)
+			}
+			st, pt, ot, perr := rdf.ParseTripleLine(sc.Text())
+			if perr != nil {
+				return nil, fmt.Errorf("store: handoff: triple %d: %w", k+1, perr)
+			}
+			bySubject[st.Value] = append(bySubject[st.Value], onto.TripleT{S: st, P: pt, O: ot})
+		}
+		mStr, err := expect("ANCHORS ")
+		if err != nil {
+			return nil, err
+		}
+		nAnchors, err := strconv.Atoi(mStr)
+		if err != nil {
+			return nil, fmt.Errorf("store: handoff: anchor count: %w", err)
+		}
+		for k := 0; k < nAnchors; k++ {
+			if !sc.Scan() {
+				return nil, fmt.Errorf("store: handoff: truncated block: %d/%d anchors", k, nAnchors)
+			}
+			ts, pt, iri, perr := parseAnchorLine(sc.Text())
+			if perr != nil {
+				return nil, fmt.Errorf("store: handoff: anchor %d: %w", k+1, perr)
+			}
+			if !keep(iri) {
+				continue
+			}
+			frags = append(frags, HandoffFragment{
+				Node: rdf.NewIRI(iri), Pt: pt, TS: ts, Triples: bySubject[iri],
+			})
+		}
+	}
+}
+
+// InstallHandoff adds staged fragments to the store, skipping any whose
+// anchor node is already present in its target shard — AddAnchored appends
+// anchors unconditionally, so this presence check is what makes handoff
+// retries (and donor re-ships after a crash) exactly-once. Returns how many
+// fragments were installed and how many skipped as duplicates.
+func (s *Sharded) InstallHandoff(frags []HandoffFragment) (installed, skipped int) {
+	for _, f := range frags {
+		if s.hasAnchored(f) {
+			skipped++
+			continue
+		}
+		s.AddAnchored(f.Node.Value, f.Pt, f.TS, f.Node, f.Triples)
+		installed++
+	}
+	return installed, skipped
+}
+
+// hasAnchored reports whether the fragment's anchor node already has
+// triples in the shard the partitioner assigns it to. A node absent from
+// the dictionary is trivially absent.
+func (s *Sharded) hasAnchored(f HandoffFragment) bool {
+	id, ok := s.dict.Lookup(f.Node)
+	if !ok {
+		return false
+	}
+	sh := s.shards[s.part.Assign(f.Node.Value, f.Pt, f.TS)]
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	found := false
+	probe := func(t rdf.Triple) bool { found = true; return false }
+	sh.head.FindID(id, rdf.Wildcard, rdf.Wildcard, probe)
+	for _, seg := range sh.segs {
+		if found {
+			break
+		}
+		seg.g.FindID(id, rdf.Wildcard, rdf.Wildcard, probe)
+	}
+	return found
+}
+
+// DropAnchored removes every anchored fragment whose anchor-node IRI passes
+// drop — the donor side of a completed handoff. Affected heads and sealed
+// segments are rebuilt without the dropped fragments; rebuilt segments take
+// fresh ids from the store-wide counter (segment ids name immutable
+// contents — snapshot caches hard-link by id, so a filtered segment must be
+// a new segment). Segments left with neither anchors nor triples disappear.
+// Returns the dropped fragment and triple counts.
+func (s *Sharded) DropAnchored(drop func(nodeIRI string) bool) (fragments, triples int) {
+	for _, sh := range s.shards {
+		f, t := s.dropShard(sh, drop)
+		fragments += f
+		triples += t
+	}
+	return fragments, triples
+}
+
+func (s *Sharded) dropShard(sh *Shard, drop func(nodeIRI string) bool) (fragments, triples int) {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+
+	dropID := func(id rdf.ID) bool {
+		t, ok := s.dict.Decode(id)
+		return ok && drop(t.Value)
+	}
+
+	// Head: rebuild the mutable tier without the dropped fragments. The
+	// anchored set decides; residue triples (non-anchored subjects) stay.
+	droppedHead := make(map[rdf.ID]bool)
+	for _, e := range sh.entries {
+		if dropID(e.node) {
+			droppedHead[e.node] = true
+		}
+	}
+	if len(droppedHead) > 0 {
+		newHead := rdf.NewStore(s.dict)
+		sh.head.FindID(rdf.Wildcard, rdf.Wildcard, rdf.Wildcard, func(t rdf.Triple) bool {
+			if droppedHead[t.S] {
+				triples++
+			} else {
+				newHead.AddID(t.S, t.P, t.O)
+			}
+			return true
+		})
+		kept := sh.entries[:0]
+		cells := make(map[int][]int32)
+		for _, e := range sh.entries {
+			if droppedHead[e.node] {
+				fragments++
+				continue
+			}
+			cells[sh.grid.CellID(e.pt)] = append(cells[sh.grid.CellID(e.pt)], int32(len(kept)))
+			kept = append(kept, e)
+		}
+		sh.head = newHead
+		sh.entries = kept
+		sh.cells = cells
+	}
+
+	// Sealed segments: untouched segments stay (same id, same file in any
+	// snapshot cache); touched ones are rebuilt under a fresh id or removed.
+	var segs []*segment
+	for _, seg := range sh.segs {
+		droppedSeg := make(map[rdf.ID]bool)
+		for _, e := range seg.entries {
+			if dropID(e.node) {
+				droppedSeg[e.node] = true
+			}
+		}
+		if len(droppedSeg) == 0 {
+			segs = append(segs, seg)
+			continue
+		}
+		var keptTri []rdf.Triple
+		for _, t := range seg.g.Triples() {
+			if droppedSeg[t.S] {
+				triples++
+			} else {
+				keptTri = append(keptTri, t)
+			}
+		}
+		var keptEntries []anchor
+		cells := make(map[int][]int32)
+		for _, e := range seg.entries {
+			if droppedSeg[e.node] {
+				fragments++
+				continue
+			}
+			cells[sh.grid.CellID(e.pt)] = append(cells[sh.grid.CellID(e.pt)], int32(len(keptEntries)))
+			keptEntries = append(keptEntries, e)
+		}
+		if len(keptTri) == 0 && len(keptEntries) == 0 {
+			s.segsDropped.Add(1)
+			continue
+		}
+		ns := &segment{
+			id:      s.nextSegID.Add(1),
+			g:       rdf.NewSegment(s.dict, keptTri),
+			entries: keptEntries,
+			cells:   cells,
+		}
+		ns.minTS, ns.maxTS, ns.box = anchorStats(ns.entries)
+		segs = append(segs, ns)
+	}
+	sh.segs = segs
+	return fragments, triples
+}
+
+// EachAnchorNode calls fn with the IRI of every anchored fragment across
+// all shards and tiers — the ownership census the cluster layer aggregates
+// per entity (tests assert zero lost / zero double-owned fragments with
+// it). Order is unspecified.
+func (s *Sharded) EachAnchorNode(fn func(nodeIRI string)) {
+	for _, sh := range s.shards {
+		sh.mu.RLock()
+		emit := func(entries []anchor) {
+			for _, e := range entries {
+				if t, ok := s.dict.Decode(e.node); ok {
+					fn(t.Value)
+				}
+			}
+		}
+		for _, seg := range sh.segs {
+			emit(seg.entries)
+		}
+		emit(sh.entries)
+		sh.mu.RUnlock()
+	}
+}

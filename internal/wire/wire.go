@@ -235,6 +235,40 @@ func (d *Decoder) NextText() (ts int64, line string, ok bool) {
 	return d.prevTS, d.text[start : start+length], true
 }
 
+// EachFrameText walks every back-to-back frame in body — the layout a
+// multi-frame POST /ingest body or a coordinator's forwarded stream uses —
+// and calls fn once per record with retainable string lines. It returns the
+// number of cleanly decoded frames, and on a structural error (bad header,
+// CRC mismatch, malformed record) the byte offset of the offending frame
+// alongside the error; records surfaced before the fault have already been
+// delivered to fn, matching the ingest paths' keep-the-valid-prefix
+// contract. A non-nil error from fn stops the walk and is returned with the
+// current frame's offset.
+func EachFrameText(body []byte, fn func(ts int64, line string) error) (frames, badOffset int, err error) {
+	var dec Decoder
+	for off := 0; off < len(body); {
+		n, err := dec.ResetText(body[off:])
+		if err != nil {
+			return frames, off, err
+		}
+		for {
+			ts, line, ok := dec.NextText()
+			if !ok {
+				break
+			}
+			if err := fn(ts, line); err != nil {
+				return frames, off, err
+			}
+		}
+		if err := dec.Err(); err != nil {
+			return frames, off, err
+		}
+		off += n
+		frames++
+	}
+	return frames, 0, nil
+}
+
 // advance decodes one record's varint prefix from s (the records section in
 // either representation), updating the decoder position and timestamp, and
 // returns the line's bounds. Generic over the representation so neither

@@ -335,3 +335,69 @@ func TestEncoderReset(t *testing.T) {
 		t.Errorf("frames differ after Encoder.Reset:\n% x\n% x", first, second)
 	}
 }
+
+func TestEachFrameText(t *testing.T) {
+	// Three back-to-back frames, including an empty one mid-stream.
+	var e Encoder
+	e.Add(1000, "alpha")
+	e.Add(1500, "beta")
+	body := e.AppendFrame(nil)
+	e.Reset()
+	body = e.AppendFrame(body) // zero records
+	e.Reset()
+	e.Add(9000, "gamma")
+	body = e.AppendFrame(body)
+
+	type rec struct {
+		ts   int64
+		line string
+	}
+	var got []rec
+	frames, badOff, err := EachFrameText(body, func(ts int64, line string) error {
+		got = append(got, rec{ts, line})
+		return nil
+	})
+	if err != nil || badOff != 0 {
+		t.Fatalf("EachFrameText: frames=%d badOff=%d err=%v", frames, badOff, err)
+	}
+	if frames != 3 {
+		t.Fatalf("frames = %d, want 3", frames)
+	}
+	want := []rec{{1000, "alpha"}, {1500, "beta"}, {9000, "gamma"}}
+	if len(got) != len(want) {
+		t.Fatalf("records = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("record %d = %v, want %v", i, got[i], want[i])
+		}
+	}
+
+	// A corrupt second frame: the first frame's records are delivered, the
+	// error carries the offending frame's offset.
+	e.Reset()
+	e.Add(1, "ok")
+	clean := e.AppendFrame(nil)
+	corrupt := append(append([]byte{}, clean...), "JUNK-NOT-A-FRAME"...)
+	got = nil
+	frames, badOff, err = EachFrameText(corrupt, func(ts int64, line string) error {
+		got = append(got, rec{ts, line})
+		return nil
+	})
+	if !errors.Is(err, ErrMagic) {
+		t.Fatalf("corrupt tail error = %v, want ErrMagic", err)
+	}
+	if frames != 1 || badOff != len(clean) {
+		t.Fatalf("frames=%d badOff=%d, want 1 and %d", frames, badOff, len(clean))
+	}
+	if len(got) != 1 || got[0].line != "ok" {
+		t.Fatalf("valid prefix not delivered: %v", got)
+	}
+
+	// fn can abort the walk.
+	sentinel := errors.New("stop")
+	_, _, err = EachFrameText(clean, func(int64, string) error { return sentinel })
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("fn error = %v, want sentinel", err)
+	}
+}
