@@ -18,11 +18,13 @@
 //	datacron-benchjson -diff -bench 'ServerIngest$|QueryBlockScan' \
 //	  -max-regress 20 BENCH_2.json bench-snapshot.json
 //
-// ns/op regressions (slower) and lines/sec regressions (less throughput)
-// count against the budget; other custom metrics are reported but not
-// gated, since their direction is benchmark-specific. A gated benchmark
-// missing from the new snapshot fails too — deleting a perf gate should be
-// a visible act.
+// ns/op regressions (slower), lines/sec regressions (less throughput), and
+// B/op / allocs/op regressions (more garbage per op) count against the
+// budget; other custom metrics are reported but not gated, since their
+// direction is benchmark-specific. An alloc count that was 0 in the old
+// snapshot and is nonzero in the new one fails outright — alloc-free hot
+// paths are pinned, not budgeted. A gated benchmark missing from the new
+// snapshot fails too — deleting a perf gate should be a visible act.
 package main
 
 import (
@@ -275,6 +277,31 @@ func runDiff(oldPath, newPath, re string, maxRegress float64) error {
 				failures = append(failures, fmt.Sprintf("%s: ns/op regressed %s (budget %.0f%%)", oldR.Name, pct(regress), maxRegress))
 			}
 		}
+		// B/op and allocs/op: higher is a regression. A hot path that was
+		// alloc-free in the old snapshot must stay alloc-free — 0 -> n has no
+		// percentage, so it fails the budget outright.
+		gateMem := func(unit string, oldV, newV *float64) {
+			if oldV == nil || newV == nil {
+				return
+			}
+			switch {
+			case *oldV > 0:
+				regress := (*newV - *oldV) / *oldV * 100
+				fmt.Printf("%-55s %-9s %14.0f -> %14.0f  %s\n", oldR.Name, unit, *oldV, *newV, pct(regress))
+				if maxRegress > 0 && regress > maxRegress {
+					failures = append(failures, fmt.Sprintf("%s: %s regressed %s (budget %.0f%%)", oldR.Name, unit, pct(regress), maxRegress))
+				}
+			case *newV > 0:
+				fmt.Printf("%-55s %-9s %14.0f -> %14.0f  was alloc-free\n", oldR.Name, unit, *oldV, *newV)
+				if maxRegress > 0 {
+					failures = append(failures, fmt.Sprintf("%s: %s regressed 0 -> %.0f", oldR.Name, unit, *newV))
+				}
+			default:
+				fmt.Printf("%-55s %-9s %14.0f -> %14.0f\n", oldR.Name, unit, *oldV, *newV)
+			}
+		}
+		gateMem("B/op", oldR.BytesPerOp, newR.BytesPerOp)
+		gateMem("allocs/op", oldR.AllocsPerOp, newR.AllocsPerOp)
 		// lines/sec: lower is a regression. Other metrics are informational.
 		for unit, oldV := range oldR.Metrics {
 			newV, okM := newR.Metrics[unit]

@@ -1,6 +1,12 @@
 package main
 
-import "testing"
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
 
 func TestParseBenchLine(t *testing.T) {
 	r, ok := parseBenchLine("BenchmarkServerIngest-4 \t    1177\t   1921907 ns/op\t    264617 lines/sec\t       0 rejected\t  512 B/op\t       3 allocs/op")
@@ -18,6 +24,60 @@ func TestParseBenchLine(t *testing.T) {
 	}
 	if r.Metrics["lines/sec"] != 264617 || r.Metrics["rejected"] != 0 {
 		t.Fatalf("custom metrics: %v", r.Metrics)
+	}
+}
+
+// writeSnap marshals a snapshot into dir and returns its path.
+func writeSnap(t *testing.T, dir, name string, benches []result) string {
+	t.Helper()
+	raw, err := json.Marshal(snapshot{Benchmarks: benches})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func fp(v float64) *float64 { return &v }
+
+// -diff must gate B/op and allocs/op alongside ns/op and lines/sec, and
+// treat a formerly alloc-free benchmark growing allocations as an outright
+// failure (no percentage to budget).
+func TestDiffGatesMemRegressions(t *testing.T) {
+	dir := t.TempDir()
+	oldPath := writeSnap(t, dir, "old.json", []result{
+		{Name: "BenchmarkHot", NsPerOp: 100, BytesPerOp: fp(1000), AllocsPerOp: fp(10)},
+		{Name: "BenchmarkPinned", NsPerOp: 100, BytesPerOp: fp(0), AllocsPerOp: fp(0)},
+	})
+	within := writeSnap(t, dir, "within.json", []result{
+		{Name: "BenchmarkHot", NsPerOp: 105, BytesPerOp: fp(1100), AllocsPerOp: fp(11)},
+		{Name: "BenchmarkPinned", NsPerOp: 105, BytesPerOp: fp(0), AllocsPerOp: fp(0)},
+	})
+	if err := runDiff(oldPath, within, ".", 20); err != nil {
+		t.Fatalf("within-budget diff failed: %v", err)
+	}
+	allocRegress := writeSnap(t, dir, "allocs.json", []result{
+		{Name: "BenchmarkHot", NsPerOp: 100, BytesPerOp: fp(1000), AllocsPerOp: fp(15)},
+		{Name: "BenchmarkPinned", NsPerOp: 100, BytesPerOp: fp(0), AllocsPerOp: fp(0)},
+	})
+	err := runDiff(oldPath, allocRegress, ".", 20)
+	if err == nil || !strings.Contains(err.Error(), "allocs/op") {
+		t.Fatalf("allocs/op regression not gated: %v", err)
+	}
+	unpinned := writeSnap(t, dir, "unpinned.json", []result{
+		{Name: "BenchmarkHot", NsPerOp: 100, BytesPerOp: fp(1000), AllocsPerOp: fp(10)},
+		{Name: "BenchmarkPinned", NsPerOp: 100, BytesPerOp: fp(48), AllocsPerOp: fp(1)},
+	})
+	err = runDiff(oldPath, unpinned, ".", 20)
+	if err == nil || !strings.Contains(err.Error(), "regressed 0 -> 1") {
+		t.Fatalf("alloc-free pin break not gated: %v", err)
+	}
+	// Report-only mode (budget 0) never fails on numbers.
+	if err := runDiff(oldPath, unpinned, ".", 0); err != nil {
+		t.Fatalf("report-only diff failed: %v", err)
 	}
 }
 

@@ -13,6 +13,31 @@ func RoutingKey(line string) (key string, ok bool) {
 	return strings.ToUpper(id), true
 }
 
+// AppendRoutingKey appends RoutingKey(line) to dst without materialising
+// the upper-cased key string. Idents with non-ASCII bytes (never produced
+// by real SBS feeds) fall back to appending the materialised key, keeping
+// the two derivations byte-identical (TestAppendRoutingKeyMatches). dst is
+// returned unchanged when ok is false.
+func AppendRoutingKey(dst []byte, line string) (out []byte, ok bool) {
+	id, ok := routeField(line)
+	if !ok {
+		return dst, false
+	}
+	start := len(dst)
+	for i := 0; i < len(id); i++ {
+		c := id[i]
+		if c >= 0x80 {
+			key, _ := RoutingKey(line)
+			return append(dst[:start], key...), true
+		}
+		if c >= 'a' && c <= 'z' {
+			c -= 'a' - 'A'
+		}
+		dst = append(dst, c)
+	}
+	return dst, true
+}
+
 // RouteHash returns fnv32a(RoutingKey(line)) without materialising the
 // upper-cased key string, so the batched binary ingest path routes with
 // zero allocations. Idents with non-ASCII bytes (never produced by real

@@ -1,0 +1,54 @@
+package adsb
+
+import (
+	"testing"
+	"time"
+)
+
+// AppendRoutingKey and RouteHash must stay in lockstep with RoutingKey:
+// same accept/reject decision, byte-identical key (append form) and
+// FNV-1a-of-key hash, including the mixed-case and non-ASCII fallbacks.
+func TestAppendRoutingKeyMatches(t *testing.T) {
+	t0 := time.Date(2026, 1, 2, 3, 4, 5, 250_000_000, time.UTC)
+	lines := []string{
+		Format(Message{Type: MsgPosition, HexIdent: "ABC123", Generated: t0, Lat: 1, Lon: 2, AltitudeFt: 3}),
+		Format(Message{Type: MsgIdent, HexIdent: "abc123", Generated: t0, Callsign: "TST"}),
+		"MSG,3,1,1, 4ca1fa ,1,2026/01/02,03:04:05.250,2026/01/02,03:04:05.250,,35000,,,51.1,-0.5,,,,,,0",
+		"MSG,3,1,1,ZügA1,1,2026/01/02,03:04:05.250,2026/01/02,03:04:05.250,,35000,,,51.1,-0.5,,,,,,0",
+		"",
+		"garbage",
+		"MSG,3,1,1",
+		"MSG,3,1,1,,1,rest",
+	}
+	for _, line := range lines {
+		key, okKey := RoutingKey(line)
+		dst, okApp := AppendRoutingKey([]byte("pfx-"), line)
+		h, okHash := RouteHash(line)
+		if okKey != okApp || okKey != okHash {
+			t.Errorf("ok mismatch for %q: key=%v append=%v hash=%v", line, okKey, okApp, okHash)
+			continue
+		}
+		if !okKey {
+			if string(dst) != "pfx-" {
+				t.Errorf("AppendRoutingKey(%q) touched dst on reject: %q", line, dst)
+			}
+			continue
+		}
+		if want := "pfx-" + key; string(dst) != want {
+			t.Errorf("AppendRoutingKey(%q) = %q, want %q", line, dst, want)
+		}
+		if want := fnvString(fnvOffset, key); h != want {
+			t.Errorf("RouteHash(%q) = %d, want fnv(%q) = %d", line, h, key, want)
+		}
+	}
+	// The append form must not allocate once dst has capacity.
+	line := Format(Message{Type: MsgPosition, HexIdent: "abc123", Generated: t0, Lat: 1, Lon: 2, AltitudeFt: 3})
+	buf := make([]byte, 0, 64)
+	if avg := testing.AllocsPerRun(200, func() {
+		if _, ok := AppendRoutingKey(buf[:0], line); !ok {
+			t.Fatal("not ok")
+		}
+	}); avg != 0 {
+		t.Errorf("AppendRoutingKey allocates %v times per line", avg)
+	}
+}

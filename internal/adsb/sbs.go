@@ -90,33 +90,67 @@ func Format(m Message) string {
 // Parse decodes one SBS-1 CSV line.
 func Parse(line string) (Message, error) {
 	var m Message
+	err := ParseInto(line, &m)
+	return m, err
+}
+
+// ParseInto decodes one SBS-1 CSV line into *m, overwriting it. It is the
+// allocation-free form the ingest hot path uses with a per-worker scratch
+// Message: fields are sliced out of line directly (no strings.Split) and
+// well-formed timestamps take a fixed-width digit fast path instead of
+// time.Parse.
+func ParseInto(line string, m *Message) error {
+	*m = Message{}
 	line = strings.TrimRight(line, "\r\n")
-	fields := strings.Split(line, ",")
-	if len(fields) < 22 {
-		return m, fmt.Errorf("adsb: expected 22 fields, got %d", len(fields))
+	// Slice out the first 22 comma-separated fields; extras beyond the 22nd
+	// comma are ignored, matching strings.Split-based parsing.
+	var fields [22]string
+	n, rest := 0, line
+	for n < len(fields) {
+		i := strings.IndexByte(rest, ',')
+		if i < 0 {
+			break
+		}
+		fields[n] = rest[:i]
+		n++
+		rest = rest[i+1:]
+	}
+	if n < len(fields) {
+		fields[n] = rest
+		n++
+	}
+	if n < 22 {
+		return fmt.Errorf("adsb: expected 22 fields, got %d", n)
 	}
 	if fields[0] != "MSG" {
-		return m, fmt.Errorf("adsb: unsupported record %q", fields[0])
+		return fmt.Errorf("adsb: unsupported record %q", fields[0])
 	}
 	tt, err := strconv.Atoi(fields[1])
 	if err != nil {
-		return m, fmt.Errorf("adsb: bad transmission type: %w", err)
+		return fmt.Errorf("adsb: bad transmission type: %w", err)
 	}
 	m.Type = MsgType(tt)
 	switch m.Type {
 	case MsgIdent, MsgPosition, MsgVelocity:
 	default:
-		return m, fmt.Errorf("adsb: unsupported transmission type %d", tt)
+		return fmt.Errorf("adsb: unsupported transmission type %d", tt)
 	}
 	m.HexIdent = strings.ToUpper(fields[4])
 	if m.HexIdent == "" {
-		return m, fmt.Errorf("adsb: missing hex ident")
+		return fmt.Errorf("adsb: missing hex ident")
 	}
-	m.Generated, err = time.Parse(sbsDateFormat+" "+sbsTimeFormat, fields[6]+" "+fields[7])
-	if err != nil {
-		return m, fmt.Errorf("adsb: bad timestamp: %w", err)
+	var ok bool
+	if m.Generated, ok = parseSBSTimestamp(fields[6], fields[7]); !ok {
+		// Slow path for anything the strict fixed-width parser rejects:
+		// time.Parse is lenient (e.g. single-digit hours), so deviant but
+		// parseable timestamps stay accepted, and malformed ones keep the
+		// exact historical error.
+		m.Generated, err = time.Parse(sbsDateFormat+" "+sbsTimeFormat, fields[6]+" "+fields[7])
+		if err != nil {
+			return fmt.Errorf("adsb: bad timestamp: %w", err)
+		}
+		m.Generated = m.Generated.UTC()
 	}
-	m.Generated = m.Generated.UTC()
 	parseF := func(s string) (float64, error) {
 		if s == "" {
 			return math.NaN(), nil
@@ -125,33 +159,91 @@ func Parse(line string) (Message, error) {
 	}
 	m.Callsign = strings.TrimSpace(fields[10])
 	if m.AltitudeFt, err = parseF(fields[11]); err != nil {
-		return m, fmt.Errorf("adsb: bad altitude: %w", err)
+		return fmt.Errorf("adsb: bad altitude: %w", err)
 	}
 	if m.SpeedKn, err = parseF(fields[12]); err != nil {
-		return m, fmt.Errorf("adsb: bad speed: %w", err)
+		return fmt.Errorf("adsb: bad speed: %w", err)
 	}
 	if m.TrackDeg, err = parseF(fields[13]); err != nil {
-		return m, fmt.Errorf("adsb: bad track: %w", err)
+		return fmt.Errorf("adsb: bad track: %w", err)
 	}
 	if m.Lat, err = parseF(fields[14]); err != nil {
-		return m, fmt.Errorf("adsb: bad lat: %w", err)
+		return fmt.Errorf("adsb: bad lat: %w", err)
 	}
 	if m.Lon, err = parseF(fields[15]); err != nil {
-		return m, fmt.Errorf("adsb: bad lon: %w", err)
+		return fmt.Errorf("adsb: bad lon: %w", err)
 	}
 	if m.VertRateFpm, err = parseF(fields[16]); err != nil {
-		return m, fmt.Errorf("adsb: bad vertical rate: %w", err)
+		return fmt.Errorf("adsb: bad vertical rate: %w", err)
 	}
 	m.OnGround = fields[21] == "-1" || fields[21] == "1"
 	if m.Type == MsgPosition {
 		if math.IsNaN(m.Lat) || math.IsNaN(m.Lon) {
-			return m, fmt.Errorf("adsb: MSG,3 without coordinates")
+			return fmt.Errorf("adsb: MSG,3 without coordinates")
 		}
 		if m.Lat < -90 || m.Lat > 90 || m.Lon < -180 || m.Lon > 180 {
-			return m, fmt.Errorf("adsb: coordinates out of range (%f,%f)", m.Lat, m.Lon)
+			return fmt.Errorf("adsb: coordinates out of range (%f,%f)", m.Lat, m.Lon)
 		}
 	}
-	return m, nil
+	return nil
+}
+
+// parseSBSTimestamp is the strict fast path for the canonical BaseStation
+// timestamp rendering: exactly "YYYY/MM/DD" and "HH:MM:SS.mmm" with every
+// digit in place and all components in range. Anything else (including the
+// width leniencies time.Parse would accept) returns ok=false so the caller
+// falls back to time.Parse.
+func parseSBSTimestamp(date, tim string) (time.Time, bool) {
+	if len(date) != 10 || date[4] != '/' || date[7] != '/' {
+		return time.Time{}, false
+	}
+	if len(tim) != 12 || tim[2] != ':' || tim[5] != ':' || tim[8] != '.' {
+		return time.Time{}, false
+	}
+	year, ok1 := atoiFixed(date[0:4])
+	month, ok2 := atoiFixed(date[5:7])
+	day, ok3 := atoiFixed(date[8:10])
+	hour, ok4 := atoiFixed(tim[0:2])
+	minute, ok5 := atoiFixed(tim[3:5])
+	sec, ok6 := atoiFixed(tim[6:8])
+	ms, ok7 := atoiFixed(tim[9:12])
+	if !(ok1 && ok2 && ok3 && ok4 && ok5 && ok6 && ok7) {
+		return time.Time{}, false
+	}
+	if month < 1 || month > 12 || day < 1 || day > daysIn(year, month) {
+		return time.Time{}, false
+	}
+	if hour > 23 || minute > 59 || sec > 59 {
+		return time.Time{}, false
+	}
+	return time.Date(year, time.Month(month), day, hour, minute, sec, ms*int(time.Millisecond), time.UTC), true
+}
+
+// atoiFixed parses an all-digit string (no sign, no spaces).
+func atoiFixed(s string) (int, bool) {
+	n := 0
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if c < '0' || c > '9' {
+			return 0, false
+		}
+		n = n*10 + int(c-'0')
+	}
+	return n, true
+}
+
+// daysIn returns the length of a month, leap-aware.
+func daysIn(year, month int) int {
+	switch month {
+	case 4, 6, 9, 11:
+		return 30
+	case 2:
+		if year%4 == 0 && (year%100 != 0 || year%400 == 0) {
+			return 29
+		}
+		return 28
+	}
+	return 31
 }
 
 // Tracker fuses the three SBS message types per aircraft into complete state

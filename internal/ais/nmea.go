@@ -80,26 +80,36 @@ func FormatSentence(s Sentence) string {
 // The hot path performs no allocations for well-formed input.
 func ParseSentence(line string) (Sentence, error) {
 	var s Sentence
+	err := ParseSentenceInto(line, &s)
+	return s, err
+}
+
+// ParseSentenceInto is the scratch-reusing form of ParseSentence: it
+// overwrites *s with the parsed sentence, so a per-worker scratch Sentence
+// avoids any per-line copies on the ingest hot path. Field strings are
+// sliced out of line, not copied.
+func ParseSentenceInto(line string, s *Sentence) error {
+	*s = Sentence{}
 	line = trimCRLF(line)
 	if len(line) < 2 || (line[0] != '!' && line[0] != '$') {
-		return s, fmt.Errorf("ais: not an NMEA sentence: %.20q", line)
+		return fmt.Errorf("ais: not an NMEA sentence: %.20q", line)
 	}
 	star := strings.LastIndexByte(line, '*')
 	if star < 0 || star+3 > len(line) {
-		return s, fmt.Errorf("ais: missing checksum: %.40q", line)
+		return fmt.Errorf("ais: missing checksum: %.40q", line)
 	}
 	if star+3 != len(line) {
-		return s, fmt.Errorf("ais: trailing bytes after checksum: %.40q", line)
+		return fmt.Errorf("ais: trailing bytes after checksum: %.40q", line)
 	}
 	body := line[1:star]
 	hi, ok1 := hexVal(line[star+1])
 	lo, ok2 := hexVal(line[star+2])
 	want := hi<<4 | lo
 	if got := xorChecksum(body); !ok1 || !ok2 || got != want {
-		return s, fmt.Errorf("ais: checksum mismatch: got %02X want %s", got, line[star+1:star+3])
+		return fmt.Errorf("ais: checksum mismatch: got %02X want %s", got, line[star+1:star+3])
 	}
 	if c := strings.Count(body, ",") + 1; c != 7 {
-		return s, fmt.Errorf("ais: expected 7 fields, got %d", c)
+		return fmt.Errorf("ais: expected 7 fields, got %d", c)
 	}
 	var fields [7]string
 	for i, start := 0, 0; i < 7; i++ {
@@ -111,29 +121,29 @@ func ParseSentence(line string) (Sentence, error) {
 		start = end + 1
 	}
 	if fields[0] != "AIVDM" && fields[0] != "AIVDO" {
-		return s, fmt.Errorf("ais: unsupported talker %q", fields[0])
+		return fmt.Errorf("ais: unsupported talker %q", fields[0])
 	}
 	var err error
 	if s.Total, err = strconv.Atoi(fields[1]); err != nil {
-		return s, fmt.Errorf("ais: bad total: %w", err)
+		return fmt.Errorf("ais: bad total: %w", err)
 	}
 	if s.Num, err = strconv.Atoi(fields[2]); err != nil {
-		return s, fmt.Errorf("ais: bad sentence number: %w", err)
+		return fmt.Errorf("ais: bad sentence number: %w", err)
 	}
 	if fields[3] == "" {
 		s.SeqID = -1
 	} else if s.SeqID, err = strconv.Atoi(fields[3]); err != nil {
-		return s, fmt.Errorf("ais: bad sequence id: %w", err)
+		return fmt.Errorf("ais: bad sequence id: %w", err)
 	}
 	s.Channel = fields[4]
 	s.Payload = fields[5]
 	if s.FillBits, err = strconv.Atoi(fields[6]); err != nil {
-		return s, fmt.Errorf("ais: bad fill bits: %w", err)
+		return fmt.Errorf("ais: bad fill bits: %w", err)
 	}
 	if s.Total < 1 || s.Num < 1 || s.Num > s.Total {
-		return s, fmt.Errorf("ais: inconsistent fragmentation %d/%d", s.Num, s.Total)
+		return fmt.Errorf("ais: inconsistent fragmentation %d/%d", s.Num, s.Total)
 	}
-	return s, nil
+	return nil
 }
 
 // ToSentences splits an armored payload into one or more AIVDM sentences.
@@ -184,8 +194,8 @@ func NewAssembler() *Assembler {
 // reuses their sequence id. The returned reader is only valid until the
 // next Push.
 func (a *Assembler) Push(line string) (*BitReader, error) {
-	s, err := ParseSentence(line)
-	if err != nil {
+	var s Sentence
+	if err := ParseSentenceInto(line, &s); err != nil {
 		return nil, err
 	}
 	if s.Total == 1 {

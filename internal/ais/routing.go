@@ -91,6 +91,37 @@ func RoutingKey(line string) (key string, ok bool) {
 	return strconv.FormatUint(uint64(mmsi), 10), true
 }
 
+// AppendRoutingKey appends RoutingKey(line) to dst without materialising
+// the key string — the allocation-free form the cluster coordinator uses
+// with a per-request scratch buffer. The appended bytes are byte-identical
+// to RoutingKey's result (TestAppendRoutingKeyMatches pins it); dst is
+// returned unchanged when ok is false.
+func AppendRoutingKey(dst []byte, line string) (out []byte, ok bool) {
+	f, ok := splitRoute(line)
+	if !ok {
+		return dst, false
+	}
+	total, err := strconv.Atoi(f.total)
+	if err != nil {
+		return dst, false
+	}
+	if total != 1 {
+		dst = append(dst, "seq:"...)
+		if n, err := strconv.Atoi(f.seq); err == nil {
+			dst = strconv.AppendInt(dst, int64(n), 10)
+		} else {
+			dst = append(dst, f.seq...)
+		}
+		dst = append(dst, ':')
+		return append(dst, f.channel...), true
+	}
+	mmsi, ok := payloadMMSI(f.payload)
+	if !ok {
+		return dst, false
+	}
+	return strconv.AppendUint(dst, uint64(mmsi), 10), true
+}
+
 // RouteHash returns fnv32a(RoutingKey(line)) — the exact worker-selection
 // hash of the parallel ingest front-end — without materialising the key
 // string, so the batched binary ingest path routes with zero allocations.

@@ -118,14 +118,17 @@ var dearmorTab = func() (t [256]int8) {
 	return t
 }()
 
-// BitReader consumes an armored payload bit by bit, extracting fields
-// directly from the six-bit characters — no intermediate decoded buffer is
-// allocated, so resetting a reader over a new payload is allocation-free.
+// BitReader consumes an armored payload bit by bit. Reset de-armors the
+// whole payload once into a reusable scratch buffer of six-bit values, so
+// field reads are plain shifts over bytes (no per-read table lookups) and
+// resetting a reader over a new payload is allocation-free at steady state.
 type BitReader struct {
-	payload string
-	nbits   int
-	pos     int
-	err     error
+	// vals holds one de-armored six-bit value per payload character; its
+	// backing array is reused across Resets.
+	vals  []byte
+	nbits int
+	pos   int
+	err   error
 }
 
 // NewBitReader de-armors an AIVDM payload into a reader. fillBits trailing
@@ -138,8 +141,10 @@ func NewBitReader(payload string, fillBits int) (*BitReader, error) {
 	return r, nil
 }
 
-// Reset points the reader at a new payload, validating every armored
-// character up front so reads never have to re-check.
+// Reset points the reader at a new payload, validating and de-armoring
+// every character up front so reads never have to re-check. Validation
+// completes before the scratch buffer is touched, so a failed Reset leaves
+// the reader (and any in-progress reads) exactly as it was.
 func (r *BitReader) Reset(payload string, fillBits int) error {
 	for i := 0; i < len(payload); i++ {
 		if dearmorTab[payload[i]] < 0 {
@@ -150,7 +155,11 @@ func (r *BitReader) Reset(payload string, fillBits int) error {
 	if fillBits < 0 || fillBits > 5 || fillBits > n {
 		return fmt.Errorf("ais: invalid fill bits %d", fillBits)
 	}
-	*r = BitReader{payload: payload, nbits: n - fillBits}
+	vals := r.vals[:0]
+	for i := 0; i < len(payload); i++ {
+		vals = append(vals, byte(dearmorTab[payload[i]]))
+	}
+	*r = BitReader{vals: vals, nbits: n - fillBits}
 	return nil
 }
 
@@ -173,7 +182,7 @@ func (r *BitReader) Uint(n int) uint64 {
 	var v uint64
 	pos, rem := r.pos, n
 	for rem > 0 {
-		c := uint64(dearmorTab[r.payload[pos/6]])
+		c := uint64(r.vals[pos/6])
 		off := pos % 6
 		take := 6 - off
 		if take > rem {

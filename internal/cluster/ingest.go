@@ -1,14 +1,13 @@
 package cluster
 
 import (
-	"bufio"
-	"bytes"
 	"encoding/json"
 	"io"
 	"net/http"
-	"sort"
+	"slices"
 	"strconv"
 	"strings"
+	"sync"
 	"time"
 
 	"github.com/datacron-project/datacron/internal/wire"
@@ -45,6 +44,84 @@ type peerIngestResponse struct {
 	Error    string `json:"error,omitempty"`
 }
 
+// ownerShare is one owning node's staged share of a coordinated ingest
+// batch: a reusable record encoder and the framed bytes built from it.
+type ownerShare struct {
+	owner string
+	enc   wire.Encoder
+	frame []byte
+}
+
+// ingestScratch carries one coordinator ingest request's reusable buffers —
+// body, decoded lines, per-owner shares — so steady-state re-framing
+// performs no allocations (pinned by TestCoordinatorReframeAllocs). Shares
+// keep their encoder and frame buffers across requests; reset only rewinds
+// lengths.
+type ingestScratch struct {
+	body   []byte
+	key    []byte // routing-key scratch, reused per line
+	lines  []timedLine
+	shares []*ownerShare // high-water owner capacity; first n are live
+	n      int
+}
+
+var ingestScratchPool = sync.Pool{New: func() any { return new(ingestScratch) }}
+
+// reset rewinds the scratch for reuse, keeping every buffer.
+func (sc *ingestScratch) reset() {
+	sc.body = sc.body[:0]
+	sc.lines = sc.lines[:0]
+	sc.n = 0
+}
+
+// share returns the live share for owner, reviving a recycled one (with its
+// buffers) before allocating. Linear scan: cluster member counts are small,
+// and it replaces two map lookups per line.
+func (sc *ingestScratch) share(owner string) *ownerShare {
+	for _, s := range sc.shares[:sc.n] {
+		if s.owner == owner {
+			return s
+		}
+	}
+	var s *ownerShare
+	if sc.n < len(sc.shares) {
+		s = sc.shares[sc.n]
+		s.owner = owner
+	} else {
+		s = &ownerShare{owner: owner}
+		sc.shares = append(sc.shares, s)
+	}
+	sc.n++
+	s.enc.Reset()
+	s.frame = s.frame[:0]
+	return s
+}
+
+// stageShares routes every decoded line to its owning node through the ring
+// and re-frames each owner's share as one binary wire frame, preserving
+// arrival order within each owner (the per-entity workers there see the
+// same order a direct client would have produced). Shares come out sorted
+// by owner for deterministic dispatch.
+func (n *Node) stageShares(sc *ingestScratch) {
+	ring, _ := n.Ring()
+	for _, tl := range sc.lines {
+		sc.key = n.cfg.Pipeline.AppendRoutingKey(sc.key[:0], tl.line)
+		owner := n.cfg.Self
+		if len(sc.key) > 0 {
+			owner = ring.OwnerBytes(sc.key)
+		}
+		sc.share(owner).enc.Add(tl.ts, tl.line)
+		if owner != n.cfg.Self {
+			n.forwardedLines.Add(1)
+		}
+	}
+	live := sc.shares[:sc.n]
+	slices.SortFunc(live, func(a, b *ownerShare) int { return strings.Compare(a.owner, b.owner) })
+	for _, s := range live {
+		s.frame = s.enc.AppendFrame(s.frame[:0])
+	}
+}
+
 // handleIngest is the coordinator ingest path: decode the batch (text lines
 // or binary frames, same formats as the single-node endpoint), route every
 // line to its owning node through the ring, re-frame each owner's share as
@@ -55,46 +132,25 @@ type peerIngestResponse struct {
 // makes the coordinator respond 429 with Retry-After, never silently
 // dropping the lines (the unreachable owner's share counts as rejected).
 func (n *Node) handleIngest(w http.ResponseWriter, r *http.Request) {
-	body, err := io.ReadAll(io.LimitReader(r.Body, 256<<20))
+	sc := ingestScratchPool.Get().(*ingestScratch)
+	// Safe to recycle at return: the dispatch loop below joins every share
+	// goroutine before the handler exits, so nothing aliases the buffers.
+	defer func() { sc.reset(); ingestScratchPool.Put(sc) }()
+	var err error
+	sc.body, err = readAllInto(sc.body[:0], io.LimitReader(r.Body, 256<<20))
 	if err != nil {
 		writeJSON(w, http.StatusBadRequest, clusterIngestResponse{Error: "read body: " + err.Error()})
 		return
 	}
-	var lines []timedLine
 	var blank int
 	var decodeErr string
 	if r.Header.Get("Content-Type") == wire.ContentType {
-		lines, decodeErr = decodeFrames(body)
+		sc.lines, decodeErr = decodeFrames(sc.lines[:0], sc.body)
 	} else {
-		lines, blank = decodeTextLines(body)
+		sc.lines, blank = decodeTextLines(sc.lines[:0], sc.body)
 	}
 
-	ring, _ := n.Ring()
-	// Group lines per owning node, preserving arrival order within each
-	// owner (the per-entity workers there see the same order a direct
-	// client would have produced).
-	shares := make(map[string]*wire.Encoder)
-	counts := make(map[string]int)
-	order := []string{}
-	for _, tl := range lines {
-		key := n.cfg.Pipeline.RoutingKey(tl.line)
-		owner := n.cfg.Self
-		if key != "" {
-			owner = ring.Owner(key)
-		}
-		enc := shares[owner]
-		if enc == nil {
-			enc = &wire.Encoder{}
-			shares[owner] = enc
-			order = append(order, owner)
-		}
-		enc.Add(tl.ts, tl.line)
-		counts[owner]++
-		if owner != n.cfg.Self {
-			n.forwardedLines.Add(1)
-		}
-	}
-	sort.Strings(order)
+	n.stageShares(sc)
 
 	path := "/ingest"
 	if r.URL.Query().Get("wait") == "1" {
@@ -102,21 +158,21 @@ func (n *Node) handleIngest(w http.ResponseWriter, r *http.Request) {
 	}
 	// fanOut shares one body across members; ingest shares differ per
 	// owner, so each share is dispatched individually (still concurrent).
-	resp := clusterIngestResponse{Owners: make(map[string]ownerIngest, len(order))}
+	resp := clusterIngestResponse{Owners: make(map[string]ownerIngest, sc.n)}
 	type shareResult struct {
 		owner string
+		lines int
 		pr    peerResponse
 	}
-	resCh := make(chan shareResult, len(order))
-	for _, owner := range order {
-		go func(owner string) {
-			frame := shares[owner].AppendFrame(nil)
-			resCh <- shareResult{owner, n.do(owner, http.MethodPost, path, wire.ContentType, frame, nil)}
-		}(owner)
+	resCh := make(chan shareResult, sc.n)
+	for _, s := range sc.shares[:sc.n] {
+		go func(owner string, lines int, frame []byte) {
+			resCh <- shareResult{owner, lines, n.do(owner, http.MethodPost, path, wire.ContentType, frame, nil)}
+		}(s.owner, s.enc.Count(), s.frame)
 	}
-	for range order {
+	for i := 0; i < sc.n; i++ {
 		sr := <-resCh
-		oi := ownerIngest{Lines: counts[sr.owner]}
+		oi := ownerIngest{Lines: sr.lines}
 		switch {
 		case sr.pr.err != nil:
 			// Partition-style failure: the owner is unreachable. Nothing
@@ -172,16 +228,45 @@ type timedLine struct {
 	line string
 }
 
-// decodeTextLines splits a newline-delimited ingest body, honouring the
-// optional "<unix-ms> " prefix exactly as the single-node endpoint does and
-// stamping bare lines with the coordinator receive time (the forwarded
-// frame carries the stamp, so the owner does not re-stamp on arrival).
-func decodeTextLines(body []byte) (lines []timedLine, blank int) {
+// readAllInto drains r into dst's spare capacity, growing only when full —
+// io.ReadAll with a caller-owned (poolable) buffer.
+func readAllInto(dst []byte, r io.Reader) ([]byte, error) {
+	for {
+		if len(dst) == cap(dst) {
+			dst = append(dst, 0)[:len(dst)]
+		}
+		n, err := r.Read(dst[len(dst):cap(dst)])
+		dst = dst[:len(dst)+n]
+		if err == io.EOF {
+			return dst, nil
+		}
+		if err != nil {
+			return dst, err
+		}
+	}
+}
+
+// decodeTextLines appends a newline-delimited ingest body's records to dst,
+// honouring the optional "<unix-ms> " prefix exactly as the single-node
+// endpoint does and stamping bare lines with the coordinator receive time
+// (the forwarded frame carries the stamp, so the owner does not re-stamp on
+// arrival). The whole body is converted to a string once and every line
+// aliases it — one allocation per request, none per line.
+func decodeTextLines(dst []timedLine, body []byte) (lines []timedLine, blank int) {
 	now := time.Now().UnixMilli()
-	sc := bufio.NewScanner(bytes.NewReader(body))
-	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
-	for sc.Scan() {
-		raw := sc.Text()
+	text := string(body)
+	lines = dst
+	for len(text) > 0 {
+		raw := text
+		if i := strings.IndexByte(text, '\n'); i >= 0 {
+			raw = text[:i]
+			text = text[i+1:]
+		} else {
+			text = ""
+		}
+		if len(raw) > 0 && raw[len(raw)-1] == '\r' {
+			raw = raw[:len(raw)-1]
+		}
 		if raw == "" {
 			blank++
 			continue
@@ -197,10 +282,11 @@ func decodeTextLines(body []byte) (lines []timedLine, blank int) {
 	return lines, blank
 }
 
-// decodeFrames drains every back-to-back binary frame in body. On a
-// structural error the records decoded so far are returned along with the
-// error text; the remainder is undecodable.
-func decodeFrames(body []byte) (lines []timedLine, decodeErr string) {
+// decodeFrames appends every back-to-back binary frame's records in body to
+// dst. On a structural error the records decoded so far are returned along
+// with the error text; the remainder is undecodable.
+func decodeFrames(dst []timedLine, body []byte) (lines []timedLine, decodeErr string) {
+	lines = dst
 	_, _, err := wire.EachFrameText(body, func(ts int64, line string) error {
 		if line == "" {
 			return nil

@@ -75,11 +75,15 @@ func NewRing(members []string, vnodes int) *Ring {
 // processes and architectures. The finalizer matters: raw FNV of
 // near-identical strings ("host:9000#0", "host:9000#1", ...) clusters in
 // the high bits that the ring's ordering depends on, producing multi-x arc
-// imbalance; fmix64's avalanche restores uniform vnode placement.
-func hashKey(s string) uint64 {
-	h := fnv.New64a()
-	h.Write([]byte(s))
-	x := h.Sum64()
+// imbalance; fmix64's avalanche restores uniform vnode placement. Inlined
+// FNV (rather than hash/fnv) and generic over string/[]byte so hashing a
+// scratch-buffer key never copies it; TestRingOwnershipGolden pins the
+// values against the hash/fnv-derived originals.
+func hashKey[T ~string | ~[]byte](s T) uint64 {
+	x := uint64(14695981039346656037)
+	for i := 0; i < len(s); i++ {
+		x = (x ^ uint64(s[i])) * 1099511628211
+	}
 	x ^= x >> 33
 	x *= 0xff51afd7ed558ccd
 	x ^= x >> 33
@@ -90,11 +94,16 @@ func hashKey(s string) uint64 {
 
 // Owner returns the member owning key: the first virtual node at or after
 // the key's hash, wrapping. "" on an empty ring.
-func (r *Ring) Owner(key string) string {
+func (r *Ring) Owner(key string) string { return r.owner(hashKey(key)) }
+
+// OwnerBytes is Owner for a key held in a scratch buffer, avoiding the
+// string conversion. OwnerBytes(k) == Owner(string(k)) for every k.
+func (r *Ring) OwnerBytes(key []byte) string { return r.owner(hashKey(key)) }
+
+func (r *Ring) owner(h uint64) string {
 	if len(r.points) == 0 {
 		return ""
 	}
-	h := hashKey(key)
 	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
 	if i == len(r.points) {
 		i = 0

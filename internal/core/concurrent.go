@@ -35,6 +35,9 @@ type Ingestor struct {
 	workers  []*worker
 	wg       sync.WaitGroup
 	onEvents func([]model.Event)
+	// drain is the per-wakeup batch size: a worker pulls up to drain queued
+	// lines and processes them under one snapshot critical section.
+	drain int
 
 	// snapGate excludes the append→enqueue window of logged lines while a
 	// snapshot computes its cut, so no acknowledged LSN can fall between
@@ -78,14 +81,27 @@ type item struct {
 	recs *[]synth.TimedLine
 }
 
+// DefaultBatchDrain is the per-wakeup batch size used when
+// IngestorConfig.BatchDrain is unset: large enough to amortise the
+// snapshot lock, LSN bookkeeping and store flush across a burst, small
+// enough to keep the barrier wait (one batch) in the sub-millisecond
+// range.
+const DefaultBatchDrain = 64
+
 // IngestorConfig tunes the parallel front-end; the zero value uses
-// GOMAXPROCS workers and 1024-line queues.
+// GOMAXPROCS workers, 1024-line queues and DefaultBatchDrain-line batch
+// draining.
 type IngestorConfig struct {
 	// Workers is the number of ingest goroutines (and decode fronts).
 	Workers int
 	// QueueLen bounds each worker's in-flight lines; exceeding it rejects
 	// Reserve/Submit.
 	QueueLen int
+	// BatchDrain caps how many queued lines a worker pulls per wakeup and
+	// processes as one atomic batch (one snapshot critical section, one LSN
+	// watermark, one store flush). <= 0 uses DefaultBatchDrain; 1 restores
+	// line-at-a-time processing.
+	BatchDrain int
 	// OnEvents receives detected event batches from worker goroutines.
 	OnEvents func([]model.Event)
 }
@@ -107,10 +123,14 @@ func (p *Pipeline) NewIngestor(cfg IngestorConfig) *Ingestor {
 	if cfg.QueueLen <= 0 {
 		cfg.QueueLen = 1024
 	}
+	if cfg.BatchDrain <= 0 {
+		cfg.BatchDrain = DefaultBatchDrain
+	}
 	ing := &Ingestor{
 		p:        p,
 		workers:  make([]*worker, cfg.Workers),
 		onEvents: cfg.OnEvents,
+		drain:    cfg.BatchDrain,
 	}
 	gate := p.serial.gate.ExportState()
 	filter := p.serial.filter.ExportState()
@@ -123,6 +143,10 @@ func (p *Pipeline) NewIngestor(cfg IngestorConfig) *Ingestor {
 			front:   newFront(p.cfg),
 			applied: make(map[string]uint64),
 		}
+		// Worker fronts write the store through a per-worker batch writer,
+		// flushed once per drained batch inside the snapshot critical
+		// section (the serial front keeps direct writes).
+		w.front.bw = p.Store.NewBatchWriter()
 		w.front.gate.RestoreState(gate)
 		w.front.filter.RestoreState(filter)
 		ing.workers[i] = w
@@ -163,53 +187,105 @@ func (p *Pipeline) NewIngestor(cfg IngestorConfig) *Ingestor {
 	return ing
 }
 
-// run is one worker: it drains its queue, processing each line under its
-// snapshot lock so snapshots land between lines, never inside one. Batch
-// items are unpacked and processed line by line under the same per-line
-// locking, so a snapshot barrier can still land between any two lines of a
-// batch.
+// run is one worker: per wakeup it pulls the first queued item plus — without
+// blocking — up to drain-1 further lines, and processes the whole batch under
+// one hold of its snapshot lock, so snapshots land between batches, never
+// inside one. A batch is the atomic unit of the snapshot/recovery protocol:
+// its store writes, applied offsets and LSN watermarks become visible
+// together (DESIGN.md §15). itemLines of a staged Batch item count against
+// the drain budget line by line.
 func (ing *Ingestor) run(w *worker) {
 	defer ing.wg.Done()
+	var batch []item
 	for it := range w.q {
-		if it.recs != nil {
-			n := int64(len(*it.recs))
-			for _, tl := range *it.recs {
-				ing.processLine(w, item{tl: tl})
+		batch = append(batch[:0], it)
+		lines := itemLines(it)
+	drainLoop:
+		for lines < ing.drain {
+			select {
+			case more, ok := <-w.q:
+				if !ok {
+					// Closed mid-drain: process what we collected; the
+					// outer range terminates on its next receive.
+					break drainLoop
+				}
+				batch = append(batch, more)
+				lines += itemLines(more)
+			default:
+				break drainLoop
 			}
-			*it.recs = (*it.recs)[:0]
-			recsPool.Put(it.recs)
-			w.reserved.Add(-n)
-			ing.inflight.Add(-n)
-			continue
 		}
-		ing.processLine(w, it)
-		w.reserved.Add(-1)
-		ing.inflight.Add(-1)
+		ing.processBatch(w, batch)
 	}
 }
 
-// processLine runs one line through the pipeline under the worker's
-// snapshot lock and maintains the logged-line bookkeeping.
-func (ing *Ingestor) processLine(w *worker, it item) {
+// itemLines returns how many wire lines an item carries.
+func itemLines(it item) int {
+	if it.recs != nil {
+		return len(*it.recs)
+	}
+	return 1
+}
+
+// processBatch runs a drained batch through the pipeline under one hold of
+// the worker's snapshot lock, flushes the worker's store batch writer, and
+// retires the batch's logged LSNs with one FIFO cut. Detected events are
+// delivered once per batch, outside the lock.
+func (ing *Ingestor) processBatch(w *worker, batch []item) {
+	var evs []model.Event
+	var total int64
+	logged := 0
 	w.snapMu.Lock()
-	// Errors are already counted in Stats.BadLines; the parallel path
-	// never runs strict (a daemon must survive malformed input).
-	evs, _ := ing.p.ingest(&w.front, it.tl)
-	if it.lsn > 0 {
-		if cur := w.applied[it.key]; it.lsn > cur {
-			w.applied[it.key] = it.lsn
-		}
-		w.qmu.Lock()
-		// Logged items leave the LSN FIFO in arrival order.
-		if len(w.lsns) > 0 && w.lsns[0] == it.lsn {
-			w.lsns = w.lsns[1:]
-			if len(w.lsns) == 0 {
-				w.lsns = nil // let the drained backlog be collected
+	for _, it := range batch {
+		if it.recs != nil {
+			for _, tl := range *it.recs {
+				// Errors are already counted in Stats.BadLines; the parallel
+				// path never runs strict (a daemon must survive malformed
+				// input).
+				e, _ := ing.p.ingest(&w.front, tl)
+				evs = append(evs, e...)
 			}
+			total += int64(len(*it.recs))
+			continue
+		}
+		e, _ := ing.p.ingest(&w.front, it.tl)
+		evs = append(evs, e...)
+		total++
+		if it.lsn > 0 {
+			if cur := w.applied[it.key]; it.lsn > cur {
+				w.applied[it.key] = it.lsn
+			}
+			logged++
+		}
+	}
+	// Store writes must be visible before the batch's LSNs leave the FIFO
+	// and before the snapshot lock is released: a barrier cut then sees
+	// applied offsets and their store writes together, never one without
+	// the other.
+	w.front.bw.Flush()
+	if logged > 0 {
+		w.qmu.Lock()
+		// Per-worker queue order equals LSN order (EnqueueLogged appends
+		// and sends under qmu), so the batch's logged lines are exactly the
+		// FIFO's first entries.
+		if logged > len(w.lsns) {
+			logged = len(w.lsns)
+		}
+		w.lsns = w.lsns[logged:]
+		if len(w.lsns) == 0 {
+			w.lsns = nil // let the drained backlog be collected
 		}
 		w.qmu.Unlock()
 	}
 	w.snapMu.Unlock()
+	for _, it := range batch {
+		if it.recs != nil {
+			*it.recs = (*it.recs)[:0]
+			recsPool.Put(it.recs)
+		}
+	}
+	w.reserved.Add(-total)
+	ing.inflight.Add(-total)
 	if len(evs) > 0 && ing.onEvents != nil {
 		ing.onEvents(evs)
 	}
@@ -296,6 +372,25 @@ func (p *Pipeline) routingKey(line string) string {
 // lockstep with the in-process worker routing so "same entity, same worker"
 // extends to "same entity, same node".
 func (p *Pipeline) RoutingKey(line string) string { return p.routingKey(line) }
+
+// AppendRoutingKey appends RoutingKey(line) to dst without materialising the
+// key string — the allocation-free form the cluster coordinator's re-framing
+// path uses with a per-request scratch buffer. The appended bytes are
+// byte-identical to RoutingKey's result (pinned by TestAppendRoutingKeyMatches
+// in the domain packages and the coordinator's alloc test).
+func (p *Pipeline) AppendRoutingKey(dst []byte, line string) []byte {
+	var ok bool
+	switch p.cfg.Domain {
+	case model.Maritime:
+		dst, ok = ais.AppendRoutingKey(dst, line)
+	case model.Aviation:
+		dst, ok = adsb.AppendRoutingKey(dst, line)
+	}
+	if !ok {
+		dst = append(dst, line...)
+	}
+	return dst
+}
 
 // Reserve claims — without blocking — a queue slot on the worker that owns
 // line's entity. It returns ok=false when that worker is saturated

@@ -1,6 +1,11 @@
 package core
 
 import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
 	"testing"
 	"time"
 
@@ -94,6 +99,96 @@ func TestBatchMatchesSubmit(t *testing.T) {
 	}
 	if perLine != batched {
 		t.Errorf("counters diverge:\nsubmit: %+v\nbatch:  %+v", perLine, batched)
+	}
+}
+
+// Worker batch drain is an invisible optimisation: for randomised drain
+// sizes, every observable — pipeline counters, the canonical store dump,
+// forecast state, synopsis state, density — must be bit-identical to
+// line-at-a-time draining (BatchDrain: 1). The scenario is goldenWorld-
+// style (per-entity events only), so observables are independent of
+// cross-entity arrival order and any divergence is a real batching bug.
+func TestBatchDrainMatchesLineAtATime(t *testing.T) {
+	sc := synth.GenMaritime(synth.MaritimeConfig{
+		Seed: 91, Vessels: 10, Duration: 45 * time.Minute,
+		Rendezvous: -1, Loiterers: 2, GapProb: 0.0005, OutlierProb: 0.002,
+	})
+	type digest struct {
+		stats     StatsSnapshot
+		nt        string
+		forecasts string
+		synopses  string
+		density   float64
+	}
+	run := func(drain int) digest {
+		p := New(Config{
+			Domain:   model.Maritime,
+			Forecast: ForecastConfig{Enabled: true},
+			Synopses: SynopsesConfig{Enabled: true},
+		})
+		p.InstallAreas(sc.Areas)
+		p.InstallEntities(sc.Entities)
+		ing := p.NewIngestor(IngestorConfig{Workers: 4, QueueLen: 1 << 16, BatchDrain: drain})
+		for _, tl := range sc.WireTimed {
+			if !ing.Submit(tl) {
+				t.Fatalf("drain=%d: line rejected with an oversized queue", drain)
+			}
+		}
+		if !ing.Quiesce(30 * time.Second) {
+			t.Fatalf("drain=%d: quiesce timeout", drain)
+		}
+		ing.Close()
+		var nt bytes.Buffer
+		if err := p.Store.ExportNT(&nt); err != nil {
+			t.Fatal(err)
+		}
+		fcs, err := p.ForecastHub.ForecastAll(10 * time.Minute)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fstr := make([]string, 0, len(fcs))
+		for _, f := range fcs {
+			fstr = append(fstr, fmt.Sprintf("%+v", f))
+		}
+		sort.Strings(fstr)
+		sums := p.SynopsisHub.Summaries()
+		sstr := make([]string, 0, len(sums))
+		for _, s := range sums {
+			sstr = append(sstr, fmt.Sprintf("%+v", s))
+		}
+		sort.Strings(sstr)
+		return digest{
+			stats:     p.Stats.Snapshot(),
+			nt:        nt.String(),
+			forecasts: strings.Join(fstr, "\n"),
+			synopses:  strings.Join(sstr, "\n"),
+			density:   p.Density.Total(),
+		}
+	}
+
+	want := run(1) // line-at-a-time baseline
+	rng := rand.New(rand.NewSource(91))
+	drains := []int{DefaultBatchDrain}
+	for i := 0; i < 3; i++ {
+		drains = append(drains, 2+rng.Intn(255))
+	}
+	for _, drain := range drains {
+		got := run(drain)
+		if got.stats != want.stats {
+			t.Errorf("drain=%d: counters diverge:\nbatched: %+v\nserial:  %+v", drain, got.stats, want.stats)
+		}
+		if got.nt != want.nt {
+			t.Errorf("drain=%d: store dump diverges (%d vs %d bytes)", drain, len(got.nt), len(want.nt))
+		}
+		if got.forecasts != want.forecasts {
+			t.Errorf("drain=%d: forecast state diverges", drain)
+		}
+		if got.synopses != want.synopses {
+			t.Errorf("drain=%d: synopsis state diverges", drain)
+		}
+		if got.density != want.density {
+			t.Errorf("drain=%d: density total %v, want %v", drain, got.density, want.density)
+		}
 	}
 }
 

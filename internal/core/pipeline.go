@@ -172,6 +172,14 @@ type front struct {
 	filter  *insitu.ThresholdFilter
 	asm     *ais.Assembler
 	tracker *adsb.Tracker
+	// bw, when non-nil, stages kept position reports per destination shard;
+	// the ingest worker flushes it once per drained batch inside its
+	// snapshot critical section. The serial front leaves it nil and writes
+	// the store directly, so replay and single-goroutine ingestion keep
+	// per-line store visibility.
+	bw *store.BatchWriter
+	// sbs is the per-front SBS parse scratch (adsb.ParseInto target).
+	sbs adsb.Message
 	// ids caches the zero-padded entity-ID string per MMSI, so the decode
 	// hot path formats each entity's ID once instead of per report.
 	ids map[uint32]string
@@ -406,15 +414,19 @@ func (p *Pipeline) ingest(f *front, tl synth.TimedLine) ([]model.Event, error) {
 	// Transformation + parallel RDF store (only kept reports are stored —
 	// that is the point of in-situ compression). The sharded store does its
 	// own per-shard locking, so fronts write in parallel.
+	// Batched fronts stage the report in the per-worker batch writer (the
+	// flush happens once per drained batch, so StoreLatency then measures
+	// the staging append; OPERATIONS.md documents the shift). The serial
+	// front writes through immediately.
 	if stored {
 		atomic.AddInt64(&p.Stats.Kept, 1)
 		lt.Begin(obs.StageStore)
 		if sampled {
 			st0 := time.Now()
-			p.Store.AddPositionRecord(pos)
+			p.storePosition(f, pos)
 			p.Stats.StoreLatency.Observe(time.Since(st0))
 		} else {
-			p.Store.AddPositionRecord(pos)
+			p.storePosition(f, pos)
 		}
 		lt.End("")
 	}
@@ -458,6 +470,16 @@ func (p *Pipeline) ingest(f *front, tl synth.TimedLine) ([]model.Event, error) {
 		p.Stats.Latency.Observe(time.Since(t0))
 	}
 	return events, nil
+}
+
+// storePosition routes a kept report to the front's batch writer when it
+// has one, else straight to the sharded store.
+func (p *Pipeline) storePosition(f *front, pos model.Position) {
+	if f.bw != nil {
+		f.bw.AddPosition(pos)
+		return
+	}
+	p.Store.AddPositionRecord(pos)
 }
 
 // decodeAIS decodes one AIVDM line; multi-sentence messages return ok=false
@@ -519,13 +541,13 @@ func (p *Pipeline) decodeAIS(f *front, tl synth.TimedLine) (model.Position, bool
 	}
 }
 
-// decodeSBS decodes one SBS line through the fusing tracker.
+// decodeSBS decodes one SBS line through the fusing tracker, parsing into
+// the front's scratch message so the hot path allocates nothing per line.
 func (p *Pipeline) decodeSBS(f *front, tl synth.TimedLine) (model.Position, bool, error) {
-	m, err := adsb.Parse(tl.Line)
-	if err != nil {
+	if err := adsb.ParseInto(tl.Line, &f.sbs); err != nil {
 		return model.Position{}, false, fmt.Errorf("core: sbs decode: %w", err)
 	}
-	snap, ok := f.tracker.Push(m)
+	snap, ok := f.tracker.Push(f.sbs)
 	if !ok {
 		return model.Position{}, false, nil
 	}

@@ -116,22 +116,28 @@ func AnchorEntityID(iri string) (string, bool) {
 // PositionTriples converts one position report to triples rooted at its
 // semantic node.
 func PositionTriples(p model.Position) []TripleT {
+	return AppendPositionTriples(nil, p)
+}
+
+// AppendPositionTriples appends one position report's triples to dst — the
+// allocation-free form batched ingest uses to fill per-worker triple
+// buffers.
+func AppendPositionTriples(dst []TripleT, p model.Position) []TripleT {
 	node := NodeIRI(p.EntityID, p.TS)
-	cls := ClassNode
-	out := []TripleT{
-		{node, PredType, cls},
-		{node, PredOfObject, EntityIRI(p.EntityID)},
-		{node, PredLon, rdf.NewDouble(p.Pt.Lon)},
-		{node, PredLat, rdf.NewDouble(p.Pt.Lat)},
-		{node, PredTime, rdf.NewLong(p.TS)},
-		{node, PredSpeed, rdf.NewDouble(p.SpeedMS)},
-		{node, PredHeading, rdf.NewDouble(p.CourseDeg)},
-		{node, PredStatus, rdf.NewLiteral(p.Status.String())},
-	}
+	dst = append(dst,
+		TripleT{S: node, P: PredType, O: ClassNode},
+		TripleT{S: node, P: PredOfObject, O: EntityIRI(p.EntityID)},
+		TripleT{S: node, P: PredLon, O: rdf.NewDouble(p.Pt.Lon)},
+		TripleT{S: node, P: PredLat, O: rdf.NewDouble(p.Pt.Lat)},
+		TripleT{S: node, P: PredTime, O: rdf.NewLong(p.TS)},
+		TripleT{S: node, P: PredSpeed, O: rdf.NewDouble(p.SpeedMS)},
+		TripleT{S: node, P: PredHeading, O: rdf.NewDouble(p.CourseDeg)},
+		TripleT{S: node, P: PredStatus, O: rdf.NewLiteral(p.Status.String())},
+	)
 	if p.Domain == model.Aviation {
-		out = append(out, TripleT{node, PredAlt, rdf.NewDouble(p.Pt.Alt)})
+		dst = append(dst, TripleT{S: node, P: PredAlt, O: rdf.NewDouble(p.Pt.Alt)})
 	}
-	return out
+	return dst
 }
 
 // EntityTriples converts static entity data to triples.
@@ -142,20 +148,20 @@ func EntityTriples(e model.Entity) []TripleT {
 		cls = ClassAircraft
 	}
 	out := []TripleT{
-		{obj, PredType, cls},
-		{obj, PredName, rdf.NewLiteral(e.Name)},
+		{S: obj, P: PredType, O: cls},
+		{S: obj, P: PredName, O: rdf.NewLiteral(e.Name)},
 	}
 	if e.Callsign != "" {
-		out = append(out, TripleT{obj, PredCallsign, rdf.NewLiteral(e.Callsign)})
+		out = append(out, TripleT{S: obj, P: PredCallsign, O: rdf.NewLiteral(e.Callsign)})
 	}
 	if e.Type != "" {
-		out = append(out, TripleT{obj, PredShipType, rdf.NewLiteral(e.Type)})
+		out = append(out, TripleT{S: obj, P: PredShipType, O: rdf.NewLiteral(e.Type)})
 	}
 	if e.LengthM > 0 {
-		out = append(out, TripleT{obj, PredLength, rdf.NewDouble(e.LengthM)})
+		out = append(out, TripleT{S: obj, P: PredLength, O: rdf.NewDouble(e.LengthM)})
 	}
 	if e.Dest != "" {
-		out = append(out, TripleT{obj, PredDest, rdf.NewLiteral(e.Dest)})
+		out = append(out, TripleT{S: obj, P: PredDest, O: rdf.NewLiteral(e.Dest)})
 	}
 	return out
 }
@@ -164,17 +170,17 @@ func EntityTriples(e model.Entity) []TripleT {
 func EventTriples(ev model.Event) []TripleT {
 	node := EventIRI(ev.Type, ev.Entity, ev.StartTS)
 	out := []TripleT{
-		{node, PredType, ClassEvent},
-		{node, PredEventType, rdf.NewLiteral(ev.Type)},
-		{node, PredInvolves, EntityIRI(ev.Entity)},
-		{node, PredStart, rdf.NewLong(ev.StartTS)},
-		{node, PredEnd, rdf.NewLong(ev.EndTS)},
+		{S: node, P: PredType, O: ClassEvent},
+		{S: node, P: PredEventType, O: rdf.NewLiteral(ev.Type)},
+		{S: node, P: PredInvolves, O: EntityIRI(ev.Entity)},
+		{S: node, P: PredStart, O: rdf.NewLong(ev.StartTS)},
+		{S: node, P: PredEnd, O: rdf.NewLong(ev.EndTS)},
 	}
 	if ev.Other != "" {
-		out = append(out, TripleT{node, PredInvolves, EntityIRI(ev.Other)})
+		out = append(out, TripleT{S: node, P: PredInvolves, O: EntityIRI(ev.Other)})
 	}
 	if ev.Area != "" {
-		out = append(out, TripleT{node, PredInArea, AreaIRI(ev.Area)})
+		out = append(out, TripleT{S: node, P: PredInArea, O: AreaIRI(ev.Area)})
 	}
 	return out
 }
@@ -183,18 +189,20 @@ func EventTriples(ev model.Event) []TripleT {
 func WeatherTriples(w synth.WeatherObs) []TripleT {
 	node := WeatherIRI(w.CellID, w.TS)
 	return []TripleT{
-		{node, PredType, ClassWeather},
-		{node, PredLon, rdf.NewDouble(w.Center.Lon)},
-		{node, PredLat, rdf.NewDouble(w.Center.Lat)},
-		{node, PredTime, rdf.NewLong(w.TS)},
-		{node, PredWind, rdf.NewDouble(w.WindMS)},
-		{node, PredWindDir, rdf.NewDouble(w.WindDirDeg)},
-		{node, PredWave, rdf.NewDouble(w.WaveM)},
+		{S: node, P: PredType, O: ClassWeather},
+		{S: node, P: PredLon, O: rdf.NewDouble(w.Center.Lon)},
+		{S: node, P: PredLat, O: rdf.NewDouble(w.Center.Lat)},
+		{S: node, P: PredTime, O: rdf.NewLong(w.TS)},
+		{S: node, P: PredWind, O: rdf.NewDouble(w.WindMS)},
+		{S: node, P: PredWindDir, O: rdf.NewDouble(w.WindDirDeg)},
+		{S: node, P: PredWave, O: rdf.NewDouble(w.WaveM)},
 	}
 }
 
 // TripleT is a term-level triple, the unit the transformation layer emits.
-type TripleT struct{ S, P, O rdf.Term }
+// It is an alias of rdf.TermTriple so triple buffers can flow into
+// rdf.Store.AddBatch without a copy.
+type TripleT = rdf.TermTriple
 
 // AddAll inserts term triples into a store.
 func AddAll(st *rdf.Store, triples []TripleT) {
@@ -255,11 +263,11 @@ func AreaTriples(name string, poly *geo.Polygon) []TripleT {
 	node := AreaIRI(name)
 	b := poly.BBox()
 	return []TripleT{
-		{node, PredType, ClassArea},
-		{node, PredName, rdf.NewLiteral(name)},
-		{node, rdf.NewIRI(NS + "minLon"), rdf.NewDouble(b.MinLon)},
-		{node, rdf.NewIRI(NS + "minLat"), rdf.NewDouble(b.MinLat)},
-		{node, rdf.NewIRI(NS + "maxLon"), rdf.NewDouble(b.MaxLon)},
-		{node, rdf.NewIRI(NS + "maxLat"), rdf.NewDouble(b.MaxLat)},
+		{S: node, P: PredType, O: ClassArea},
+		{S: node, P: PredName, O: rdf.NewLiteral(name)},
+		{S: node, P: rdf.NewIRI(NS + "minLon"), O: rdf.NewDouble(b.MinLon)},
+		{S: node, P: rdf.NewIRI(NS + "minLat"), O: rdf.NewDouble(b.MinLat)},
+		{S: node, P: rdf.NewIRI(NS + "maxLon"), O: rdf.NewDouble(b.MaxLon)},
+		{S: node, P: rdf.NewIRI(NS + "maxLat"), O: rdf.NewDouble(b.MaxLat)},
 	}
 }

@@ -115,12 +115,26 @@ func TestBlockScanFixedShapes(t *testing.T) {
 			?n dat:timestamp ?t . ?n dat:ofMovingObject ?who .
 			FILTER st:during(?t, 20000, 30000)
 		}`,
-		// CmpFilter on speed must not be pushed (string fallback); combined
-		// with a pushed during filter.
+		// CmpFilter on speed: pushed on sealed segments (seal-time stats
+		// prove dat:speed all-numeric), combined with a pushed during
+		// filter.
 		`SELECT ?n WHERE {
 			?n dat:timestamp ?t . ?n dat:speed ?v .
 			FILTER st:during(?t, 0, 50000) FILTER (?v >= 7.5)
 		}`,
+		// CmpFilter alone, one per operator — the conditional-only bounds
+		// path, with no unconditional clamp backing it up.
+		`SELECT ?n WHERE { ?n dat:speed ?v . FILTER (?v >= 7.5) }`,
+		`SELECT ?n WHERE { ?n dat:speed ?v . FILTER (?v < 3) }`,
+		`SELECT ?n WHERE { ?n dat:speed ?v . FILTER (?v != 5) }`,
+		`SELECT ?n WHERE { ?n dat:timestamp ?t . FILTER (?t = 20000) }`,
+		// Conjoined comparisons on one variable narrow from both sides.
+		`SELECT ?n WHERE { ?n dat:speed ?v . FILTER (?v > 2) FILTER (?v <= 9) }`,
+		// CmpFilter against a string-valued predicate: dat:navStatus is not
+		// numeric-only, so neither the string constant (no float) nor the
+		// numeric constant (string fallback could keep rows) may push.
+		`SELECT ?n WHERE { ?n dat:navStatus ?st . FILTER (?st >= "UnderWay") }`,
+		`SELECT ?n WHERE { ?n dat:navStatus ?st . FILTER (?st > 5) }`,
 		// Inclusive boundaries: during [0, 0] and [99999, 99999] hit only
 		// exact-timestamp records.
 		`SELECT ?n WHERE { ?n dat:timestamp ?t . FILTER st:during(?t, 0, 0) }`,

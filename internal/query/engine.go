@@ -232,34 +232,64 @@ func estimateCard(tp TriplePattern, g rdf.Graph) int {
 	return g.Len()
 }
 
-// numBound is the closed numeric candidate interval [Lo, Hi] for one
-// variable, derived from the query's spatiotemporal FILTERs.
-type numBound struct{ Lo, Hi float64 }
+// numBound is the closed numeric candidate interval for one variable.
+// [Lo, Hi] is unconditional: derived from filters that reject non-numeric
+// bindings outright, so it is sound on any graph. [CLo, CHi] is
+// conditional: derived from plain comparison FILTERs, whose
+// string-comparison fallback can accept non-numeric bindings — it may only
+// be intersected in on segments whose seal-time statistics prove every
+// object of the scanned predicate is numeric (Segment.NumericOnly; see
+// DESIGN.md §13).
+type numBound struct {
+	Lo, Hi   float64
+	CLo, CHi float64
+	cond     bool // any conditional clamp present
+}
 
-// numericBounds derives per-variable candidate intervals from the filters
-// whose semantics make the pushdown sound: st:during and st:within both
-// reject any binding whose term does not parse as a number, so restricting
-// a pattern's object candidates to numeric values inside the (conjoined)
-// interval can only drop rows the filter would drop anyway — the exact
-// filter still runs on every surviving row, so the interval only needs to
-// be a superset. st:during bounds are int64; they are widened by one ulp
-// after the float64 conversion so values that round across the boundary
-// above 2^53 stay inside. Plain comparison FILTERs contribute nothing:
-// their string-comparison fallback accepts non-numeric bindings, which the
-// numeric column cannot represent.
+// numericBounds derives per-variable candidate intervals from the query's
+// filters. st:during and st:within reject any binding whose term does not
+// parse as a number, so restricting a pattern's object candidates to
+// numeric values inside the (conjoined) interval can only drop rows the
+// filter would drop anyway — the exact filter still runs on every surviving
+// row, so the interval only needs to be a superset. st:during bounds are
+// int64; they are widened by one ulp after the float64 conversion so values
+// that round across the boundary above 2^53 stay inside.
+//
+// Plain comparison FILTERs against a numeric constant clamp only the
+// conditional pair: on a predicate proved all-numeric at seal time their
+// Eval takes the float branch for every binding, so the interval is exact
+// there — but on a mixed predicate the string fallback could keep a
+// non-numeric row the numeric column cannot represent, so scanPattern
+// applies the conditional pair only under Segment.NumericOnly. A NaN
+// constant clamps nothing (no interval represents its comparisons).
 func numericBounds(filters []Filter) map[string]numBound {
 	var out map[string]numBound
-	clamp := func(v string, lo, hi float64) {
+	bound := func(v string) *numBound {
 		if out == nil {
 			out = make(map[string]numBound)
 		}
 		b, ok := out[v]
 		if !ok {
-			b = numBound{Lo: math.Inf(-1), Hi: math.Inf(1)}
+			b = numBound{
+				Lo: math.Inf(-1), Hi: math.Inf(1),
+				CLo: math.Inf(-1), CHi: math.Inf(1),
+			}
 		}
+		out[v] = b
+		return &b
+	}
+	clamp := func(v string, lo, hi float64) {
+		b := bound(v)
 		b.Lo = math.Max(b.Lo, lo)
 		b.Hi = math.Min(b.Hi, hi)
-		out[v] = b
+		out[v] = *b
+	}
+	clampCond := func(v string, lo, hi float64) {
+		b := bound(v)
+		b.CLo = math.Max(b.CLo, lo)
+		b.CHi = math.Min(b.CHi, hi)
+		b.cond = true
+		out[v] = *b
 	}
 	for _, f := range filters {
 		switch ff := f.(type) {
@@ -270,6 +300,19 @@ func numericBounds(filters []Filter) map[string]numBound {
 		case WithinFilter:
 			clamp(ff.LonVar, ff.Box.MinLon, ff.Box.MaxLon)
 			clamp(ff.LatVar, ff.Box.MinLat, ff.Box.MaxLat)
+		case CmpFilter:
+			v, ok := ff.Value.Float()
+			if !ok || math.IsNaN(v) {
+				continue
+			}
+			switch ff.Op {
+			case OpLT, OpLE:
+				clampCond(ff.Var, math.Inf(-1), v)
+			case OpGT, OpGE:
+				clampCond(ff.Var, v, math.Inf(1))
+			case OpEQ:
+				clampCond(ff.Var, v, v)
+			}
 		}
 	}
 	return out
@@ -305,8 +348,22 @@ func scanPattern(g rdf.Graph, s, p, o rdf.ID, ob *numBound, fn func(rdf.Triple) 
 		}
 	case *rdf.Segment:
 		if s == rdf.Wildcard && p != rdf.Wildcard {
-			gg.NumericRange(p, ob.Lo, ob.Hi, fn)
-			return
+			lo, hi := ob.Lo, ob.Hi
+			if ob.cond && gg.NumericOnly(p) {
+				// Comparison-filter bounds only intersect in when the
+				// segment's seal-time stats prove the predicate all-numeric:
+				// on a mixed predicate the filter's string fallback could
+				// keep rows the numeric column does not carry.
+				lo = math.Max(lo, ob.CLo)
+				hi = math.Min(hi, ob.CHi)
+			}
+			if !math.IsInf(lo, -1) || !math.IsInf(hi, 1) {
+				gg.NumericRange(p, lo, hi, fn)
+				return
+			}
+			// Both sides unbounded (only conditional clamps existed and the
+			// predicate is mixed): NumericRange would silently drop the
+			// non-numeric rows, so take the plain scan.
 		}
 		gg.FindID(s, p, o, fn)
 	default:

@@ -1,0 +1,154 @@
+package rdf
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// termTriples decodes and canonically sorts a store's full contents, the
+// dictionary-independent form the differential tests compare on.
+func termTriples(t *testing.T, st *Store) []TermTriple {
+	t.Helper()
+	out := make([]TermTriple, 0, st.Len())
+	st.Find(nil, nil, nil, func(s, p, o Term) bool {
+		out = append(out, TermTriple{S: s, P: p, O: o})
+		return true
+	})
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.S != b.S {
+			return a.S.String() < b.S.String()
+		}
+		if a.P != b.P {
+			return a.P.String() < b.P.String()
+		}
+		return a.O.String() < b.O.String()
+	})
+	return out
+}
+
+func randomTermTriples(rng *rand.Rand, n int) []TermTriple {
+	subjects := make([]Term, rng.Intn(8)+2)
+	for i := range subjects {
+		subjects[i] = NewIRI(fmt.Sprintf("http://x/s%d", rng.Intn(20)))
+	}
+	preds := make([]Term, rng.Intn(5)+1)
+	for i := range preds {
+		preds[i] = NewIRI(fmt.Sprintf("http://x/p%d", rng.Intn(8)))
+	}
+	out := make([]TermTriple, n)
+	for i := range out {
+		var o Term
+		switch rng.Intn(3) {
+		case 0:
+			o = NewIRI(fmt.Sprintf("http://x/o%d", rng.Intn(30)))
+		case 1:
+			o = NewLong(int64(rng.Intn(50)))
+		default:
+			o = NewDouble(float64(rng.Intn(100)) / 4)
+		}
+		out[i] = TermTriple{S: subjects[rng.Intn(len(subjects))], P: preds[rng.Intn(len(preds))], O: o}
+	}
+	return out
+}
+
+// TestAddBatchDifferential feeds identical random triple streams — heavy
+// with duplicates within batches, across batches, and against pre-existing
+// contents — through one-by-one Add and through AddBatch in random chunk
+// sizes, and requires identical stores (contents, count, and every access
+// pattern).
+func TestAddBatchDifferential(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for round := 0; round < 60; round++ {
+		triples := randomTermTriples(rng, rng.Intn(200)+1)
+		one, batched := NewStore(nil), NewStore(nil)
+		for _, tr := range triples {
+			one.Add(tr.S, tr.P, tr.O)
+		}
+		for lo := 0; lo < len(triples); {
+			hi := lo + rng.Intn(40) + 1
+			if hi > len(triples) {
+				hi = len(triples)
+			}
+			batched.AddBatch(triples[lo:hi])
+			lo = hi
+		}
+		if one.Len() != batched.Len() {
+			t.Fatalf("round %d: Len %d (one-by-one) vs %d (batched)", round, one.Len(), batched.Len())
+		}
+		a, b := termTriples(t, one), termTriples(t, batched)
+		if len(a) != len(b) {
+			t.Fatalf("round %d: %d triples vs %d", round, len(a), len(b))
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("round %d triple %d: %v vs %v", round, i, a[i], b[i])
+			}
+		}
+		// Every access pattern must agree (exercises the POS/OSP merge
+		// paths, not just SPO).
+		for _, tr := range triples {
+			for _, probe := range [][3]*Term{
+				{&tr.S, nil, nil}, {nil, &tr.P, nil}, {nil, nil, &tr.O},
+				{&tr.S, &tr.P, nil}, {nil, &tr.P, &tr.O}, {&tr.S, nil, &tr.O},
+				{&tr.S, &tr.P, &tr.O},
+			} {
+				na, nb := 0, 0
+				one.Find(probe[0], probe[1], probe[2], func(_, _, _ Term) bool { na++; return true })
+				batched.Find(probe[0], probe[1], probe[2], func(_, _, _ Term) bool { nb++; return true })
+				if na != nb {
+					t.Fatalf("round %d probe %v: %d matches vs %d", round, probe, na, nb)
+				}
+			}
+		}
+	}
+}
+
+// TestAddBatchInterleavedWithAdd mixes bulk and single inserts into the same
+// store and checks against a one-by-one twin.
+func TestAddBatchInterleavedWithAdd(t *testing.T) {
+	rng := rand.New(rand.NewSource(19))
+	st, twin := NewStore(nil), NewStore(nil)
+	for round := 0; round < 30; round++ {
+		triples := randomTermTriples(rng, rng.Intn(80)+1)
+		if round%2 == 0 {
+			st.AddBatch(triples)
+		} else {
+			for _, tr := range triples {
+				st.Add(tr.S, tr.P, tr.O)
+			}
+		}
+		for _, tr := range triples {
+			twin.Add(tr.S, tr.P, tr.O)
+		}
+	}
+	if st.Len() != twin.Len() {
+		t.Fatalf("Len %d vs twin %d", st.Len(), twin.Len())
+	}
+	a, b := termTriples(t, st), termTriples(t, twin)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("triple %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+// TestAddBatchEmptyAndAllDup covers the early-out paths.
+func TestAddBatchEmptyAndAllDup(t *testing.T) {
+	st := NewStore(nil)
+	st.AddBatch(nil)
+	if st.Len() != 0 {
+		t.Fatalf("Len after empty batch = %d", st.Len())
+	}
+	tr := TermTriple{S: NewIRI("http://x/s"), P: NewIRI("http://x/p"), O: NewLong(1)}
+	st.AddBatch([]TermTriple{tr, tr, tr})
+	if st.Len() != 1 {
+		t.Fatalf("Len after dup-only batch = %d, want 1", st.Len())
+	}
+	st.AddBatch([]TermTriple{tr})
+	if st.Len() != 1 {
+		t.Fatalf("Len after re-insert = %d, want 1", st.Len())
+	}
+}

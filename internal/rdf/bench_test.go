@@ -76,6 +76,85 @@ func BenchmarkSeal(b *testing.B) {
 
 var sinkLen int
 
+// BenchmarkStoreAddBatch measures the bulk insert against one-by-one Add on
+// the same position-shaped stream: 64 nine-triple star fragments per op (one
+// ingest worker's batch drain), with the shared objects real reports carry —
+// one type class, a recurring entity IRI, a small status vocabulary — so the
+// POS index grows the high-degree subject lists where per-triple
+// binary-search inserts memmove and the batch path merges runs instead.
+// AddBatch also takes the dictionary lock once per batch instead of once
+// per triple.
+func BenchmarkStoreAddBatch(b *testing.B) {
+	const reports, starSize = 64, 9
+	classNode := NewIRI("http://b/class/Node")
+	predType := NewIRI("http://b/p/type")
+	predOf := NewIRI("http://b/p/ofObject")
+	predStatus := NewIRI("http://b/p/status")
+	var preds [6]Term
+	for j := range preds {
+		preds[j] = NewIRI(fmt.Sprintf("http://b/p/%d", j))
+	}
+	var statuses [5]Term
+	for j := range statuses {
+		statuses[j] = NewLiteral(fmt.Sprintf("Status%d", j))
+	}
+	makeBatch := func(i int, dst []TermTriple) []TermTriple {
+		for r := 0; r < reports; r++ {
+			n := i*reports + r
+			node := NewIRI(fmt.Sprintf("http://b/n/%d", n))
+			dst = append(dst,
+				TermTriple{S: node, P: predType, O: classNode},
+				TermTriple{S: node, P: predOf, O: NewIRI(fmt.Sprintf("http://b/e/%d", n%64))},
+				TermTriple{S: node, P: predStatus, O: statuses[n%len(statuses)]},
+			)
+			for j := range preds {
+				dst = append(dst, TermTriple{S: node, P: preds[j], O: NewLong(int64(n*starSize + j))})
+			}
+		}
+		return dst
+	}
+	// Batches are pre-generated outside the timer so the measurement is the
+	// insert path alone, not term construction. Terms are pre-encoded in
+	// strided order so insertion order is non-monotonic in dictionary-ID
+	// space — the sorted-index shape real streams produce (recurring entity
+	// IRIs, statuses and predicates interleave with fresh nodes), where
+	// per-triple binary-search inserts memmove and run merges do not.
+	run := func(b *testing.B, insert func(st *Store, batch []TermTriple)) {
+		batches := make([][]TermTriple, b.N)
+		for i := range batches {
+			batches[i] = makeBatch(i, nil)
+		}
+		dict := NewDictionary()
+		const stride = 7
+		for s := 0; s < stride; s++ {
+			for i := s; i < len(batches); i += stride {
+				for _, tr := range batches[i] {
+					dict.Encode(tr.S)
+					dict.Encode(tr.P)
+					dict.Encode(tr.O)
+				}
+			}
+		}
+		st := NewStore(dict)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for _, batch := range batches {
+			insert(st, batch)
+		}
+		sinkLen = st.Len()
+	}
+	b.Run("add", func(b *testing.B) {
+		run(b, func(st *Store, batch []TermTriple) {
+			for _, tr := range batch {
+				st.Add(tr.S, tr.P, tr.O)
+			}
+		})
+	})
+	b.Run("batch", func(b *testing.B) {
+		run(b, func(st *Store, batch []TermTriple) { st.AddBatch(batch) })
+	})
+}
+
 func BenchmarkStoreAddPositionShaped(b *testing.B) {
 	// Nine-triple star fragments, the shape every position report writes.
 	st := NewStore(nil)

@@ -154,6 +154,16 @@ func (g *Segment) Len() int { return len(g.tri) }
 // PredCard implements Graph.
 func (g *Segment) PredCard(p ID) int { return g.pred[p] }
 
+// NumericOnly reports whether every triple of predicate p in this segment
+// carries an object that parses as a finite number — the seal-time proof
+// that lets the query engine push plain comparison FILTER bounds into the
+// predicate's numeric column: when it holds, no candidate binding can take
+// the string-comparison fallback, so a numeric interval restriction is a
+// sound superset (DESIGN.md §13). The statistic is exact: buildNumericColumns
+// files every numeric-object triple and only those, so the column length
+// equals the predicate cardinality exactly when no object failed to parse.
+func (g *Segment) NumericOnly(p ID) bool { return len(g.num[p]) == g.pred[p] }
+
 // PredHistogram returns a copy of the per-predicate triple counts (the
 // per-segment statistic snapshots persist).
 func (g *Segment) PredHistogram() map[ID]int {

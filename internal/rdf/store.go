@@ -1,6 +1,7 @@
 package rdf
 
 import (
+	"slices"
 	"sort"
 	"sync"
 )
@@ -35,13 +36,35 @@ func (d *Dictionary) Encode(t Term) ID {
 	}
 	d.mu.Lock()
 	defer d.mu.Unlock()
+	return d.encodeLocked(t)
+}
+
+// encodeLocked interns t under the caller-held write lock.
+func (d *Dictionary) encodeLocked(t Term) ID {
 	if id, ok := d.byTerm[t]; ok {
 		return id
 	}
 	d.byID = append(d.byID, t)
-	id = ID(len(d.byID))
+	id := ID(len(d.byID))
 	d.byTerm[t] = id
 	return id
+}
+
+// EncodeBatch interns every term of triples under a single write lock —
+// one lock acquisition per batch instead of three per triple — and appends
+// the encoded triples to dst. Batched ingest flushes a worker's staged
+// triples through here, so the dictionary lock is contended once per batch.
+func (d *Dictionary) EncodeBatch(triples []TermTriple, dst []Triple) []Triple {
+	d.mu.Lock()
+	for _, t := range triples {
+		dst = append(dst, Triple{
+			S: d.encodeLocked(t.S),
+			P: d.encodeLocked(t.P),
+			O: d.encodeLocked(t.O),
+		})
+	}
+	d.mu.Unlock()
+	return dst
 }
 
 // Lookup returns the ID of t without interning; ok=false if unseen.
@@ -72,6 +95,11 @@ func (d *Dictionary) Len() int {
 // Triple is a dictionary-encoded RDF statement.
 type Triple struct{ S, P, O ID }
 
+// TermTriple is a term-level RDF statement, the unit batch inserts take
+// before dictionary encoding (the transformation layer's onto.TripleT is an
+// alias of this type).
+type TermTriple struct{ S, P, O Term }
+
 // Store is an in-memory indexed triple store. It maintains SPO, POS and OSP
 // indexes so that any bound-variable combination has an efficient access
 // path. A Store is safe for concurrent reads; writes must be externally
@@ -87,6 +115,12 @@ type Store struct {
 	osp  map[ID]map[ID][]ID
 	pred map[ID]int // predicate → triple count (planner statistics)
 	n    int
+
+	// AddBatch scratch, reused across batches. Writes are externally
+	// serialised (see the Store contract), so plain fields suffice.
+	batchTri  []Triple // encoded batch, sorted/deduped
+	batchIns  []Triple // triples actually inserted (absent before the batch)
+	batchVals []ID     // per-run new values for the index merges
 }
 
 // NewStore returns an empty store sharing the given dictionary (pass nil
@@ -127,6 +161,168 @@ func (st *Store) AddID(s, p, o ID) {
 		st.pred[p]++
 		st.n++
 	}
+}
+
+// AddBatch encodes and inserts a batch of term triples; duplicates (within
+// the batch or against the store) are ignored. It is the bulk counterpart
+// of Add: all terms are interned under one dictionary lock, the batch is
+// sorted once, and each index absorbs the new triples as run merges into
+// its sorted posting lists instead of one binary-search insert per triple.
+// The resulting store state is identical to adding the triples one by one.
+func (st *Store) AddBatch(triples []TermTriple) {
+	if len(triples) == 0 {
+		return
+	}
+	tri := st.dict.EncodeBatch(triples, st.batchTri[:0])
+	slices.SortFunc(tri, cmpSPO)
+	// Collapse in-batch duplicates in place (sorted, so they are adjacent).
+	w := 0
+	for i, t := range tri {
+		if i > 0 && t == tri[w-1] {
+			continue
+		}
+		tri[w] = t
+		w++
+	}
+	tri = tri[:w]
+
+	// SPO: per-(S,P) run, drop triples already present and merge the rest.
+	ins := st.batchIns[:0]
+	for i := 0; i < len(tri); {
+		s, p := tri[i].S, tri[i].P
+		j := i
+		for j < len(tri) && tri[j].S == s && tri[j].P == p {
+			j++
+		}
+		m := st.spo[s]
+		if m == nil {
+			m = make(map[ID][]ID)
+			st.spo[s] = m
+		}
+		list := m[p]
+		vals := st.batchVals[:0]
+		k := 0
+		for _, t := range tri[i:j] {
+			for k < len(list) && list[k] < t.O {
+				k++
+			}
+			if k < len(list) && list[k] == t.O {
+				continue // already stored
+			}
+			vals = append(vals, t.O)
+			ins = append(ins, t)
+		}
+		m[p] = mergeSorted(list, vals)
+		st.batchVals = vals[:0]
+		i = j
+	}
+	if len(ins) == 0 {
+		st.batchTri = tri[:0]
+		st.batchIns = ins[:0]
+		return
+	}
+	// Every inserted triple is new, so the POS and OSP merges need no
+	// duplicate checks: re-sort the inserted set per index order and merge
+	// each run wholesale.
+	for _, t := range ins {
+		st.pred[t.P]++
+	}
+	st.n += len(ins)
+	slices.SortFunc(ins, cmpPOS)
+	st.mergeRuns(st.pos, ins, func(t Triple) (ID, ID, ID) { return t.P, t.O, t.S })
+	slices.SortFunc(ins, cmpOSP)
+	st.mergeRuns(st.osp, ins, func(t Triple) (ID, ID, ID) { return t.O, t.S, t.P })
+	st.batchTri = tri[:0]
+	st.batchIns = ins[:0]
+}
+
+// cmpID is a branch-light three-way compare on IDs (always in uint32 range,
+// so the int subtraction cannot overflow).
+func cmpID(a, b ID) int { return int(a) - int(b) }
+
+// cmpSPO/cmpPOS/cmpOSP are the slices.SortFunc counterparts of
+// lessSPO/lessPOS/lessOSP (segment.go) — the batch insert path sorts with
+// these so the comparator inlines.
+func cmpSPO(a, b Triple) int {
+	if c := cmpID(a.S, b.S); c != 0 {
+		return c
+	}
+	if c := cmpID(a.P, b.P); c != 0 {
+		return c
+	}
+	return cmpID(a.O, b.O)
+}
+
+func cmpPOS(a, b Triple) int {
+	if c := cmpID(a.P, b.P); c != 0 {
+		return c
+	}
+	if c := cmpID(a.O, b.O); c != 0 {
+		return c
+	}
+	return cmpID(a.S, b.S)
+}
+
+func cmpOSP(a, b Triple) int {
+	if c := cmpID(a.O, b.O); c != 0 {
+		return c
+	}
+	if c := cmpID(a.S, b.S); c != 0 {
+		return c
+	}
+	return cmpID(a.P, b.P)
+}
+
+// mergeRuns merges the triples — sorted by the index's (a, b, c) order and
+// known absent from it — into idx, one sorted merge per (a, b) run.
+func (st *Store) mergeRuns(idx map[ID]map[ID][]ID, tris []Triple, abc func(Triple) (ID, ID, ID)) {
+	for i := 0; i < len(tris); {
+		a, b, _ := abc(tris[i])
+		vals := st.batchVals[:0]
+		j := i
+		for j < len(tris) {
+			aj, bj, cj := abc(tris[j])
+			if aj != a || bj != b {
+				break
+			}
+			vals = append(vals, cj)
+			j++
+		}
+		m := idx[a]
+		if m == nil {
+			m = make(map[ID][]ID)
+			idx[a] = m
+		}
+		m[b] = mergeSorted(m[b], vals)
+		st.batchVals = vals[:0]
+		i = j
+	}
+}
+
+// mergeSorted merges the sorted values — none already present — into the
+// sorted list, back to front so every element moves at most once. The
+// common append-at-tail case (IDs are assigned in first-sight order) costs
+// one copy.
+func mergeSorted(list, vals []ID) []ID {
+	if len(vals) == 0 {
+		return list
+	}
+	n := len(list)
+	if n == 0 || list[n-1] < vals[0] {
+		return append(list, vals...)
+	}
+	list = append(list, vals...)
+	i, j := n-1, len(vals)-1
+	for k := len(list) - 1; j >= 0; k-- {
+		if i >= 0 && list[i] > vals[j] {
+			list[k] = list[i]
+			i--
+		} else {
+			list[k] = vals[j]
+			j--
+		}
+	}
+	return list
 }
 
 // HasID reports whether the triple is present.

@@ -131,6 +131,16 @@ func BenchmarkServerIngestBinary(b *testing.B) {
 	runIngestBench(b, srv, batches)
 }
 
+// BenchmarkServerIngestBatched is the binary path with an aggressive
+// 256-line worker batch drain (the default is core.DefaultBatchDrain): a
+// saturated worker applies up to 256 queued lines under one snapshot
+// barrier acquisition, one watermark update and one bulk store flush.
+func BenchmarkServerIngestBatched(b *testing.B) {
+	batches := benchBinaryBatches(b)
+	srv := New(Config{Pipeline: benchPipeline(b), QueueLen: 1 << 16, BatchDrain: 256})
+	runIngestBench(b, srv, batches)
+}
+
 // BenchmarkServerIngestTraced is the serving path with sampled stage
 // tracing at the default 1:64 rate — the daemon's out-of-the-box
 // configuration. The acceptance bar for the observability layer is < 5%

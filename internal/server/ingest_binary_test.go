@@ -144,9 +144,22 @@ func TestServerIngestBinaryBadFrame(t *testing.T) {
 // uninterrupted run — the PR-2 durability guarantee extended to the new
 // wire format. Mirrors TestServerKillRecoverGolden with frame bodies.
 func TestServerIngestBinaryKillRecoverGolden(t *testing.T) {
+	testServerIngestFramesKillRecoverGolden(t, Config{Workers: 4, QueueLen: 1 << 16})
+}
+
+// The same durability guarantee must hold with an aggressive worker batch
+// drain: every accepted record is WAL-committed before the ack, and a crash
+// mid-batch replays to exactly the uninterrupted state. A batch applied as
+// one critical section is atomic against snapshots, never against the WAL
+// — recovery replays individual records.
+func TestServerIngestBatchedKillRecoverGolden(t *testing.T) {
+	testServerIngestFramesKillRecoverGolden(t, Config{Workers: 4, QueueLen: 1 << 16, BatchDrain: 256})
+}
+
+func testServerIngestFramesKillRecoverGolden(t *testing.T, cfg Config) {
 	sc := goldenWorld(t)
 	dataDir := t.TempDir()
-	_, _, srv1, ts1 := durableWorldServer(t, sc, dataDir, Config{Workers: 4, QueueLen: 1 << 16})
+	_, _, srv1, ts1 := durableWorldServer(t, sc, dataDir, cfg)
 
 	const batch = 4000
 	snapAt := len(sc.WireTimed) / 2
@@ -180,7 +193,7 @@ func TestServerIngestBinaryKillRecoverGolden(t *testing.T) {
 	ts1.Close()
 	t.Logf("killed with %d acked records still in queues", srv1.Ingestor().Pending())
 
-	p2, _, _, _ := durableWorldServer(t, sc, dataDir, Config{Workers: 4, QueueLen: 1 << 16})
+	p2, _, _, _ := durableWorldServer(t, sc, dataDir, cfg)
 	ref := referenceRun(t, sc)
 	if got, want := p2.Stats.Snapshot(), ref.Stats.Snapshot(); got != want {
 		t.Errorf("recovered counters = %+v, want %+v", got, want)
