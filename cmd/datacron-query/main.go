@@ -16,6 +16,7 @@ import (
 
 	"github.com/datacron-project/datacron/internal/core"
 	"github.com/datacron-project/datacron/internal/model"
+	"github.com/datacron-project/datacron/internal/obs"
 	"github.com/datacron-project/datacron/internal/query"
 	"github.com/datacron-project/datacron/internal/synth"
 )
@@ -28,6 +29,7 @@ func main() {
 		domain   = flag.String("domain", "maritime", "maritime or aviation")
 		q        = flag.String("query", "", "stSPARQL-lite query; empty drops into a demo query")
 		shards   = flag.Int("shards", 4, "store shard count")
+		explain  = flag.Bool("explain", false, "print the physical plan without executing")
 	)
 	flag.Parse()
 	if *wirePath == "" {
@@ -72,6 +74,18 @@ func main() {
 	if src == "" {
 		src = `SELECT ?v ?name WHERE { ?v rdf:type dat:Vessel . ?v dat:name ?name . } LIMIT 10`
 		log.Printf("no -query given; running demo: %s", src)
+	}
+	if *explain {
+		// Lower to the physical operator chain without executing — the same
+		// renderer the slow-query log uses (row counts print only after an
+		// execution, so -explain shows the shape and the scan's real
+		// shard-pruning facts from the loaded store).
+		parsed, perr := query.Parse(src)
+		if perr != nil {
+			log.Fatal(perr)
+		}
+		fmt.Print(obs.FormatPlanStages(p.Engine.Explain(parsed)))
+		return
 	}
 	res, err := p.Engine.Execute(src)
 	if err != nil {

@@ -73,6 +73,13 @@ var goldenQueries = []string{
 	`SELECT COUNT WHERE { ?n rdf:type dat:SemanticNode . }`,
 	`SELECT COUNT ?n WHERE { ?n dat:speed ?s . FILTER (?s > 12) } LIMIT 4`,
 	`SELECT ?n WHERE { ?n rdf:type dat:SemanticNode . } LIMIT 57`,
+	// Grouped / ordered aggregates: the coordinator must fold the merged
+	// distinct rows exactly like a single node — including float SUM/AVG
+	// bits, pinned by the canonical fold order on both sides.
+	`SELECT ?v COUNT(?n) WHERE { ?n dat:ofMovingObject ?v . } GROUP BY ?v`,
+	`SELECT ?v SUM(?s) AVG(?s) WHERE { ?n dat:ofMovingObject ?v . ?n dat:speed ?s . } GROUP BY ?v ORDER BY ?sum_s DESC, ?v LIMIT 5`,
+	`SELECT COUNT(?n) MIN(?s) MAX(?s) AVG(?s) WHERE { ?n dat:speed ?s . }`,
+	`SELECT ?n ?s WHERE { ?n dat:speed ?s . FILTER (?s > 12) } ORDER BY ?s DESC, ?n LIMIT 10`,
 }
 
 // TestClusterGoldenBitIdentity is the tentpole acceptance test: a 3-node

@@ -40,12 +40,13 @@ type peerQueryResponse struct {
 }
 
 // handleQuery is the coordinator read path: parse the query once for
-// validation and for its COUNT/LIMIT clauses, fan the COUNT/LIMIT-stripped
-// query to every node (PartialQueryHeader), merge the distinct row sets
-// under the engine's own ordering, and apply COUNT/LIMIT once globally —
-// the coordinator-side half of the per-shard merge the engine already does
-// node-locally, so a cluster answer is bit-identical to a single node
-// holding the same data.
+// validation and for its final clauses (grouping, aggregates, ordering,
+// LIMIT), fan the query to every node marked partial (PartialQueryHeader —
+// each node runs the StripFinal form and returns its distinct input rows),
+// merge the row sets under the engine's own ordering, and run the final
+// operators once globally (query.Finalize) — the coordinator-side half of
+// the per-shard merge the engine already does node-locally, so a cluster
+// answer is bit-identical to a single node holding the same data.
 func (n *Node) handleQuery(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
 	body, err := io.ReadAll(io.LimitReader(r.Body, 1<<20))
@@ -109,7 +110,12 @@ func (n *Node) handleQuery(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	rows := query.MergeStringRows(partials...)
-	resp.Vars, resp.Rows = query.ApplyCountLimit(vars, rows, q.Count, q.Limit)
+	outVars, outRows, ferr := query.Finalize(q, vars, rows)
+	if ferr != nil {
+		writeJSON(w, http.StatusInternalServerError, errorResponse{Error: ferr.Error()})
+		return
+	}
+	resp.Vars, resp.Rows = outVars, outRows
 	if resp.Rows == nil {
 		resp.Rows = [][]string{}
 	}

@@ -1,11 +1,42 @@
 package obs
 
 import (
+	"fmt"
 	"log/slog"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 )
+
+// PlanStage is one operator of a physical query plan, in execution order
+// (scan first, limit last). Rows is the operator's output cardinality; -1
+// means the plan was rendered without executing (EXPLAIN).
+type PlanStage struct {
+	Op     string `json:"op"`
+	Detail string `json:"detail,omitempty"`
+	Rows   int    `json:"rows"`
+}
+
+// FormatPlanStages renders a physical plan as the one-operator-per-line
+// chain shared by the slow-query log and `datacron-query -explain`.
+func FormatPlanStages(stages []PlanStage) string {
+	var b strings.Builder
+	for i, st := range stages {
+		if i > 0 {
+			b.WriteString("-> ")
+		}
+		b.WriteString(st.Op)
+		if st.Detail != "" {
+			b.WriteString("(" + st.Detail + ")")
+		}
+		if st.Rows >= 0 {
+			fmt.Fprintf(&b, " rows=%d", st.Rows)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
 
 // SlowQuery is one slow-query log entry: the query together with the plan
 // facts that explain where the time went — how many shards the planner
@@ -28,6 +59,11 @@ type SlowQuery struct {
 	ShardsPruned  int `json:"shardsPruned"`
 	// SegmentsPruned counts sealed segments skipped inside visited shards.
 	SegmentsPruned int `json:"segmentsPruned"`
+	// Plan is the executed physical operator chain with per-stage output
+	// cardinalities, execution order (scan first).
+	Plan []PlanStage `json:"plan,omitempty"`
+	// CacheHit reports whether the plan came from the engine's plan cache.
+	CacheHit bool `json:"cacheHit"`
 }
 
 // maxSlowQueryText bounds the retained query text per entry.
@@ -109,6 +145,8 @@ func (l *SlowLog) Observe(q SlowQuery) bool {
 		slog.Int("shardsVisited", q.ShardsVisited),
 		slog.Int("shardsPruned", q.ShardsPruned),
 		slog.Int("segmentsPruned", q.SegmentsPruned),
+		slog.Bool("cacheHit", q.CacheHit),
+		slog.String("plan", strings.TrimRight(strings.ReplaceAll(FormatPlanStages(q.Plan), "\n", " "), " ")),
 		slog.String("query", q.Query),
 	)
 	return true

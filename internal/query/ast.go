@@ -254,24 +254,154 @@ func getFloat(get func(string) (rdf.Term, bool), v string) (float64, bool) {
 	return t.Float()
 }
 
-// Query is a parsed query.
+// AggFunc names an aggregate function.
+type AggFunc string
+
+// Aggregate functions.
+const (
+	AggCount AggFunc = "COUNT"
+	AggSum   AggFunc = "SUM"
+	AggMin   AggFunc = "MIN"
+	AggMax   AggFunc = "MAX"
+	AggAvg   AggFunc = "AVG"
+)
+
+// Aggregate is one aggregate in the projection: COUNT, or FUNC(?var).
+// Var is empty only for the legacy bare COUNT form, which counts distinct
+// result rows.
+type Aggregate struct {
+	Func AggFunc
+	Var  string
+}
+
+// OutName is the output column the aggregate produces: "count" for the
+// bare COUNT, otherwise e.g. "sum_speed" for SUM(?speed).
+func (a Aggregate) OutName() string {
+	if a.Var == "" {
+		return "count"
+	}
+	return strings.ToLower(string(a.Func)) + "_" + a.Var
+}
+
+// String renders the parser-canonical form.
+func (a Aggregate) String() string {
+	if a.Var == "" {
+		return string(a.Func)
+	}
+	return fmt.Sprintf("%s(?%s)", a.Func, a.Var)
+}
+
+// OrderKey is one ORDER BY key. Var names an output column (a projected
+// pattern variable, a GROUP BY variable, or an aggregate's OutName).
+type OrderKey struct {
+	Var  string
+	Desc bool
+}
+
+// Query is a parsed query: the logical plan the planner lowers to a
+// physical operator tree (see physical.go).
 type Query struct {
-	Vars     []string // projection; empty = all variables in pattern order
-	Count    bool     // SELECT COUNT …: return a single row with the row count
+	Vars     []string    // projected pattern variables; empty = all in pattern order
+	Aggs     []Aggregate // projected aggregates
+	GroupBy  []string    // grouping variables
+	OrderBy  []OrderKey  // result ordering over output columns
 	Patterns []TriplePattern
 	Filters  []Filter
 	Limit    int // 0 = unlimited
+}
+
+// patternVars returns every variable in the WHERE clause, in first-mention
+// order.
+func (q *Query) patternVars() []string { return allVars(q.Patterns) }
+
+// InputVars returns the columns the scan must produce for the final
+// operators (group/aggregate/sort/limit) to run: for a plain query the
+// projection itself; for an aggregating query the union of plain projected
+// variables, GROUP BY variables and aggregate arguments. Aggregates run
+// over the DISTINCT rows of exactly these columns — set semantics, like
+// the legacy bare COUNT (which counts distinct rows of the projection).
+func (q *Query) InputVars() []string {
+	if len(q.Aggs) == 0 && len(q.GroupBy) == 0 {
+		if len(q.Vars) > 0 {
+			return q.Vars
+		}
+		return q.patternVars()
+	}
+	seen := map[string]bool{}
+	var out []string
+	add := func(v string) {
+		if v != "" && !seen[v] {
+			seen[v] = true
+			out = append(out, v)
+		}
+	}
+	for _, v := range q.Vars {
+		add(v)
+	}
+	for _, v := range q.GroupBy {
+		add(v)
+	}
+	for _, a := range q.Aggs {
+		add(a.Var)
+	}
+	if len(out) == 0 {
+		// Bare "SELECT COUNT WHERE {…}": count distinct full rows.
+		return q.patternVars()
+	}
+	return out
+}
+
+// OutputVars returns the result columns the query produces, in order:
+// grouping columns first (the projected variables when given, else the
+// GROUP BY list), then one column per aggregate.
+func (q *Query) OutputVars() []string {
+	if len(q.Aggs) == 0 && len(q.GroupBy) == 0 {
+		if len(q.Vars) > 0 {
+			return q.Vars
+		}
+		return q.patternVars()
+	}
+	var out []string
+	if len(q.GroupBy) > 0 {
+		if len(q.Vars) > 0 {
+			out = append(out, q.Vars...)
+		} else {
+			out = append(out, q.GroupBy...)
+		}
+	}
+	for _, a := range q.Aggs {
+		out = append(out, a.OutName())
+	}
+	return out
+}
+
+// StripFinal returns a copy of the query with grouping, aggregation,
+// ordering and LIMIT removed and the projection widened to InputVars: the
+// per-node partial query of a scatter-gather execution. The coordinator
+// merges the distinct partial rows and applies Finalize — running the same
+// group/sort/limit operators once over the merged set — which is exactly
+// what a single node computes (see DESIGN.md §16). The receiver is not
+// mutated, so cached plans stay valid.
+func (q *Query) StripFinal() *Query {
+	return &Query{
+		Vars:     q.InputVars(),
+		Patterns: q.Patterns,
+		Filters:  q.Filters,
+	}
 }
 
 // String renders a canonical form of the query.
 func (q *Query) String() string {
 	var b strings.Builder
 	b.WriteString("SELECT")
-	if len(q.Vars) == 0 {
+	if len(q.Vars) == 0 && len(q.Aggs) == 0 {
 		b.WriteString(" *")
 	}
 	for _, v := range q.Vars {
 		b.WriteString(" ?" + v)
+	}
+	for _, a := range q.Aggs {
+		b.WriteString(" " + a.String())
 	}
 	b.WriteString(" WHERE {")
 	for _, p := range q.Patterns {
@@ -281,6 +411,21 @@ func (q *Query) String() string {
 		b.WriteString(" " + f.String())
 	}
 	b.WriteString(" }")
+	if len(q.GroupBy) > 0 {
+		b.WriteString(" GROUP BY")
+		for _, v := range q.GroupBy {
+			b.WriteString(" ?" + v)
+		}
+	}
+	if len(q.OrderBy) > 0 {
+		b.WriteString(" ORDER BY")
+		for _, k := range q.OrderBy {
+			b.WriteString(" ?" + k.Var)
+			if k.Desc {
+				b.WriteString(" DESC")
+			}
+		}
+	}
 	if q.Limit > 0 {
 		fmt.Fprintf(&b, " LIMIT %d", q.Limit)
 	}

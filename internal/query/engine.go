@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"github.com/datacron-project/datacron/internal/geo"
+	"github.com/datacron-project/datacron/internal/obs"
 	"github.com/datacron-project/datacron/internal/rdf"
 	"github.com/datacron-project/datacron/internal/store"
 )
@@ -30,10 +31,22 @@ type Engine struct {
 	// by FILTER bounds). The flag exists for differential testing and as an
 	// emergency fallback; the block path is on by default.
 	DisableBlockScan bool
+	// cache memoises parsed queries by canonicalized text (see plancache.go).
+	cache *planCache
 }
 
 // NewEngine returns an engine over the given store.
-func NewEngine(st *store.Sharded) *Engine { return &Engine{st: st} }
+func NewEngine(st *store.Sharded) *Engine {
+	return &Engine{st: st, cache: newPlanCache(defaultPlanCacheSize)}
+}
+
+// PlanFacts describes how a query actually ran: the executed physical
+// operator chain (execution order, with per-stage output cardinalities)
+// and whether the plan came from the plan cache.
+type PlanFacts struct {
+	Stages   []obs.PlanStage
+	CacheHit bool
+}
 
 // Result is a query answer.
 type Result struct {
@@ -45,24 +58,53 @@ type Result struct {
 	// intersect the query's FILTER bounds.
 	SegmentsPruned int
 	Elapsed        time.Duration
+	Plan           PlanFacts
 }
 
-// Execute parses and runs a query string.
+// Execute parses (through the plan cache) and runs a query string.
 func (e *Engine) Execute(src string) (*Result, error) {
-	q, err := Parse(src)
+	q, hit, err := e.ParseCached(src)
 	if err != nil {
 		return nil, err
 	}
-	return e.Run(q)
+	return e.run(q, hit)
 }
 
 // Run evaluates a parsed query.
-func (e *Engine) Run(q *Query) (*Result, error) {
+func (e *Engine) Run(q *Query) (*Result, error) { return e.run(q, false) }
+
+// Explain lowers the query to its physical plan without executing it:
+// the -explain rendering (per-stage Rows stays -1).
+func (e *Engine) Explain(q *Query) []obs.PlanStage {
+	return collectStages(finalizeOps(q, &scanOp{e: e, q: q}))
+}
+
+// run lowers the logical plan onto a physical operator chain — scan
+// (patterns+filters+join over the tiered store) feeding group/aggregate,
+// sort and limit — executes it, and reports the plan facts.
+func (e *Engine) run(q *Query, cacheHit bool) (*Result, error) {
 	start := time.Now()
-	vars := q.Vars
-	if len(vars) == 0 {
-		vars = allVars(q.Patterns)
+	scan := &scanOp{e: e, q: q}
+	root := finalizeOps(q, scan)
+	rel, err := root.exec()
+	if err != nil {
+		return nil, err
 	}
+	return &Result{
+		Vars:           rel.cols,
+		Rows:           rel.rows,
+		ShardsVisited:  scan.shardsVisited,
+		SegmentsPruned: scan.segsPruned,
+		Elapsed:        time.Since(start),
+		Plan:           PlanFacts{Stages: collectStages(root), CacheHit: cacheHit},
+	}, nil
+}
+
+// scanRelation is the scan operator's body: evaluate patterns and filters
+// over every candidate shard in parallel and return the canonically sorted
+// distinct rows of the query's input projection, plus shard/segment facts.
+func (e *Engine) scanRelation(q *Query) (rel relation, shardsVisited, segsPruned int) {
+	vars := q.InputVars()
 
 	// Shard pruning from spatiotemporal filter bounds; the same bounds
 	// prune sealed segments inside each shard.
@@ -76,7 +118,7 @@ func (e *Engine) Run(q *Query) (*Result, error) {
 		par = len(candidates)
 	}
 	if par == 0 {
-		return &Result{Vars: vars, ShardsVisited: 0, Elapsed: time.Since(start)}, nil
+		return relation{cols: vars}, 0, 0
 	}
 
 	// Numeric candidate bounds per variable, pushed into sealed-segment
@@ -89,7 +131,6 @@ func (e *Engine) Run(q *Query) (*Result, error) {
 	var mu sync.Mutex
 	seen := make(map[string]struct{})
 	var rows [][]rdf.Term
-	segsPruned := 0
 	e.st.EachShardView(candidates, par, vb, func(i int, v *rdf.View, pruned int) {
 		// Plan per shard: predicate cardinalities differ across shards and
 		// change as segments seal and age out.
@@ -130,29 +171,13 @@ func (e *Engine) Run(q *Query) (*Result, error) {
 		}
 	})
 
+	// Canonical sort makes the scan's output deterministic, pins the fold
+	// order of downstream float aggregates (reproducible sums), and is the
+	// pre-LIMIT order — aggregates see every distinct row because LIMIT is
+	// a separate operator that runs after group/sort, so
+	// `SELECT COUNT ... LIMIT n` still measures, not echoes the limit.
 	sortRows(rows)
-	// COUNT reports the number of distinct matching rows; LIMIT truncates
-	// the rows a non-aggregate query returns. Counting after truncation
-	// would make `SELECT COUNT ... LIMIT n` answer min(count, n), which is
-	// the limit echoed back, not a measurement.
-	distinct := len(rows)
-	if q.Limit > 0 && len(rows) > q.Limit {
-		rows = rows[:q.Limit]
-	}
-	if q.Count {
-		return &Result{
-			Vars:           []string{"count"},
-			Rows:           [][]rdf.Term{{rdf.NewLong(int64(distinct))}},
-			ShardsVisited:  len(candidates),
-			SegmentsPruned: segsPruned,
-			Elapsed:        time.Since(start),
-		}, nil
-	}
-	return &Result{
-		Vars: vars, Rows: rows,
-		ShardsVisited: len(candidates), SegmentsPruned: segsPruned,
-		Elapsed: time.Since(start),
-	}, nil
+	return relation{cols: vars, rows: rows}, len(candidates), segsPruned
 }
 
 // candidates returns the shard indexes to evaluate.

@@ -29,6 +29,18 @@ func FuzzParse(f *testing.F) {
 		"SELECT ?v WHERE { FILTER st:within(?a, ?b) }",
 		"SELECT ?v WHERE { ?v ?v ?v . } LIMIT -1",
 		"SELECT \x00 WHERE { . }",
+		// Aggregate / grouping / ordering clause shapes.
+		"SELECT ?v COUNT(?n) WHERE { ?n dat:ofMovingObject ?v . } GROUP BY ?v",
+		"SELECT ?v SUM(?s) AVG(?s) WHERE { ?n dat:ofMovingObject ?v . ?n dat:speed ?s . } GROUP BY ?v ORDER BY ?sum_s DESC, ?v LIMIT 3",
+		"SELECT MIN(?s) MAX(?s) WHERE { ?n dat:speed ?s . }",
+		"SELECT ?n ?s WHERE { ?n dat:speed ?s . } ORDER BY ?s DESC ?n ASC",
+		"SELECT ?v COUNT WHERE { ?v rdf:type dat:Vessel . } GROUP BY ?v ORDER BY ?count",
+		"SELECT SUM(?s WHERE { ?n dat:speed ?s . }",
+		"SELECT ?v WHERE { ?v rdf:type dat:Vessel . } GROUP BY",
+		"SELECT ?v WHERE { ?v rdf:type dat:Vessel . } ORDER BY LIMIT 2",
+		"SELECT AVG() WHERE { ?n dat:speed ?s . }",
+		"SELECT COUNT(?\x00) WHERE { ?n dat:speed ?s . }",
+		"SELECT ?v WHERE { ?v rdf:type dat:Vessel . } GROUP BY ?v ORDER BY ?v DESC DESC",
 	}
 	for _, s := range seeds {
 		f.Add(s)
@@ -51,7 +63,9 @@ func FuzzParse(f *testing.F) {
 			}
 			t.Fatalf("canonical form %q of %q does not re-parse: %v", canon, src, err)
 		}
-		if len(q2.Patterns) != len(q.Patterns) || len(q2.Filters) != len(q.Filters) {
+		if len(q2.Patterns) != len(q.Patterns) || len(q2.Filters) != len(q.Filters) ||
+			len(q2.Aggs) != len(q.Aggs) || len(q2.GroupBy) != len(q.GroupBy) ||
+			len(q2.OrderBy) != len(q.OrderBy) || q2.Limit != q.Limit {
 			t.Fatalf("round trip changed shape: %q -> %q", src, canon)
 		}
 	})
@@ -134,6 +148,48 @@ func TestParseMalformedFilterBounds(t *testing.T) {
 			q, err := Parse(tc.src)
 			if err == nil {
 				t.Fatalf("accepted malformed filter: %+v", q)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+}
+
+// TestParseMalformedAggregateClauses is the same reject-with-an-error table
+// for the aggregate / GROUP BY / ORDER BY grammar.
+func TestParseMalformedAggregateClauses(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+		want string // substring of the error
+	}{
+		{"sum without argument", `SELECT SUM WHERE { ?n dat:speed ?s . }`, "needs an argument"},
+		{"avg empty parens", `SELECT AVG() WHERE { ?n dat:speed ?s . }`, "must be a variable"},
+		{"min constant argument", `SELECT MIN(5) WHERE { ?n dat:speed ?s . }`, "must be a variable"},
+		{"agg unclosed parens", `SELECT SUM(?s WHERE { ?n dat:speed ?s . }`, `expected ")"`},
+		{"agg var not in pattern", `SELECT SUM(?q) WHERE { ?n dat:speed ?s . }`, "not used in WHERE"},
+		{"group by nothing", `SELECT ?s WHERE { ?n dat:speed ?s . } GROUP BY`, "GROUP BY needs at least one variable"},
+		{"group by unused var", `SELECT COUNT WHERE { ?n dat:speed ?s . } GROUP BY ?q`, "not used in WHERE"},
+		{"group by duplicate var", `SELECT ?s WHERE { ?n dat:speed ?s . } GROUP BY ?s, ?s`, "duplicate GROUP BY"},
+		{"projected var outside group", `SELECT ?n ?s WHERE { ?n dat:speed ?s . } GROUP BY ?s`, "not in GROUP BY"},
+		{"order by nothing", `SELECT ?s WHERE { ?n dat:speed ?s . } ORDER BY LIMIT 2`, "ORDER BY needs at least one key"},
+		{"order by non-output key", `SELECT ?s WHERE { ?n dat:speed ?s . } ORDER BY ?q`, "not an output column"},
+		{"order by pre-aggregate var", `SELECT ?n COUNT(?s) WHERE { ?n dat:speed ?s . } GROUP BY ?n ORDER BY ?s`, "not an output column"},
+		{"duplicate output columns", `SELECT SUM(?s) SUM(?s) WHERE { ?n dat:speed ?s . }`, "duplicate output column"},
+		{"clauses out of order", `SELECT ?s WHERE { ?n dat:speed ?s . } ORDER BY ?s GROUP BY ?s`, "trailing content"},
+		{"limit before order", `SELECT ?s WHERE { ?n dat:speed ?s . } LIMIT 2 ORDER BY ?s`, "trailing content"},
+		// PR-4's mid-clause lexer-error class: a lexer failure inside the new
+		// loops must surface as an error, not hang on the stale token.
+		{"lexer error in projection", "SELECT COUNT(?\x00) WHERE { ?n dat:speed ?s . }", "empty variable name"},
+		{"lexer error in group by", "SELECT COUNT WHERE { ?n dat:speed ?s . } GROUP BY ?\x01", "empty variable name"},
+		{"lexer error in order by", "SELECT ?s WHERE { ?n dat:speed ?s . } ORDER BY ?\x01", "empty variable name"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			q, err := Parse(tc.src)
+			if err == nil {
+				t.Fatalf("accepted malformed query: %+v", q)
 			}
 			if !strings.Contains(err.Error(), tc.want) {
 				t.Errorf("error %q does not mention %q", err, tc.want)

@@ -1,21 +1,26 @@
 package query
 
 import (
+	"fmt"
 	"sort"
 	"strings"
 
 	"github.com/datacron-project/datacron/internal/rdf"
 )
 
-// Cross-node partial-result merging for the cluster layer (DESIGN.md §14).
+// Cross-node partial-result merging for the cluster layer (DESIGN.md §16).
 //
-// A coordinator runs the same query on every node with COUNT/LIMIT
-// stripped, receives each node's distinct sorted rows already stringified
-// by Term.String(), and merges them here. Because Run's own per-shard merge
-// keys rows on the NUL-joined Term.String() serialisation and sorts by the
-// same strings, merging stringified partials with these helpers is
-// associative with the in-process merge: a cluster of N nodes and a single
-// node holding the union produce identical rows, counts and limits.
+// A coordinator runs every node's partial query — StripFinal, the original
+// with grouping/aggregation/ordering/LIMIT removed and the projection
+// widened to the aggregate inputs — receives each node's distinct sorted
+// rows already stringified by Term.String(), merges them here, and runs
+// Finalize: the engine's own group/sort/limit operators over the merged
+// set. Because the scan keys rows on the NUL-joined Term.String()
+// serialisation and sorts by the same strings, MergeStringRows is
+// associative and commutative with the in-process merge, so a cluster of N
+// nodes and a single node holding the union finalize the identical
+// canonical row set — bit-identical answers (DESIGN.md §16 has the full
+// argument).
 
 // MergeStringRows merges per-node partial rows under set semantics: rows
 // are deduplicated on their NUL-joined serialisation (the cross-shard row
@@ -47,20 +52,40 @@ func MergeStringRows(partials ...[][]string) [][]string {
 	return rows
 }
 
-// ApplyCountLimit applies the coordinator-side COUNT/LIMIT semantics to a
-// merged distinct row set, mirroring Run exactly: the distinct count is
-// taken before any truncation (`SELECT COUNT ... LIMIT n` measures, it does
-// not echo the limit), and a COUNT result is a single xsd:long row under
-// the synthetic "count" variable.
-func ApplyCountLimit(vars []string, rows [][]string, count bool, limit int) ([]string, [][]string) {
-	distinct := len(rows)
-	if limit > 0 && len(rows) > limit {
-		rows = rows[:limit]
+// Finalize applies the final operators of q — group/aggregate, sort,
+// limit — to a merged distinct row set, exactly as a single node would:
+// the cells are parsed back into terms (Term.String / rdf.ParseTerm round-
+// trip exactly), the same finalizeOps chain the engine runs is executed
+// over them, and the result is re-stringified. Aggregation therefore folds
+// over the identical canonically-sorted row set in the identical order on
+// both sides, which keeps even float sums bit-identical. COUNT before
+// LIMIT semantics fall out for free: LIMIT is the last operator.
+func Finalize(q *Query, vars []string, rows [][]string) ([]string, [][]string, error) {
+	rel := relation{cols: vars, rows: make([][]rdf.Term, 0, len(rows))}
+	for _, row := range rows {
+		tr := make([]rdf.Term, len(row))
+		for i, cell := range row {
+			t, err := rdf.ParseTerm(cell)
+			if err != nil {
+				return nil, nil, fmt.Errorf("query: finalize: partial row cell %q: %w", cell, err)
+			}
+			tr[i] = t
+		}
+		rel.rows = append(rel.rows, tr)
 	}
-	if count {
-		return []string{"count"}, [][]string{{CountTerm(distinct)}}
+	out, err := finalizeOps(q, &constOp{rel: rel}).exec()
+	if err != nil {
+		return nil, nil, err
 	}
-	return vars, rows
+	outRows := make([][]string, len(out.rows))
+	for i, r := range out.rows {
+		sr := make([]string, len(r))
+		for j, t := range r {
+			sr[j] = t.String()
+		}
+		outRows[i] = sr
+	}
+	return out.cols, outRows, nil
 }
 
 // CountTerm renders a distinct-row count exactly as the engine does

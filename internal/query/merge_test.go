@@ -76,40 +76,73 @@ func TestMergeStringRows(t *testing.T) {
 	}
 }
 
-func TestApplyCountLimit(t *testing.T) {
+// TestFinalize pins the coordinator-side finalize: the merged distinct
+// partial rows run through the same group/sort/limit operators a single
+// node executes.
+func TestFinalize(t *testing.T) {
+	// Input rows are stringified terms exactly as nodes return them:
+	// distinct, canonically sorted (MergeStringRows output).
+	iri := func(s string) string { return rdf.NewIRI(s).String() }
+	long := func(n int64) string { return rdf.NewLong(n).String() }
+	dbl := func(f float64) string { return rdf.NewDouble(f).String() }
 	vars := []string{"n", "s"}
-	rows := [][]string{{"a", "1"}, {"b", "2"}, {"c", "3"}}
+	rows := [][]string{
+		{iri("a"), long(1)},
+		{iri("a"), long(2)},
+		{iri("b"), long(3)},
+	}
+	where := " WHERE { ?n dat:speed ?s . }"
 	cases := []struct {
 		name     string
-		count    bool
-		limit    int
+		query    string
 		wantVars []string
 		wantRows [][]string
 	}{
-		{"plain passthrough", false, 0, vars, rows},
-		{"limit below size truncates", false, 2, vars, rows[:2]},
-		{"limit at size is a no-op", false, 3, vars, rows},
-		{"limit above size is a no-op", false, 400, vars, rows},
+		{"plain passthrough", "SELECT ?n ?s" + where, vars, rows},
+		{"limit truncates", "SELECT ?n ?s" + where + " LIMIT 2", vars, rows[:2]},
 		// COUNT measures the distinct set BEFORE any limit truncation —
-		// the same independent-of-LIMIT contract the engine pins in its
-		// own count tables.
-		{"count ignores limit", true, 2, []string{"count"}, [][]string{{CountTerm(3)}}},
-		{"count without limit", true, 0, []string{"count"}, [][]string{{CountTerm(3)}}},
+		// LIMIT is the last operator, after aggregation, the same
+		// independent-of-LIMIT contract the engine pins in its count tables.
+		{"count ignores limit", "SELECT COUNT" + where + " LIMIT 2",
+			[]string{"count"}, [][]string{{CountTerm(3)}}},
+		{"count without limit", "SELECT COUNT" + where,
+			[]string{"count"}, [][]string{{CountTerm(3)}}},
+		{"group by with aggregates", "SELECT ?n COUNT(?s) SUM(?s)" + where + " GROUP BY ?n",
+			[]string{"n", "count_s", "sum_s"},
+			[][]string{{iri("a"), long(2), dbl(3)}, {iri("b"), long(1), dbl(3)}}},
+		{"order by desc with limit", "SELECT ?n SUM(?s)" + where + " GROUP BY ?n ORDER BY ?sum_s DESC LIMIT 1",
+			[]string{"n", "sum_s"},
+			[][]string{{iri("a"), dbl(3)}}},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
-			gotVars, gotRows := ApplyCountLimit(vars, append([][]string{}, rows...), tc.count, tc.limit)
+			q := MustParse(tc.query)
+			in := make([][]string, len(rows))
+			copy(in, rows)
+			gotVars, gotRows, err := Finalize(q, vars, in)
+			if err != nil {
+				t.Fatalf("Finalize: %v", err)
+			}
 			if !reflect.DeepEqual(gotVars, tc.wantVars) || !reflect.DeepEqual(gotRows, tc.wantRows) {
-				t.Fatalf("ApplyCountLimit(count=%v, limit=%d) = %v %v, want %v %v",
-					tc.count, tc.limit, gotVars, gotRows, tc.wantVars, tc.wantRows)
+				t.Fatalf("Finalize(%q) = %v %v, want %v %v",
+					tc.query, gotVars, gotRows, tc.wantVars, tc.wantRows)
 			}
 		})
 	}
 
 	// Zero rows: COUNT is a "0"^^long row, not an empty result.
-	gotVars, gotRows := ApplyCountLimit(vars, nil, true, 5)
+	q := MustParse("SELECT COUNT" + where + " LIMIT 5")
+	gotVars, gotRows, err := Finalize(q, vars, nil)
+	if err != nil {
+		t.Fatalf("Finalize: %v", err)
+	}
 	if gotVars[0] != "count" || len(gotRows) != 1 || gotRows[0][0] != CountTerm(0) {
 		t.Fatalf("empty COUNT = %v %v", gotVars, gotRows)
+	}
+
+	// A malformed cell (not a term serialisation) is an error, not a panic.
+	if _, _, err := Finalize(MustParse("SELECT COUNT"+where), vars, [][]string{{"not a term", "x"}}); err == nil {
+		t.Fatal("Finalize accepted a malformed cell")
 	}
 }
 

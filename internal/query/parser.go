@@ -205,21 +205,31 @@ func (p *parser) parseQuery() (*Query, error) {
 	if err := p.expectIdent("SELECT"); err != nil {
 		return nil, err
 	}
-	// Optional COUNT aggregate: SELECT COUNT ?x … or SELECT COUNT WHERE….
-	if p.cur.kind == tokIdent && strings.EqualFold(p.cur.text, "COUNT") {
-		q.Count = true
-		p.advance()
-	}
 	// Projection: an explicit * or no variables selects all pattern
-	// variables.
+	// variables. Variables and aggregates (COUNT, or FUNC(?var)) may be
+	// intermixed in any order; the legacy "SELECT COUNT ?x" form still
+	// means count-the-distinct-?x-rows.
 	if p.cur.kind == tokPunct && p.cur.text == "*" {
 		p.advance()
 	}
 	// advance() keeps the stale token on a lexer error, so the loop must
 	// also watch p.err or a mid-projection error would spin forever.
-	for p.err == nil && p.cur.kind == tokVar {
-		q.Vars = append(q.Vars, p.cur.text)
+	for p.err == nil {
+		if p.cur.kind == tokVar {
+			q.Vars = append(q.Vars, p.cur.text)
+			p.advance()
+			continue
+		}
+		fn, isAgg := aggFuncName(p.cur)
+		if !isAgg {
+			break
+		}
 		p.advance()
+		agg, err := p.parseAggArg(fn)
+		if err != nil {
+			return nil, err
+		}
+		q.Aggs = append(q.Aggs, agg)
 	}
 	if p.err != nil {
 		return nil, p.err
@@ -253,6 +263,52 @@ func (p *parser) parseQuery() (*Query, error) {
 		}
 		q.Patterns = append(q.Patterns, tp)
 	}
+	if p.cur.kind == tokIdent && strings.EqualFold(p.cur.text, "GROUP") {
+		p.advance()
+		if err := p.expectIdent("BY"); err != nil {
+			return nil, err
+		}
+		// Same stale-token hazard as the projection loop: check p.err.
+		for p.err == nil && p.cur.kind == tokVar {
+			q.GroupBy = append(q.GroupBy, p.cur.text)
+			p.advance()
+			if p.cur.kind == tokPunct && p.cur.text == "," {
+				p.advance()
+			}
+		}
+		if p.err != nil {
+			return nil, p.err
+		}
+		if len(q.GroupBy) == 0 {
+			return nil, fmt.Errorf("query: GROUP BY needs at least one variable, got %q", p.cur.text)
+		}
+	}
+	if p.cur.kind == tokIdent && strings.EqualFold(p.cur.text, "ORDER") {
+		p.advance()
+		if err := p.expectIdent("BY"); err != nil {
+			return nil, err
+		}
+		for p.err == nil && p.cur.kind == tokVar {
+			key := OrderKey{Var: p.cur.text}
+			p.advance()
+			if p.cur.kind == tokIdent && strings.EqualFold(p.cur.text, "DESC") {
+				key.Desc = true
+				p.advance()
+			} else if p.cur.kind == tokIdent && strings.EqualFold(p.cur.text, "ASC") {
+				p.advance()
+			}
+			q.OrderBy = append(q.OrderBy, key)
+			if p.cur.kind == tokPunct && p.cur.text == "," {
+				p.advance()
+			}
+		}
+		if p.err != nil {
+			return nil, p.err
+		}
+		if len(q.OrderBy) == 0 {
+			return nil, fmt.Errorf("query: ORDER BY needs at least one key, got %q", p.cur.text)
+		}
+	}
 	if p.cur.kind == tokIdent && strings.EqualFold(p.cur.text, "LIMIT") {
 		p.advance()
 		if p.cur.kind != tokNumber {
@@ -277,7 +333,48 @@ func (p *parser) parseQuery() (*Query, error) {
 	return q, nil
 }
 
-// validate checks projection and filter variables appear in the patterns.
+// aggFuncName reports whether tok is an aggregate function keyword.
+func aggFuncName(tok token) (AggFunc, bool) {
+	if tok.kind != tokIdent {
+		return "", false
+	}
+	for _, fn := range []AggFunc{AggCount, AggSum, AggMin, AggMax, AggAvg} {
+		if strings.EqualFold(tok.text, string(fn)) {
+			return fn, true
+		}
+	}
+	return "", false
+}
+
+// parseAggArg parses the argument of an aggregate whose function keyword
+// was just consumed: "(?var)" — optional for COUNT, required otherwise.
+func (p *parser) parseAggArg(fn AggFunc) (Aggregate, error) {
+	if p.err != nil {
+		return Aggregate{}, p.err
+	}
+	if p.cur.kind != tokPunct || p.cur.text != "(" {
+		if fn == AggCount {
+			return Aggregate{Func: fn}, nil // legacy bare COUNT
+		}
+		return Aggregate{}, fmt.Errorf("query: %s needs an argument like %s(?var), got %q at offset %d", fn, fn, p.cur.text, p.cur.pos)
+	}
+	p.advance()
+	if p.err != nil {
+		return Aggregate{}, p.err
+	}
+	if p.cur.kind != tokVar {
+		return Aggregate{}, fmt.Errorf("query: %s argument must be a variable, got %q at offset %d", fn, p.cur.text, p.cur.pos)
+	}
+	v := p.cur.text
+	p.advance()
+	if err := p.expectPunct(")"); err != nil {
+		return Aggregate{}, err
+	}
+	return Aggregate{Func: fn, Var: v}, nil
+}
+
+// validate checks projection, filter, grouping and ordering variables are
+// consistent with the patterns and with each other.
 func (q *Query) validate() error {
 	inPattern := map[string]bool{}
 	for _, tp := range q.Patterns {
@@ -294,6 +391,50 @@ func (q *Query) validate() error {
 		for _, v := range f.Vars() {
 			if !inPattern[v] {
 				return fmt.Errorf("query: filter variable ?%s not used in WHERE", v)
+			}
+		}
+	}
+	for _, a := range q.Aggs {
+		if a.Var != "" && !inPattern[a.Var] {
+			return fmt.Errorf("query: aggregate variable ?%s not used in WHERE", a.Var)
+		}
+	}
+	grouped := map[string]bool{}
+	for _, v := range q.GroupBy {
+		if !inPattern[v] {
+			return fmt.Errorf("query: GROUP BY variable ?%s not used in WHERE", v)
+		}
+		if grouped[v] {
+			return fmt.Errorf("query: duplicate GROUP BY variable ?%s", v)
+		}
+		grouped[v] = true
+	}
+	if len(q.GroupBy) > 0 {
+		// With grouping, plain projected variables become group columns and
+		// must be functionally determined by the group key.
+		for _, v := range q.Vars {
+			if !grouped[v] {
+				return fmt.Errorf("query: projected variable ?%s not in GROUP BY", v)
+			}
+		}
+	}
+	if len(q.Aggs) > 0 || len(q.GroupBy) > 0 {
+		outSeen := map[string]bool{}
+		for _, v := range q.OutputVars() {
+			if outSeen[v] {
+				return fmt.Errorf("query: duplicate output column %q", v)
+			}
+			outSeen[v] = true
+		}
+	}
+	if len(q.OrderBy) > 0 {
+		out := map[string]bool{}
+		for _, v := range q.OutputVars() {
+			out[v] = true
+		}
+		for _, k := range q.OrderBy {
+			if !out[k.Var] {
+				return fmt.Errorf("query: ORDER BY key ?%s is not an output column", k.Var)
 			}
 		}
 	}

@@ -1,0 +1,124 @@
+package query
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestPlanCacheHitOnReformattedQuery(t *testing.T) {
+	e := NewEngine(hashStore(t))
+	first, err := e.Execute(`SELECT ?v WHERE { ?v rdf:type dat:Vessel . } LIMIT 2`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.Plan.CacheHit {
+		t.Fatal("first execution reported a cache hit")
+	}
+	// Same tokens, different layout: must share the first entry.
+	second, err := e.Execute("SELECT  ?v\n\tWHERE {\n\t?v rdf:type dat:Vessel .\n} LIMIT 2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !second.Plan.CacheHit {
+		t.Fatal("reformatted query missed the plan cache")
+	}
+	if !reflect.DeepEqual(first.Vars, second.Vars) || !reflect.DeepEqual(first.Rows, second.Rows) {
+		t.Fatalf("cached plan answered differently: %v vs %v", first.Rows, second.Rows)
+	}
+	hits, misses, entries := e.PlanCacheStats()
+	if hits != 1 || misses != 1 || entries != 1 {
+		t.Fatalf("stats = %d hits %d misses %d entries", hits, misses, entries)
+	}
+}
+
+func TestPlanCacheParseErrorsNotCached(t *testing.T) {
+	e := NewEngine(hashStore(t))
+	if _, _, err := e.ParseCached("SELECT garbage"); err == nil {
+		t.Fatal("bad query parsed")
+	}
+	if _, _, entries := e.PlanCacheStats(); entries != 0 {
+		t.Fatalf("parse error was cached: %d entries", entries)
+	}
+}
+
+func TestPlanCacheLRUEviction(t *testing.T) {
+	e := NewEngine(hashStore(t))
+	e.cache = newPlanCache(2)
+	qa := `SELECT ?v WHERE { ?v rdf:type dat:Vessel . }`
+	qb := `SELECT ?v WHERE { ?v rdf:type dat:Vessel . } LIMIT 1`
+	qc := `SELECT ?v WHERE { ?v rdf:type dat:Vessel . } LIMIT 2`
+	mustMiss := func(src string) {
+		t.Helper()
+		if _, hit, err := e.ParseCached(src); err != nil || hit {
+			t.Fatalf("ParseCached(%q) = hit=%v err=%v, want fresh parse", src, hit, err)
+		}
+	}
+	mustMiss(qa)
+	mustMiss(qb)
+	// Touch qa so qb becomes least recently used, then overflow.
+	if _, hit, _ := e.ParseCached(qa); !hit {
+		t.Fatal("qa not cached")
+	}
+	mustMiss(qc)
+	if _, _, entries := e.PlanCacheStats(); entries != 2 {
+		t.Fatalf("entries = %d, want 2", entries)
+	}
+	if _, hit, _ := e.ParseCached(qa); !hit {
+		t.Fatal("recently used qa evicted")
+	}
+	mustMiss(qb) // the LRU victim
+}
+
+func TestPlanCacheReturnsSharedQuery(t *testing.T) {
+	e := NewEngine(hashStore(t))
+	src := `SELECT ?v COUNT(?n) WHERE { ?n dat:ofMovingObject ?v . } GROUP BY ?v`
+	q1, _, err := e.ParseCached(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q2, hit, err := e.ParseCached(src)
+	if err != nil || !hit {
+		t.Fatalf("second parse: hit=%v err=%v", hit, err)
+	}
+	if q1 != q2 {
+		t.Fatal("cache returned a different *Query for the same key")
+	}
+	// Executing the shared plan (including its StripFinal partial form, the
+	// coordinator path) must not mutate it.
+	if _, err := e.Run(q1.StripFinal()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Run(q1); err != nil {
+		t.Fatal(err)
+	}
+	if len(q1.Aggs) != 1 || len(q1.GroupBy) != 1 {
+		t.Fatalf("cached query mutated by execution: %+v", q1)
+	}
+}
+
+func TestCanonicalQueryKey(t *testing.T) {
+	cases := []struct {
+		name string
+		a, b string
+		same bool
+	}{
+		{"whitespace runs collapse", "SELECT ?x  WHERE\t{ ?x rdf:type ?y . }",
+			"SELECT ?x WHERE { ?x rdf:type ?y . }", true},
+		{"leading and trailing trim", "  SELECT ?x WHERE { ?x rdf:type ?y . }\n",
+			"SELECT ?x WHERE { ?x rdf:type ?y . }", true},
+		{"whitespace inside strings is significant", `SELECT ?x WHERE { ?x dat:name "a  b" . }`,
+			`SELECT ?x WHERE { ?x dat:name "a b" . }`, false},
+		{"different tokens stay distinct", "SELECT ?x WHERE { ?x rdf:type ?y . } LIMIT 1",
+			"SELECT ?x WHERE { ?x rdf:type ?y . } LIMIT 2", false},
+		{"escaped quote does not end the string", `SELECT ?x WHERE { ?x dat:name "a\"  b" . }`,
+			`SELECT ?x WHERE { ?x dat:name "a\" b" . }`, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			ka, kb := canonicalQueryKey(tc.a), canonicalQueryKey(tc.b)
+			if (ka == kb) != tc.same {
+				t.Fatalf("keys %q / %q: same=%v, want %v", ka, kb, ka == kb, tc.same)
+			}
+		})
+	}
+}

@@ -92,6 +92,23 @@ func ParseTripleLine(line string) (s, p, o Term, err error) {
 	return s, p, o, nil
 }
 
+// ParseTerm parses exactly one N-Triples term — the Term.String
+// serialisation. The round trip Term → String → ParseTerm is exact for
+// every term this package produces (escapeLiteral and unescapeLiteral are
+// inverses), which is what lets a cluster coordinator decode the
+// stringified partial rows of a scatter-gather query back into terms and
+// re-run the engine's own finalize operators over them.
+func ParseTerm(s string) (Term, error) {
+	t, rest, err := parseTerm(s)
+	if err != nil {
+		return Term{}, err
+	}
+	if strings.TrimSpace(rest) != "" {
+		return Term{}, fmt.Errorf("trailing content %q after term", rest)
+	}
+	return t, nil
+}
+
 // parseTerm consumes one term from the front of s and returns the rest.
 func parseTerm(s string) (Term, string, error) {
 	s = strings.TrimSpace(s)

@@ -199,6 +199,12 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	if s.slowLog != nil {
 		mw.Counter("datacron_slow_queries_total", "Queries over the slow-query threshold (see /debug/slowlog).", s.slowLog.Fired())
 	}
+	if s.p.Engine != nil {
+		hits, misses, entries := s.p.Engine.PlanCacheStats()
+		mw.Counter("datacron_query_plan_cache_hits", "Queries answered with a cached plan (canonicalized-text key).", hits)
+		mw.Counter("datacron_query_plan_cache_misses", "Queries that had to be parsed and planned fresh.", misses)
+		mw.Gauge("datacron_query_plan_cache_entries", "Plans currently held in the bounded LRU plan cache.", float64(entries))
+	}
 	if s.cfg.ExtraMetrics != nil {
 		s.cfg.ExtraMetrics(mw)
 	}

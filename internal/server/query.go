@@ -13,10 +13,13 @@ import (
 )
 
 // PartialQueryHeader marks a scatter-gather sub-request from a cluster
-// coordinator: the node runs the query with COUNT/LIMIT stripped and
-// returns its full distinct row set, so the coordinator can merge partials
-// under set semantics and apply COUNT/LIMIT once, globally. (Counting or
-// truncating per node would under-count duplicates and over-truncate.)
+// coordinator: the node runs the partial form of the query
+// (Query.StripFinal — grouping/aggregation/ordering/LIMIT removed, the
+// projection widened to the aggregate inputs) and returns its full
+// distinct row set, so the coordinator can merge partials under set
+// semantics and run the final operators once, globally (query.Finalize).
+// Aggregating or truncating per node would double-count replicated
+// triples and over-truncate.
 const PartialQueryHeader = "X-Datacron-Partial-Query"
 
 // queryRequest is the JSON form of POST /query; a text/plain body is the
@@ -56,15 +59,16 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	var res *query.Result
+	cacheHit := false
 	if r.Header.Get(PartialQueryHeader) != "" {
-		q, perr := query.Parse(src)
+		q, hit, perr := s.p.Engine.ParseCached(src)
 		if perr != nil {
 			http.Error(w, perr.Error(), http.StatusBadRequest)
 			return
 		}
-		q.Count = false
-		q.Limit = 0
-		res, err = s.p.Engine.Run(q)
+		cacheHit = hit
+		// StripFinal copies, so the cached *Query is never mutated.
+		res, err = s.p.Engine.Run(q.StripFinal())
 	} else {
 		res, err = s.p.Engine.Execute(src)
 	}
@@ -72,9 +76,11 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
+	cacheHit = cacheHit || res.Plan.CacheHit
 	if s.slowLog != nil {
 		// Record over-threshold queries with the plan facts that explain
-		// them: how much the planner could prune, and what came back.
+		// them: the executed operator chain with per-stage row counts, how
+		// much the planner could prune, and whether the plan was cached.
 		shards := len(s.p.Store.ShardLoads())
 		s.slowLog.Observe(obs.SlowQuery{
 			RequestID:      r.Header.Get(obs.RequestIDHeader),
@@ -84,6 +90,8 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 			ShardsVisited:  res.ShardsVisited,
 			ShardsPruned:   shards - res.ShardsVisited,
 			SegmentsPruned: res.SegmentsPruned,
+			Plan:           res.Plan.Stages,
+			CacheHit:       cacheHit,
 		})
 	}
 	out := queryResponse{
